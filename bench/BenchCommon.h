@@ -1,0 +1,120 @@
+//===- bench/BenchCommon.h - Shared figure-reproduction helpers -*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the benchmark binaries that regenerate the paper's
+/// figures: backend-uniform compile/run/size measurement over the
+/// SPEC-like workload modules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_BENCH_BENCHCOMMON_H
+#define TPDE_BENCH_BENCHCOMMON_H
+
+#include "asmx/JITMapper.h"
+#include "baseline/Baseline.h"
+#include "copypatch/CopyPatch.h"
+#include "support/Timer.h"
+#include "tpde_tir/TirCompilerX64.h"
+#include "workloads/Generator.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tpde::bench {
+
+enum class Backend { BaselineO0, BaselineO1, Tpde, CopyPatch };
+
+inline const char *backendName(Backend B) {
+  switch (B) {
+  case Backend::BaselineO0:
+    return "Baseline-O0";
+  case Backend::BaselineO1:
+    return "Baseline-O1";
+  case Backend::Tpde:
+    return "TPDE";
+  case Backend::CopyPatch:
+    return "Copy&Patch";
+  }
+  return "?";
+}
+
+inline bool compileWith(Backend B, tir::Module &M, asmx::Assembler &Asm) {
+  switch (B) {
+  case Backend::BaselineO0:
+    return baseline::compileModule(M, Asm, baseline::OptLevel::O0);
+  case Backend::BaselineO1:
+    return baseline::compileModule(M, Asm, baseline::OptLevel::O1);
+  case Backend::Tpde:
+    return tpde_tir::compileModuleX64(M, Asm);
+  case Backend::CopyPatch:
+    return copypatch::compileModule(M, Asm);
+  }
+  return false;
+}
+
+struct Measurement {
+  double CompileMs = 0;
+  u64 TextBytes = 0;
+  double RunMs = 0;
+};
+
+/// Median compile time over \p Iters fresh compilations plus one
+/// measured execution of main_entry.
+inline Measurement measure(Backend B, tir::Module &M, unsigned CompileIters,
+                           unsigned RunIters) {
+  Measurement Out;
+  std::vector<double> Times;
+  for (unsigned I = 0; I < CompileIters; ++I) {
+    asmx::Assembler Asm;
+    Timer T;
+    T.start();
+    bool OK = compileWith(B, M, Asm);
+    T.stop();
+    if (!OK) {
+      std::fprintf(stderr, "compilation failed (%s)\n", backendName(B));
+      std::exit(1);
+    }
+    Times.push_back(T.ms());
+    if (I == 0)
+      Out.TextBytes = Asm.text().size();
+  }
+  std::sort(Times.begin(), Times.end());
+  Out.CompileMs = Times[Times.size() / 2];
+
+  if (RunIters) {
+    asmx::Assembler Asm;
+    compileWith(B, M, Asm);
+    asmx::JITMapper JIT;
+    if (!JIT.map(Asm)) {
+      std::fprintf(stderr, "mapping failed (%s)\n", backendName(B));
+      std::exit(1);
+    }
+    auto *F = reinterpret_cast<u64 (*)(u64, u64)>(JIT.address("main_entry"));
+    volatile u64 Sink = 0;
+    // Warmup.
+    for (unsigned I = 0; I < RunIters / 10 + 1; ++I)
+      Sink ^= F(I, I * 3 + 1);
+    Timer T;
+    T.start();
+    for (unsigned I = 0; I < RunIters; ++I)
+      Sink ^= F(I, I * 3 + 1);
+    T.stop();
+    (void)Sink;
+    Out.RunMs = T.ms();
+  }
+  return Out;
+}
+
+inline double geomean(const std::vector<double> &V) {
+  double S = 0;
+  for (double X : V)
+    S += std::log(X);
+  return std::exp(S / static_cast<double>(V.size()));
+}
+
+} // namespace tpde::bench
+
+#endif // TPDE_BENCH_BENCHCOMMON_H

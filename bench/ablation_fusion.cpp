@@ -1,0 +1,43 @@
+//===- bench/ablation_fusion.cpp - §3.4.4/§4.2 fusion ablation ------------===//
+///
+/// Ablation for instruction fusing (compare+branch, §5.1.2) and operand
+/// folding (address expressions into memory operands, memory operands for
+/// spilled values, §4.2). The paper calls compare-branch fusion "very
+/// important for performance" and notes that merging expressions into
+/// memory operands "has a large impact on code size and performance".
+/// Both run-time and code size are reported with fusion on and off.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchCommon.h"
+#include "tpde_tir/TirCompilerX64.h"
+
+using namespace tpde;
+using namespace tpde::bench;
+
+int main() {
+  std::printf("=== Ablation: fusion and operand folding (§3.4.4, §4.2) "
+              "===\n");
+  std::printf("%-16s %10s %10s %10s | %9s %9s\n", "benchmark", "on[ms]",
+              "off[ms]", "rt off/on", "sz-on[B]", "sz-off/on");
+  std::vector<double> RtRatio, SzRatio;
+  const unsigned Reps = 1000;
+  for (auto &NP : workloads::specLikeProfiles(/*O0Flavor=*/true)) {
+    tir::Module M;
+    workloads::genModule(M, NP.P);
+    tpde_tir::DisableFusion = false;
+    Measurement On = measure(Backend::Tpde, M, 1, Reps);
+    tpde_tir::DisableFusion = true;
+    Measurement Off = measure(Backend::Tpde, M, 1, Reps);
+    tpde_tir::DisableFusion = false;
+    double R = Off.RunMs / On.RunMs;
+    double S = double(Off.TextBytes) / double(On.TextBytes);
+    RtRatio.push_back(R);
+    SzRatio.push_back(S);
+    std::printf("%-16s %10.3f %10.3f %10.3f | %9llu %9.3f\n", NP.Name,
+                On.RunMs, Off.RunMs, R, (unsigned long long)On.TextBytes, S);
+  }
+  std::printf("geomean: run-time %.3fx, code size %.3fx without fusion\n",
+              geomean(RtRatio), geomean(SzRatio));
+  return 0;
+}

@@ -1,0 +1,694 @@
+//===- a64/Sim.cpp - AArch64 subset simulator -----------------------------===//
+
+#include "a64/Sim.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+using namespace tpde;
+using namespace tpde::a64;
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+u64 loadBytes(u64 Addr, unsigned Bytes) {
+  u64 V = 0;
+  std::memcpy(&V, reinterpret_cast<const void *>(Addr), Bytes);
+  return V;
+}
+
+void storeBytes(u64 Addr, u64 V, unsigned Bytes) {
+  std::memcpy(reinterpret_cast<void *>(Addr), &V, Bytes);
+}
+
+/// Applies a shift-type/amount to an operand (logical/addsub shifted reg).
+u64 doShift(u64 V, unsigned Type, unsigned Amt, bool Is64) {
+  unsigned Size = Is64 ? 64 : 32;
+  Amt &= Size - 1;
+  if (!Is64)
+    V &= 0xFFFFFFFFull;
+  switch (Type) {
+  case 0: // LSL
+    V = Amt ? V << Amt : V;
+    break;
+  case 1: // LSR
+    V = Amt ? V >> Amt : V;
+    break;
+  case 2: // ASR
+    V = static_cast<u64>(signExtend(V, Size) >> Amt);
+    break;
+  case 3: // ROR
+    V = Amt ? ((V >> Amt) | (V << (Size - Amt))) : V;
+    break;
+  }
+  return Is64 ? V : (V & 0xFFFFFFFFull);
+}
+
+/// ExtendReg for the extended-register and register-offset forms.
+u64 extendReg(u64 V, unsigned Option) {
+  switch (Option) {
+  case 0:
+    return V & 0xFF; // UXTB
+  case 1:
+    return V & 0xFFFF; // UXTH
+  case 2:
+    return V & 0xFFFFFFFF; // UXTW
+  case 3:
+    return V; // UXTX / LSL
+  case 4:
+    return static_cast<u64>(signExtend(V, 8)); // SXTB
+  case 5:
+    return static_cast<u64>(signExtend(V, 16)); // SXTH
+  case 6:
+    return static_cast<u64>(signExtend(V, 32)); // SXTW
+  case 7:
+    return V; // SXTX
+  }
+  TPDE_UNREACHABLE("bad extend option");
+}
+
+/// Decodes an A64 logical (bitmask) immediate.
+u64 decodeBitmask(u32 NBit, u32 Immr, u32 Imms, unsigned RegSize) {
+  u32 Marker = (NBit << 6) | (~Imms & 0x3F);
+  assert(Marker != 0 && "reserved bitmask encoding");
+  unsigned Len = 31 - static_cast<unsigned>(__builtin_clz(Marker));
+  unsigned E = 1u << Len;
+  unsigned S = Imms & (E - 1);
+  unsigned R = Immr & (E - 1);
+  u64 Pattern = S == 63 ? ~0ull : (u64(1) << (S + 1)) - 1;
+  if (R)
+    Pattern = (Pattern >> R) | (Pattern << (E - R));
+  if (E < 64)
+    Pattern &= (u64(1) << E) - 1;
+  while (E < 64) {
+    Pattern |= Pattern << E;
+    E *= 2;
+  }
+  return RegSize == 32 ? (Pattern & 0xFFFFFFFFull) : Pattern;
+}
+
+/// Saturating double/float -> signed integer conversion (FCVTZS).
+template <typename F> i64 fcvtzs(F V, bool To64) {
+  if (std::isnan(V))
+    return 0;
+  if (To64) {
+    if (V >= static_cast<F>(std::numeric_limits<i64>::max()))
+      return std::numeric_limits<i64>::max();
+    if (V <= static_cast<F>(std::numeric_limits<i64>::min()))
+      return std::numeric_limits<i64>::min();
+    return static_cast<i64>(V);
+  }
+  if (V >= static_cast<F>(std::numeric_limits<i32>::max()))
+    return std::numeric_limits<i32>::max();
+  if (V <= static_cast<F>(std::numeric_limits<i32>::min()))
+    return std::numeric_limits<i32>::min();
+  return static_cast<i32>(V);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / host bridging
+// ---------------------------------------------------------------------------
+
+Sim::Sim(u64 StackBytes) {
+  Stack = std::make_unique<u8[]>(StackBytes);
+  StackTop = (reinterpret_cast<u64>(Stack.get()) + StackBytes) & ~u64(15);
+  HaltAddr = reinterpret_cast<u64>(&HaltAddr); // never valid code
+}
+
+u64 Sim::registerHost(const std::string &Name, HostFn Fn) {
+  BridgeSlots.push_back(std::make_unique<u64>(0));
+  u64 Addr = reinterpret_cast<u64>(BridgeSlots.back().get());
+  HostByAddr.emplace(Addr, std::move(Fn));
+  BridgeByName[Name] = Addr;
+  return Addr;
+}
+
+void *Sim::resolve(std::string_view Name) {
+  auto It = BridgeByName.find(std::string(Name));
+  if (It == BridgeByName.end())
+    return nullptr;
+  return reinterpret_cast<void *>(It->second);
+}
+
+bool SimModule::map(const asmx::Assembler &Asm, Sim &S) {
+  return JIT.map(
+      Asm, [&S](std::string_view Name) { return S.resolve(Name); },
+      asmx::JITMapper::StubArch::A64);
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+bool Sim::condHolds(unsigned Cond) const {
+  switch (Cond) {
+  case 0x0:
+    return Z;
+  case 0x1:
+    return !Z;
+  case 0x2:
+    return C;
+  case 0x3:
+    return !C;
+  case 0x4:
+    return N;
+  case 0x5:
+    return !N;
+  case 0x6:
+    return VF;
+  case 0x7:
+    return !VF;
+  case 0x8:
+    return C && !Z;
+  case 0x9:
+    return !(C && !Z);
+  case 0xA:
+    return N == VF;
+  case 0xB:
+    return N != VF;
+  case 0xC:
+    return !Z && N == VF;
+  case 0xD:
+    return !(!Z && N == VF);
+  default:
+    return true; // AL / NV
+  }
+}
+
+u64 Sim::addWithCarry(u64 A, u64 B, bool CarryIn, bool Is64, bool SetFlags) {
+  u64 Res;
+  bool COut, VOut;
+  if (Is64) {
+    unsigned __int128 U =
+        static_cast<unsigned __int128>(A) + B + (CarryIn ? 1 : 0);
+    Res = static_cast<u64>(U);
+    COut = static_cast<u64>(U >> 64) != 0;
+    __int128 SS = static_cast<__int128>(static_cast<i64>(A)) +
+                  static_cast<i64>(B) + (CarryIn ? 1 : 0);
+    VOut = SS != static_cast<i64>(Res);
+  } else {
+    A &= 0xFFFFFFFFull;
+    B &= 0xFFFFFFFFull;
+    u64 U = A + B + (CarryIn ? 1 : 0);
+    Res = U & 0xFFFFFFFFull;
+    COut = (U >> 32) != 0;
+    i64 SS = static_cast<i64>(static_cast<i32>(A)) +
+             static_cast<i32>(B) + (CarryIn ? 1 : 0);
+    VOut = SS != static_cast<i64>(static_cast<i32>(Res));
+  }
+  if (SetFlags) {
+    N = Is64 ? (Res >> 63) & 1 : (Res >> 31) & 1;
+    Z = Res == 0;
+    C = COut;
+    VF = VOut;
+  }
+  return Res;
+}
+
+bool Sim::run(u64 Entry, u64 MaxInsts) {
+  PC = Entry;
+  u64 Budget = MaxInsts;
+  while (true) {
+    if (PC == HaltAddr)
+      return true;
+    auto It = HostByAddr.find(PC);
+    if (It != HostByAddr.end()) {
+      It->second(*this);
+      Cycles += 20; // fixed call-out cost
+      PC = X[30];
+      continue;
+    }
+    if (Budget-- == 0)
+      return false;
+    if (!step())
+      return false;
+  }
+}
+
+u64 Sim::call(u64 Entry, const std::vector<u64> &Args,
+              const std::vector<bool> &ArgIsFp) {
+  sp() = StackTop;
+  X[30] = HaltAddr;
+  unsigned GP = 0, FP = 0;
+  for (size_t I = 0; I < Args.size(); ++I) {
+    bool IsFp = I < ArgIsFp.size() && ArgIsFp[I];
+    if (IsFp)
+      V[FP++] = Args[I];
+    else
+      X[GP++] = Args[I];
+  }
+  bool OK = run(Entry);
+  assert(OK && "simulated call trapped or exceeded instruction budget");
+  (void)OK;
+  return X[0];
+}
+
+bool Sim::step() {
+  const u32 W = static_cast<u32>(loadBytes(PC, 4));
+  ++InstCount;
+  ++Cycles;
+  const bool Is64 = (W >> 31) != 0;
+  const unsigned Rd = W & 31, Rn = (W >> 5) & 31, Rm = (W >> 16) & 31;
+  u64 NextPC = PC + 4;
+
+  auto xr = [&](unsigned R) -> u64 { return R == 31 ? 0 : X[R]; };
+  auto xsp = [&](unsigned R) -> u64 { return X[R]; };
+  auto wr = [&](unsigned R, u64 Val, bool W64) {
+    if (R != 31)
+      X[R] = W64 ? Val : (Val & 0xFFFFFFFFull);
+  };
+  auto wsp = [&](unsigned R, u64 Val, bool W64) {
+    X[R] = W64 ? Val : (Val & 0xFFFFFFFFull);
+  };
+  auto setNZLogic = [&](u64 Res, bool W64) {
+    N = W64 ? (Res >> 63) & 1 : (Res >> 31) & 1;
+    Z = (W64 ? Res : (Res & 0xFFFFFFFFull)) == 0;
+    C = false;
+    VF = false;
+  };
+
+  if (W == 0xD503201Fu) {
+    // NOP
+  } else if ((W & 0xFFE0001Fu) == 0xD4200000u) {
+    Trapped = true; // BRK
+    return false;
+  } else if ((W & 0xFF9FFC1Fu) == 0xD61F0000u) {
+    // BR / BLR / RET
+    unsigned Opc = (W >> 21) & 3;
+    u64 Target = xr(Rn);
+    if (Opc == 1)
+      X[30] = PC + 4;
+    NextPC = Target;
+  } else if ((W & 0x7C000000u) == 0x14000000u) {
+    // B / BL
+    if (W >> 31)
+      X[30] = PC + 4;
+    NextPC = PC + signExtend(W & 0x03FFFFFF, 26) * 4;
+  } else if ((W & 0xFF000010u) == 0x54000000u) {
+    // B.cond
+    if (condHolds(W & 0xF))
+      NextPC = PC + signExtend((W >> 5) & 0x7FFFF, 19) * 4;
+  } else if ((W & 0x7E000000u) == 0x34000000u) {
+    // CBZ / CBNZ
+    u64 Val = xr(Rd);
+    if (!Is64)
+      Val &= 0xFFFFFFFFull;
+    bool WantNZ = (W >> 24) & 1;
+    if ((Val == 0) != WantNZ)
+      NextPC = PC + signExtend((W >> 5) & 0x7FFFF, 19) * 4;
+  } else if ((W & 0xBF000000u) == 0x18000000u) {
+    // LDR (literal); used by the JIT call stubs.
+    u64 Addr = PC + signExtend((W >> 5) & 0x7FFFF, 19) * 4;
+    bool Wide = (W >> 30) & 1;
+    wr(Rd, loadBytes(Addr, Wide ? 8 : 4), true);
+    Cycles += 3;
+  } else if ((W & 0x1F000000u) == 0x10000000u) {
+    // ADR / ADRP
+    i64 Imm = (signExtend((W >> 5) & 0x7FFFF, 19) << 2) |
+              static_cast<i64>((W >> 29) & 3);
+    if (W >> 31)
+      wr(Rd, (PC & ~u64(0xFFF)) + (static_cast<u64>(Imm) << 12), true);
+    else
+      wr(Rd, PC + Imm, true);
+  } else if ((W & 0x1F000000u) == 0x11000000u) {
+    // ADD/SUB immediate
+    bool Sub = (W >> 30) & 1, S = (W >> 29) & 1;
+    u64 Imm = (W >> 10) & 0xFFF;
+    if ((W >> 22) & 1)
+      Imm <<= 12;
+    u64 A = xsp(Rn);
+    u64 Res = addWithCarry(A, Sub ? ~Imm : Imm, Sub, Is64, S);
+    if (S)
+      wr(Rd, Res, Is64);
+    else
+      wsp(Rd, Res, Is64);
+  } else if ((W & 0x1F800000u) == 0x12000000u) {
+    // Logical immediate
+    unsigned Opc = (W >> 29) & 3;
+    u64 Imm = decodeBitmask((W >> 22) & 1, (W >> 16) & 0x3F, (W >> 10) & 0x3F,
+                            Is64 ? 64 : 32);
+    u64 A = xr(Rn);
+    u64 Res = Opc == 1 ? (A | Imm) : Opc == 2 ? (A ^ Imm) : (A & Imm);
+    if (!Is64)
+      Res &= 0xFFFFFFFFull;
+    if (Opc == 3) {
+      setNZLogic(Res, Is64);
+      wr(Rd, Res, Is64);
+    } else {
+      wsp(Rd, Res, Is64); // Rd = 31 is SP for AND/ORR/EOR immediate
+    }
+  } else if ((W & 0x1F800000u) == 0x12800000u) {
+    // MOVN / MOVZ / MOVK
+    unsigned Opc = (W >> 29) & 3, Hw = (W >> 21) & 3;
+    u64 Imm = static_cast<u64>((W >> 5) & 0xFFFF) << (16 * Hw);
+    u64 Res;
+    if (Opc == 0)
+      Res = ~Imm;
+    else if (Opc == 2)
+      Res = Imm;
+    else
+      Res = (xr(Rd) & ~(u64(0xFFFF) << (16 * Hw))) | Imm;
+    wr(Rd, Res, Is64);
+  } else if ((W & 0x1F800000u) == 0x13000000u) {
+    // SBFM / UBFM
+    unsigned Opc = (W >> 29) & 3;
+    unsigned Immr = (W >> 16) & 0x3F, Imms = (W >> 10) & 0x3F;
+    unsigned Size = Is64 ? 64 : 32;
+    u64 Src = xr(Rn);
+    if (!Is64)
+      Src &= 0xFFFFFFFFull;
+    u64 Res;
+    if (Imms >= Immr) {
+      unsigned Len = Imms - Immr + 1;
+      u64 Field = (Src >> Immr) & (Len >= 64 ? ~0ull : (u64(1) << Len) - 1);
+      Res = Opc == 0 ? static_cast<u64>(signExtend(Field, Len)) : Field;
+    } else {
+      unsigned Len = Imms + 1;
+      u64 Field = Src & ((u64(1) << Len) - 1);
+      if (Opc == 0)
+        Field = static_cast<u64>(signExtend(Field, Len));
+      Res = Field << (Size - Immr);
+    }
+    wr(Rd, Res, Is64);
+  } else if ((W & 0x1F800000u) == 0x13800000u) {
+    // EXTR
+    unsigned Lsb = (W >> 10) & 0x3F;
+    unsigned Size = Is64 ? 64 : 32;
+    u64 Hi = xr(Rn), Lo = xr(Rm);
+    if (!Is64) {
+      Hi &= 0xFFFFFFFFull;
+      Lo &= 0xFFFFFFFFull;
+    }
+    u64 Res = Lsb == 0 ? Lo : ((Lo >> Lsb) | (Hi << (Size - Lsb)));
+    wr(Rd, Res, Is64);
+  } else if ((W & 0x1F000000u) == 0x0A000000u) {
+    // Logical shifted register (AND/ORR/EOR/ANDS, N = BIC/ORN/EON/BICS)
+    unsigned Opc = (W >> 29) & 3;
+    u64 M = doShift(xr(Rm), (W >> 22) & 3, (W >> 10) & 0x3F, Is64);
+    if ((W >> 21) & 1)
+      M = Is64 ? ~M : (~M & 0xFFFFFFFFull);
+    u64 A = xr(Rn);
+    u64 Res = Opc == 1 ? (A | M) : Opc == 2 ? (A ^ M) : (A & M);
+    if (!Is64)
+      Res &= 0xFFFFFFFFull;
+    if (Opc == 3)
+      setNZLogic(Res, Is64);
+    wr(Rd, Res, Is64);
+  } else if ((W & 0x1F200000u) == 0x0B000000u) {
+    // ADD/SUB shifted register
+    bool Sub = (W >> 30) & 1, S = (W >> 29) & 1;
+    u64 M = doShift(xr(Rm), (W >> 22) & 3, (W >> 10) & 0x3F, Is64);
+    u64 Res = addWithCarry(xr(Rn), Sub ? ~M : M, Sub, Is64, S);
+    wr(Rd, Res, Is64);
+  } else if ((W & 0x1F200000u) == 0x0B200000u) {
+    // ADD/SUB extended register (SP-capable)
+    bool Sub = (W >> 30) & 1, S = (W >> 29) & 1;
+    u64 M = extendReg(xr(Rm), (W >> 13) & 7) << ((W >> 10) & 7);
+    u64 Res = addWithCarry(xsp(Rn), Sub ? ~M : M, Sub, Is64, S);
+    if (S)
+      wr(Rd, Res, Is64);
+    else
+      wsp(Rd, Res, Is64);
+  } else if ((W & 0x1FE0FC00u) == 0x1A000000u) {
+    // ADC(S) / SBC(S)
+    bool Sub = (W >> 30) & 1, S = (W >> 29) & 1;
+    u64 M = xr(Rm);
+    if (Sub)
+      M = Is64 ? ~M : (~M & 0xFFFFFFFFull);
+    u64 Res = addWithCarry(xr(Rn), M, C, Is64, S);
+    wr(Rd, Res, Is64);
+  } else if ((W & 0x1FE00800u) == 0x1A800000u) {
+    // CSEL / CSINC / CSINV / CSNEG
+    bool Op = (W >> 30) & 1;
+    unsigned Op2 = (W >> 10) & 3, Cnd = (W >> 12) & 0xF;
+    u64 Res;
+    if (condHolds(Cnd)) {
+      Res = xr(Rn);
+    } else {
+      Res = xr(Rm);
+      if (!Op && Op2 == 1)
+        Res += 1;
+      else if (Op && Op2 == 0)
+        Res = ~Res;
+      else if (Op && Op2 == 1)
+        Res = 0 - Res;
+    }
+    wr(Rd, Res, Is64);
+  } else if ((W & 0x1FE00000u) == 0x1AC00000u) {
+    // Data-processing 2-source
+    unsigned Opcode = (W >> 10) & 0x3F;
+    u64 A = xr(Rn), B = xr(Rm);
+    if (!Is64) {
+      A &= 0xFFFFFFFFull;
+      B &= 0xFFFFFFFFull;
+    }
+    u64 Res = 0;
+    switch (Opcode) {
+    case 0x2: // UDIV
+      Res = B == 0 ? 0 : (Is64 ? A / B : (A & 0xFFFFFFFF) / (B & 0xFFFFFFFF));
+      Cycles += 11;
+      break;
+    case 0x3: { // SDIV
+      Cycles += 11;
+      if (B == 0) {
+        Res = 0;
+        break;
+      }
+      if (Is64) {
+        i64 SA = static_cast<i64>(A), SB = static_cast<i64>(B);
+        Res = (SA == std::numeric_limits<i64>::min() && SB == -1)
+                  ? A
+                  : static_cast<u64>(SA / SB);
+      } else {
+        i32 SA = static_cast<i32>(A), SB = static_cast<i32>(B);
+        Res = (SA == std::numeric_limits<i32>::min() && SB == -1)
+                  ? A
+                  : static_cast<u64>(static_cast<u32>(SA / SB));
+      }
+      break;
+    }
+    case 0x8: // LSLV
+      Res = doShift(A, 0, B & (Is64 ? 63 : 31), Is64);
+      break;
+    case 0x9: // LSRV
+      Res = doShift(A, 1, B & (Is64 ? 63 : 31), Is64);
+      break;
+    case 0xA: // ASRV
+      Res = doShift(A, 2, B & (Is64 ? 63 : 31), Is64);
+      break;
+    default:
+      fatalError("a64 sim: unknown 2-source opcode");
+    }
+    wr(Rd, Res, Is64);
+  } else if ((W & 0x1F000000u) == 0x1B000000u) {
+    // Data-processing 3-source
+    unsigned Op31 = (W >> 21) & 7;
+    bool O0 = (W >> 15) & 1;
+    unsigned Ra = (W >> 10) & 31;
+    Cycles += 2;
+    if (Op31 == 0) {
+      u64 Prod = xr(Rn) * xr(Rm);
+      u64 Res = O0 ? xr(Ra) - Prod : xr(Ra) + Prod;
+      wr(Rd, Res, Is64);
+    } else if (Op31 == 2) {
+      __int128 P = static_cast<__int128>(static_cast<i64>(xr(Rn))) *
+                   static_cast<i64>(xr(Rm));
+      wr(Rd, static_cast<u64>(P >> 64), true);
+      Cycles += 2;
+    } else if (Op31 == 6) {
+      unsigned __int128 P = static_cast<unsigned __int128>(xr(Rn)) * xr(Rm);
+      wr(Rd, static_cast<u64>(P >> 64), true);
+      Cycles += 2;
+    } else {
+      fatalError("a64 sim: unknown 3-source op");
+    }
+  } else if ((W & 0x3E000000u) == 0x28000000u) {
+    // LDP / STP (64-bit GP pairs)
+    unsigned Mode = (W >> 23) & 7;
+    bool Load = (W >> 22) & 1;
+    i64 Imm = signExtend((W >> 15) & 0x7F, 7) * 8;
+    unsigned Rt2 = (W >> 10) & 31;
+    u64 Base = xsp(Rn);
+    u64 EA = Mode == 1 ? Base : Base + Imm; // post-index uses base
+    if (Load) {
+      u64 A = loadBytes(EA, 8), B = loadBytes(EA + 8, 8);
+      wr(Rd, A, true);
+      wr(Rt2, B, true);
+    } else {
+      storeBytes(EA, xr(Rd), 8);
+      storeBytes(EA + 8, xr(Rt2), 8);
+    }
+    if (Mode == 3)
+      wsp(Rn, Base + Imm, true); // pre-index writeback
+    else if (Mode == 1)
+      wsp(Rn, Base + Imm, true); // post-index writeback
+    Cycles += 3;
+  } else if ((W & 0x3A000000u) == 0x38000000u) {
+    // Load/store register (unsigned, unscaled, register offset)
+    unsigned SizeLog2 = (W >> 30) & 3;
+    bool IsVec = (W >> 26) & 1;
+    unsigned Opc = (W >> 22) & 3;
+    u64 EA;
+    if ((W >> 24) & 1) {
+      EA = xsp(Rn) + (static_cast<u64>((W >> 10) & 0xFFF) << SizeLog2);
+    } else if ((W >> 21) & 1) {
+      u64 Off = extendReg(xr(Rm), (W >> 13) & 7);
+      if ((W >> 12) & 1)
+        Off <<= SizeLog2;
+      EA = xsp(Rn) + Off;
+    } else {
+      EA = xsp(Rn) + signExtend((W >> 12) & 0x1FF, 9);
+    }
+    unsigned Bytes = 1u << SizeLog2;
+    Cycles += 3;
+    if (IsVec) {
+      if (Opc == 1)
+        V[Rd] = loadBytes(EA, Bytes);
+      else
+        storeBytes(EA, V[Rd], Bytes);
+    } else if (Opc == 0) {
+      storeBytes(EA, xr(Rd), Bytes);
+    } else if (Opc == 1) {
+      wr(Rd, loadBytes(EA, Bytes), true); // zero-extending load
+    } else {
+      i64 SV = signExtend(loadBytes(EA, Bytes), Bytes * 8);
+      wr(Rd, Opc == 2 ? static_cast<u64>(SV)
+                      : (static_cast<u64>(SV) & 0xFFFFFFFFull),
+         true);
+    }
+  } else if ((W & 0x5F200000u) == 0x1E200000u) {
+    // Scalar FP
+    bool Dbl = (W >> 22) & 1;
+    Cycles += 2;
+    if (((W >> 10) & 0x3F) == 0 && ((W >> 21) & 1)) {
+      // Conversions between integer and FP.
+      unsigned RmodeOpc = (W >> 16) & 0x1F;
+      bool Sf = (W >> 31) != 0;
+      switch (RmodeOpc) {
+      case 0x02: { // SCVTF
+        i64 SV = Sf ? static_cast<i64>(xr(Rn))
+                    : static_cast<i64>(static_cast<i32>(xr(Rn)));
+        if (Dbl)
+          setD(Rd & 31, static_cast<double>(SV));
+        else
+          setS(Rd & 31, static_cast<float>(SV));
+        break;
+      }
+      case 0x18: { // FCVTZS
+        i64 Res = Dbl ? fcvtzs(d(Rn), Sf) : fcvtzs(s(Rn), Sf);
+        wr(Rd, Sf ? static_cast<u64>(Res)
+                  : (static_cast<u64>(Res) & 0xFFFFFFFFull),
+           true);
+        break;
+      }
+      case 0x07: // FMOV to FP
+        V[Rd] = Sf ? xr(Rn) : (xr(Rn) & 0xFFFFFFFFull);
+        break;
+      case 0x06: // FMOV from FP
+        wr(Rd, Sf ? V[Rn] : (V[Rn] & 0xFFFFFFFFull), true);
+        break;
+      default:
+        fatalError("a64 sim: unknown int<->fp conversion");
+      }
+    } else if (((W >> 10) & 0x1F) == 0x10) {
+      // FP data-processing, 1 source.
+      unsigned Opcode = (W >> 15) & 0x3F;
+      switch (Opcode) {
+      case 0: // FMOV
+        V[Rd] = Dbl ? V[Rn] : (V[Rn] & 0xFFFFFFFFull);
+        break;
+      case 2: // FNEG
+        if (Dbl)
+          setD(Rd, -d(Rn));
+        else
+          setS(Rd, -s(Rn));
+        break;
+      case 3: // FSQRT
+        Cycles += 12;
+        if (Dbl)
+          setD(Rd, std::sqrt(d(Rn)));
+        else
+          setS(Rd, std::sqrt(s(Rn)));
+        break;
+      case 4: // FCVT to single
+        setS(Rd, static_cast<float>(d(Rn)));
+        break;
+      case 5: // FCVT to double
+        setD(Rd, static_cast<double>(s(Rn)));
+        break;
+      default:
+        fatalError("a64 sim: unknown fp 1-source op");
+      }
+    } else if (((W >> 10) & 0xF) == 0x8) {
+      // FCMP
+      double A = Dbl ? d(Rn) : s(Rn);
+      double B = Dbl ? d(Rm) : s(Rm);
+      if (std::isnan(A) || std::isnan(B)) {
+        N = false;
+        Z = false;
+        C = true;
+        VF = true;
+      } else if (A == B) {
+        N = false;
+        Z = true;
+        C = true;
+        VF = false;
+      } else if (A < B) {
+        N = true;
+        Z = false;
+        C = false;
+        VF = false;
+      } else {
+        N = false;
+        Z = false;
+        C = true;
+        VF = false;
+      }
+    } else if (((W >> 10) & 3) == 3) {
+      // FCSEL
+      unsigned Cnd = (W >> 12) & 0xF;
+      u64 Res = condHolds(Cnd) ? V[Rn] : V[Rm];
+      V[Rd] = Dbl ? Res : (Res & 0xFFFFFFFFull);
+    } else if (((W >> 10) & 3) == 2) {
+      // FP data-processing, 2 source.
+      unsigned Opcode = (W >> 12) & 0xF;
+      auto apply = [&](auto A, auto B) {
+        switch (Opcode) {
+        case 0:
+          return A * B;
+        case 1:
+          Cycles += 8;
+          return A / B;
+        case 2:
+          return A + B;
+        case 3:
+          return A - B;
+        case 4:
+          return A > B ? A : B;
+        case 5:
+          return A < B ? A : B;
+        }
+        fatalError("a64 sim: unknown fp 2-source op");
+      };
+      if (Dbl)
+        setD(Rd, apply(d(Rn), d(Rm)));
+      else
+        setS(Rd, apply(s(Rn), s(Rm)));
+    } else {
+      fatalError("a64 sim: unknown fp instruction");
+    }
+  } else {
+    std::fprintf(stderr, "a64 sim: unknown instruction %08x at %#llx\n", W,
+                 static_cast<unsigned long long>(PC));
+    fatalError("a64 sim: cannot decode instruction");
+  }
+
+  PC = NextPC;
+  return true;
+}

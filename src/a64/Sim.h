@@ -1,0 +1,129 @@
+//===- a64/Sim.h - AArch64 subset simulator ---------------------*- C++ -*-===//
+///
+/// \file
+/// An AArch64 instruction-set simulator covering the subset emitted by the
+/// back-ends in this repository. The paper evaluates its AArch64 back-end
+/// on an Apple M1 (§5.2.1); no AArch64 hardware is available in this
+/// reproduction, so generated code runs on this simulator instead and
+/// run-time comparisons between back-ends use simulated cycle counts
+/// (see DESIGN.md, substitutions). Because the decoder is written against
+/// the architecture (not against our encoder), it doubles as an
+/// encode/decode cross-check in the tests.
+///
+/// The simulator executes in the host address space: loads and stores
+/// dereference host pointers directly, so code mapped with JITMapper
+/// (including its data sections) runs unchanged. Calls to external symbols
+/// are bridged to host C++ callbacks via registered bridge addresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_A64_SIM_H
+#define TPDE_A64_SIM_H
+
+#include "asmx/JITMapper.h"
+#include "support/Common.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tpde::a64 {
+
+class Sim;
+
+/// A host function callable from simulated code. It reads arguments from
+/// and writes results to the simulated register file (AAPCS64: X0-X7,
+/// V0-V7 for arguments, X0/V0 for results).
+using HostFn = std::function<void(Sim &)>;
+
+/// Simulator CPU state and execution engine.
+class Sim {
+public:
+  /// Creates a simulator with a private \p StackBytes-byte stack.
+  explicit Sim(u64 StackBytes = 1 << 20);
+
+  // --- Architectural state ------------------------------------------------
+  u64 X[32] = {}; ///< X0-X30; X[31] is SP.
+  u64 V[32] = {}; ///< FP/SIMD registers (low 64 bits).
+  bool N = false, Z = false, C = false, VF = false;
+  u64 PC = 0;
+
+  u64 &sp() { return X[31]; }
+  double d(unsigned I) const {
+    double Val;
+    __builtin_memcpy(&Val, &V[I], 8);
+    return Val;
+  }
+  void setD(unsigned I, double Val) { __builtin_memcpy(&V[I], &Val, 8); }
+  float s(unsigned I) const {
+    float Val;
+    __builtin_memcpy(&Val, &V[I], 4);
+    return Val;
+  }
+  void setS(unsigned I, float Val) {
+    V[I] = 0;
+    __builtin_memcpy(&V[I], &Val, 4);
+  }
+
+  // --- Statistics ------------------------------------------------------------
+  u64 InstCount = 0;
+  u64 Cycles = 0;
+  bool Trapped = false; ///< Set when a BRK instruction was executed.
+
+  // --- Host bridging ------------------------------------------------------------
+  /// Registers \p Fn under \p Name and returns the bridge address to hand
+  /// to the JITMapper resolver. Jumping/calling to that address invokes
+  /// the host function and returns to the simulated caller (X30).
+  u64 registerHost(const std::string &Name, HostFn Fn);
+  /// Resolver adapter for JITMapper::map.
+  void *resolve(std::string_view Name);
+
+  // --- Execution -----------------------------------------------------------------
+  /// Runs from \p Entry until the halt address is reached or \p MaxInsts
+  /// instructions were executed. Returns false on trap/limit.
+  bool run(u64 Entry, u64 MaxInsts = ~0ull);
+
+  /// Calls a function like a C caller would: integer/pointer arguments in
+  /// X0.., FP arguments in V0.. (per \p ArgIsFp), fresh stack, LR = halt.
+  /// Returns X0 (or use d(0)/s(0) for FP results).
+  u64 call(u64 Entry, const std::vector<u64> &Args = {},
+           const std::vector<bool> &ArgIsFp = {});
+
+  u64 stackTop() const { return StackTop; }
+
+private:
+  bool step(); ///< Executes one instruction; false to stop.
+  bool condHolds(unsigned Cond) const;
+  u64 addWithCarry(u64 A, u64 B, bool CarryIn, bool Is64, bool SetFlags);
+
+  std::unique_ptr<u8[]> Stack;
+  u64 StackTop = 0;
+  u64 HaltAddr = 0;
+  std::vector<std::unique_ptr<u64>> BridgeSlots;
+  std::unordered_map<u64, HostFn> HostByAddr;
+  std::unordered_map<std::string, u64> BridgeByName;
+};
+
+/// Convenience wrapper that maps an Assembler's output for simulation:
+/// applies relocations in host address space (resolving undefined symbols
+/// to simulator bridge addresses) and exposes symbol lookup.
+class SimModule {
+public:
+  /// Maps \p Asm; undefined symbols must have been registered on \p S
+  /// beforehand via registerHost. Returns false on unresolved symbols.
+  bool map(const asmx::Assembler &Asm, Sim &S);
+
+  u64 address(std::string_view Name) const {
+    void *P = JIT.address(Name);
+    return reinterpret_cast<u64>(P);
+  }
+
+private:
+  asmx::JITMapper JIT;
+};
+
+} // namespace tpde::a64
+
+#endif // TPDE_A64_SIM_H

@@ -1,0 +1,111 @@
+//===- asmx/Assembler.cpp - Symbol table and label fixups ----------------===//
+
+#include "asmx/Assembler.h"
+
+using namespace tpde;
+using namespace tpde::asmx;
+
+SymRef Assembler::createSymbol(std::string_view Name, Linkage L, bool IsFunc) {
+  u32 Idx = static_cast<u32>(Syms.size());
+  Symbol S;
+  S.Name = std::string(Name);
+  S.Link = L;
+  S.IsFunc = IsFunc;
+  Syms.push_back(std::move(S));
+  if (!Name.empty())
+    SymByName.emplace(Syms.back().Name, Idx);
+  return SymRef{Idx};
+}
+
+SymRef Assembler::getOrCreateSymbol(std::string_view Name) {
+  auto It = SymByName.find(std::string(Name));
+  if (It != SymByName.end())
+    return SymRef{It->second};
+  return createSymbol(Name, Linkage::External, /*IsFunc=*/false);
+}
+
+SymRef Assembler::findSymbol(std::string_view Name) const {
+  auto It = SymByName.find(std::string(Name));
+  if (It == SymByName.end())
+    return SymRef{};
+  return SymRef{It->second};
+}
+
+void Assembler::defineSymbol(SymRef S, SecKind Sec, u64 Off, u64 Size) {
+  assert(S.isValid() && "invalid symbol");
+  Symbol &Sym = Syms[S.Idx];
+  assert(!Sym.Defined && "symbol already defined");
+  Sym.Defined = true;
+  Sym.Sec = Sec;
+  Sym.Off = Off;
+  Sym.Size = Size;
+}
+
+void Assembler::setSymbolSize(SymRef S, u64 Size) {
+  assert(S.isValid() && "invalid symbol");
+  Syms[S.Idx].Size = Size;
+}
+
+Label Assembler::makeLabel() {
+  Labels.push_back(LabelInfo{});
+  return Label{static_cast<u32>(Labels.size() - 1)};
+}
+
+void Assembler::bindLabel(Label L) {
+  assert(L.isValid() && L.Idx < Labels.size() && "invalid label");
+  LabelInfo &Info = Labels[L.Idx];
+  assert(!Info.Bound && "label bound twice");
+  Info.Bound = true;
+  Info.Off = text().size();
+  for (u32 F = Info.FirstFixup; F != ~0u;) {
+    const FixupInfo &Fix = Fixups[F];
+    applyFixup(Fix.Off, Fix.Kind, Info.Off);
+    F = Fix.Next;
+  }
+  Info.FirstFixup = ~0u;
+}
+
+void Assembler::addFixup(Label L, FixupKind K, u64 Off) {
+  assert(L.isValid() && L.Idx < Labels.size() && "invalid label");
+  LabelInfo &Info = Labels[L.Idx];
+  if (Info.Bound) {
+    applyFixup(Off, K, Info.Off);
+    return;
+  }
+  Fixups.push_back(FixupInfo{Off, K, Info.FirstFixup});
+  Info.FirstFixup = static_cast<u32>(Fixups.size() - 1);
+}
+
+void Assembler::applyFixup(u64 Off, FixupKind K, u64 Target) {
+  Section &T = text();
+  switch (K) {
+  case FixupKind::Rel32: {
+    i64 Rel = static_cast<i64>(Target) - static_cast<i64>(Off + 4);
+    assert(isInt32(Rel) && "jump distance exceeds 32 bits");
+    T.patchLE<i32>(Off, static_cast<i32>(Rel));
+    return;
+  }
+  case FixupKind::A64Branch26: {
+    i64 Rel = static_cast<i64>(Target) - static_cast<i64>(Off);
+    assert((Rel & 3) == 0 && "unaligned branch target");
+    i64 Words = Rel >> 2;
+    assert(Words >= -(1 << 25) && Words < (1 << 25) && "branch out of range");
+    u32 Inst = T.readLE<u32>(Off);
+    Inst = (Inst & ~0x03FFFFFFu) | (static_cast<u32>(Words) & 0x03FFFFFFu);
+    T.patchLE<u32>(Off, Inst);
+    return;
+  }
+  case FixupKind::A64Branch19: {
+    i64 Rel = static_cast<i64>(Target) - static_cast<i64>(Off);
+    assert((Rel & 3) == 0 && "unaligned branch target");
+    i64 Words = Rel >> 2;
+    assert(Words >= -(1 << 18) && Words < (1 << 18) && "branch out of range");
+    u32 Inst = T.readLE<u32>(Off);
+    Inst = (Inst & ~(0x7FFFFu << 5)) |
+           ((static_cast<u32>(Words) & 0x7FFFFu) << 5);
+    T.patchLE<u32>(Off, Inst);
+    return;
+  }
+  }
+  TPDE_UNREACHABLE("unknown fixup kind");
+}

@@ -1,0 +1,209 @@
+//===- asmx/Assembler.h - Sections, symbols, labels, relocations -*- C++ -*-===//
+///
+/// \file
+/// Target-independent machine code container used by all back-ends in this
+/// repository. It owns the section byte buffers, the symbol table, pending
+/// label fixups, and relocations. Finished code can either be written to an
+/// ELF relocatable object (ElfWriter) or mapped into memory for direct
+/// execution (JITMapper), mirroring the "Object File Generation" and
+/// "In-Memory Mapping (JIT)" boxes of Fig. 1 in the TPDE paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_ASMX_ASSEMBLER_H
+#define TPDE_ASMX_ASSEMBLER_H
+
+#include "support/Common.h"
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tpde::asmx {
+
+/// The four section kinds every back-end in this repo emits into.
+enum class SecKind : u8 { Text = 0, ROData = 1, Data = 2, BSS = 3 };
+constexpr unsigned NumSections = 4;
+
+/// Symbol linkage, as required from the IR adapter (paper Fig. 2).
+enum class Linkage : u8 { External, Internal, Weak };
+
+/// Opaque handle to a symbol in the assembler's symbol table.
+struct SymRef {
+  u32 Idx = ~0u;
+  bool isValid() const { return Idx != ~0u; }
+  bool operator==(const SymRef &O) const { return Idx == O.Idx; }
+};
+
+/// Opaque handle to a text-section label (function-local jump target).
+struct Label {
+  u32 Idx = ~0u;
+  bool isValid() const { return Idx != ~0u; }
+};
+
+/// How a pending label fixup patches the instruction stream once the label
+/// is bound.
+enum class FixupKind : u8 {
+  /// 32-bit PC-relative displacement; PC is the end of the 4 patched bytes.
+  Rel32,
+  /// AArch64 B/BL: imm26 word-offset in bits [25:0] of the instruction word.
+  A64Branch26,
+  /// AArch64 B.cond/CBZ: imm19 word-offset in bits [23:5].
+  A64Branch19,
+};
+
+/// Relocation kinds; a portable subset sufficient for both targets.
+enum class RelocKind : u8 {
+  /// 64-bit absolute address: S + A.
+  Abs64,
+  /// 32-bit PC-relative: S + A - P (x86-64 call/jmp/RIP-relative).
+  PC32,
+  /// AArch64 BL/B: (S + A - P) >> 2 into imm26.
+  A64Call26,
+  /// AArch64 ADRP: page delta into imm21.
+  A64AdrPage21,
+  /// AArch64 ADD immediate: low 12 bits of S + A.
+  A64AddLo12,
+};
+
+/// A byte buffer backing one section.
+class Section {
+public:
+  std::vector<u8> Data;
+  /// Size of the section if it is BSS (no bytes stored).
+  u64 BssSize = 0;
+  u64 Align = 16;
+
+  u64 size() const { return Data.size(); }
+
+  void appendByte(u8 V) { Data.push_back(V); }
+  void append(const void *Bytes, size_t N) {
+    const u8 *P = static_cast<const u8 *>(Bytes);
+    Data.insert(Data.end(), P, P + N);
+  }
+  template <typename T> void appendLE(T V) {
+    static_assert(std::is_integral_v<T>);
+    for (unsigned I = 0; I < sizeof(T); ++I)
+      Data.push_back(static_cast<u8>(static_cast<u64>(V) >> (8 * I)));
+  }
+  void appendZeros(size_t N) { Data.insert(Data.end(), N, 0); }
+  /// Pads with zero bytes until the size is a multiple of \p A.
+  void alignToBoundary(u64 A) {
+    if (A > Align)
+      Align = A;
+    while (Data.size() % A)
+      Data.push_back(0);
+  }
+
+  template <typename T> void patchLE(u64 Off, T V) {
+    assert(Off + sizeof(T) <= Data.size() && "patch out of bounds");
+    for (unsigned I = 0; I < sizeof(T); ++I)
+      Data[Off + I] = static_cast<u8>(static_cast<u64>(V) >> (8 * I));
+  }
+  template <typename T> T readLE(u64 Off) const {
+    assert(Off + sizeof(T) <= Data.size() && "read out of bounds");
+    u64 V = 0;
+    for (unsigned I = 0; I < sizeof(T); ++I)
+      V |= static_cast<u64>(Data[Off + I]) << (8 * I);
+    return static_cast<T>(V);
+  }
+};
+
+/// A symbol table entry.
+struct Symbol {
+  std::string Name;
+  Linkage Link = Linkage::External;
+  bool Defined = false;
+  bool IsFunc = false;
+  SecKind Sec = SecKind::Text;
+  u64 Off = 0;
+  u64 Size = 0;
+};
+
+/// A relocation against a symbol, stored per section.
+struct Reloc {
+  SecKind Sec;
+  u64 Off;
+  RelocKind Kind;
+  SymRef Sym;
+  i64 Addend;
+};
+
+/// Owns all emitted machine code and metadata for one module.
+class Assembler {
+public:
+  Section &section(SecKind K) { return Secs[static_cast<unsigned>(K)]; }
+  const Section &section(SecKind K) const {
+    return Secs[static_cast<unsigned>(K)];
+  }
+  Section &text() { return section(SecKind::Text); }
+  const Section &text() const { return section(SecKind::Text); }
+
+  /// Creates a new named symbol (not yet defined).
+  SymRef createSymbol(std::string_view Name, Linkage L, bool IsFunc);
+  /// Returns the symbol named \p Name, creating an undefined external
+  /// symbol if it does not exist yet.
+  SymRef getOrCreateSymbol(std::string_view Name);
+  /// Looks up a symbol by name; returns an invalid ref if absent.
+  SymRef findSymbol(std::string_view Name) const;
+  /// Marks \p S as defined at the given section offset.
+  void defineSymbol(SymRef S, SecKind Sec, u64 Off, u64 Size);
+  void setSymbolSize(SymRef S, u64 Size);
+
+  const Symbol &symbol(SymRef S) const {
+    assert(S.isValid() && S.Idx < Syms.size() && "invalid symbol");
+    return Syms[S.Idx];
+  }
+  const std::vector<Symbol> &symbols() const { return Syms; }
+
+  void addReloc(SecKind Sec, u64 Off, RelocKind K, SymRef S, i64 Addend) {
+    Relocs.push_back(Reloc{Sec, Off, K, S, Addend});
+  }
+  const std::vector<Reloc> &relocs() const { return Relocs; }
+
+  // --- Labels (text section only) -------------------------------------
+  Label makeLabel();
+  /// Binds \p L to the current end of the text section and patches all
+  /// pending fixups referring to it.
+  void bindLabel(Label L);
+  bool isBound(Label L) const { return Labels[L.Idx].Bound; }
+  u64 labelOffset(Label L) const {
+    assert(Labels[L.Idx].Bound && "label not bound");
+    return Labels[L.Idx].Off;
+  }
+  /// Records that the instruction bytes at \p Off must be patched to reach
+  /// \p L; patches immediately if the label is already bound.
+  void addFixup(Label L, FixupKind K, u64 Off);
+
+  /// Resets function-local state (labels). Symbols and sections persist.
+  void resetLabels() {
+    Labels.clear();
+    Fixups.clear();
+  }
+
+private:
+  struct LabelInfo {
+    u64 Off = 0;
+    bool Bound = false;
+    u32 FirstFixup = ~0u;
+  };
+  struct FixupInfo {
+    u64 Off;
+    FixupKind Kind;
+    u32 Next;
+  };
+
+  void applyFixup(u64 Off, FixupKind K, u64 Target);
+
+  Section Secs[NumSections];
+  std::vector<Symbol> Syms;
+  std::unordered_map<std::string, u32> SymByName;
+  std::vector<Reloc> Relocs;
+  std::vector<LabelInfo> Labels;
+  std::vector<FixupInfo> Fixups;
+};
+
+} // namespace tpde::asmx
+
+#endif // TPDE_ASMX_ASSEMBLER_H

@@ -1,0 +1,30 @@
+//===- asmx/ElfWriter.h - ELF relocatable object emission -------*- C++ -*-===//
+///
+/// \file
+/// Serializes an Assembler's sections, symbols, and relocations into an
+/// ELF64 relocatable object file (ET_REL) for x86-64 or AArch64. This is the
+/// "Object File Generation" output path of the TPDE framework (Fig. 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_ASMX_ELFWRITER_H
+#define TPDE_ASMX_ELFWRITER_H
+
+#include "asmx/Assembler.h"
+
+#include <vector>
+
+namespace tpde::asmx {
+
+enum class ElfMachine : u16 { X86_64 = 62, AArch64 = 183 };
+
+/// Serializes \p A into the byte image of an ELF relocatable object.
+std::vector<u8> writeElfObject(const Assembler &A, ElfMachine Machine);
+
+/// Writes the object to \p Path; returns false on I/O failure.
+bool writeElfObjectToFile(const Assembler &A, ElfMachine Machine,
+                          const char *Path);
+
+} // namespace tpde::asmx
+
+#endif // TPDE_ASMX_ELFWRITER_H

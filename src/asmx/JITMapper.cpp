@@ -1,0 +1,206 @@
+//===- asmx/JITMapper.cpp - In-memory code mapping for JIT ---------------===//
+
+#include "asmx/JITMapper.h"
+
+#include <cstring>
+#include <unordered_map>
+#include <sys/mman.h>
+#include <unistd.h>
+
+using namespace tpde;
+using namespace tpde::asmx;
+
+JITMapper::~JITMapper() {
+  if (MapBase)
+    ::munmap(MapBase, MapSize);
+}
+
+JITMapper &JITMapper::operator=(JITMapper &&O) noexcept {
+  if (this == &O)
+    return *this;
+  if (MapBase)
+    ::munmap(MapBase, MapSize);
+  Asm = O.Asm;
+  MapBase = O.MapBase;
+  MapSize = O.MapSize;
+  for (unsigned I = 0; I < NumSections; ++I)
+    SecBase[I] = O.SecBase[I];
+  O.MapBase = nullptr;
+  O.MapSize = 0;
+  O.Asm = nullptr;
+  return *this;
+}
+
+bool JITMapper::map(const Assembler &A, const Resolver &Resolve,
+                    StubArch Arch) {
+  Asm = &A;
+  const u64 Page = static_cast<u64>(::sysconf(_SC_PAGESIZE));
+
+  // Host symbols can be farther than +-2 GiB from the JIT mapping, which a
+  // PC32 call cannot reach. Reserve one 16-byte stub (8-byte address slot +
+  // "jmp [rip+slot]") per undefined symbol in the executable region; PC32
+  // relocations that would overflow are redirected to the stub.
+  u64 NumUndef = 0;
+  for (const Symbol &S : A.symbols())
+    if (!S.Defined)
+      ++NumUndef;
+  const u64 StubBytes = NumUndef * 16;
+
+  // Lay out all four sections in one mapping, each page-aligned so that
+  // permissions can be applied per section. Stubs live right after text so
+  // they share its execute permission.
+  u64 SecOff[NumSections];
+  u64 SecSize[NumSections];
+  u64 Off = 0;
+  for (unsigned I = 0; I < NumSections; ++I) {
+    const Section &S = A.section(static_cast<SecKind>(I));
+    SecOff[I] = Off;
+    SecSize[I] = (static_cast<SecKind>(I) == SecKind::BSS) ? S.BssSize
+                                                           : S.Data.size();
+    if (static_cast<SecKind>(I) == SecKind::Text)
+      SecSize[I] += StubBytes ? StubBytes + 16 : 0;
+    Off = alignTo(Off + SecSize[I], Page);
+  }
+  MapSize = Off ? Off : Page;
+  const u64 StubAreaOff = alignTo(A.text().Data.size(), 16);
+
+  void *Mem = ::mmap(nullptr, MapSize, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Mem == MAP_FAILED) {
+    MapBase = nullptr;
+    return false;
+  }
+  MapBase = static_cast<u8 *>(Mem);
+  for (unsigned I = 0; I < NumSections; ++I) {
+    SecBase[I] = MapBase + SecOff[I];
+    const Section &S = A.section(static_cast<SecKind>(I));
+    if (static_cast<SecKind>(I) != SecKind::BSS && !S.Data.empty())
+      std::memcpy(SecBase[I], S.Data.data(), S.Data.size());
+  }
+
+  // Resolve every relocation. Defined symbols resolve to their mapped
+  // location; undefined ones are looked up through the resolver.
+  auto symAddr = [&](SymRef Ref) -> u8 * {
+    const Symbol &Sym = A.symbol(Ref);
+    if (Sym.Defined)
+      return SecBase[static_cast<unsigned>(Sym.Sec)] + Sym.Off;
+    if (Resolve)
+      return static_cast<u8 *>(Resolve(Sym.Name));
+    return nullptr;
+  };
+
+  // Lazily build a jump stub for an out-of-range undefined symbol.
+  u8 *StubArea = SecBase[0] + StubAreaOff;
+  std::unordered_map<u32, u8 *> StubFor;
+  auto stubAddr = [&](SymRef Ref, u8 *Target) -> u8 * {
+    auto It = StubFor.find(Ref.Idx);
+    if (It != StubFor.end())
+      return It->second;
+    u8 *Stub = StubArea;
+    StubArea += 16;
+    if (Arch == StubArch::X64) {
+      // jmp [rip+2]; 8-byte target address follows.
+      static const u8 JmpIndirect[] = {0xFF, 0x25, 0x02, 0x00, 0x00, 0x00,
+                                       0x90, 0x90};
+      std::memcpy(Stub, JmpIndirect, sizeof(JmpIndirect));
+    } else {
+      // ldr x16, <pc+8>; br x16; 8-byte target address follows.
+      static const u32 A64Stub[] = {0x58000050u, 0xD61F0200u};
+      std::memcpy(Stub, A64Stub, sizeof(A64Stub));
+    }
+    u64 T = reinterpret_cast<u64>(Target);
+    std::memcpy(Stub + 8, &T, 8);
+    StubFor.emplace(Ref.Idx, Stub);
+    return Stub;
+  };
+
+  for (const Reloc &R : A.relocs()) {
+    u8 *S = symAddr(R.Sym);
+    if (!S)
+      return false;
+    u8 *P = SecBase[static_cast<unsigned>(R.Sec)] + R.Off;
+    switch (R.Kind) {
+    case RelocKind::Abs64: {
+      u64 V = reinterpret_cast<u64>(S) + static_cast<u64>(R.Addend);
+      std::memcpy(P, &V, 8);
+      break;
+    }
+    case RelocKind::PC32: {
+      i64 V = reinterpret_cast<i64>(S) + R.Addend - reinterpret_cast<i64>(P);
+      if (!isInt32(V) && !A.symbol(R.Sym).Defined) {
+        // Route the call through a nearby stub.
+        S = stubAddr(R.Sym, S);
+        V = reinterpret_cast<i64>(S) + R.Addend - reinterpret_cast<i64>(P);
+      }
+      if (!isInt32(V))
+        return false;
+      i32 V32 = static_cast<i32>(V);
+      std::memcpy(P, &V32, 4);
+      break;
+    }
+    case RelocKind::A64Call26: {
+      i64 Rel = reinterpret_cast<i64>(S) + R.Addend - reinterpret_cast<i64>(P);
+      if (!A.symbol(R.Sym).Defined &&
+          (Rel < -(i64(1) << 27) || Rel >= (i64(1) << 27))) {
+        // Route the call through a nearby stub.
+        S = stubAddr(R.Sym, S);
+        Rel = reinterpret_cast<i64>(S) + R.Addend - reinterpret_cast<i64>(P);
+      }
+      i64 Words = Rel >> 2;
+      if ((Rel & 3) != 0 || Words < -(1 << 25) || Words >= (1 << 25))
+        return false;
+      u32 Inst;
+      std::memcpy(&Inst, P, 4);
+      Inst = (Inst & ~0x03FFFFFFu) | (static_cast<u32>(Words) & 0x03FFFFFFu);
+      std::memcpy(P, &Inst, 4);
+      break;
+    }
+    case RelocKind::A64AdrPage21: {
+      i64 SPage = (reinterpret_cast<i64>(S) + R.Addend) & ~0xFFF;
+      i64 PPage = reinterpret_cast<i64>(P) & ~0xFFF;
+      i64 Delta = (SPage - PPage) >> 12;
+      if (Delta < -(1 << 20) || Delta >= (1 << 20))
+        return false;
+      u32 Inst;
+      std::memcpy(&Inst, P, 4);
+      u32 ImmLo = static_cast<u32>(Delta) & 3;
+      u32 ImmHi = (static_cast<u32>(Delta) >> 2) & 0x7FFFF;
+      Inst = (Inst & ~((3u << 29) | (0x7FFFFu << 5))) | (ImmLo << 29) |
+             (ImmHi << 5);
+      std::memcpy(P, &Inst, 4);
+      break;
+    }
+    case RelocKind::A64AddLo12: {
+      u64 V = (reinterpret_cast<u64>(S) + static_cast<u64>(R.Addend)) & 0xFFF;
+      u32 Inst;
+      std::memcpy(&Inst, P, 4);
+      Inst = (Inst & ~(0xFFFu << 10)) | (static_cast<u32>(V) << 10);
+      std::memcpy(P, &Inst, 4);
+      break;
+    }
+    }
+  }
+
+  // W^X: text and rodata become non-writable.
+  if (SecSize[0])
+    ::mprotect(SecBase[0], alignTo(SecSize[0], Page), PROT_READ | PROT_EXEC);
+  if (SecSize[1])
+    ::mprotect(SecBase[1], alignTo(SecSize[1], Page), PROT_READ);
+  return true;
+}
+
+void *JITMapper::address(SymRef S) const {
+  assert(Asm && MapBase && "not mapped");
+  const Symbol &Sym = Asm->symbol(S);
+  if (!Sym.Defined)
+    return nullptr;
+  return SecBase[static_cast<unsigned>(Sym.Sec)] + Sym.Off;
+}
+
+void *JITMapper::address(std::string_view Name) const {
+  assert(Asm && MapBase && "not mapped");
+  SymRef S = Asm->findSymbol(Name);
+  if (!S.isValid())
+    return nullptr;
+  return address(S);
+}

@@ -1,0 +1,73 @@
+//===- asmx/JITMapper.h - In-memory code mapping for JIT --------*- C++ -*-===//
+///
+/// \file
+/// Maps an Assembler's sections into executable memory and resolves
+/// relocations against in-process symbols, implementing the "In-Memory
+/// Mapping (JIT)" output path of the TPDE framework (Fig. 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_ASMX_JITMAPPER_H
+#define TPDE_ASMX_JITMAPPER_H
+
+#include "asmx/Assembler.h"
+
+#include <functional>
+#include <string_view>
+
+namespace tpde::asmx {
+
+/// Maps machine code into memory for direct execution.
+///
+/// Typical usage:
+/// \code
+///   JITMapper JIT;
+///   bool OK = JIT.map(Asm, [](std::string_view Name) -> void * {
+///     return Name == "memcpy" ? (void *)&memcpy : nullptr;
+///   });
+///   auto *Fn = (int (*)(int))JIT.address("my_func");
+/// \endcode
+class JITMapper {
+public:
+  using Resolver = std::function<void *(std::string_view)>;
+
+  /// Flavor of the jump stubs used to reach resolver-provided symbols that
+  /// are out of direct branch range (x86-64 `jmp [rip]` vs AArch64
+  /// `ldr x16, <literal>; br x16`).
+  enum class StubArch : u8 { X64, A64 };
+
+  JITMapper() = default;
+  ~JITMapper();
+  JITMapper(const JITMapper &) = delete;
+  JITMapper &operator=(const JITMapper &) = delete;
+  JITMapper(JITMapper &&O) noexcept { *this = std::move(O); }
+  JITMapper &operator=(JITMapper &&O) noexcept;
+
+  /// Copies sections into fresh memory, resolves all relocations (consulting
+  /// \p Resolve for undefined symbols), and makes text/rodata execute/read
+  /// only. Returns false if an undefined symbol cannot be resolved or a
+  /// relocation overflows.
+  bool map(const Assembler &A, const Resolver &Resolve = nullptr,
+           StubArch Arch = StubArch::X64);
+
+  /// Address of a defined symbol; nullptr for unknown/undefined names.
+  void *address(std::string_view Name) const;
+  /// Address of a symbol handle (defined symbols only).
+  void *address(SymRef S) const;
+
+  /// Base address of the mapped section.
+  u8 *sectionBase(SecKind K) const {
+    return SecBase[static_cast<unsigned>(K)];
+  }
+  u64 mappedSize() const { return MapSize; }
+
+private:
+  const Assembler *Asm = nullptr;
+  u8 *MapBase = nullptr;
+  u64 MapSize = 0;
+  u8 *SecBase[NumSections] = {};
+};
+
+} // namespace tpde::asmx
+
+#endif // TPDE_ASMX_JITMAPPER_H

@@ -1,0 +1,38 @@
+//===- baseline/Baseline.h - Multi-pass baseline back-end -------*- C++ -*-===//
+///
+/// \file
+/// Public interface of the baseline compiler, the stand-in for LLVM's
+/// -O0 and -O1 back-ends in the reproduction of the paper's Figures 5-8.
+///
+/// Pipeline (per function):
+///   O0: isel -> fast local register allocation -> encode
+///   O1: isel -> MIR liveness -> global linear-scan allocation ->
+///       copy-coalescing peephole -> encode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_BASELINE_BASELINE_H
+#define TPDE_BASELINE_BASELINE_H
+
+#include "asmx/Assembler.h"
+#include "tir/TIR.h"
+
+namespace tpde::baseline {
+
+enum class OptLevel : u8 { O0, O1 };
+
+/// Per-pass wall-clock breakdown (for the Fig. 6-style diagnostics).
+struct PassTimes {
+  u64 IselNs = 0;
+  u64 RegAllocNs = 0;
+  u64 EmitNs = 0;
+};
+
+/// Compiles all function definitions of \p M into \p Asm. Returns false on
+/// unsupported constructs.
+bool compileModule(tir::Module &M, asmx::Assembler &Asm, OptLevel O,
+                   PassTimes *Times = nullptr);
+
+} // namespace tpde::baseline
+
+#endif // TPDE_BASELINE_BASELINE_H

@@ -1,0 +1,92 @@
+//===- baseline/Driver.cpp - Baseline back-end pipeline driver ------------===//
+
+#include "baseline/Internal.h"
+#include "support/Timer.h"
+
+using namespace tpde;
+using namespace tpde::baseline;
+using namespace tpde::tir;
+
+namespace {
+
+asmx::Linkage toAsmLinkage(Linkage L) {
+  switch (L) {
+  case Linkage::External:
+    return asmx::Linkage::External;
+  case Linkage::Internal:
+    return asmx::Linkage::Internal;
+  case Linkage::Weak:
+    return asmx::Linkage::Weak;
+  }
+  TPDE_UNREACHABLE("bad linkage");
+}
+
+void defineGlobals(const Module &M, asmx::Assembler &Asm,
+                   std::vector<asmx::SymRef> &GlobalSyms) {
+  for (const Global &G : M.Globals) {
+    asmx::SymRef S =
+        Asm.createSymbol(G.Name, toAsmLinkage(G.Link), /*IsFunc=*/false);
+    GlobalSyms.push_back(S);
+    if (!G.Defined)
+      continue;
+    if (G.Init.empty() && !G.ReadOnly) {
+      asmx::Section &BSS = Asm.section(asmx::SecKind::BSS);
+      BSS.BssSize = alignTo(BSS.BssSize, G.Align < 1 ? 1 : G.Align);
+      Asm.defineSymbol(S, asmx::SecKind::BSS, BSS.BssSize, G.Size);
+      BSS.BssSize += G.Size;
+      continue;
+    }
+    asmx::SecKind K =
+        G.ReadOnly ? asmx::SecKind::ROData : asmx::SecKind::Data;
+    asmx::Section &Sec = Asm.section(K);
+    Sec.alignToBoundary(G.Align < 1 ? 1 : G.Align);
+    u64 Off = Sec.size();
+    Sec.append(G.Init.data(), G.Init.size());
+    if (G.Init.size() < G.Size)
+      Sec.appendZeros(G.Size - G.Init.size());
+    Asm.defineSymbol(S, K, Off, G.Size);
+  }
+}
+
+} // namespace
+
+bool tpde::baseline::compileModule(Module &M, asmx::Assembler &Asm,
+                                   OptLevel O, PassTimes *Times) {
+  std::vector<asmx::SymRef> GlobalSyms;
+  defineGlobals(M, Asm, GlobalSyms);
+
+  std::vector<asmx::SymRef> FuncSyms;
+  for (const Function &F : M.Funcs)
+    FuncSyms.push_back(
+        Asm.createSymbol(F.Name, toAsmLinkage(F.Link), /*IsFunc=*/true));
+
+  Timer TIsel, TRA, TEmit;
+  for (u32 I = 0; I < M.Funcs.size(); ++I) {
+    const Function &F = M.Funcs[I];
+    if (F.IsDeclaration)
+      continue;
+    MFunc MF;
+    MF.Sym = FuncSyms[I];
+    TIsel.start();
+    bool OK = selectInstructions(M, F, MF, FuncSyms, GlobalSyms);
+    TIsel.stop();
+    if (!OK)
+      return false;
+    RAResult RA;
+    TRA.start();
+    if (O == OptLevel::O0)
+      runFastRegAlloc(MF, RA);
+    else
+      runLinearScan(MF, RA);
+    TRA.stop();
+    TEmit.start();
+    emitFunction(MF, RA, Asm);
+    TEmit.stop();
+  }
+  if (Times) {
+    Times->IselNs = TIsel.ns();
+    Times->RegAllocNs = TRA.ns();
+    Times->EmitNs = TEmit.ns();
+  }
+  return true;
+}

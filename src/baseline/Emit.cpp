@@ -1,0 +1,557 @@
+//===- baseline/Emit.cpp - MIR to x86-64 encoding -------------------------===//
+///
+/// Final pass of the baseline back-end: encodes physical-register MIR into
+/// machine code. Unlike TPDE, the frame layout is fully known here (the
+/// allocator already ran), so the prologue needs no patching.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Internal.h"
+#include "x64/CompilerX64.h" // CCAssignerSysV
+
+#include <unordered_map>
+
+using namespace tpde;
+using namespace tpde::asmx;
+using namespace tpde::baseline;
+using namespace tpde::x64;
+
+namespace {
+
+class Emit {
+public:
+  Emit(const MFunc &F, const RAResult &RA, Assembler &Asm)
+      : F(F), RA(RA), Asm(Asm), E(Asm) {}
+
+  void run() {
+    assignSlots();
+    Asm.text().alignToBoundary(16);
+    u64 Start = Asm.text().size();
+    Asm.defineSymbol(F.Sym, SecKind::Text, Start, 0);
+    emitPrologue();
+
+    Labels.clear();
+    for (u32 B = 0; B < F.Blocks.size(); ++B)
+      Labels.push_back(Asm.makeLabel());
+    for (u32 B = 0; B < F.Blocks.size(); ++B) {
+      Asm.bindLabel(Labels[B]);
+      emitBlock(B);
+    }
+    Asm.setSymbolSize(F.Sym, Asm.text().size() - Start);
+  }
+
+private:
+  const MFunc &F;
+  const RAResult &RA;
+  Assembler &Asm;
+  Emitter E;
+  std::vector<Label> Labels;
+  std::unordered_map<u32, i32> SlotOf; ///< vreg -> frame offset
+  std::vector<i32> StackVarOff;
+  u32 FrameSize = 0;
+  std::unordered_map<u64, SymRef> FpPool;
+  std::vector<MInst> PendingArgs; ///< buffered CallSetArg
+  std::vector<MInst> EntryArgs;   ///< buffered GetArg
+
+  static bool isSlot(u32 Field) { return Field & SlotBit; }
+  i32 slotOff(u32 Field) { return SlotOf.at(Field & ~SlotBit); }
+  static AsmReg phys(u32 Field) {
+    assert(!(Field & SlotBit) && Field < 32 && "not a physical register");
+    return AsmReg(static_cast<u8>(Field));
+  }
+
+  void assignSlots() {
+    i32 Off = -40; // callee-save area
+    StackVarOff.clear();
+    for (u32 I = 0; I < F.StackVarSizes.size(); ++I) {
+      u32 Al = F.StackVarAligns[I] < 8 ? 8 : F.StackVarAligns[I];
+      Off = -static_cast<i32>(
+          alignTo(static_cast<u64>(-Off) + F.StackVarSizes[I], Al));
+      StackVarOff.push_back(Off);
+    }
+    auto slotFor = [&](u32 V) {
+      if (!SlotOf.count(V)) {
+        Off -= 8;
+        SlotOf[V] = Off;
+      }
+    };
+    for (const auto &B : F.Blocks) {
+      for (const auto &MI : B.Insts) {
+        if (MI.Op == MOp::SpillLd || MI.Op == MOp::SpillSt)
+          slotFor(static_cast<u32>(MI.Imm));
+        for (u32 Fld : {MI.Dst, MI.SrcA, MI.SrcB})
+          if (Fld != ~0u && (Fld & SlotBit))
+            slotFor(Fld & ~SlotBit);
+      }
+    }
+    FrameSize = static_cast<u32>(alignTo(static_cast<u64>(-Off), 16));
+  }
+
+  void emitPrologue() {
+    E.push(RBP);
+    E.movRR(8, RBP, RSP);
+    if (FrameSize)
+      E.aluRI(AluOp::Sub, 8, RSP, FrameSize);
+    for (u32 M = RA.UsedCalleeSaved & GPCalleeSaved; M;) {
+      u8 Idx = static_cast<u8>(countTrailingZeros(M));
+      M &= M - 1;
+      E.store(8, Mem(RBP, csrOff(Idx)), AsmReg(Idx));
+    }
+  }
+
+  void emitEpilogue() {
+    for (u32 M = RA.UsedCalleeSaved & GPCalleeSaved; M;) {
+      u8 Idx = static_cast<u8>(countTrailingZeros(M));
+      M &= M - 1;
+      E.load(8, AsmReg(Idx), Mem(RBP, csrOff(Idx)));
+    }
+    Asm.text().appendByte(0xC9); // leave
+    E.ret();
+  }
+
+  static i32 csrOff(u8 Idx) {
+    switch (Idx) {
+    case 3: return -8;
+    case 12: return -16;
+    case 13: return -24;
+    case 14: return -32;
+    case 15: return -40;
+    }
+    TPDE_UNREACHABLE("bad CSR");
+  }
+
+  /// Loads a (phys|slot) operand into \p Want if it is not already there.
+  void intoReg(AsmReg Want, u32 Field, u8 Bank) {
+    if (isSlot(Field)) {
+      if (Bank == 0)
+        E.load(8, Want, Mem(RBP, slotOff(Field)));
+      else
+        E.fpLoad(8, Want, Mem(RBP, slotOff(Field)));
+      return;
+    }
+    AsmReg R = phys(Field);
+    if (R == Want)
+      return;
+    if (Bank == 0)
+      E.movRR(8, Want, R);
+    else
+      E.fpMovRR(8, Want, R);
+  }
+
+  /// Stores \p Src into a (phys|slot) destination.
+  void fromReg(u32 Field, AsmReg Src, u8 Bank) {
+    if (isSlot(Field)) {
+      if (Bank == 0)
+        E.store(8, Mem(RBP, slotOff(Field)), Src);
+      else
+        E.fpStore(8, Mem(RBP, slotOff(Field)), Src);
+      return;
+    }
+    AsmReg R = phys(Field);
+    if (R == Src)
+      return;
+    if (Bank == 0)
+      E.movRR(8, R, Src);
+    else
+      E.fpMovRR(8, R, Src);
+  }
+
+  struct PMove {
+    u32 DstField; ///< phys or slot marker
+    bool SrcIsReg;
+    u8 SrcReg;
+    i32 SrcOff;
+    u8 Bank;
+  };
+
+  /// Parallel move with cycle breaking through RAX/XMM15 (never sources
+  /// or destinations here).
+  void parallelMoves(std::vector<PMove> Moves) {
+    std::vector<u8> Done(Moves.size(), 0);
+    size_t Left = Moves.size();
+    auto emitOne = [&](PMove &M) {
+      if (isSlot(M.DstField)) {
+        AsmReg T = M.Bank == 0 ? RAX : XMM15;
+        if (M.SrcIsReg) {
+          fromReg(M.DstField, AsmReg(M.SrcReg), M.Bank);
+        } else {
+          if (M.Bank == 0)
+            E.load(8, T, Mem(RBP, M.SrcOff));
+          else
+            E.fpLoad(8, T, Mem(RBP, M.SrcOff));
+          fromReg(M.DstField, T, M.Bank);
+        }
+        return;
+      }
+      AsmReg D = phys(M.DstField);
+      if (M.SrcIsReg) {
+        if (M.SrcReg != D.Id) {
+          if (M.Bank == 0)
+            E.movRR(8, D, AsmReg(M.SrcReg));
+          else
+            E.fpMovRR(8, D, AsmReg(M.SrcReg));
+        }
+      } else {
+        if (M.Bank == 0)
+          E.load(8, D, Mem(RBP, M.SrcOff));
+        else
+          E.fpLoad(8, D, Mem(RBP, M.SrcOff));
+      }
+    };
+    while (Left) {
+      bool Progress = false;
+      for (size_t I = 0; I < Moves.size(); ++I) {
+        if (Done[I])
+          continue;
+        bool Blocked = false;
+        if (!isSlot(Moves[I].DstField)) {
+          for (size_t J = 0; J < Moves.size(); ++J)
+            if (!Done[J] && J != I && Moves[J].SrcIsReg &&
+                Moves[J].SrcReg == phys(Moves[I].DstField).Id)
+              Blocked = true;
+        }
+        if (Blocked)
+          continue;
+        emitOne(Moves[I]);
+        Done[I] = 1;
+        --Left;
+        Progress = true;
+      }
+      if (Progress)
+        continue;
+      // Cycle: copy one blocked destination into the temp register.
+      for (size_t I = 0; I < Moves.size(); ++I) {
+        if (Done[I])
+          continue;
+        AsmReg D = phys(Moves[I].DstField);
+        u8 Bank = Moves[I].Bank;
+        AsmReg T = Bank == 0 ? RAX : XMM15;
+        if (Bank == 0)
+          E.movRR(8, T, D);
+        else
+          E.fpMovRR(8, T, D);
+        for (size_t J = 0; J < Moves.size(); ++J)
+          if (!Done[J] && Moves[J].SrcIsReg && Moves[J].SrcReg == D.Id)
+            Moves[J].SrcReg = T.Id;
+        break;
+      }
+    }
+  }
+
+  SymRef fpConst(u64 Bits, u8 Sz) {
+    u64 Key = Bits ^ (static_cast<u64>(Sz) << 56);
+    auto It = FpPool.find(Key);
+    if (It != FpPool.end())
+      return It->second;
+    Section &RO = Asm.section(SecKind::ROData);
+    RO.alignToBoundary(Sz);
+    u64 Off = RO.size();
+    for (u8 B = 0; B < Sz; ++B)
+      RO.appendByte(static_cast<u8>(Bits >> (8 * B)));
+    SymRef S = Asm.createSymbol("", Linkage::Internal, false);
+    Asm.defineSymbol(S, SecKind::ROData, Off, Sz);
+    FpPool.emplace(Key, S);
+    return S;
+  }
+
+  void flushEntryArgs() {
+    if (EntryArgs.empty())
+      return;
+    CCAssignerSysV CC;
+    std::vector<PMove> Moves;
+    for (const MInst &MI : EntryArgs) {
+      u8 Bank = MI.Sz;
+      CCAssignerSysV::Loc L;
+      CC.assignValue(&Bank, 1, &L);
+      PMove M;
+      M.DstField = MI.Dst;
+      M.Bank = Bank;
+      if (L.InReg) {
+        M.SrcIsReg = true;
+        M.SrcReg = L.RegId;
+      } else {
+        M.SrcIsReg = false;
+        M.SrcOff = 16 + L.StackOff;
+      }
+      Moves.push_back(M);
+    }
+    parallelMoves(std::move(Moves));
+    EntryArgs.clear();
+  }
+
+  void emitCall(const MInst &Call) {
+    CCAssignerSysV CC;
+    struct ArgPlace {
+      const MInst *MI;
+      CCAssignerSysV::Loc L;
+    };
+    std::vector<ArgPlace> Places;
+    for (const MInst &A : PendingArgs) {
+      u8 Bank = A.Sz;
+      CCAssignerSysV::Loc L;
+      CC.assignValue(&Bank, 1, &L);
+      Places.push_back({&A, L});
+    }
+    u32 StackBytes = static_cast<u32>(alignTo(CC.stackBytes(), 16));
+    if (StackBytes)
+      E.aluRI(AluOp::Sub, 8, RSP, StackBytes);
+    for (auto &P : Places) {
+      if (P.L.InReg)
+        continue;
+      // Stage via RAX/XMM15.
+      if (P.MI->Sz == 0) {
+        intoReg(RAX, P.MI->SrcA, 0);
+        E.store(8, Mem(RSP, P.L.StackOff), RAX);
+      } else {
+        intoReg(XMM15, P.MI->SrcA, 1);
+        E.fpStore(8, Mem(RSP, P.L.StackOff), XMM15);
+      }
+    }
+    std::vector<PMove> Moves;
+    for (auto &P : Places) {
+      if (!P.L.InReg)
+        continue;
+      PMove M;
+      M.DstField = P.L.RegId;
+      M.Bank = P.MI->Sz;
+      if (isSlot(P.MI->SrcA)) {
+        M.SrcIsReg = false;
+        M.SrcOff = slotOff(P.MI->SrcA);
+      } else {
+        M.SrcIsReg = true;
+        M.SrcReg = phys(P.MI->SrcA).Id;
+      }
+      Moves.push_back(M);
+    }
+    parallelMoves(std::move(Moves));
+    E.callSym(Call.Sym);
+    if (StackBytes)
+      E.aluRI(AluOp::Add, 8, RSP, StackBytes);
+    if (Call.Dst != ~0u) {
+      if (Call.Sz == 0) {
+        fromReg(Call.Dst, RAX, 0);
+        if (Call.SrcB != ~0u)
+          fromReg(Call.SrcB, RDX, 0);
+      } else {
+        fromReg(Call.Dst, XMM0, 1);
+      }
+    }
+    PendingArgs.clear();
+  }
+
+  void emitBlock(u32 B) {
+    const auto &Insts = F.Blocks[B].Insts;
+    for (size_t I = 0; I < Insts.size(); ++I) {
+      const MInst &MI = Insts[I];
+      switch (MI.Op) {
+      case MOp::Nop:
+        break;
+      case MOp::GetArg:
+        EntryArgs.push_back(MI);
+        // Flush once the run ends.
+        if (I + 1 >= Insts.size() || Insts[I + 1].Op != MOp::GetArg)
+          flushEntryArgs();
+        break;
+      case MOp::MovRR:
+        E.movRR(8, phys(MI.Dst), phys(MI.SrcA));
+        break;
+      case MOp::FpMov:
+        E.fpMovRR(8, phys(MI.Dst), phys(MI.SrcA));
+        break;
+      case MOp::MovImm:
+        E.movRI(phys(MI.Dst), static_cast<u64>(MI.Imm));
+        break;
+      case MOp::MovSym:
+        E.leaSym(phys(MI.Dst), MI.Sym);
+        break;
+      case MOp::FrameAddr:
+        E.lea(phys(MI.Dst), Mem(RBP, StackVarOff[MI.Imm]));
+        break;
+      case MOp::FpConst:
+        E.fpLoadSym(MI.Sz, phys(MI.Dst), fpConst(static_cast<u64>(MI.Imm),
+                                                 MI.Sz));
+        break;
+      case MOp::Alu:
+        E.aluRR(static_cast<AluOp>(MI.AluK), MI.Sz, phys(MI.Dst),
+                phys(MI.SrcB));
+        break;
+      case MOp::AluImm:
+        E.aluRI(static_cast<AluOp>(MI.AluK), MI.Sz, phys(MI.Dst), MI.Imm);
+        break;
+      case MOp::Mul:
+        E.imulRR(MI.Sz, phys(MI.Dst), phys(MI.SrcB));
+        break;
+      case MOp::MulWide: {
+        intoReg(RAX, MI.SrcA, 0);
+        AsmReg Src = RCX;
+        if (isSlot(MI.SrcB))
+          E.load(8, RCX, Mem(RBP, slotOff(MI.SrcB)));
+        else
+          Src = phys(MI.SrcB);
+        E.mulR(8, Src);
+        fromReg(MI.Dst, MI.Imm ? RDX : RAX, 0);
+        break;
+      }
+      case MOp::Div: {
+        bool Signed = MI.Imm & 1, Rem = MI.Imm & 2;
+        intoReg(RAX, MI.SrcA, 0);
+        AsmReg Divisor = RCX;
+        if (isSlot(MI.SrcB))
+          E.load(8, RCX, Mem(RBP, slotOff(MI.SrcB)));
+        else
+          Divisor = phys(MI.SrcB);
+        if (Signed) {
+          E.cwd(MI.Sz);
+          E.idivR(MI.Sz, Divisor);
+        } else {
+          E.aluRR(AluOp::Xor, 4, RDX, RDX);
+          E.divR(MI.Sz, Divisor);
+        }
+        fromReg(MI.Dst, Rem ? RDX : RAX, 0);
+        break;
+      }
+      case MOp::Shift: {
+        if (isSlot(MI.SrcB))
+          E.load(8, RCX, Mem(RBP, slotOff(MI.SrcB)));
+        else
+          E.movRR(8, RCX, phys(MI.SrcB));
+        E.shiftRC(static_cast<ShiftOp>(MI.CC), MI.Sz, phys(MI.Dst));
+        break;
+      }
+      case MOp::ShiftImm:
+        E.shiftRI(static_cast<ShiftOp>(MI.CC), MI.Sz, phys(MI.Dst),
+                  static_cast<u8>(MI.Imm));
+        break;
+      case MOp::Neg:
+        E.negR(MI.Sz, phys(MI.Dst));
+        break;
+      case MOp::Not:
+        E.notR(MI.Sz, phys(MI.Dst));
+        break;
+      case MOp::Movzx:
+        if (MI.Imm >= 8)
+          E.movRR(8, phys(MI.Dst), phys(MI.SrcA));
+        else
+          E.movzxRR(static_cast<u8>(MI.Imm), phys(MI.Dst), phys(MI.SrcA));
+        break;
+      case MOp::Movsx:
+        if (MI.Imm >= 8)
+          E.movRR(8, phys(MI.Dst), phys(MI.SrcA));
+        else
+          E.movsxRR(static_cast<u8>(MI.Imm), phys(MI.Dst), phys(MI.SrcA));
+        break;
+      case MOp::Cmp:
+        E.aluRR(AluOp::Cmp, MI.Sz, phys(MI.SrcA), phys(MI.SrcB));
+        break;
+      case MOp::CmpImm:
+        E.aluRI(AluOp::Cmp, MI.Sz, phys(MI.SrcA), MI.Imm);
+        break;
+      case MOp::TestImm:
+        E.testRI(MI.Sz, phys(MI.SrcA), static_cast<i32>(MI.Imm));
+        break;
+      case MOp::SetCC:
+        E.setcc(MI.CC, phys(MI.Dst));
+        break;
+      case MOp::CMovCC:
+        E.cmovcc(MI.CC, MI.Sz < 4 ? 4 : MI.Sz, phys(MI.Dst), phys(MI.SrcB));
+        break;
+      case MOp::Load:
+        E.loadZext(MI.Sz, phys(MI.Dst),
+                   Mem(phys(MI.SrcA), static_cast<i32>(MI.Imm)));
+        break;
+      case MOp::LoadSx:
+        E.loadSext(MI.Sz, phys(MI.Dst),
+                   Mem(phys(MI.SrcA), static_cast<i32>(MI.Imm)));
+        break;
+      case MOp::Store:
+        E.store(MI.Sz, Mem(phys(MI.SrcB), static_cast<i32>(MI.Imm)),
+                phys(MI.SrcA));
+        break;
+      case MOp::StoreImm8B:
+        TPDE_UNREACHABLE("unused op");
+      case MOp::FpLoad:
+        E.fpLoad(MI.Sz, phys(MI.Dst),
+                 Mem(phys(MI.SrcA), static_cast<i32>(MI.Imm)));
+        break;
+      case MOp::FpStore:
+        E.fpStore(MI.Sz, Mem(phys(MI.SrcB), static_cast<i32>(MI.Imm)),
+                  phys(MI.SrcA));
+        break;
+      case MOp::FpAlu:
+        E.fpArith(static_cast<FpOp>(MI.AluK), MI.Sz, phys(MI.Dst),
+                  phys(MI.SrcB));
+        break;
+      case MOp::Ucomis:
+        E.ucomis(MI.Sz, phys(MI.SrcA), phys(MI.SrcB));
+        break;
+      case MOp::CvtSiToFp:
+        E.cvtsi2fp(MI.Sz, static_cast<u8>(MI.Imm), phys(MI.Dst),
+                   phys(MI.SrcA));
+        break;
+      case MOp::CvtFpToSi:
+        E.cvtfp2si(MI.Sz, static_cast<u8>(MI.Imm), phys(MI.Dst),
+                   phys(MI.SrcA));
+        break;
+      case MOp::CvtFpToFp:
+        E.cvtfp2fp(MI.Sz, phys(MI.Dst), phys(MI.SrcA));
+        break;
+      case MOp::MovdToFp:
+        E.movdToFp(MI.Sz, phys(MI.Dst), phys(MI.SrcA));
+        break;
+      case MOp::MovdFromFp:
+        E.movdFromFp(MI.Sz, phys(MI.Dst), phys(MI.SrcA));
+        break;
+      case MOp::Jmp:
+        if (MI.Target != B + 1)
+          E.jmpLabel(Labels[MI.Target]);
+        break;
+      case MOp::Jcc:
+        E.jccLabel(MI.CC, Labels[MI.Target]);
+        break;
+      case MOp::Ret:
+        if (MI.SrcA != ~0u) {
+          if (MI.Sz == 0) {
+            intoReg(RAX, MI.SrcA, 0);
+            if (MI.SrcB != ~0u)
+              intoReg(RDX, MI.SrcB, 0);
+          } else {
+            intoReg(XMM0, MI.SrcA, 1);
+          }
+        }
+        emitEpilogue();
+        break;
+      case MOp::CallSetArg:
+        PendingArgs.push_back(MI);
+        break;
+      case MOp::Call:
+        emitCall(MI);
+        break;
+      case MOp::Unreachable:
+        E.ud2();
+        break;
+      case MOp::SpillLd:
+        if (MI.Sz == 0)
+          E.load(8, phys(MI.Dst), Mem(RBP, SlotOf.at(static_cast<u32>(MI.Imm))));
+        else
+          E.fpLoad(8, phys(MI.Dst),
+                   Mem(RBP, SlotOf.at(static_cast<u32>(MI.Imm))));
+        break;
+      case MOp::SpillSt:
+        if (MI.Sz == 0)
+          E.store(8, Mem(RBP, SlotOf.at(static_cast<u32>(MI.Imm))),
+                  phys(MI.SrcA));
+        else
+          E.fpStore(8, Mem(RBP, SlotOf.at(static_cast<u32>(MI.Imm))),
+                    phys(MI.SrcA));
+        break;
+      }
+    }
+  }
+};
+
+} // namespace
+
+void tpde::baseline::emitFunction(const MFunc &F, const RAResult &RA,
+                                  Assembler &Asm) {
+  Emit(F, RA, Asm).run();
+}

@@ -1,0 +1,49 @@
+//===- baseline/Internal.h - Baseline back-end internal passes --*- C++ -*-===//
+///
+/// \file
+/// Pass interfaces shared between the baseline back-end's translation
+/// units: instruction selection, the two register allocators, and the
+/// encoder. Not part of the public API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_BASELINE_INTERNAL_H
+#define TPDE_BASELINE_INTERNAL_H
+
+#include "baseline/Baseline.h"
+#include "baseline/MIR.h"
+#include "tir/TIR.h"
+
+#include <unordered_map>
+
+namespace tpde::baseline {
+
+/// Allocatable pools (RAX/RDX/RCX and RSP/RBP are reserved; XMM14/15 are
+/// FP spill temps).
+constexpr u32 GPPool = (1u << 3) | (1u << 6) | (1u << 7) | (1u << 8) |
+                       (1u << 9) | (1u << 10) | (1u << 11) | (1u << 12) |
+                       (1u << 13) | (1u << 14) | (1u << 15);
+constexpr u32 GPCalleeSaved =
+    (1u << 3) | (1u << 12) | (1u << 13) | (1u << 14) | (1u << 15);
+constexpr u32 FPPool = 0x3FFF; // xmm0-13
+
+/// Pass 1: TIR -> MIR.
+bool selectInstructions(const tir::Module &M, const tir::Function &F,
+                        MFunc &Out,
+                        const std::vector<asmx::SymRef> &FuncSyms,
+                        const std::vector<asmx::SymRef> &GlobalSyms);
+
+/// Pass 2a (-O0): local register allocation, RegAllocFast-style. Rewrites
+/// the MIR in place (vreg fields become physical ids / slot markers).
+void runFastRegAlloc(MFunc &F, RAResult &Out);
+
+/// Pass 2b (-O1): MIR liveness + global linear-scan allocation. Rewrites
+/// the MIR in place.
+void runLinearScan(MFunc &F, RAResult &Out);
+
+/// Pass 3: encode the physical MIR into machine code.
+void emitFunction(const MFunc &F, const RAResult &RA, asmx::Assembler &Asm);
+
+} // namespace tpde::baseline
+
+#endif // TPDE_BASELINE_INTERNAL_H

@@ -1,0 +1,110 @@
+//===- baseline/MIR.h - Machine IR for the multi-pass baseline --*- C++ -*-===//
+///
+/// \file
+/// The baseline back-end stands in for LLVM's -O0/-O1 code generation
+/// pipelines in the paper's evaluation (§5.2). Architecturally it does
+/// exactly what the paper says makes LLVM slow ("a multitude of IR
+/// conversions and rewrites on data structures", §5.3): it materializes a
+/// full machine IR, then runs separate passes over it — instruction
+/// selection, (for -O1) liveness + global linear-scan register allocation,
+/// register rewriting with spill code, and finally encoding.
+///
+/// Virtual registers are dense u32 ids. RAX/RDX/RCX are reserved as
+/// scratch (division, shifts, spill reloads) and never allocated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_BASELINE_MIR_H
+#define TPDE_BASELINE_MIR_H
+
+#include "asmx/Assembler.h"
+#include "x64/Encoder.h"
+
+#include <vector>
+
+namespace tpde::baseline {
+
+enum class MOp : u8 {
+  Nop,
+  MovRR,    ///< Dst <- SrcA
+  MovImm,   ///< Dst <- Imm (64-bit)
+  MovSym,   ///< Dst <- &Sym (RIP-relative lea)
+  FrameAddr,///< Dst <- rbp + frame offset of stack var Imm
+  Alu,      ///< Dst(=SrcA) <- SrcA op SrcB (two-address; Sub = SubCC in CC)
+  AluImm,   ///< Dst(=SrcA) <- SrcA op Imm
+  Mul,      ///< Dst(=SrcA) <- SrcA * SrcB
+  Div,      ///< Dst <- SrcA / SrcB (Imm bit0: signed, bit1: remainder)
+  Shift,    ///< Dst(=SrcA) <- SrcA shift-by SrcB (ShiftOp in CC field)
+  ShiftImm, ///< Dst(=SrcA) <- SrcA shift-by Imm
+  Neg, Not,
+  Movzx,    ///< Dst <- zext(SrcA from size Imm)
+  Movsx,    ///< Dst <- sext(SrcA from size Imm)
+  Cmp,      ///< flags <- SrcA cmp SrcB
+  CmpImm,
+  TestImm,
+  SetCC,    ///< Dst <- CC ? 1 : 0 (byte)
+  CMovCC,   ///< Dst(=SrcA) <- CC ? SrcB : SrcA
+  Load,     ///< Dst <- [SrcA + Imm] (size Sz, zero-extended)
+  LoadSx,
+  Store,    ///< [SrcB + Imm] <- SrcA
+  StoreImm8B,///< [SrcA + Imm] <- low bytes of Imm2 (size Sz)
+  // FP (bank 1 vregs)
+  FpMov, FpAlu, FpLoad, FpStore, FpConst, Ucomis,
+  CvtSiToFp, CvtFpToSi, CvtFpToFp, MovdToFp, MovdFromFp,
+  MulWide,  ///< Dst <- (SrcA * SrcB) low (Imm=0) or high (Imm=1) 64 bits
+  // Control flow / calls
+  Jmp, Jcc, Ret,
+  GetArg,     ///< Dst <- incoming argument slot Imm (bank in Sz field)
+  CallSetArg, ///< Stage argument Imm-th slot from SrcA (bank in Sz field)
+  Call,       ///< Call Sym; Dst = result vreg (~0 none), Imm = #args
+  Unreachable,
+  SpillLd, ///< Dst(phys) <- frame slot of vreg Imm (inserted by RA)
+  SpillSt, ///< frame slot of vreg Imm <- SrcA(phys)
+};
+
+/// After register allocation, operand fields hold physical register ids;
+/// fields with this bit set refer to the frame slot of vreg (field &~bit).
+constexpr u32 SlotBit = 0x80000000u;
+
+/// One machine instruction. Fixed shape; unused fields are ignored.
+struct MInst {
+  MOp Op = MOp::Nop;
+  u8 Sz = 8;
+  x64::Cond CC = x64::Cond::E;
+  u8 AluK = 0;    ///< x64::AluOp or FpOp ordinal
+  u32 Dst = ~0u;
+  u32 SrcA = ~0u;
+  u32 SrcB = ~0u;
+  i64 Imm = 0;
+  i64 Imm2 = 0;
+  u32 Target = ~0u; ///< Jump target block.
+  asmx::SymRef Sym;
+};
+
+struct MBlock {
+  std::vector<MInst> Insts;
+  std::vector<u32> Succs;
+};
+
+struct MFunc {
+  std::vector<MBlock> Blocks;
+  u32 NumVRegs = 0;
+  std::vector<u8> VRegBank; ///< 0 = GP, 1 = FP.
+  /// Stack variables (from TIR) in bytes; FrameAddr indexes this.
+  std::vector<u64> StackVarSizes;
+  std::vector<u32> StackVarAligns;
+  asmx::SymRef Sym;
+};
+
+/// Result of register allocation: every vreg is either in a physical
+/// register or in a frame slot.
+struct RAResult {
+  std::vector<u8> PhysReg;   ///< 0xFF = spilled.
+  std::vector<i32> SlotOff;  ///< Valid if spilled (filled by emit).
+  u32 UsedCalleeSaved = 0;   ///< Bank-0 mask.
+  u32 NumSpilled = 0;
+};
+
+} // namespace tpde::baseline
+
+#endif // TPDE_BASELINE_MIR_H

@@ -1,0 +1,703 @@
+//===- baseline/RegAlloc.cpp - Fast and linear-scan register allocators ---===//
+///
+/// Pass 2 of the baseline back-end, in two variants mirroring the paper's
+/// comparison targets: a local "RegAllocFast"-style allocator (the -O0
+/// pipeline) that keeps values in registers only within a block and spills
+/// everything at block boundaries, and a global linear-scan allocator over
+/// live intervals (the -O1 pipeline) preceded by an iterative MIR liveness
+/// analysis. Both rewrite the MIR in place: vreg operands become physical
+/// register ids or frame-slot markers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Internal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace tpde;
+using namespace tpde::baseline;
+
+namespace {
+
+/// Operand roles of an MInst for the allocators.
+struct OpDesc {
+  u32 *Uses[3] = {nullptr, nullptr, nullptr};
+  u32 *Def = nullptr;
+  bool DefTiedToUse0 = false;
+  /// Fields that may become frame-slot markers (handled by the emitter).
+  u32 *MarkerUses[3] = {nullptr, nullptr, nullptr};
+  u32 *MarkerDefs[2] = {nullptr, nullptr};
+};
+
+OpDesc describe(MInst &MI) {
+  OpDesc D;
+  auto U = [&](u32 &F) {
+    for (auto *&S : D.Uses)
+      if (!S) {
+        S = &F;
+        return;
+      }
+  };
+  auto MU = [&](u32 &F) {
+    for (auto *&S : D.MarkerUses)
+      if (!S) {
+        S = &F;
+        return;
+      }
+  };
+  auto MD = [&](u32 &F) {
+    for (auto *&S : D.MarkerDefs)
+      if (!S) {
+        S = &F;
+        return;
+      }
+  };
+  switch (MI.Op) {
+  case MOp::Nop:
+  case MOp::Jmp:
+  case MOp::Jcc:
+  case MOp::Unreachable:
+    break;
+  case MOp::MovRR:
+  case MOp::FpMov:
+  case MOp::Movzx:
+  case MOp::Movsx:
+  case MOp::CvtSiToFp:
+  case MOp::CvtFpToSi:
+  case MOp::CvtFpToFp:
+  case MOp::MovdToFp:
+  case MOp::MovdFromFp:
+    U(MI.SrcA);
+    D.Def = &MI.Dst;
+    break;
+  case MOp::MovImm:
+  case MOp::MovSym:
+  case MOp::FrameAddr:
+  case MOp::FpConst:
+  case MOp::SetCC:
+    D.Def = &MI.Dst;
+    break;
+  case MOp::Alu:
+  case MOp::Mul:
+  case MOp::FpAlu:
+  case MOp::CMovCC:
+    U(MI.SrcA);
+    U(MI.SrcB);
+    D.Def = &MI.Dst;
+    D.DefTiedToUse0 = true;
+    break;
+  case MOp::AluImm:
+  case MOp::ShiftImm:
+  case MOp::Neg:
+  case MOp::Not:
+    U(MI.SrcA);
+    D.Def = &MI.Dst;
+    D.DefTiedToUse0 = true;
+    break;
+  case MOp::Shift:
+    U(MI.SrcA);
+    MU(MI.SrcB); // moved into RCX by the emitter
+    D.Def = &MI.Dst;
+    D.DefTiedToUse0 = true;
+    break;
+  case MOp::Cmp:
+  case MOp::Ucomis:
+    U(MI.SrcA);
+    U(MI.SrcB);
+    break;
+  case MOp::CmpImm:
+  case MOp::TestImm:
+    U(MI.SrcA);
+    break;
+  case MOp::Load:
+  case MOp::LoadSx:
+  case MOp::FpLoad:
+    U(MI.SrcA);
+    D.Def = &MI.Dst;
+    break;
+  case MOp::Store:
+  case MOp::FpStore:
+    U(MI.SrcA);
+    U(MI.SrcB);
+    break;
+  case MOp::StoreImm8B:
+    U(MI.SrcA);
+    break;
+  case MOp::Div:
+  case MOp::MulWide:
+    MU(MI.SrcA);
+    MU(MI.SrcB);
+    MD(MI.Dst);
+    break;
+  case MOp::GetArg:
+    MD(MI.Dst);
+    break;
+  case MOp::CallSetArg:
+    MU(MI.SrcA);
+    break;
+  case MOp::Call:
+    if (MI.Dst != ~0u)
+      MD(MI.Dst);
+    if (MI.SrcB != ~0u)
+      MD(MI.SrcB);
+    break;
+  case MOp::Ret:
+    if (MI.SrcA != ~0u)
+      MU(MI.SrcA);
+    if (MI.SrcB != ~0u)
+      MU(MI.SrcB);
+    break;
+  case MOp::SpillLd:
+  case MOp::SpillSt:
+    TPDE_UNREACHABLE("spill code before register allocation");
+  }
+  return D;
+}
+
+bool isTerminator(MOp Op) {
+  return Op == MOp::Jmp || Op == MOp::Jcc || Op == MOp::Ret ||
+         Op == MOp::Unreachable;
+}
+
+u8 bankOfPhys(u8 Phys) { return Phys >> 4; }
+
+// =======================================================================
+// Fast local allocator (-O0)
+// =======================================================================
+
+class FastRA {
+public:
+  FastRA(MFunc &F, RAResult &Out) : F(F), Out(Out) {}
+
+  void run() {
+    Out.PhysReg.assign(F.NumVRegs, 0xFF);
+    Loc.assign(F.NumVRegs, 0xFF);
+    for (auto &B : F.Blocks) {
+      resetState();
+      std::vector<MInst> NewInsts;
+      NewInsts.reserve(B.Insts.size() + 8);
+      for (MInst MI : B.Insts) {
+        // Values only live in registers within a block: flush at block
+        // exits and around calls (flushAll is idempotent; the spill
+        // stores it emits are plain moves and preserve flags).
+        if (MI.Op == MOp::CallSetArg || MI.Op == MOp::Call ||
+            isTerminator(MI.Op))
+          flushAll(NewInsts);
+        rewrite(MI, NewInsts);
+        NewInsts.push_back(MI);
+      }
+      B.Insts = std::move(NewInsts);
+    }
+  }
+
+private:
+  MFunc &F;
+  RAResult &Out;
+  std::vector<u8> Loc;       ///< vreg -> phys (0xFF none); valid per block.
+  u32 OwnerOf[32];           ///< phys -> vreg.
+  bool Dirty[32] = {};
+  u32 UsedInBlock[2] = {};   ///< bank masks of currently used regs.
+  u8 Clock[2] = {};
+  std::vector<u32> BlockVRegs; ///< vregs with Loc set (for cheap reset).
+
+  void resetState() {
+    for (u32 V : BlockVRegs)
+      Loc[V] = 0xFF;
+    BlockVRegs.clear();
+    UsedInBlock[0] = UsedInBlock[1] = 0;
+    for (auto &O : OwnerOf)
+      O = ~0u;
+  }
+
+  static u8 physId(u8 Bank, u8 Idx) { return Bank * 16 + Idx; }
+
+  void spillStore(std::vector<MInst> &Ins, u8 Phys) {
+    u32 V = OwnerOf[Phys & 31];
+    if (Dirty[Phys & 31]) {
+      MInst St;
+      St.Op = MOp::SpillSt;
+      St.SrcA = Phys;
+      St.Imm = V;
+      St.Sz = bankOfPhys(Phys);
+      Ins.push_back(St);
+      Dirty[Phys & 31] = false;
+    }
+  }
+
+  void dropReg(u8 Phys) {
+    u32 V = OwnerOf[Phys & 31];
+    if (V != ~0u)
+      Loc[V] = 0xFF;
+    OwnerOf[Phys & 31] = ~0u;
+    UsedInBlock[bankOfPhys(Phys)] &= ~(1u << (Phys & 15));
+  }
+
+  void flushAll(std::vector<MInst> &Ins) {
+    for (u8 Bank = 0; Bank < 2; ++Bank) {
+      for (u32 M = UsedInBlock[Bank]; M;) {
+        u8 Idx = static_cast<u8>(countTrailingZeros(M));
+        M &= M - 1;
+        u8 P = physId(Bank, Idx);
+        spillStore(Ins, P);
+        dropReg(P);
+      }
+    }
+  }
+
+  u8 allocPhys(u8 Bank, u32 Avoid, std::vector<MInst> &Ins) {
+    u32 Pool = Bank == 0 ? GPPool : FPPool;
+    u32 Free = Pool & ~UsedInBlock[Bank] & ~Avoid;
+    u8 Idx;
+    if (Free) {
+      Idx = static_cast<u8>(countTrailingZeros(Free));
+    } else {
+      u32 Cands = Pool & UsedInBlock[Bank] & ~Avoid;
+      assert(Cands && "no evictable register");
+      u32 Rot = Cands & ~((1u << Clock[Bank]) - 1);
+      Idx = static_cast<u8>(countTrailingZeros(Rot ? Rot : Cands));
+      Clock[Bank] = (Idx + 1) & 15;
+      u8 P = physId(Bank, Idx);
+      spillStore(Ins, P);
+      dropReg(P);
+    }
+    u8 P = physId(Bank, Idx);
+    UsedInBlock[Bank] |= 1u << Idx;
+    if (Bank == 0 && (GPCalleeSaved >> Idx) & 1)
+      Out.UsedCalleeSaved |= 1u << Idx;
+    return P;
+  }
+
+  u8 ensureReg(u32 V, u32 Avoid, std::vector<MInst> &Ins) {
+    if (Loc[V] != 0xFF)
+      return Loc[V];
+    u8 Bank = F.VRegBank[V];
+    u8 P = allocPhys(Bank, Avoid, Ins);
+    MInst Ld;
+    Ld.Op = MOp::SpillLd;
+    Ld.Dst = P;
+    Ld.Imm = V;
+    Ld.Sz = Bank;
+    Ins.push_back(Ld);
+    bind(V, P, /*IsDirty=*/false);
+    return P;
+  }
+
+  void bind(u32 V, u8 P, bool IsDirty) {
+    OwnerOf[P & 31] = V;
+    Loc[V] = P;
+    Dirty[P & 31] = IsDirty;
+    BlockVRegs.push_back(V);
+  }
+
+  void rewrite(MInst &MI, std::vector<MInst> &Ins) {
+    OpDesc D = describe(MI);
+    u32 Avoid[2] = {0, 0};
+    auto avoidReg = [&](u8 P) { Avoid[bankOfPhys(P)] |= 1u << (P & 15); };
+
+    // Plain uses first.
+    u8 UsePhys[3];
+    for (int I = 0; I < 3; ++I) {
+      if (!D.Uses[I])
+        continue;
+      u32 V = *D.Uses[I];
+      u8 P = ensureReg(V, Avoid[F.VRegBank[V]], Ins);
+      UsePhys[I] = P;
+      avoidReg(P);
+    }
+    // Marker uses: current register if available, else the frame slot.
+    for (auto *MU : D.MarkerUses) {
+      if (!MU)
+        continue;
+      u32 V = *MU;
+      if (Loc[V] != 0xFF) {
+        spillStore(Ins, Loc[V]); // emitter may clobber scratch; keep slot hot
+        *MU = Loc[V];
+        avoidReg(Loc[V]);
+      } else {
+        *MU = SlotBit | V;
+        Out.NumSpilled++;
+      }
+    }
+    // Definition.
+    if (D.Def) {
+      u32 V = *D.Def;
+      u8 P;
+      if (D.DefTiedToUse0) {
+        P = UsePhys[0];
+        // The tied register now holds the def vreg (same vreg by
+        // construction in ISel).
+        Dirty[P & 31] = true;
+      } else {
+        if (Loc[V] != 0xFF) {
+          P = Loc[V];
+          Dirty[P & 31] = true;
+        } else {
+          P = allocPhys(F.VRegBank[V], Avoid[F.VRegBank[V]], Ins);
+          bind(V, P, /*IsDirty=*/true);
+        }
+      }
+      *D.Def = P;
+    }
+    // Marker defs (GetArg / Call results / Div): allocate a register and
+    // let the emitter move the fixed source into it.
+    for (auto *MD : D.MarkerDefs) {
+      if (!MD)
+        continue;
+      u32 V = *MD;
+      u8 P;
+      if (Loc[V] != 0xFF) {
+        P = Loc[V];
+        Dirty[P & 31] = true;
+      } else {
+        P = allocPhys(F.VRegBank[V], Avoid[F.VRegBank[V]], Ins);
+        bind(V, P, /*IsDirty=*/true);
+      }
+      avoidReg(P);
+      *MD = P;
+    }
+    // Rewrite the remaining use fields with their physical ids.
+    for (int I = 0; I < 3; ++I)
+      if (D.Uses[I])
+        *D.Uses[I] = UsePhys[I];
+  }
+};
+
+// =======================================================================
+// Global linear scan (-O1)
+// =======================================================================
+
+class LinearScan {
+public:
+  LinearScan(MFunc &F, RAResult &Out) : F(F), Out(Out) {}
+
+  void run() {
+    number();
+    liveness();
+    buildIntervals();
+    assign();
+    if (getenv("TPDE_LS_VERIFY"))
+      verifyAssignment();
+    rewrite();
+  }
+
+private:
+  MFunc &F;
+  RAResult &Out;
+  std::vector<u32> BlockStart, BlockEnd;
+  std::vector<u32> CallPositions;
+  u32 NumPos = 0;
+
+  struct Interval {
+    u32 V;
+    u32 Start = ~0u;
+    u32 End = 0;
+    bool CrossesCall = false;
+  };
+  std::vector<Interval> Ivs;
+  std::vector<std::vector<u64>> LiveIn, LiveOut, UseSet, DefSet;
+
+  void number() {
+    u32 Pos = 0;
+    for (auto &B : F.Blocks) {
+      BlockStart.push_back(Pos);
+      for (auto &MI : B.Insts) {
+        if (MI.Op == MOp::Call)
+          CallPositions.push_back(Pos);
+        ++Pos;
+      }
+      BlockEnd.push_back(Pos);
+      ++Pos; // virtual boundary slot
+    }
+    NumPos = Pos;
+  }
+
+  static void setBit(std::vector<u64> &S, u32 I) {
+    S[I >> 6] |= u64(1) << (I & 63);
+  }
+  static bool getBit(const std::vector<u64> &S, u32 I) {
+    return (S[I >> 6] >> (I & 63)) & 1;
+  }
+
+  void liveness() {
+    u32 Words = (F.NumVRegs + 63) / 64;
+    u32 NB = static_cast<u32>(F.Blocks.size());
+    LiveIn.assign(NB, std::vector<u64>(Words, 0));
+    LiveOut.assign(NB, std::vector<u64>(Words, 0));
+    UseSet.assign(NB, std::vector<u64>(Words, 0));
+    DefSet.assign(NB, std::vector<u64>(Words, 0));
+    for (u32 B = 0; B < NB; ++B) {
+      for (auto MI : F.Blocks[B].Insts) {
+        OpDesc D = describe(MI);
+        auto use = [&](u32 V) {
+          if (!getBit(DefSet[B], V))
+            setBit(UseSet[B], V);
+        };
+        for (auto *U : D.Uses)
+          if (U)
+            use(*U);
+        for (auto *U : D.MarkerUses)
+          if (U)
+            use(*U);
+        if (D.Def)
+          setBit(DefSet[B], *D.Def);
+        for (auto *MD : D.MarkerDefs)
+          if (MD)
+            setBit(DefSet[B], *MD);
+      }
+    }
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (u32 B = NB; B-- > 0;) {
+        // out = union of succ ins; in = use | (out & ~def)
+        std::vector<u64> NewOut(LiveOut[B].size(), 0);
+        for (u32 S : F.Blocks[B].Succs)
+          for (size_t W = 0; W < NewOut.size(); ++W)
+            NewOut[W] |= LiveIn[S][W];
+        bool OutCh = NewOut != LiveOut[B];
+        if (OutCh)
+          LiveOut[B] = NewOut;
+        std::vector<u64> NewIn(NewOut.size());
+        for (size_t W = 0; W < NewIn.size(); ++W)
+          NewIn[W] = UseSet[B][W] | (NewOut[W] & ~DefSet[B][W]);
+        if (NewIn != LiveIn[B]) {
+          LiveIn[B] = std::move(NewIn);
+          Changed = true;
+        } else if (OutCh) {
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  void buildIntervals() {
+    Ivs.assign(F.NumVRegs, Interval{});
+    for (u32 V = 0; V < F.NumVRegs; ++V)
+      Ivs[V].V = V;
+    auto extend = [&](u32 V, u32 Pos) {
+      Ivs[V].Start = Ivs[V].Start == ~0u ? Pos : std::min(Ivs[V].Start, Pos);
+      Ivs[V].End = std::max(Ivs[V].End, Pos);
+    };
+    u32 Pos = 0;
+    std::vector<u32> PendingArgSrcs;
+    for (u32 B = 0; B < F.Blocks.size(); ++B) {
+      for (auto MI : F.Blocks[B].Insts) {
+        OpDesc D = describe(MI);
+        for (auto *U : D.Uses)
+          if (U)
+            extend(*U, Pos);
+        for (auto *U : D.MarkerUses)
+          if (U)
+            extend(*U, Pos);
+        if (D.Def)
+          extend(*D.Def, Pos);
+        for (auto *MD : D.MarkerDefs)
+          if (MD)
+            extend(*MD, Pos);
+        // CallSetArg only stages the argument; the emitter reads the
+        // source at the Call itself, so the source must live until then.
+        if (MI.Op == MOp::CallSetArg)
+          PendingArgSrcs.push_back(MI.SrcA);
+        if (MI.Op == MOp::Call) {
+          for (u32 V : PendingArgSrcs)
+            extend(V, Pos);
+          PendingArgSrcs.clear();
+        }
+        ++Pos;
+      }
+      ++Pos;
+      for (u32 V = 0; V < F.NumVRegs; ++V) {
+        if (getBit(LiveIn[B], V))
+          extend(V, BlockStart[B]);
+        if (getBit(LiveOut[B], V))
+          extend(V, BlockEnd[B]);
+      }
+    }
+    bool AllCross = getenv("TPDE_LS_ALL_CROSS") != nullptr;
+    for (auto &Iv : Ivs) {
+      if (Iv.Start == ~0u)
+        continue;
+      if (AllCross)
+        Iv.CrossesCall = true;
+      for (u32 C : CallPositions)
+        if (Iv.Start < C && C < Iv.End)
+          Iv.CrossesCall = true;
+    }
+  }
+
+  void verifyAssignment() {
+    for (u32 A = 0; A < F.NumVRegs; ++A) {
+      if (Out.PhysReg[A] == 0xFF || Ivs[A].Start == ~0u) continue;
+      for (u32 B = A + 1; B < F.NumVRegs; ++B) {
+        if (Out.PhysReg[B] != Out.PhysReg[A] || Ivs[B].Start == ~0u) continue;
+        if (Ivs[A].Start < Ivs[B].End && Ivs[B].Start < Ivs[A].End)
+          std::fprintf(stderr,
+                       "OVERLAP v%u[%u,%u] v%u[%u,%u] phys=%u\n", A,
+                       Ivs[A].Start, Ivs[A].End, B, Ivs[B].Start, Ivs[B].End,
+                       Out.PhysReg[A]);
+      }
+    }
+  }
+
+  void assign() {
+    Out.PhysReg.assign(F.NumVRegs, 0xFF);
+    if (getenv("TPDE_LS_SPILL_ALL")) { Out.NumSpilled = F.NumVRegs; return; }
+    std::vector<Interval *> Order;
+    for (auto &Iv : Ivs)
+      if (Iv.Start != ~0u)
+        Order.push_back(&Iv);
+    std::sort(Order.begin(), Order.end(),
+              [](auto *A, auto *B) { return A->Start < B->Start; });
+    std::vector<Interval *> Active;
+    u32 FreeMask[2] = {GPPool, FPPool};
+    auto expire = [&](u32 Pos) {
+      for (size_t I = 0; I < Active.size();) {
+        if (Active[I]->End < Pos) {
+          u8 P = Out.PhysReg[Active[I]->V];
+          FreeMask[bankOfPhys(P)] |= 1u << (P & 15);
+          Active[I] = Active.back();
+          Active.pop_back();
+        } else {
+          ++I;
+        }
+      }
+    };
+    for (Interval *Iv : Order) {
+      expire(Iv->Start);
+      u8 Bank = F.VRegBank[Iv->V];
+      u32 Pool;
+      if (Bank == 0)
+        Pool = Iv->CrossesCall ? (FreeMask[0] & GPCalleeSaved)
+                               : FreeMask[0];
+      else
+        Pool = Iv->CrossesCall ? 0 : FreeMask[1];
+      if (!Pool && Bank == 0 && !Iv->CrossesCall)
+        Pool = FreeMask[0];
+      if (Pool) {
+        u8 Idx = static_cast<u8>(countTrailingZeros(Pool));
+        Out.PhysReg[Iv->V] = Bank * 16 + Idx;
+        FreeMask[Bank] &= ~(1u << Idx);
+        if (Bank == 0 && (GPCalleeSaved >> Idx) & 1)
+          Out.UsedCalleeSaved |= 1u << Idx;
+        Active.push_back(Iv);
+        continue;
+      }
+      // Try to steal from the active interval with the furthest end that
+      // is compatible; otherwise spill this interval.
+      Interval *Victim = nullptr;
+      for (Interval *A : Active) {
+        if (F.VRegBank[A->V] != Bank)
+          continue;
+        u8 P = Out.PhysReg[A->V];
+        if (Iv->CrossesCall &&
+            !(Bank == 0 && ((GPCalleeSaved >> (P & 15)) & 1)))
+          continue;
+        if (!Victim || A->End > Victim->End)
+          Victim = A;
+      }
+      if (Victim && Victim->End > Iv->End) {
+        Out.PhysReg[Iv->V] = Out.PhysReg[Victim->V];
+        Out.PhysReg[Victim->V] = 0xFF;
+        ++Out.NumSpilled;
+        Active.erase(std::find(Active.begin(), Active.end(), Victim));
+        Active.push_back(Iv);
+      } else {
+        Out.PhysReg[Iv->V] = 0xFF;
+        ++Out.NumSpilled;
+      }
+    }
+  }
+
+  void rewrite() {
+    for (auto &B : F.Blocks) {
+      std::vector<MInst> NewInsts;
+      NewInsts.reserve(B.Insts.size());
+      for (MInst MI : B.Insts) {
+        OpDesc D = describe(MI);
+        // Reserved temps for spilled operands.
+        u8 NextGP = 0;                 // rax, then rdx
+        static const u8 GPTmp[2] = {0, 2};
+        u8 NextFP = 0;
+        static const u8 FPTmp[2] = {16 + 14, 16 + 15};
+        auto tempFor = [&](u8 Bank) -> u8 {
+          return Bank == 0 ? GPTmp[NextGP++] : FPTmp[NextFP++];
+        };
+        u32 DefV = D.Def ? *D.Def : ~0u;
+        for (auto *U : D.Uses) {
+          if (!U)
+            continue;
+          u32 V = *U;
+          u8 P = Out.PhysReg[V];
+          if (P != 0xFF) {
+            *U = P;
+            continue;
+          }
+          u8 T = tempFor(F.VRegBank[V]);
+          MInst Ld;
+          Ld.Op = MOp::SpillLd;
+          Ld.Dst = T;
+          Ld.Imm = V;
+          Ld.Sz = F.VRegBank[V];
+          NewInsts.push_back(Ld);
+          *U = T;
+        }
+        for (auto *MU : D.MarkerUses) {
+          if (!MU)
+            continue;
+          u8 P = Out.PhysReg[*MU];
+          if (P != 0xFF)
+            *MU = P;
+          else
+            *MU = SlotBit | *MU;
+        }
+        bool DefSpilled = false;
+        u32 DefVreg = ~0u;
+        if (D.Def) {
+          u8 P = Out.PhysReg[DefV];
+          if (P != 0xFF) {
+            *D.Def = P;
+          } else {
+            DefSpilled = true;
+            DefVreg = DefV;
+            // Tied: the def shares use0's temp; untied: fresh temp.
+            u8 T;
+            if (D.DefTiedToUse0) {
+              T = static_cast<u8>(*D.Uses[0]);
+            } else {
+              T = tempFor(F.VRegBank[DefV]);
+            }
+            *D.Def = T;
+          }
+        }
+        for (auto *MD : D.MarkerDefs) {
+          if (!MD)
+            continue;
+          u8 P = Out.PhysReg[*MD];
+          *MD = P != 0xFF ? P : (SlotBit | *MD);
+        }
+        NewInsts.push_back(MI);
+        if (DefSpilled) {
+          MInst St;
+          St.Op = MOp::SpillSt;
+          St.SrcA = NewInsts.back().Dst;
+          St.Imm = DefVreg;
+          St.Sz = F.VRegBank[DefVreg];
+          NewInsts.push_back(St);
+        }
+      }
+      B.Insts = std::move(NewInsts);
+    }
+  }
+};
+
+} // namespace
+
+void tpde::baseline::runFastRegAlloc(MFunc &F, RAResult &Out) {
+  FastRA(F, Out).run();
+}
+
+void tpde::baseline::runLinearScan(MFunc &F, RAResult &Out) {
+  LinearScan(F, Out).run();
+}

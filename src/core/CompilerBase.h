@@ -1,0 +1,996 @@
+//===- core/CompilerBase.h - TPDE single-pass code generator ----*- C++ -*-===//
+///
+/// \file
+/// The code generation pass of the TPDE framework (paper §3.4). It drives
+/// compilation of whole modules: for every function it runs the analysis
+/// pass and then compiles block by block in layout order, calling back into
+/// the derived compiler for instruction semantics. The framework owns
+/// register allocation (greedy, round-robin eviction, fixed-register loop
+/// heuristic), value spilling, stack frame slots, phi moves with
+/// parallel-move/cycle resolution, and block-boundary register state.
+///
+/// Class layering (all static, via CRTP — no virtual calls, §3.1.4):
+///
+///   CompilerBase<Adapter, Derived, Config>     (this file; IR/target agnostic)
+///      ^-- CompilerX64<Adapter, Derived>       (target mixin: ABI, prologue)
+///             ^-- <IR>CompilerX64              (instruction compilers)
+///
+/// Derived must provide:
+///   emitMoveRR(bank, size, dst, src)       register-register copy
+///   emitSlotStore(bank, size, off, src)    spill store to [fp + off]
+///   emitSlotLoad(bank, size, dst, off)     reload from [fp + off]
+///   emitJumpLabel(label)                   unconditional jump
+///   materializeConstLike(val, part, dst)   constants/globals/stack vars
+///   beginFunc(sym) / finishFunc(sym)       prologue placeholder + patching
+///   setupArguments()                       argument assignment init
+///   compileInst(val) -> bool               one IR instruction
+///   defineGlobals()                        module-level data emission
+///   forEachStackVar(cb(size, align))       static stack variables
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_CORE_COMPILERBASE_H
+#define TPDE_CORE_COMPILERBASE_H
+
+#include "asmx/Assembler.h"
+#include "core/Adapter.h"
+#include "core/Analyzer.h"
+#include "core/Assignment.h"
+#include "core/RegFile.h"
+
+#include <array>
+#include <vector>
+
+namespace tpde::core {
+
+/// Ablation switch (bench/ablation_fixed_regs): disables the §3.4.5
+/// fixed-register heuristic for loop-carried values.
+inline bool DisableFixedRegHeuristic = false;
+
+/// A location a value (part) can occupy for parallel-move resolution.
+struct MoveLoc {
+  enum Kind : u8 { None, InReg, Slot, Const } K = None;
+  u8 RegId = 0xFF;
+  i32 Off = 0;
+
+  static MoveLoc reg(Reg R) { return MoveLoc{InReg, R.Id, 0}; }
+  static MoveLoc slot(i32 Off) { return MoveLoc{Slot, 0xFF, Off}; }
+  static MoveLoc konst() { return MoveLoc{Const, 0xFF, 0}; }
+  bool operator==(const MoveLoc &O) const {
+    return K == O.K && RegId == O.RegId && Off == O.Off;
+  }
+};
+
+template <IRAdapter Adapter, typename Derived, typename Config>
+class CompilerBase {
+public:
+  using ValRef = typename Adapter::ValRef;
+  using BlockRef = typename Adapter::BlockRef;
+  using AnalyzerT = Analyzer<Adapter>;
+
+  /// A pending parallel move (phi edges, call arguments, returns).
+  struct PendingMove {
+    MoveLoc Dst;
+    MoveLoc Src;
+    ValRef SrcVal{}; ///< For constant materialization.
+    u8 SrcPart = 0;
+    u8 Bank = 0;
+    u8 Size = 8;
+    bool Done = false;
+  };
+
+  CompilerBase(Adapter &A, asmx::Assembler &Asm) : A(A), Asm(Asm), An(A) {}
+
+  Derived *derived() { return static_cast<Derived *>(this); }
+
+  // =====================================================================
+  // Value part references (paper §3.4.3). RAII: holding a reference locks
+  // the register; dropping a use decrements the remaining-use count and
+  // frees registers/slots when the value dies.
+  // =====================================================================
+  class ValuePartRef {
+  public:
+    ValuePartRef() = default;
+    ValuePartRef(CompilerBase *C, ValRef V, u32 VN, u8 Part, bool IsUse)
+        : C(C), Val(V), VN(VN), Part(Part), IsUse(IsUse) {
+      Bank = C->A.valPartBank(V, Part);
+      Size = static_cast<u8>(C->A.valPartSize(V, Part));
+      ConstLike = VN == ~0u;
+    }
+    ValuePartRef(ValuePartRef &&O) noexcept { *this = std::move(O); }
+    ValuePartRef &operator=(ValuePartRef &&O) noexcept {
+      if (this == &O)
+        return *this;
+      reset();
+      C = O.C;
+      Val = O.Val;
+      VN = O.VN;
+      Part = O.Part;
+      Bank = O.Bank;
+      Size = O.Size;
+      IsUse = O.IsUse;
+      ConstLike = O.ConstLike;
+      Locked = O.Locked;
+      TmpReg = O.TmpReg;
+      O.C = nullptr;
+      return *this;
+    }
+    ValuePartRef(const ValuePartRef &) = delete;
+    ValuePartRef &operator=(const ValuePartRef &) = delete;
+    ~ValuePartRef() { reset(); }
+
+    bool valid() const { return C != nullptr; }
+    /// True for constants/globals/stack-var addresses: no assignment; the
+    /// derived compiler materializes them on demand.
+    bool isConstLike() const { return ConstLike; }
+    /// The IR value handle (e.g., for immediate-operand folding).
+    ValRef irValue() const { return Val; }
+    u8 part() const { return Part; }
+    u8 bank() const { return Bank; }
+    u8 size() const { return Size; }
+    u32 valNum() const { return VN; }
+
+    bool hasReg() const {
+      if (ConstLike)
+        return TmpReg.isValid();
+      return C->Assigns[VN].Parts[Part].inReg();
+    }
+    Reg curReg() const {
+      if (ConstLike)
+        return TmpReg;
+      return Reg(C->Assigns[VN].Parts[Part].RegId);
+    }
+    /// True if the value currently has a valid stack-slot copy.
+    bool inMemory() const {
+      return !ConstLike && C->Assigns[VN].Parts[Part].stackValid();
+    }
+    /// Frame offset of this part's slot (requires inMemory()).
+    i32 frameOff() const {
+      assert(inMemory() && "no valid stack copy");
+      return C->Assigns[VN].FrameOff + 8 * Part;
+    }
+
+    /// Ensures the value part is in a register (reloading or materializing
+    /// as needed), locks it, and returns it.
+    Reg asReg() {
+      assert(C && "empty reference");
+      if (ConstLike) {
+        if (!TmpReg.isValid()) {
+          TmpReg = C->allocRegRaw(Bank);
+          C->Regs.markUsed(TmpReg, ~0u, 0);
+          C->Regs.lock(TmpReg);
+          C->derived()->materializeConstLike(Val, Part, TmpReg);
+        }
+        return TmpReg;
+      }
+      Assignment &As = C->Assigns[VN];
+      ValuePart &P = As.Parts[Part];
+      if (!P.inReg()) {
+        Reg R = C->allocPartReg(VN, Part, Bank);
+        assert(P.stackValid() && "value lost: neither register nor stack");
+        C->derived()->emitSlotLoad(Bank, 8, R, As.FrameOff + 8 * Part);
+      }
+      lockIfNeeded();
+      return Reg(P.RegId);
+    }
+
+    /// For definitions: allocates a register for the result (no load).
+    Reg allocReg() {
+      assert(!ConstLike && !IsUse && "allocReg on a use/constant");
+      Assignment &As = C->Assigns[VN];
+      ValuePart &P = As.Parts[Part];
+      if (!P.inReg())
+        C->allocPartReg(VN, Part, Bank);
+      lockIfNeeded();
+      return Reg(P.RegId);
+    }
+
+    /// Marks the register contents as modified: the stack copy (if any)
+    /// no longer matches and must be rewritten on eviction.
+    void setModified() {
+      if (ConstLike)
+        return;
+      C->Assigns[VN].Parts[Part].Flags &= ~ValuePart::StackValid;
+    }
+
+    /// Releases the reference early (unlock, use-count bookkeeping).
+    void reset() {
+      if (!C)
+        return;
+      if (ConstLike) {
+        if (TmpReg.isValid()) {
+          C->Regs.unlock(TmpReg);
+          C->Regs.markFree(TmpReg);
+        }
+      } else {
+        if (Locked)
+          C->Regs.unlock(Reg(C->Assigns[VN].Parts[Part].RegId));
+        if (IsUse)
+          C->decRef(VN);
+        else if (C->Assigns[VN].RefCount == 0 &&
+                 C->An.rangeEndsInBlock(VN, C->CurBlock))
+          C->freeValue(VN);
+      }
+      C = nullptr;
+    }
+
+    /// Remaining uses including the one held by this reference.
+    u32 remainingUses() const {
+      return ConstLike ? 0 : C->Assigns[VN].RefCount;
+    }
+    /// True if this use is the last one and the live range ends here, so
+    /// the register may be overwritten/reused (paper §3.4.3 step 3).
+    bool canReuseReg() const {
+      if (ConstLike || !IsUse)
+        return false;
+      const Assignment &As = C->Assigns[VN];
+      return As.RefCount == 1 && C->An.rangeEndsInBlock(VN, C->CurBlock) &&
+             !As.Parts[Part].isFixed();
+    }
+
+    /// Locks the current register (if any) for this reference's lifetime,
+    /// preventing eviction during parallel-move collection.
+    void lockReg() {
+      if (!ConstLike && hasReg())
+        lockIfNeeded();
+    }
+
+    /// Current location for parallel-move collection.
+    MoveLoc loc() const {
+      if (ConstLike)
+        return TmpReg.isValid() ? MoveLoc::reg(TmpReg) : MoveLoc::konst();
+      if (hasReg())
+        return MoveLoc::reg(curReg());
+      assert(inMemory() && "value lost");
+      return MoveLoc::slot(C->Assigns[VN].FrameOff + 8 * Part);
+    }
+
+  private:
+    void lockIfNeeded() {
+      if (Locked)
+        return;
+      C->Regs.lock(Reg(C->Assigns[VN].Parts[Part].RegId));
+      Locked = true;
+    }
+
+    friend class CompilerBase;
+    CompilerBase *C = nullptr;
+    ValRef Val{};
+    u32 VN = ~0u;
+    u8 Part = 0;
+    u8 Bank = 0;
+    u8 Size = 8;
+    bool IsUse = false;
+    bool ConstLike = false;
+    bool Locked = false;
+    Reg TmpReg;
+  };
+
+  /// An unevictable temporary register (paper §3.4.3 step 4).
+  class ScratchReg {
+  public:
+    ScratchReg() = default;
+    explicit ScratchReg(CompilerBase *C) : C(C) {}
+    ScratchReg(ScratchReg &&O) noexcept { *this = std::move(O); }
+    ScratchReg &operator=(ScratchReg &&O) noexcept {
+      if (this == &O)
+        return *this;
+      reset();
+      C = O.C;
+      R = O.R;
+      O.R = Reg();
+      return *this;
+    }
+    ScratchReg(const ScratchReg &) = delete;
+    ScratchReg &operator=(const ScratchReg &) = delete;
+    ~ScratchReg() { reset(); }
+
+    /// Allocates any register from \p Bank (optionally restricted).
+    Reg alloc(u8 Bank, u32 AllowMask = ~0u) {
+      assert(C && !R.isValid() && "scratch already allocated");
+      R = C->allocRegRaw(Bank, AllowMask);
+      C->Regs.markUsed(R, ~0u, 0);
+      C->Regs.lock(R);
+      return R;
+    }
+    /// Claims a specific register, evicting its current owner.
+    Reg allocSpecific(Reg Want) {
+      assert(C && !R.isValid() && "scratch already allocated");
+      C->evictSpecific(Want);
+      R = Want;
+      C->Regs.markUsed(R, ~0u, 0);
+      C->Regs.lock(R);
+      return R;
+    }
+    Reg cur() const { return R; }
+    bool isValid() const { return R.isValid(); }
+    void reset() {
+      if (R.isValid()) {
+        C->Regs.unlock(R);
+        C->Regs.markFree(R);
+        R = Reg();
+      }
+    }
+
+  private:
+    friend class CompilerBase;
+    CompilerBase *C = nullptr;
+    Reg R;
+  };
+
+  // =====================================================================
+  // Public API for instruction compilers
+  // =====================================================================
+
+  /// Handle for operand \p Part of value \p V (a use).
+  ValuePartRef valRef(ValRef V, u8 Part) {
+    if (A.isConstLike(V))
+      return ValuePartRef(this, V, ~0u, Part, /*IsUse=*/true);
+    u32 VN = A.valNumber(V);
+    assert(Assigns[VN].Init && "use before definition");
+    return ValuePartRef(this, V, VN, Part, /*IsUse=*/true);
+  }
+
+  /// Handle for result \p Part of value \p V (a definition).
+  ValuePartRef resultRef(ValRef V, u8 Part) {
+    u32 VN = A.valNumber(V);
+    ensureAssignment(V, VN);
+    return ValuePartRef(this, V, VN, Part, /*IsUse=*/false);
+  }
+
+  /// Result handle that tries to reuse \p Op's register when this is its
+  /// last use (paper Listing 1, result_ref_will_overwrite): on success the
+  /// register is transferred; otherwise a fresh register is allocated and
+  /// the operand's value copied into it. Either way the returned reference
+  /// has a register holding the operand value, ready to be overwritten.
+  ValuePartRef resultRefReuse(ValRef V, u8 Part, ValuePartRef &&Op) {
+    ValuePartRef Res = resultRef(V, Part);
+    ValuePart &RP = Assigns[Res.VN].Parts[Part];
+    if (!RP.inReg() && !Op.isConstLike() && Op.canReuseReg() && Op.hasReg() &&
+        Op.bank() == Res.bank()) {
+      // Transfer the register from the dying operand to the result.
+      Reg R = Op.curReg();
+      if (Op.Locked) {
+        Regs.unlock(R);
+        Op.Locked = false;
+      }
+      Assigns[Op.VN].Parts[Op.Part].RegId = 0xFF;
+      Regs.markFree(R);
+      Regs.markUsed(R, Res.VN, Part);
+      RP.RegId = R.Id;
+      RP.Flags &= ~ValuePart::StackValid;
+      Regs.lock(R);
+      Res.Locked = true;
+      Op.reset();
+      return Res;
+    }
+    // Copy path.
+    Reg Dst = Res.allocReg();
+    emitToReg(Dst, Op);
+    Res.setModified();
+    Op.reset();
+    return Res;
+  }
+
+  ScratchReg scratch() { return ScratchReg(this); }
+
+  /// Copies the current value of \p Op into \p Dst.
+  void emitToReg(Reg Dst, ValuePartRef &Op) {
+    if (Op.isConstLike() && !Op.hasReg()) {
+      derived()->materializeConstLike(Op.irValue(), Op.part(), Dst);
+      return;
+    }
+    if (Op.hasReg()) {
+      if (!(Op.curReg() == Dst))
+        derived()->emitMoveRR(Op.bank(), 8, Dst, Op.curReg());
+      return;
+    }
+    assert(Op.inMemory() && "operand value lost");
+    derived()->emitSlotLoad(Op.bank(), 8, Dst, Op.frameOff());
+  }
+
+  /// Evicts whatever occupies \p R (spilling if dirty); afterwards R is
+  /// free. Used for instructions with fixed register constraints.
+  void evictSpecific(Reg R) {
+    if (!Regs.isUsed(R))
+      return;
+    assert(!Regs.isLocked(R) && "evicting a locked register");
+    assert(!Regs.isFixed(R) && "evicting a fixed register");
+    u32 Owner = Regs.ownerVal(R);
+    assert(Owner != ~0u && "evicting an anonymous scratch register");
+    spillPart(Owner, Regs.ownerPart(R));
+    Assigns[Owner].Parts[Regs.ownerPart(R)].RegId = 0xFF;
+    Regs.markFree(R);
+  }
+
+  /// Label of a successor block (bound when the block is compiled).
+  asmx::Label blockLabel(BlockRef B) {
+    return BlockLabels[static_cast<u32>(A.blockAux(B))];
+  }
+  u32 blockIdx(BlockRef B) { return static_cast<u32>(A.blockAux(B)); }
+  u32 curBlockIdx() const { return CurBlock; }
+  bool blockIsNext(BlockRef B) { return blockIdx(B) == CurBlock + 1; }
+
+  const AnalyzerT &analyzer() const { return An; }
+  Adapter &adapter() { return A; }
+  asmx::Assembler &assembler() { return Asm; }
+  asmx::SymRef funcSym(u32 FuncIdx) const { return FuncSyms[FuncIdx]; }
+
+  /// Frame offset of stack variable index \p I.
+  i32 stackVarOff(u32 I) const { return StackVarOffs[I]; }
+
+  // =====================================================================
+  // Branch generation (paper §3.4.5)
+  // =====================================================================
+
+  /// True if edges into \p B give up the register state: the target has
+  /// multiple predecessors or does not immediately follow in layout.
+  bool branchNeedsSpill(BlockRef B) {
+    u32 Idx = blockIdx(B);
+    return An.block(Idx).NumPreds > 1 || Idx != CurBlock + 1;
+  }
+
+  /// Spills all dirty registers whose values are live at the entry of any
+  /// spill-needing successor; fixed registers are exempt.
+  void spillBeforeBranch(std::initializer_list<BlockRef> Succs) {
+    u32 NeedIdx[4];
+    unsigned NumNeed = 0;
+    for (BlockRef S : Succs)
+      if (branchNeedsSpill(S))
+        NeedIdx[NumNeed++] = blockIdx(S);
+    if (!NumNeed)
+      return;
+    forEachOwnedReg([&](Reg R, u32 VN, u8 Part) {
+      if (Regs.isFixed(R))
+        return;
+      for (unsigned I = 0; I < NumNeed; ++I) {
+        if (An.liveAt(VN, NeedIdx[I])) {
+          spillPart(VN, Part);
+          return;
+        }
+      }
+    });
+  }
+
+  /// Spills every dirty, non-fixed register. Used before conditional
+  /// branches with per-edge phi moves: the move code of one edge must not
+  /// implicitly spill state the other edge relies on.
+  void spillAllDirty() {
+    forEachOwnedReg([&](Reg R, u32 VN, u8 Part) {
+      if (!Regs.isFixed(R))
+        spillPart(VN, Part);
+    });
+  }
+
+  /// Emits an unconditional branch to \p Target: spill, phi moves, jump
+  /// (elided on fallthrough).
+  void generateBranch(BlockRef Target) {
+    spillBeforeBranch({Target});
+    movePhis(Target);
+    if (!blockIsNext(Target))
+      derived()->emitJumpLabel(blockLabel(Target));
+  }
+
+  /// Emits a two-way conditional branch. \p EmitJcc emits the conditional
+  /// jump to a label, optionally with inverted condition; the framework
+  /// handles spilling, per-edge phi moves (critical edges become inline
+  /// move blocks, equivalent to edge splitting), and fallthrough.
+  template <typename EmitJccFn>
+  void generateCondBranch(BlockRef TrueB, BlockRef FalseB, EmitJccFn EmitJcc) {
+    if (blockIdx(TrueB) == blockIdx(FalseB)) {
+      generateBranch(TrueB);
+      return;
+    }
+    spillBeforeBranch({TrueB, FalseB});
+    bool MovesT = edgeHasPhiMoves(TrueB);
+    bool MovesF = edgeHasPhiMoves(FalseB);
+    if (MovesT || MovesF) {
+      // Per-edge move code must not spill (the other path would see stale
+      // StackValid flags); make everything clean up front.
+      spillAllDirty();
+    }
+    if (!MovesT && !MovesF) {
+      if (blockIsNext(FalseB)) {
+        EmitJcc(blockLabel(TrueB), false);
+      } else if (blockIsNext(TrueB)) {
+        EmitJcc(blockLabel(FalseB), true);
+      } else {
+        EmitJcc(blockLabel(TrueB), false);
+        derived()->emitJumpLabel(blockLabel(FalseB));
+      }
+      return;
+    }
+    if (MovesT && !MovesF) {
+      asmx::Label Skip =
+          blockIsNext(FalseB) ? Asm.makeLabel() : blockLabel(FalseB);
+      EmitJcc(Skip, true);
+      movePhis(TrueB);
+      derived()->emitJumpLabel(blockLabel(TrueB));
+      if (blockIsNext(FalseB))
+        Asm.bindLabel(Skip);
+      return;
+    }
+    if (!MovesT && MovesF) {
+      EmitJcc(blockLabel(TrueB), false);
+      movePhis(FalseB);
+      if (!blockIsNext(FalseB))
+        derived()->emitJumpLabel(blockLabel(FalseB));
+      return;
+    }
+    asmx::Label TakenMoves = Asm.makeLabel();
+    EmitJcc(TakenMoves, false);
+    movePhis(FalseB);
+    derived()->emitJumpLabel(blockLabel(FalseB));
+    Asm.bindLabel(TakenMoves);
+    movePhis(TrueB);
+    if (!blockIsNext(TrueB))
+      derived()->emitJumpLabel(blockLabel(TrueB));
+  }
+
+  // =====================================================================
+  // Module driver
+  // =====================================================================
+
+  /// Compiles all functions of the adapter's module. Returns false if any
+  /// instruction could not be compiled.
+  bool compileModule() {
+    derived()->defineGlobals();
+    u32 N = A.funcCount();
+    FuncSyms.resize(N);
+    for (u32 I = 0; I < N; ++I) {
+      auto F = A.funcRef(I);
+      FuncSyms[I] =
+          Asm.createSymbol(A.funcName(F), A.funcLinkage(F), /*IsFunc=*/true);
+    }
+    for (u32 I = 0; I < N; ++I) {
+      auto F = A.funcRef(I);
+      if (!A.funcIsDefinition(F))
+        continue;
+      if (!compileFunc(F, FuncSyms[I]))
+        return false;
+    }
+    return true;
+  }
+
+  bool compileFunc(typename Adapter::FuncRef F, asmx::SymRef Sym) {
+    A.switchFunc(F);
+    An.analyze();
+
+    Assigns.assign(A.valueCount(), Assignment{});
+    Regs.reset();
+    for (u8 B = 0; B < Config::NumBanks; ++B) {
+      FixedPoolFree[B] = Config::FixedRegPool[B];
+      UsedCalleeSaved[B] = 0;
+    }
+    FixedActive.clear();
+    CurBlock = 0;
+
+    // Stack variables get fixed frame offsets below the callee-save area.
+    i32 Off = -static_cast<i32>(Config::CalleeSaveAreaSize);
+    StackVarOffs.clear();
+    derived()->forEachStackVar([&](u64 Size, u32 Align) {
+      u32 Al = Align < 8 ? 8 : Align;
+      Off = -static_cast<i32>(alignTo(static_cast<u64>(-Off) + Size, Al));
+      StackVarOffs.push_back(Off);
+    });
+    Frame.reset(Off);
+
+    Asm.resetLabels();
+    BlockLabels.clear();
+    for (u32 B = 0; B < An.numBlocks(); ++B)
+      BlockLabels.push_back(Asm.makeLabel());
+
+    derived()->beginFunc(Sym);
+    derived()->setupArguments();
+
+    bool PrevFallsThrough = true; // the prologue falls into the entry block
+    for (u32 B = 0; B < An.numBlocks(); ++B) {
+      CurBlock = B;
+      Asm.bindLabel(BlockLabels[B]);
+      bool KeepRegs =
+          B == 0 || (An.block(B).NumPreds == 1 && PrevFallsThrough);
+      if (!KeepRegs)
+        resetRegisterState();
+      sweepFixedRegs();
+      for (auto I : A.blockInsts(An.block(B).Ref))
+        if (!derived()->compileInst(I))
+          return false;
+      PrevFallsThrough = blockFallsThrough(B);
+    }
+    derived()->finishFunc(Sym);
+    A.finalizeFunc();
+    return true;
+  }
+
+  // =====================================================================
+  // Internal register/assignment machinery (used by the mixins too)
+  // =====================================================================
+
+  Assignment &assignment(u32 VN) { return Assigns[VN]; }
+
+  void ensureAssignment(ValRef V, u32 VN) {
+    Assignment &As = Assigns[VN];
+    if (As.Init)
+      return;
+    As.Init = true;
+    As.PartCount = static_cast<u8>(A.valPartCount(V));
+    assert(As.PartCount <= Assignment::MaxParts && "too many value parts");
+    As.RefCount = An.liveness(VN).RefCount;
+    As.FrameOff = 0;
+    for (u8 P = 0; P < As.PartCount; ++P)
+      As.Parts[P] = ValuePart{};
+    // Fixed-register heuristic (§3.4.5): multi-block live range fully
+    // inside the innermost loop of the definition.
+    const auto &LR = An.liveness(VN);
+    u32 Loop = An.block(LR.First).Loop;
+    if (!DisableFixedRegHeuristic && Loop != 0 && LR.Last > LR.First &&
+        LR.Last <= An.loop(Loop).End) {
+      for (u8 P = 0; P < As.PartCount; ++P) {
+        u8 Bank = A.valPartBank(V, P);
+        u32 Pool = FixedPoolFree[Bank] & ~Regs.usedMask(Bank);
+        if (!Pool)
+          continue; // only currently-free pool registers
+        u8 Idx = static_cast<u8>(countTrailingZeros(Pool));
+        Reg R(Config::regId(Bank, Idx));
+        FixedPoolFree[Bank] &= ~(u32(1) << Idx);
+        Regs.markUsed(R, VN, P);
+        Regs.markFixed(R);
+        As.Parts[P].RegId = R.Id;
+        As.Parts[P].Flags |= ValuePart::FixedReg;
+        UsedCalleeSaved[Bank] |= u32(1) << Idx;
+      }
+      FixedActive.push_back(VN);
+    }
+  }
+
+  /// Allocates a register in \p Bank (free or by eviction); raw: the
+  /// caller must mark it used.
+  Reg allocRegRaw(u8 Bank, u32 AllowMask = ~0u) {
+    Reg R = Regs.findFree(Bank, AllowMask);
+    if (!R.isValid()) {
+      R = Regs.pickEvictionCandidate(Bank, AllowMask);
+      assert(R.isValid() && "all registers locked/fixed");
+      u32 Owner = Regs.ownerVal(R);
+      assert(Owner != ~0u && "unowned used register");
+      spillPart(Owner, Regs.ownerPart(R));
+      Assigns[Owner].Parts[Regs.ownerPart(R)].RegId = 0xFF;
+      Regs.markFree(R);
+    }
+    u8 Idx = Config::idxOf(R.Id);
+    if ((Config::CalleeSaved[Bank] >> Idx) & 1)
+      UsedCalleeSaved[Bank] |= u32(1) << Idx;
+    return R;
+  }
+
+  /// Allocates a register for (VN, Part) and records ownership.
+  Reg allocPartReg(u32 VN, u8 Part, u8 Bank) {
+    Reg R = allocRegRaw(Bank);
+    Regs.markUsed(R, VN, Part);
+    Assigns[VN].Parts[Part].RegId = R.Id;
+    return R;
+  }
+
+  /// Writes the register copy of (VN, Part) to its stack slot if dirty.
+  void spillPart(u32 VN, u8 Part) {
+    Assignment &As = Assigns[VN];
+    ValuePart &P = As.Parts[Part];
+    if (P.stackValid() || !P.inReg() || P.isFixed())
+      return;
+    if (!As.hasSlot())
+      As.FrameOff = Frame.alloc(As.PartCount > 1 ? 16 : 8);
+    derived()->emitSlotStore(Config::bankOf(P.RegId), 8,
+                             As.FrameOff + 8 * Part, Reg(P.RegId));
+    P.Flags |= ValuePart::StackValid;
+  }
+
+  void decRef(u32 VN) {
+    Assignment &As = Assigns[VN];
+    assert(As.RefCount > 0 && "use count underflow");
+    if (--As.RefCount == 0 && An.rangeEndsInBlock(VN, CurBlock))
+      freeValue(VN);
+  }
+
+  /// Releases all registers and the frame slot of a dead value.
+  void freeValue(u32 VN) {
+    Assignment &As = Assigns[VN];
+    for (u8 P = 0; P < As.PartCount; ++P) {
+      ValuePart &Part = As.Parts[P];
+      if (Part.inReg()) {
+        Reg R(Part.RegId);
+        if (Regs.isLocked(R))
+          continue; // freed when the last reference drops
+        if (Part.isFixed())
+          FixedPoolFree[Config::bankOf(R.Id)] |= u32(1) << Config::idxOf(R.Id);
+        Regs.markFree(R);
+        Part.RegId = 0xFF;
+        Part.Flags &= ~ValuePart::FixedReg;
+      }
+    }
+    if (As.hasSlot()) {
+      Frame.release(As.FrameOff, As.PartCount > 1 ? 16 : 8);
+      As.FrameOff = 0;
+    }
+  }
+
+  /// Clears all non-fixed register associations (block entry with unknown
+  /// register state, §3.4.5).
+  void resetRegisterState() {
+    forEachOwnedReg([&](Reg R, u32 VN, u8 Part) {
+      if (Regs.isFixed(R))
+        return;
+      assert(!Regs.isLocked(R) && "locked register at block boundary");
+      ValuePart &P = Assigns[VN].Parts[Part];
+      assert((P.stackValid() || Assigns[VN].RefCount == 0) &&
+             "dirty live register dropped at block boundary");
+      P.RegId = 0xFF;
+      Regs.markFree(R);
+    });
+  }
+
+  /// Frees fixed registers whose values died in earlier blocks.
+  void sweepFixedRegs() {
+    for (size_t I = 0; I < FixedActive.size();) {
+      u32 VN = FixedActive[I];
+      if (An.liveness(VN).Last >= CurBlock) {
+        ++I;
+        continue;
+      }
+      Assignment &As = Assigns[VN];
+      for (u8 P = 0; P < As.PartCount; ++P) {
+        ValuePart &Part = As.Parts[P];
+        if (Part.isFixed() && Part.inReg()) {
+          Reg R(Part.RegId);
+          FixedPoolFree[Config::bankOf(R.Id)] |= u32(1) << Config::idxOf(R.Id);
+          Regs.markFree(R);
+          Part.RegId = 0xFF;
+          Part.Flags &= ~ValuePart::FixedReg;
+        }
+      }
+      if (As.hasSlot()) {
+        Frame.release(As.FrameOff, As.PartCount > 1 ? 16 : 8);
+        As.FrameOff = 0;
+      }
+      FixedActive[I] = FixedActive.back();
+      FixedActive.pop_back();
+    }
+  }
+
+  /// Iterates (register, owner value, part) over all value-owned registers.
+  template <typename Fn> void forEachOwnedReg(Fn Cb) {
+    for (u8 Bank = 0; Bank < Config::NumBanks; ++Bank) {
+      for (u32 M = Regs.usedMask(Bank); M;) {
+        u8 Idx = static_cast<u8>(countTrailingZeros(M));
+        M &= M - 1;
+        Reg R(Config::regId(Bank, Idx));
+        u32 VN = Regs.ownerVal(R);
+        if (VN != ~0u)
+          Cb(R, VN, Regs.ownerPart(R));
+      }
+    }
+  }
+
+  // =====================================================================
+  // Parallel moves (phi edges §3.4.5, call arguments, returns)
+  // =====================================================================
+
+  /// Emits the pending moves respecting read-before-write order; cycles
+  /// are broken with scratch registers. Scratch allocation can be
+  /// restricted per bank via \p ScratchAllow (e.g., to avoid call
+  /// argument registers).
+  void resolveParallelMoves(std::vector<PendingMove> &Moves,
+                            const std::array<u32, Config::NumBanks>
+                                &ScratchAllow) {
+    std::vector<ScratchReg> CycleTemps;
+    unsigned Remaining = 0;
+    for (const PendingMove &M : Moves)
+      if (!M.Done)
+        ++Remaining;
+    while (Remaining) {
+      bool Progress = false;
+      for (PendingMove &M : Moves) {
+        if (M.Done)
+          continue;
+        bool Blocked = false;
+        for (const PendingMove &O : Moves)
+          if (!O.Done && &O != &M && O.Src == M.Dst)
+            Blocked = true;
+        if (Blocked)
+          continue;
+        emitLocMove(M, ScratchAllow);
+        M.Done = true;
+        --Remaining;
+        Progress = true;
+      }
+      if (Progress)
+        continue;
+      // Cycle: save one destination into a temp and redirect its readers.
+      PendingMove *M = nullptr;
+      for (PendingMove &Cand : Moves)
+        if (!Cand.Done) {
+          M = &Cand;
+          break;
+        }
+      assert(M && "no pending move in cycle");
+      ScratchReg Temp(this);
+      Reg T = Temp.alloc(M->Bank, ScratchAllow[M->Bank]);
+      if (M->Dst.K == MoveLoc::InReg)
+        derived()->emitMoveRR(M->Bank, 8, T, Reg(M->Dst.RegId));
+      else
+        derived()->emitSlotLoad(M->Bank, 8, T, M->Dst.Off);
+      MoveLoc TempLoc = MoveLoc::reg(T);
+      for (PendingMove &O : Moves)
+        if (!O.Done && O.Src == M->Dst)
+          O.Src = TempLoc;
+      CycleTemps.push_back(std::move(Temp));
+    }
+  }
+
+  void emitLocMove(const PendingMove &M,
+                   const std::array<u32, Config::NumBanks> &ScratchAllow) {
+    if (M.Dst.K == MoveLoc::InReg) {
+      Reg D(M.Dst.RegId);
+      switch (M.Src.K) {
+      case MoveLoc::Const:
+        derived()->materializeConstLike(M.SrcVal, M.SrcPart, D);
+        return;
+      case MoveLoc::InReg:
+        if (M.Src.RegId != M.Dst.RegId)
+          derived()->emitMoveRR(M.Bank, 8, D, Reg(M.Src.RegId));
+        return;
+      case MoveLoc::Slot:
+        derived()->emitSlotLoad(M.Bank, 8, D, M.Src.Off);
+        return;
+      default:
+        TPDE_UNREACHABLE("bad source location");
+      }
+    }
+    assert(M.Dst.K == MoveLoc::Slot && "bad destination location");
+    if (M.Src.K == MoveLoc::InReg) {
+      derived()->emitSlotStore(M.Bank, 8, M.Dst.Off, Reg(M.Src.RegId));
+      return;
+    }
+    // Memory/const to memory: via scratch.
+    ScratchReg Temp(this);
+    Reg T = Temp.alloc(M.Bank, ScratchAllow[M.Bank]);
+    if (M.Src.K == MoveLoc::Const)
+      derived()->materializeConstLike(M.SrcVal, M.SrcPart, T);
+    else
+      derived()->emitSlotLoad(M.Bank, 8, T, M.Src.Off);
+    derived()->emitSlotStore(M.Bank, 8, M.Dst.Off, T);
+  }
+
+  bool edgeHasPhiMoves(BlockRef Succ) { return !A.blockPhis(Succ).empty(); }
+
+  /// Moves incoming values into the phi locations of \p Succ for the edge
+  /// from the current block.
+  void movePhis(BlockRef Succ) {
+    auto Phis = A.blockPhis(Succ);
+    if (Phis.empty())
+      return;
+
+    std::vector<PendingMove> Moves;
+    std::vector<ValuePartRef> Holds; // keeps locks and use counts
+    std::vector<u32> StaleRegPhis;
+
+    for (ValRef Phi : Phis) {
+      u32 PhiVN = A.valNumber(Phi);
+      ensureAssignment(Phi, PhiVN);
+      ValRef In{};
+      bool Found = false;
+      u32 NumInc = A.phiIncomingCount(Phi);
+      for (u32 I = 0; I < NumInc; ++I) {
+        if (static_cast<u32>(A.blockAux(A.phiIncomingBlock(Phi, I))) ==
+            CurBlock) {
+          In = A.phiIncomingValue(Phi, I);
+          Found = true;
+          break;
+        }
+      }
+      assert(Found && "no phi incoming for this edge");
+      (void)Found;
+      Assignment &PhiAs = Assigns[PhiVN];
+      bool SelfRef = !A.isConstLike(In) && A.valNumber(In) == PhiVN;
+
+      if (SelfRef) {
+        // Value unchanged on this edge; ensure the canonical location is
+        // up to date, then consume the phi-edge use.
+        for (u8 P = 0; P < PhiAs.PartCount; ++P) {
+          ValuePart &DP = PhiAs.Parts[P];
+          if (!DP.isFixed() && DP.inReg() && !DP.stackValid()) {
+            if (!PhiAs.hasSlot())
+              PhiAs.FrameOff = Frame.alloc(PhiAs.PartCount > 1 ? 16 : 8);
+            derived()->emitSlotStore(A.valPartBank(Phi, P), 8,
+                                     PhiAs.FrameOff + 8 * P, Reg(DP.RegId));
+            DP.Flags |= ValuePart::StackValid;
+          }
+        }
+        decRef(PhiVN);
+        continue;
+      }
+
+      bool AnyNonFixedReg = false;
+      for (u8 P = 0; P < PhiAs.PartCount; ++P) {
+        ValuePart &DstPart = PhiAs.Parts[P];
+        ValuePartRef SrcRef = valRef(In, P);
+        PendingMove Mv;
+        if (DstPart.isFixed()) {
+          Mv.Dst = MoveLoc::reg(Reg(DstPart.RegId));
+        } else {
+          if (!PhiAs.hasSlot())
+            PhiAs.FrameOff = Frame.alloc(PhiAs.PartCount > 1 ? 16 : 8);
+          Mv.Dst = MoveLoc::slot(PhiAs.FrameOff + 8 * P);
+          AnyNonFixedReg |= DstPart.inReg();
+        }
+        Mv.SrcVal = In;
+        Mv.SrcPart = P;
+        Mv.Bank = SrcRef.bank();
+        Mv.Size = SrcRef.size();
+        if (!SrcRef.isConstLike() && SrcRef.hasReg()) {
+          Regs.lock(SrcRef.curReg());
+          SrcRef.Locked = true;
+        }
+        Mv.Src = SrcRef.loc();
+        Moves.push_back(Mv);
+        Holds.push_back(std::move(SrcRef));
+      }
+      if (AnyNonFixedReg)
+        StaleRegPhis.push_back(PhiVN);
+      // The canonical location is rewritten on this edge.
+      for (u8 P = 0; P < PhiAs.PartCount; ++P) {
+        if (PhiAs.Parts[P].isFixed())
+          PhiAs.Parts[P].Flags &= ~ValuePart::StackValid;
+        else
+          PhiAs.Parts[P].Flags |= ValuePart::StackValid;
+      }
+    }
+
+    std::array<u32, Config::NumBanks> Allow;
+    Allow.fill(~0u);
+    resolveParallelMoves(Moves, Allow);
+
+    // Drop stale (pre-move) register associations of rewritten phis.
+    for (u32 PhiVN : StaleRegPhis) {
+      Assignment &As = Assigns[PhiVN];
+      for (u8 P = 0; P < As.PartCount; ++P) {
+        ValuePart &Part = As.Parts[P];
+        if (Part.inReg() && !Part.isFixed()) {
+          Reg R(Part.RegId);
+          if (!Regs.isLocked(R)) {
+            Regs.markFree(R);
+            Part.RegId = 0xFF;
+          }
+        }
+      }
+    }
+  }
+
+protected:
+  /// Whether execution can continue from block \p B into block B+1 with
+  /// the compile-time register state remaining valid for that edge.
+  bool blockFallsThrough(u32 B) {
+    if (B + 1 >= An.numBlocks())
+      return false;
+    for (BlockRef S : A.blockSuccs(An.block(B).Ref))
+      if (static_cast<u32>(A.blockAux(S)) == B + 1)
+        return true;
+    return false;
+  }
+
+  Adapter &A;
+  asmx::Assembler &Asm;
+  AnalyzerT An;
+  std::vector<Assignment> Assigns;
+  FrameAllocator Frame;
+  RegFile<Config> Regs;
+  std::vector<asmx::Label> BlockLabels;
+  std::vector<asmx::SymRef> FuncSyms;
+  std::vector<i32> StackVarOffs;
+  std::vector<u32> FixedActive;
+  u32 FixedPoolFree[Config::NumBanks] = {};
+  u32 UsedCalleeSaved[Config::NumBanks] = {};
+  u32 CurBlock = 0;
+};
+
+} // namespace tpde::core
+
+#endif // TPDE_CORE_COMPILERBASE_H

@@ -1,0 +1,92 @@
+//===- support/Common.h - Shared basic definitions --------------*- C++ -*-===//
+///
+/// \file
+/// Fundamental integer aliases, assertion helpers, and small utilities used
+/// throughout the TPDE reproduction. The project follows the LLVM coding
+/// standards; library code uses assertions instead of exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_SUPPORT_COMMON_H
+#define TPDE_SUPPORT_COMMON_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tpde {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Marks a point in the code that must never be reached; aborts with a
+/// message when it is. Counterpart of llvm_unreachable.
+[[noreturn]] inline void unreachableImpl(const char *Msg, const char *File,
+                                         int Line) {
+  std::fprintf(stderr, "UNREACHABLE at %s:%d: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+#define TPDE_UNREACHABLE(msg) ::tpde::unreachableImpl(msg, __FILE__, __LINE__)
+
+/// Reports a fatal, non-recoverable error triggered by invalid input.
+[[noreturn]] inline void fatalError(const char *Msg) {
+  std::fprintf(stderr, "fatal error: %s\n", Msg);
+  std::abort();
+}
+
+/// Returns true iff \p V fits into a sign-extended 8-bit immediate.
+inline bool isInt8(i64 V) { return V >= -128 && V <= 127; }
+/// Returns true iff \p V fits into a sign-extended 32-bit immediate.
+inline bool isInt32(i64 V) { return V >= INT32_MIN && V <= INT32_MAX; }
+/// Returns true iff \p V fits into an unsigned 32-bit immediate.
+inline bool isUInt32(u64 V) { return V <= UINT32_MAX; }
+
+/// Aligns \p V up to \p Align, which must be a power of two.
+inline u64 alignTo(u64 V, u64 Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 && "bad alignment");
+  return (V + Align - 1) & ~(Align - 1);
+}
+
+/// Returns the number of trailing zero bits; \p V must be non-zero.
+inline unsigned countTrailingZeros(u64 V) {
+  assert(V != 0 && "ctz of zero");
+  return static_cast<unsigned>(__builtin_ctzll(V));
+}
+
+/// Returns the number of set bits.
+inline unsigned popCount(u64 V) {
+  return static_cast<unsigned>(__builtin_popcountll(V));
+}
+
+/// Returns floor(log2(V)); \p V must be non-zero.
+inline unsigned log2Floor(u64 V) {
+  assert(V != 0 && "log2 of zero");
+  return 63 - static_cast<unsigned>(__builtin_clzll(V));
+}
+
+/// Returns true if \p V is a power of two (and non-zero).
+inline bool isPowerOf2(u64 V) { return V != 0 && (V & (V - 1)) == 0; }
+
+/// Sign-extends the low \p Bits bits of \p V.
+inline i64 signExtend(u64 V, unsigned Bits) {
+  assert(Bits >= 1 && Bits <= 64 && "bad width");
+  if (Bits == 64)
+    return static_cast<i64>(V);
+  u64 Mask = (u64(1) << Bits) - 1;
+  u64 Sign = u64(1) << (Bits - 1);
+  V &= Mask;
+  return static_cast<i64>((V ^ Sign) - Sign);
+}
+
+} // namespace tpde
+
+#endif // TPDE_SUPPORT_COMMON_H

@@ -1,0 +1,66 @@
+//===- support/Rng.h - Deterministic random number generation ---*- C++ -*-===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (xorshift128+) used by the synthetic
+/// workload generators and property-based tests. Determinism across runs and
+/// platforms matters more than statistical quality here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_SUPPORT_RNG_H
+#define TPDE_SUPPORT_RNG_H
+
+#include "support/Common.h"
+
+namespace tpde {
+
+/// Deterministic xorshift128+ generator.
+class Rng {
+public:
+  explicit Rng(u64 Seed) {
+    // SplitMix64 seeding to avoid poor low-entropy seeds.
+    auto Next = [&Seed]() {
+      Seed += 0x9e3779b97f4a7c15ULL;
+      u64 Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      return Z ^ (Z >> 31);
+    };
+    S0 = Next();
+    S1 = Next();
+    if (S0 == 0 && S1 == 0)
+      S1 = 1;
+  }
+
+  /// Returns the next 64 random bits.
+  u64 next() {
+    u64 X = S0;
+    const u64 Y = S1;
+    S0 = Y;
+    X ^= X << 23;
+    S1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return S1 + Y;
+  }
+
+  /// Returns a uniformly distributed value in [0, Bound).
+  u64 below(u64 Bound) {
+    assert(Bound != 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// Returns a uniformly distributed value in [Lo, Hi] (inclusive).
+  i64 range(i64 Lo, i64 Hi) {
+    assert(Lo <= Hi && "bad range");
+    return Lo + static_cast<i64>(below(static_cast<u64>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(u64 Num, u64 Den) { return below(Den) < Num; }
+
+private:
+  u64 S0, S1;
+};
+
+} // namespace tpde
+
+#endif // TPDE_SUPPORT_RNG_H

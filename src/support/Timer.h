@@ -1,0 +1,58 @@
+//===- support/Timer.h - Wall-clock measurement helpers ---------*- C++ -*-===//
+///
+/// \file
+/// Minimal monotonic-clock timing utilities used by the benchmark harnesses
+/// to reproduce the paper's compile-time and run-time measurements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_SUPPORT_TIMER_H
+#define TPDE_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace tpde {
+
+/// Returns the current monotonic time in nanoseconds.
+inline std::uint64_t nowNs() {
+  using namespace std::chrono;
+  return static_cast<std::uint64_t>(
+      duration_cast<nanoseconds>(steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Accumulating stopwatch. start()/stop() pairs add to the total.
+class Timer {
+public:
+  void start() { Begin = nowNs(); }
+  void stop() { TotalNs += nowNs() - Begin; }
+  void reset() { TotalNs = 0; }
+
+  /// Total accumulated time in nanoseconds.
+  std::uint64_t ns() const { return TotalNs; }
+  /// Total accumulated time in milliseconds.
+  double ms() const { return static_cast<double>(TotalNs) / 1e6; }
+  /// Total accumulated time in seconds.
+  double sec() const { return static_cast<double>(TotalNs) / 1e9; }
+
+private:
+  std::uint64_t Begin = 0;
+  std::uint64_t TotalNs = 0;
+};
+
+/// RAII region timer adding the elapsed time to a Timer on destruction.
+class TimeRegion {
+public:
+  explicit TimeRegion(Timer &T) : T(T) { T.start(); }
+  ~TimeRegion() { T.stop(); }
+  TimeRegion(const TimeRegion &) = delete;
+  TimeRegion &operator=(const TimeRegion &) = delete;
+
+private:
+  Timer &T;
+};
+
+} // namespace tpde
+
+#endif // TPDE_SUPPORT_TIMER_H

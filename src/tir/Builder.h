@@ -1,0 +1,291 @@
+//===- tir/Builder.h - Convenience construction API for TIR -----*- C++ -*-===//
+///
+/// \file
+/// Programmatic construction of TIR functions, used by tests, examples, and
+/// the synthetic workload generators. Mirrors llvm::IRBuilder in spirit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_TIR_BUILDER_H
+#define TPDE_TIR_BUILDER_H
+
+#include "tir/TIR.h"
+
+#include <map>
+#include <string_view>
+
+namespace tpde::tir {
+
+/// Builds one function. Call finish() once done; phi operands are only
+/// flushed into the function's pools at that point.
+class FunctionBuilder {
+public:
+  /// Creates a new function in \p M and starts building it.
+  FunctionBuilder(Module &M, std::string_view Name, Type RetTy,
+                  std::vector<Type> Params,
+                  Linkage Link = Linkage::External)
+      : M(M), FuncIdx(static_cast<u32>(M.Funcs.size())) {
+    M.Funcs.emplace_back();
+    Function &F = func();
+    F.Name = std::string(Name);
+    F.RetTy = RetTy;
+    F.ParamTys = std::move(Params);
+    F.Link = Link;
+    for (u32 I = 0; I < F.ParamTys.size(); ++I) {
+      Value V;
+      V.Kind = ValKind::Arg;
+      V.Ty = F.ParamTys[I];
+      V.Aux = I;
+      F.Args.push_back(pushValue(std::move(V)));
+    }
+  }
+
+  Function &func() { return M.Funcs[FuncIdx]; }
+  u32 funcIndex() const { return FuncIdx; }
+
+  // --- Structure -----------------------------------------------------------
+
+  BlockRef addBlock(std::string_view Name = "") {
+    Function &F = func();
+    F.Blocks.emplace_back();
+    F.Blocks.back().Name = std::string(Name);
+    return static_cast<BlockRef>(F.Blocks.size() - 1);
+  }
+  void setInsertPoint(BlockRef B) { CurBlock = B; }
+  BlockRef insertPoint() const { return CurBlock; }
+
+  ValRef arg(u32 I) { return func().Args[I]; }
+
+  ValRef stackVar(u64 Size, u32 Align, std::string_view Name = "") {
+    Value V;
+    V.Kind = ValKind::StackVar;
+    V.Ty = Type::Ptr;
+    V.Aux = Size;
+    V.Aux2 = Align;
+    V.Name = std::string(Name);
+    ValRef R = pushValue(std::move(V));
+    func().StackVars.push_back(R);
+    return R;
+  }
+
+  // --- Constants (deduplicated per function) -------------------------------
+
+  ValRef constInt(Type Ty, u64 Lo, u64 Hi = 0) {
+    assert(isIntType(Ty) || Ty == Type::Ptr);
+    auto Key = std::make_tuple(static_cast<u8>(Ty), Lo, Hi);
+    auto It = ConstCache.find(Key);
+    if (It != ConstCache.end())
+      return It->second;
+    Value V;
+    V.Kind = ValKind::ConstInt;
+    V.Ty = Ty;
+    V.Aux = Lo;
+    V.Aux2 = Hi;
+    ValRef R = pushValue(std::move(V));
+    ConstCache.emplace(Key, R);
+    return R;
+  }
+
+  ValRef constF64(double D) {
+    u64 Bits;
+    static_assert(sizeof(Bits) == sizeof(D));
+    __builtin_memcpy(&Bits, &D, 8);
+    auto Key = std::make_tuple(static_cast<u8>(Type::F64), Bits, u64(0));
+    auto It = ConstCache.find(Key);
+    if (It != ConstCache.end())
+      return It->second;
+    Value V;
+    V.Kind = ValKind::ConstFP;
+    V.Ty = Type::F64;
+    V.Aux = Bits;
+    ValRef R = pushValue(std::move(V));
+    ConstCache.emplace(Key, R);
+    return R;
+  }
+
+  ValRef constF32(float Fl) {
+    u32 Bits;
+    __builtin_memcpy(&Bits, &Fl, 4);
+    auto Key = std::make_tuple(static_cast<u8>(Type::F32), u64(Bits), u64(0));
+    auto It = ConstCache.find(Key);
+    if (It != ConstCache.end())
+      return It->second;
+    Value V;
+    V.Kind = ValKind::ConstFP;
+    V.Ty = Type::F32;
+    V.Aux = Bits;
+    ValRef R = pushValue(std::move(V));
+    ConstCache.emplace(Key, R);
+    return R;
+  }
+
+  ValRef globalAddr(u32 GlobalIdx) {
+    auto Key = std::make_tuple(static_cast<u8>(0xFF), u64(GlobalIdx), u64(0));
+    auto It = ConstCache.find(Key);
+    if (It != ConstCache.end())
+      return It->second;
+    Value V;
+    V.Kind = ValKind::GlobalAddr;
+    V.Ty = Type::Ptr;
+    V.Aux = GlobalIdx;
+    ValRef R = pushValue(std::move(V));
+    ConstCache.emplace(Key, R);
+    return R;
+  }
+
+  // --- Instructions ---------------------------------------------------------
+
+  ValRef inst(Op O, Type Ty, std::initializer_list<ValRef> Ops, u64 Aux = 0,
+              u64 Aux2 = 0) {
+    return instV(O, Ty, std::vector<ValRef>(Ops), Aux, Aux2);
+  }
+
+  ValRef instV(Op O, Type Ty, const std::vector<ValRef> &Ops, u64 Aux = 0,
+               u64 Aux2 = 0) {
+    assert(CurBlock != InvalidRef && "no insert point");
+    Function &F = func();
+    Value V;
+    V.Kind = ValKind::Inst;
+    V.Opcode = O;
+    V.Ty = Ty;
+    V.Aux = Aux;
+    V.Aux2 = Aux2;
+    V.Block = CurBlock;
+    V.OpBegin = static_cast<u32>(F.OperandPool.size());
+    V.NumOps = static_cast<u32>(Ops.size());
+    F.OperandPool.insert(F.OperandPool.end(), Ops.begin(), Ops.end());
+    ValRef R = pushValue(std::move(V));
+    F.Blocks[CurBlock].Insts.push_back(R);
+    return R;
+  }
+
+  ValRef binop(Op O, ValRef L, ValRef R) {
+    return inst(O, func().val(L).Ty, {L, R});
+  }
+  ValRef icmp(ICmp P, ValRef L, ValRef R) {
+    return inst(Op::ICmpOp, Type::I1, {L, R}, static_cast<u64>(P));
+  }
+  ValRef fcmp(FCmp P, ValRef L, ValRef R) {
+    return inst(Op::FCmpOp, Type::I1, {L, R}, static_cast<u64>(P));
+  }
+  ValRef select(ValRef C, ValRef T, ValRef F) {
+    return inst(Op::Select, func().val(T).Ty, {C, T, F});
+  }
+  ValRef load(Type Ty, ValRef Ptr) { return inst(Op::Load, Ty, {Ptr}); }
+  void store(ValRef V, ValRef Ptr) { inst(Op::Store, Type::Void, {V, Ptr}); }
+  /// ptr + Index*Scale + Off (Index optional).
+  ValRef ptrAdd(ValRef Ptr, ValRef Index, u64 Scale, i64 Off) {
+    if (Index == InvalidRef)
+      return inst(Op::PtrAdd, Type::Ptr, {Ptr}, Scale,
+                  static_cast<u64>(Off));
+    return inst(Op::PtrAdd, Type::Ptr, {Ptr, Index}, Scale,
+                static_cast<u64>(Off));
+  }
+  ValRef cast(Op O, Type DstTy, ValRef V) { return inst(O, DstTy, {V}); }
+  ValRef call(u32 CalleeIdx, Type RetTy, const std::vector<ValRef> &Args) {
+    return instV(Op::Call, RetTy, Args, CalleeIdx);
+  }
+
+  // --- Terminators -----------------------------------------------------------
+
+  void br(BlockRef Target) {
+    inst(Op::Br, Type::Void, {});
+    func().Blocks[CurBlock].Succs = {Target};
+  }
+  void condBr(ValRef Cond, BlockRef TrueB, BlockRef FalseB) {
+    inst(Op::CondBr, Type::Void, {Cond});
+    func().Blocks[CurBlock].Succs = {TrueB, FalseB};
+  }
+  void ret(ValRef V = InvalidRef) {
+    if (V == InvalidRef)
+      inst(Op::Ret, Type::Void, {});
+    else
+      inst(Op::Ret, Type::Void, {V});
+  }
+  void unreachable() { inst(Op::Unreachable, Type::Void, {}); }
+
+  // --- Phis -------------------------------------------------------------------
+
+  ValRef phi(Type Ty) {
+    Function &F = func();
+    Value V;
+    V.Kind = ValKind::Inst;
+    V.Opcode = Op::Phi;
+    V.Ty = Ty;
+    V.Block = CurBlock;
+    ValRef R = pushValue(std::move(V));
+    F.Blocks[CurBlock].Phis.push_back(R);
+    PendingPhis.emplace_back(R, std::vector<std::pair<BlockRef, ValRef>>{});
+    return R;
+  }
+
+  void addPhiIncoming(ValRef Phi, BlockRef From, ValRef V) {
+    for (auto &P : PendingPhis) {
+      if (P.first == Phi) {
+        P.second.emplace_back(From, V);
+        return;
+      }
+    }
+    TPDE_UNREACHABLE("phi not created by this builder");
+  }
+
+  /// Flushes pending phi operands into the function pools. Must be called
+  /// exactly once, after all blocks are complete.
+  void finish() {
+    Function &F = func();
+    for (auto &[Phi, Inc] : PendingPhis) {
+      Value &V = F.val(Phi);
+      V.OpBegin = static_cast<u32>(F.OperandPool.size());
+      V.NumOps = static_cast<u32>(Inc.size());
+      for (auto &[B, Val] : Inc) {
+        F.OperandPool.push_back(Val);
+        F.PhiBlockPool.resize(F.OperandPool.size(), InvalidRef);
+        F.PhiBlockPool[F.OperandPool.size() - 1] = B;
+      }
+    }
+    PendingPhis.clear();
+  }
+
+private:
+  ValRef pushValue(Value &&V) {
+    Function &F = func();
+    F.Values.push_back(std::move(V));
+    return static_cast<ValRef>(F.Values.size() - 1);
+  }
+
+  Module &M;
+  u32 FuncIdx;
+  BlockRef CurBlock = InvalidRef;
+  std::map<std::tuple<u8, u64, u64>, ValRef> ConstCache;
+  std::vector<std::pair<ValRef, std::vector<std::pair<BlockRef, ValRef>>>>
+      PendingPhis;
+};
+
+/// Adds a global to \p M and returns its index.
+inline u32 addGlobal(Module &M, std::string_view Name, u64 Size, u32 Align,
+                     bool ReadOnly = false, std::vector<u8> Init = {}) {
+  Global G;
+  G.Name = std::string(Name);
+  G.Size = Size;
+  G.Align = Align;
+  G.ReadOnly = ReadOnly;
+  G.Init = std::move(Init);
+  M.Globals.push_back(std::move(G));
+  return static_cast<u32>(M.Globals.size() - 1);
+}
+
+/// Declares an external function (no body) and returns its index.
+inline u32 declareFunc(Module &M, std::string_view Name, Type RetTy,
+                       std::vector<Type> Params) {
+  Function F;
+  F.Name = std::string(Name);
+  F.RetTy = RetTy;
+  F.ParamTys = std::move(Params);
+  F.IsDeclaration = true;
+  M.Funcs.push_back(std::move(F));
+  return static_cast<u32>(M.Funcs.size() - 1);
+}
+
+} // namespace tpde::tir
+
+#endif // TPDE_TIR_BUILDER_H

@@ -1,0 +1,492 @@
+//===- tir/Interp.cpp - Reference interpreter for TIR ---------------------===//
+
+#include "tir/Interp.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace tpde;
+using namespace tpde::tir;
+
+using u128 = unsigned __int128;
+using i128 = __int128;
+
+namespace {
+
+u128 toU128(Interp::Val V) { return (static_cast<u128>(V.Hi) << 64) | V.Lo; }
+Interp::Val fromU128(u128 V) {
+  return {static_cast<u64>(V), static_cast<u64>(V >> 64)};
+}
+
+/// Truncates/normalizes \p V to the bit width of \p Ty.
+Interp::Val normalize(Type Ty, Interp::Val V) {
+  switch (Ty) {
+  case Type::I1:
+    return {V.Lo & 1, 0};
+  case Type::I8:
+    return {V.Lo & 0xFF, 0};
+  case Type::I16:
+    return {V.Lo & 0xFFFF, 0};
+  case Type::I32:
+  case Type::F32:
+    return {V.Lo & 0xFFFFFFFF, 0};
+  case Type::I64:
+  case Type::F64:
+  case Type::Ptr:
+    return {V.Lo, 0};
+  default:
+    return V;
+  }
+}
+
+u32 bitWidth(Type Ty) {
+  switch (Ty) {
+  case Type::I1:
+    return 1;
+  case Type::I8:
+    return 8;
+  case Type::I16:
+    return 16;
+  case Type::I32:
+    return 32;
+  case Type::I64:
+  case Type::Ptr:
+    return 64;
+  case Type::I128:
+    return 128;
+  default:
+    TPDE_UNREACHABLE("not an integer type");
+  }
+}
+
+i128 signExtendVal(Type Ty, Interp::Val V) {
+  u32 W = bitWidth(Ty);
+  u128 U = toU128(V);
+  if (W == 128)
+    return static_cast<i128>(U);
+  u128 Sign = static_cast<u128>(1) << (W - 1);
+  return static_cast<i128>((U ^ Sign) - Sign);
+}
+
+double asF64(Interp::Val V) {
+  double D;
+  std::memcpy(&D, &V.Lo, 8);
+  return D;
+}
+float asF32(Interp::Val V) {
+  float F;
+  u32 B = static_cast<u32>(V.Lo);
+  std::memcpy(&F, &B, 4);
+  return F;
+}
+Interp::Val fromF64(double D) {
+  Interp::Val V;
+  std::memcpy(&V.Lo, &D, 8);
+  return V;
+}
+Interp::Val fromF32(float F) {
+  Interp::Val V;
+  u32 B;
+  std::memcpy(&B, &F, 4);
+  V.Lo = B;
+  return V;
+}
+
+} // namespace
+
+Interp::Interp(const Module &M) : M(M) {
+  GlobalMem.reserve(M.Globals.size());
+  for (const Global &G : M.Globals) {
+    std::vector<u8> Mem(G.Size, 0);
+    if (!G.Init.empty())
+      std::memcpy(Mem.data(), G.Init.data(),
+                  G.Init.size() < G.Size ? G.Init.size() : G.Size);
+    GlobalMem.push_back(std::move(Mem));
+  }
+}
+
+std::optional<Interp::Val> Interp::run(u32 FuncIdx,
+                                       const std::vector<Val> &Args) {
+  return exec(FuncIdx, Args, 0);
+}
+
+std::optional<Interp::Val> Interp::exec(u32 FuncIdx,
+                                        const std::vector<Val> &Args,
+                                        unsigned Depth) {
+  if (Depth > 400)
+    return std::nullopt; // stack depth trap
+  const Function &F = M.Funcs[FuncIdx];
+  assert(!F.IsDeclaration && "cannot interpret a declaration");
+  assert(Args.size() == F.ParamTys.size() && "argument count mismatch");
+
+  std::vector<Val> Vals(F.Values.size());
+  // Stack variable arena.
+  u64 ArenaSize = 0;
+  for (ValRef SV : F.StackVars) {
+    const Value &V = F.val(SV);
+    ArenaSize = alignTo(ArenaSize, V.Aux2 ? V.Aux2 : 8) + V.Aux;
+  }
+  std::vector<u8> Arena(ArenaSize ? ArenaSize : 1);
+  {
+    u64 Off = 0;
+    for (ValRef SV : F.StackVars) {
+      const Value &V = F.val(SV);
+      Off = alignTo(Off, V.Aux2 ? V.Aux2 : 8);
+      Vals[SV] = {reinterpret_cast<u64>(Arena.data() + Off), 0};
+      Off += V.Aux;
+    }
+  }
+
+  // Evaluates constant-like values on the fly; others from the array.
+  auto get = [&](ValRef R) -> Val {
+    const Value &V = F.val(R);
+    switch (V.Kind) {
+    case ValKind::ConstInt:
+    case ValKind::ConstFP:
+      return normalize(V.Ty, {V.Aux, V.Aux2});
+    case ValKind::GlobalAddr:
+      return {reinterpret_cast<u64>(GlobalMem[V.Aux].data()), 0};
+    default:
+      return Vals[R];
+    }
+  };
+
+  for (u32 I = 0; I < Args.size(); ++I)
+    Vals[F.Args[I]] = normalize(F.ParamTys[I], Args[I]);
+
+  BlockRef Cur = 0, Prev = InvalidRef;
+  for (;;) {
+    const Block &B = F.Blocks[Cur];
+    // Phis: parallel evaluation.
+    if (!B.Phis.empty()) {
+      std::vector<Val> PhiVals(B.Phis.size());
+      for (size_t P = 0; P < B.Phis.size(); ++P) {
+        const Value &Phi = F.val(B.Phis[P]);
+        bool Found = false;
+        for (u32 I = 0; I < Phi.NumOps; ++I) {
+          if (F.phiBlock(Phi, I) == Prev) {
+            PhiVals[P] = get(F.operand(Phi, I));
+            Found = true;
+            break;
+          }
+        }
+        if (!Found)
+          return std::nullopt; // malformed phi
+      }
+      for (size_t P = 0; P < B.Phis.size(); ++P)
+        Vals[B.Phis[P]] = PhiVals[P];
+    }
+
+    for (ValRef IR : B.Insts) {
+      if (StepBudget-- == 0)
+        return std::nullopt;
+      const Value &V = F.val(IR);
+      Type Ty = V.Ty;
+      switch (V.Opcode) {
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Shl:
+      case Op::LShr:
+      case Op::AShr:
+      case Op::UDiv:
+      case Op::SDiv:
+      case Op::URem:
+      case Op::SRem: {
+        u128 L = toU128(get(F.operand(V, 0)));
+        u128 R = toU128(get(F.operand(V, 1)));
+        u32 W = bitWidth(Ty);
+        u128 Res = 0;
+        switch (V.Opcode) {
+        case Op::Add:
+          Res = L + R;
+          break;
+        case Op::Sub:
+          Res = L - R;
+          break;
+        case Op::Mul:
+          Res = L * R;
+          break;
+        case Op::And:
+          Res = L & R;
+          break;
+        case Op::Or:
+          Res = L | R;
+          break;
+        case Op::Xor:
+          Res = L ^ R;
+          break;
+        case Op::Shl:
+          Res = L << (R % W);
+          break;
+        case Op::LShr:
+          Res = L >> (R % W);
+          break;
+        case Op::AShr: {
+          i128 SL = signExtendVal(Ty, get(F.operand(V, 0)));
+          Res = static_cast<u128>(SL >> (R % W));
+          break;
+        }
+        case Op::UDiv:
+        case Op::URem: {
+          if (R == 0)
+            return std::nullopt;
+          Res = V.Opcode == Op::UDiv ? L / R : L % R;
+          break;
+        }
+        case Op::SDiv:
+        case Op::SRem: {
+          i128 SL = signExtendVal(Ty, get(F.operand(V, 0)));
+          i128 SR = signExtendVal(Ty, get(F.operand(V, 1)));
+          if (SR == 0)
+            return std::nullopt;
+          i128 MinVal = -static_cast<i128>(static_cast<u128>(1) << (W - 1));
+          if (SL == MinVal && SR == -1)
+            return std::nullopt; // overflow trap, like hardware
+          Res = static_cast<u128>(V.Opcode == Op::SDiv ? SL / SR : SL % SR);
+          break;
+        }
+        default:
+          TPDE_UNREACHABLE("binop");
+        }
+        Vals[IR] = normalize(Ty, fromU128(Res));
+        break;
+      }
+      case Op::ICmpOp: {
+        const Value &Lhs = F.val(F.operand(V, 0));
+        u128 L = toU128(get(F.operand(V, 0)));
+        u128 R = toU128(get(F.operand(V, 1)));
+        i128 SL = signExtendVal(Lhs.Ty, get(F.operand(V, 0)));
+        i128 SR = signExtendVal(Lhs.Ty, get(F.operand(V, 1)));
+        bool Res = false;
+        switch (static_cast<ICmp>(V.Aux)) {
+        case ICmp::Eq:
+          Res = L == R;
+          break;
+        case ICmp::Ne:
+          Res = L != R;
+          break;
+        case ICmp::Ult:
+          Res = L < R;
+          break;
+        case ICmp::Ule:
+          Res = L <= R;
+          break;
+        case ICmp::Ugt:
+          Res = L > R;
+          break;
+        case ICmp::Uge:
+          Res = L >= R;
+          break;
+        case ICmp::Slt:
+          Res = SL < SR;
+          break;
+        case ICmp::Sle:
+          Res = SL <= SR;
+          break;
+        case ICmp::Sgt:
+          Res = SL > SR;
+          break;
+        case ICmp::Sge:
+          Res = SL >= SR;
+          break;
+        }
+        Vals[IR] = {Res ? u64(1) : u64(0), 0};
+        break;
+      }
+      case Op::FCmpOp: {
+        const Value &Lhs = F.val(F.operand(V, 0));
+        double L, R;
+        if (Lhs.Ty == Type::F32) {
+          L = asF32(get(F.operand(V, 0)));
+          R = asF32(get(F.operand(V, 1)));
+        } else {
+          L = asF64(get(F.operand(V, 0)));
+          R = asF64(get(F.operand(V, 1)));
+        }
+        bool Res = false;
+        switch (static_cast<FCmp>(V.Aux)) {
+        case FCmp::Oeq:
+          Res = L == R;
+          break;
+        case FCmp::One:
+          Res = L < R || L > R;
+          break;
+        case FCmp::Olt:
+          Res = L < R;
+          break;
+        case FCmp::Ole:
+          Res = L <= R;
+          break;
+        case FCmp::Ogt:
+          Res = L > R;
+          break;
+        case FCmp::Oge:
+          Res = L >= R;
+          break;
+        }
+        Vals[IR] = {Res ? u64(1) : u64(0), 0};
+        break;
+      }
+      case Op::FAdd:
+      case Op::FSub:
+      case Op::FMul:
+      case Op::FDiv: {
+        if (Ty == Type::F32) {
+          float L = asF32(get(F.operand(V, 0)));
+          float R = asF32(get(F.operand(V, 1)));
+          float Res = V.Opcode == Op::FAdd   ? L + R
+                      : V.Opcode == Op::FSub ? L - R
+                      : V.Opcode == Op::FMul ? L * R
+                                             : L / R;
+          Vals[IR] = fromF32(Res);
+        } else {
+          double L = asF64(get(F.operand(V, 0)));
+          double R = asF64(get(F.operand(V, 1)));
+          double Res = V.Opcode == Op::FAdd   ? L + R
+                       : V.Opcode == Op::FSub ? L - R
+                       : V.Opcode == Op::FMul ? L * R
+                                              : L / R;
+          Vals[IR] = fromF64(Res);
+        }
+        break;
+      }
+      case Op::Neg:
+        Vals[IR] = normalize(Ty, fromU128(-toU128(get(F.operand(V, 0)))));
+        break;
+      case Op::Not:
+        Vals[IR] = normalize(Ty, fromU128(~toU128(get(F.operand(V, 0)))));
+        break;
+      case Op::FNeg: {
+        Val X = get(F.operand(V, 0));
+        if (Ty == Type::F32)
+          X.Lo ^= 0x80000000u;
+        else
+          X.Lo ^= 0x8000000000000000ull;
+        Vals[IR] = X;
+        break;
+      }
+      case Op::Zext:
+        Vals[IR] = normalize(Ty, get(F.operand(V, 0)));
+        break;
+      case Op::Sext: {
+        const Value &Src = F.val(F.operand(V, 0));
+        i128 S = signExtendVal(Src.Ty, get(F.operand(V, 0)));
+        Vals[IR] = normalize(Ty, fromU128(static_cast<u128>(S)));
+        break;
+      }
+      case Op::Trunc:
+      case Op::Bitcast:
+        Vals[IR] = normalize(Ty, get(F.operand(V, 0)));
+        break;
+      case Op::FpToSi: {
+        const Value &Src = F.val(F.operand(V, 0));
+        double D = Src.Ty == Type::F32 ? asF32(get(F.operand(V, 0)))
+                                       : asF64(get(F.operand(V, 0)));
+        // Mimic x86 cvttsd2si: out-of-range produces the "integer
+        // indefinite" value.
+        if (Ty == Type::I32) {
+          i64 Res;
+          if (std::isnan(D) || D >= 2147483648.0 || D < -2147483649.0)
+            Res = INT32_MIN;
+          else
+            Res = static_cast<i32>(D);
+          Vals[IR] = normalize(Ty, {static_cast<u64>(Res), 0});
+        } else {
+          i64 Res;
+          if (std::isnan(D) || D >= 9223372036854775808.0 ||
+              D < -9223372036854775808.0)
+            Res = INT64_MIN;
+          else
+            Res = static_cast<i64>(D);
+          Vals[IR] = {static_cast<u64>(Res), 0};
+        }
+        break;
+      }
+      case Op::SiToFp: {
+        const Value &Src = F.val(F.operand(V, 0));
+        i128 S = signExtendVal(Src.Ty, get(F.operand(V, 0)));
+        if (Ty == Type::F32)
+          Vals[IR] = fromF32(static_cast<float>(static_cast<i64>(S)));
+        else
+          Vals[IR] = fromF64(static_cast<double>(static_cast<i64>(S)));
+        break;
+      }
+      case Op::FpExt:
+        Vals[IR] = fromF64(asF32(get(F.operand(V, 0))));
+        break;
+      case Op::FpTrunc:
+        Vals[IR] = fromF32(static_cast<float>(asF64(get(F.operand(V, 0)))));
+        break;
+      case Op::Select: {
+        Val C = get(F.operand(V, 0));
+        Vals[IR] = (C.Lo & 1) ? get(F.operand(V, 1)) : get(F.operand(V, 2));
+        break;
+      }
+      case Op::Load: {
+        u8 *P = reinterpret_cast<u8 *>(get(F.operand(V, 0)).Lo);
+        Val Res;
+        std::memcpy(&Res, P, typeSize(Ty));
+        Vals[IR] = normalize(Ty, Res);
+        break;
+      }
+      case Op::Store: {
+        const Value &Src = F.val(F.operand(V, 0));
+        Val X = get(F.operand(V, 0));
+        u8 *P = reinterpret_cast<u8 *>(get(F.operand(V, 1)).Lo);
+        std::memcpy(P, &X, typeSize(Src.Ty));
+        break;
+      }
+      case Op::PtrAdd: {
+        u64 P = get(F.operand(V, 0)).Lo;
+        u64 Index = V.NumOps > 1 ? get(F.operand(V, 1)).Lo : 0;
+        Vals[IR] = {P + Index * V.Aux + V.Aux2, 0};
+        break;
+      }
+      case Op::Call: {
+        const Function &Callee = M.Funcs[V.Aux];
+        std::vector<Val> CallArgs;
+        CallArgs.reserve(V.NumOps);
+        for (u32 I = 0; I < V.NumOps; ++I)
+          CallArgs.push_back(get(F.operand(V, I)));
+        std::optional<Val> Res;
+        if (Callee.IsDeclaration) {
+          auto It = Natives.find(Callee.Name);
+          if (It == Natives.end())
+            return std::nullopt;
+          Res = It->second(CallArgs);
+        } else {
+          Res = exec(static_cast<u32>(V.Aux), CallArgs, Depth + 1);
+        }
+        if (!Res)
+          return std::nullopt;
+        Vals[IR] = normalize(Ty, *Res);
+        break;
+      }
+      case Op::Ret:
+        return V.NumOps ? get(F.operand(V, 0)) : Val{};
+      case Op::Br:
+        Prev = Cur;
+        Cur = B.Succs[0];
+        goto nextBlock;
+      case Op::CondBr: {
+        Val C = get(F.operand(V, 0));
+        Prev = Cur;
+        Cur = (C.Lo & 1) ? B.Succs[0] : B.Succs[1];
+        goto nextBlock;
+      }
+      case Op::Unreachable:
+        return std::nullopt;
+      case Op::Phi:
+      case Op::None:
+        TPDE_UNREACHABLE("phi in instruction list");
+      }
+    }
+    // Fell off a block without a terminator: malformed.
+    return std::nullopt;
+  nextBlock:;
+  }
+}

@@ -1,0 +1,64 @@
+//===- tir/Interp.h - Reference interpreter for TIR -------------*- C++ -*-===//
+///
+/// \file
+/// A straightforward TIR interpreter. It defines the reference semantics of
+/// the IR and serves as the oracle for differential testing of every
+/// back-end in this repository (TPDE, baseline, copy-and-patch).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_TIR_INTERP_H
+#define TPDE_TIR_INTERP_H
+
+#include "tir/TIR.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tpde::tir {
+
+/// Interprets TIR modules. Globals are materialized as real memory so that
+/// pointer values are interchangeable with JIT-compiled code semantics.
+class Interp {
+public:
+  /// A dynamic value: 128 bits; smaller types occupy Lo (and FP values
+  /// store their bit pattern in Lo).
+  struct Val {
+    u64 Lo = 0, Hi = 0;
+    bool operator==(const Val &O) const { return Lo == O.Lo && Hi == O.Hi; }
+  };
+  using NativeFn = std::function<Val(const std::vector<Val> &)>;
+
+  explicit Interp(const Module &M);
+
+  /// Registers a native implementation for a declared (external) function.
+  void registerNative(std::string Name, NativeFn Fn) {
+    Natives[std::move(Name)] = std::move(Fn);
+  }
+
+  /// Runs a function; returns std::nullopt if execution trapped (division
+  /// by zero, unreachable, step limit, missing native, ...).
+  std::optional<Val> run(u32 FuncIdx, const std::vector<Val> &Args);
+
+  /// Backing storage of a global (for initializing/inspecting test data).
+  u8 *globalStorage(u32 Idx) { return GlobalMem[Idx].data(); }
+
+  /// Remaining execution budget; run() consumes roughly one unit per
+  /// instruction. Guards against accidentally non-terminating tests.
+  u64 StepBudget = 500'000'000;
+
+private:
+  std::optional<Val> exec(u32 FuncIdx, const std::vector<Val> &Args,
+                          unsigned Depth);
+
+  const Module &M;
+  std::vector<std::vector<u8>> GlobalMem;
+  std::unordered_map<std::string, NativeFn> Natives;
+};
+
+} // namespace tpde::tir
+
+#endif // TPDE_TIR_INTERP_H

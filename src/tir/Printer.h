@@ -1,0 +1,24 @@
+//===- tir/Printer.h - Textual output for TIR -------------------*- C++ -*-===//
+///
+/// \file
+/// Prints TIR modules and functions in the textual syntax accepted by the
+/// parser (round-trippable). Used by tests and for debugging back-ends.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_TIR_PRINTER_H
+#define TPDE_TIR_PRINTER_H
+
+#include "tir/TIR.h"
+
+#include <string>
+
+namespace tpde::tir {
+
+std::string printType(Type T);
+std::string printFunction(const Module &M, const Function &F);
+std::string printModule(const Module &M);
+
+} // namespace tpde::tir
+
+#endif // TPDE_TIR_PRINTER_H

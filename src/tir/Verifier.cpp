@@ -1,0 +1,259 @@
+//===- tir/Verifier.cpp - Structural and SSA validation for TIR -----------===//
+
+#include "tir/Verifier.h"
+
+#include <algorithm>
+
+using namespace tpde;
+using namespace tpde::tir;
+
+namespace {
+
+/// Computes a reverse post-order over reachable blocks.
+std::vector<BlockRef> computeRPO(const Function &F) {
+  std::vector<BlockRef> PostOrder;
+  std::vector<u8> State(F.Blocks.size(), 0); // 0 new, 1 open, 2 done
+  std::vector<std::pair<BlockRef, u32>> Stack;
+  Stack.emplace_back(0, 0);
+  State[0] = 1;
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    const auto &Succs = F.Blocks[B].Succs;
+    if (NextSucc < Succs.size()) {
+      BlockRef S = Succs[NextSucc++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.emplace_back(S, 0);
+      }
+      continue;
+    }
+    State[B] = 2;
+    PostOrder.push_back(B);
+    Stack.pop_back();
+  }
+  std::reverse(PostOrder.begin(), PostOrder.end());
+  return PostOrder;
+}
+
+} // namespace
+
+std::vector<BlockRef> tpde::tir::computeIDom(const Function &F) {
+  // Cooper-Harvey-Kennedy iterative dominator computation.
+  std::vector<BlockRef> RPO = computeRPO(F);
+  std::vector<u32> RpoNum(F.Blocks.size(), ~0u);
+  for (u32 I = 0; I < RPO.size(); ++I)
+    RpoNum[RPO[I]] = I;
+
+  std::vector<std::vector<BlockRef>> Preds(F.Blocks.size());
+  for (u32 B = 0; B < F.Blocks.size(); ++B)
+    for (BlockRef S : F.Blocks[B].Succs)
+      Preds[S].push_back(B);
+
+  std::vector<BlockRef> IDom(F.Blocks.size(), InvalidRef);
+  IDom[0] = 0;
+  auto intersect = [&](BlockRef A, BlockRef B) {
+    while (A != B) {
+      while (RpoNum[A] > RpoNum[B])
+        A = IDom[A];
+      while (RpoNum[B] > RpoNum[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockRef B : RPO) {
+      if (B == 0)
+        continue;
+      BlockRef NewIDom = InvalidRef;
+      for (BlockRef P : Preds[B]) {
+        if (RpoNum[P] == ~0u || IDom[P] == InvalidRef)
+          continue; // unreachable or not yet processed
+        NewIDom = NewIDom == InvalidRef ? P : intersect(P, NewIDom);
+      }
+      if (NewIDom != InvalidRef && IDom[B] != NewIDom) {
+        IDom[B] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+  return IDom;
+}
+
+bool tpde::tir::verifyFunction(const Module &M, const Function &F,
+                               std::string &Errors) {
+  bool OK = true;
+  auto fail = [&](const std::string &Msg) {
+    Errors += "function '" + F.Name + "': " + Msg + "\n";
+    OK = false;
+  };
+  if (F.IsDeclaration)
+    return true;
+  if (F.Blocks.empty()) {
+    fail("no blocks");
+    return false;
+  }
+
+  const u32 NumVals = F.valueCount();
+  const u32 NumBlocks = static_cast<u32>(F.Blocks.size());
+
+  // Structural checks per block.
+  for (u32 B = 0; B < NumBlocks; ++B) {
+    const Block &BB = F.Blocks[B];
+    if (BB.Insts.empty()) {
+      fail("block " + std::to_string(B) + " is empty");
+      continue;
+    }
+    for (size_t I = 0; I < BB.Insts.size(); ++I) {
+      const Value &V = F.val(BB.Insts[I]);
+      if (V.Kind != ValKind::Inst || V.Opcode == Op::Phi)
+        fail("non-instruction in instruction list");
+      if (V.Block != B)
+        fail("instruction block back-reference mismatch");
+      bool IsLast = I + 1 == BB.Insts.size();
+      if (isTerminator(V.Opcode) != IsLast)
+        fail("terminator placement wrong in block " + std::to_string(B));
+      for (u32 O = 0; O < V.NumOps; ++O)
+        if (F.operand(V, O) >= NumVals)
+          fail("operand index out of range");
+    }
+    const Value &Term = F.val(BB.Insts.back());
+    u32 WantSuccs = Term.Opcode == Op::Br       ? 1
+                    : Term.Opcode == Op::CondBr ? 2
+                                                : 0;
+    if (BB.Succs.size() != WantSuccs)
+      fail("successor count does not match terminator in block " +
+           std::to_string(B));
+    for (BlockRef S : BB.Succs)
+      if (S >= NumBlocks)
+        fail("successor out of range");
+  }
+  if (!OK)
+    return false;
+
+  // Predecessors, for phi checks.
+  std::vector<std::vector<BlockRef>> Preds(NumBlocks);
+  for (u32 B = 0; B < NumBlocks; ++B)
+    for (BlockRef S : F.Blocks[B].Succs)
+      Preds[S].push_back(B);
+
+  for (u32 B = 0; B < NumBlocks; ++B) {
+    for (ValRef P : F.Blocks[B].Phis) {
+      const Value &Phi = F.val(P);
+      if (Phi.Opcode != Op::Phi) {
+        fail("non-phi in phi list");
+        continue;
+      }
+      if (Phi.Block != B)
+        fail("phi block back-reference mismatch");
+      // Each predecessor must appear exactly once.
+      std::vector<BlockRef> Incoming;
+      for (u32 I = 0; I < Phi.NumOps; ++I)
+        Incoming.push_back(F.phiBlock(Phi, I));
+      std::sort(Incoming.begin(), Incoming.end());
+      std::vector<BlockRef> Want = Preds[B];
+      std::sort(Want.begin(), Want.end());
+      Want.erase(std::unique(Want.begin(), Want.end()), Want.end());
+      if (Incoming != Want)
+        fail("phi incoming blocks disagree with predecessors in block " +
+             std::to_string(B));
+    }
+  }
+
+  // i128 support subset (paper §5: uncommon operations excluded).
+  for (const Value &V : F.Values) {
+    if (V.Kind != ValKind::Inst || V.Ty != Type::I128)
+      continue;
+    switch (V.Opcode) {
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::And:
+    case Op::Or:
+    case Op::Xor:
+    case Op::Shl:
+    case Op::LShr:
+    case Op::AShr:
+    case Op::Zext:
+    case Op::Trunc:
+    case Op::Select:
+    case Op::Load:
+    case Op::Phi:
+    case Op::Call:
+      break;
+    default:
+      fail("unsupported i128 operation");
+    }
+  }
+
+  // Call sanity.
+  for (const Value &V : F.Values) {
+    if (V.Kind == ValKind::Inst && V.Opcode == Op::Call) {
+      if (V.Aux >= M.Funcs.size()) {
+        fail("call to out-of-range function");
+        continue;
+      }
+      if (M.Funcs[V.Aux].ParamTys.size() != V.NumOps)
+        fail("call argument count mismatch to '" + M.Funcs[V.Aux].Name + "'");
+    }
+    if (V.Kind == ValKind::GlobalAddr && V.Aux >= M.Globals.size())
+      fail("global address out of range");
+  }
+
+  // SSA dominance: the definition must dominate every use; for phis, the
+  // definition must dominate the end of the incoming block.
+  std::vector<BlockRef> IDom = computeIDom(F);
+  std::vector<u32> InstPos(NumVals, 0);
+  for (u32 B = 0; B < NumBlocks; ++B)
+    for (u32 I = 0; I < F.Blocks[B].Insts.size(); ++I)
+      InstPos[F.Blocks[B].Insts[I]] = I + 1; // phis get 0
+  auto dominates = [&](BlockRef A, BlockRef B) {
+    // Walk the dominator chain from B up to the entry.
+    while (B != 0 && B != A) {
+      if (IDom[B] == InvalidRef)
+        return false; // unreachable block
+      BlockRef Next = IDom[B];
+      if (Next == B)
+        break;
+      B = Next;
+    }
+    return A == B;
+  };
+  auto defDominatesUse = [&](ValRef Def, BlockRef UseBlock, u32 UsePos) {
+    const Value &DV = F.val(Def);
+    if (DV.Kind != ValKind::Inst)
+      return true; // args/consts/stack vars dominate everything
+    if (DV.Block != UseBlock)
+      return dominates(DV.Block, UseBlock);
+    u32 DefPos = InstPos[Def];
+    return DefPos < UsePos || (DefPos == 0 && UsePos > 0);
+  };
+
+  for (u32 B = 0; B < NumBlocks; ++B) {
+    const Block &BB = F.Blocks[B];
+    for (u32 I = 0; I < BB.Insts.size(); ++I) {
+      const Value &V = F.val(BB.Insts[I]);
+      for (u32 O = 0; O < V.NumOps; ++O)
+        if (!defDominatesUse(F.operand(V, O), B, I + 1))
+          fail("use before def in block " + std::to_string(B));
+    }
+    for (ValRef P : BB.Phis) {
+      const Value &Phi = F.val(P);
+      for (u32 I = 0; I < Phi.NumOps; ++I) {
+        BlockRef In = F.phiBlock(Phi, I);
+        if (!defDominatesUse(F.operand(Phi, I), In,
+                             static_cast<u32>(F.Blocks[In].Insts.size() + 2)))
+          fail("phi operand does not dominate incoming edge");
+      }
+    }
+  }
+  return OK;
+}
+
+bool tpde::tir::verifyModule(const Module &M, std::string &Errors) {
+  bool OK = true;
+  for (const Function &F : M.Funcs)
+    OK &= verifyFunction(M, F, Errors);
+  return OK;
+}

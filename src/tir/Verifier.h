@@ -1,0 +1,32 @@
+//===- tir/Verifier.h - Structural and SSA validation for TIR ---*- C++ -*-===//
+///
+/// \file
+/// Validates TIR functions: block structure, operand sanity, phi/predecessor
+/// agreement, the supported i128 operation subset, and SSA dominance (via an
+/// iterative dominator-tree computation). Returns human-readable errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_TIR_VERIFIER_H
+#define TPDE_TIR_VERIFIER_H
+
+#include "tir/TIR.h"
+
+#include <string>
+
+namespace tpde::tir {
+
+/// Verifies one function; appends problems to \p Errors. Returns true if
+/// the function is well-formed.
+bool verifyFunction(const Module &M, const Function &F, std::string &Errors);
+
+/// Verifies all function definitions in the module.
+bool verifyModule(const Module &M, std::string &Errors);
+
+/// Computes immediate dominators for \p F (index = block, value = idom
+/// block; entry's idom is itself). Exposed for tests and analyses.
+std::vector<BlockRef> computeIDom(const Function &F);
+
+} // namespace tpde::tir
+
+#endif // TPDE_TIR_VERIFIER_H

@@ -1,0 +1,127 @@
+//===- tpde_tir/TirAdapter.h - TPDE IR adapter for TIR ----------*- C++ -*-===//
+///
+/// \file
+/// Implements the TPDE IR adapter interface (paper Fig. 2) for TIR. TIR
+/// values are already densely numbered per function, blocks provide the
+/// required 64-bit auxiliary storage, and all accessors are O(1) array
+/// reads — the adapter is a thin veneer, demonstrating how cheap adapting
+/// an array-based IR is (cf. §7.1.1 for Umbra IR).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_TPDE_TIR_TIRADAPTER_H
+#define TPDE_TPDE_TIR_TIRADAPTER_H
+
+#include "core/Adapter.h"
+#include "tir/TIR.h"
+
+#include <span>
+
+namespace tpde::tpde_tir {
+
+class TirAdapter {
+public:
+  using FuncRef = u32;
+  using BlockRef = tir::BlockRef;
+  using ValRef = tir::ValRef;
+
+  explicit TirAdapter(tir::Module &M) : M(M) {}
+
+  tir::Module &module() { return M; }
+  const tir::Function &func() const { return *F; }
+  tir::Function &funcMutable() { return *F; }
+
+  // --- Module-level ---------------------------------------------------
+  u32 funcCount() const { return static_cast<u32>(M.Funcs.size()); }
+  FuncRef funcRef(u32 I) const { return I; }
+  std::string_view funcName(FuncRef F) const { return M.Funcs[F].Name; }
+  asmx::Linkage funcLinkage(FuncRef F) const {
+    switch (M.Funcs[F].Link) {
+    case tir::Linkage::External:
+      return asmx::Linkage::External;
+    case tir::Linkage::Internal:
+      return asmx::Linkage::Internal;
+    case tir::Linkage::Weak:
+      return asmx::Linkage::Weak;
+    }
+    TPDE_UNREACHABLE("bad linkage");
+  }
+  bool funcIsDefinition(FuncRef F) const { return !M.Funcs[F].IsDeclaration; }
+
+  // --- Function switching ------------------------------------------------
+  void switchFunc(FuncRef FR) {
+    F = &M.Funcs[FR];
+    // Next-instruction table for fusion decisions (§3.4.4: "instruction
+    // compilers will only want to look at immediately following
+    // instructions; the framework provides access to this list").
+    Next.assign(F->Values.size(), tir::InvalidRef);
+    for (const tir::Block &B : F->Blocks)
+      for (size_t I = 0; I + 1 < B.Insts.size(); ++I)
+        Next[B.Insts[I]] = B.Insts[I + 1];
+    // Stack-variable index of a value.
+    StackVarIdx.assign(F->Values.size(), ~0u);
+    for (u32 I = 0; I < F->StackVars.size(); ++I)
+      StackVarIdx[F->StackVars[I]] = I;
+  }
+  void finalizeFunc() {}
+
+  // --- Current function ----------------------------------------------------
+  u32 valueCount() const { return F->valueCount(); }
+  u32 blockCount() const { return static_cast<u32>(F->Blocks.size()); }
+  BlockRef blockRef(u32 I) const { return I; }
+  u64 &blockAux(BlockRef B) { return F->Blocks[B].Aux; }
+  std::span<const BlockRef> blockSuccs(BlockRef B) const {
+    return F->Blocks[B].Succs;
+  }
+  std::span<const ValRef> blockPhis(BlockRef B) const {
+    return F->Blocks[B].Phis;
+  }
+  std::span<const ValRef> blockInsts(BlockRef B) const {
+    return F->Blocks[B].Insts;
+  }
+  std::span<const ValRef> funcArgs() const { return F->Args; }
+
+  // --- Values -----------------------------------------------------------------
+  u32 valNumber(ValRef V) const { return V; }
+  u32 valPartCount(ValRef V) const { return tir::partCount(F->val(V).Ty); }
+  u32 valPartSize(ValRef V, u32 P) const {
+    return tir::partSize(F->val(V).Ty, P);
+  }
+  u8 valPartBank(ValRef V, u32 P) const { return tir::partBank(F->val(V).Ty); }
+  bool isConstLike(ValRef V) const {
+    tir::ValKind K = F->val(V).Kind;
+    return K == tir::ValKind::ConstInt || K == tir::ValKind::ConstFP ||
+           K == tir::ValKind::GlobalAddr || K == tir::ValKind::StackVar;
+  }
+
+  // --- Instructions and phis ------------------------------------------------
+  std::span<const ValRef> instOperands(ValRef V) const {
+    const tir::Value &Val = F->val(V);
+    return {F->OperandPool.data() + Val.OpBegin, Val.NumOps};
+  }
+  u32 phiIncomingCount(ValRef V) const { return F->val(V).NumOps; }
+  BlockRef phiIncomingBlock(ValRef V, u32 I) const {
+    return F->phiBlock(F->val(V), I);
+  }
+  ValRef phiIncomingValue(ValRef V, u32 I) const {
+    return F->operand(F->val(V), I);
+  }
+
+  // --- Extras used by the TIR instruction compilers -----------------------
+  const tir::Value &val(ValRef V) const { return F->val(V); }
+  ValRef nextInst(ValRef V) const { return Next[V]; }
+  u32 stackVarIdx(ValRef V) const { return StackVarIdx[V]; }
+
+private:
+  tir::Module &M;
+  tir::Function *F = nullptr;
+  std::vector<ValRef> Next;
+  std::vector<u32> StackVarIdx;
+};
+
+static_assert(core::IRAdapter<TirAdapter>,
+              "TirAdapter must satisfy the IR adapter concept");
+
+} // namespace tpde::tpde_tir
+
+#endif // TPDE_TPDE_TIR_TIRADAPTER_H

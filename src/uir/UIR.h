@@ -1,0 +1,111 @@
+//===- uir/UIR.h - Umbra-IR stand-in and query compiler ---------*- C++ -*-===//
+///
+/// \file
+/// A database-oriented SSA IR standing in for Umbra IR (paper §7): a very
+/// small type system (i64, f64, ptr, bool), dense per-function arrays,
+/// and domain-specific instructions (saddtrap: checked addition that
+/// calls a trap handler on overflow). Queries (scan-filter-aggregate over
+/// a columnar table) are compiled from a plan straight into UIR — there
+/// is no translation from another IR, which is exactly the latency
+/// advantage the paper's §7 measures for TPDE against the LLVM path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_UIR_UIR_H
+#define TPDE_UIR_UIR_H
+
+#include "support/Common.h"
+
+#include <string>
+#include <vector>
+
+namespace tpde::uir {
+
+enum class UTy : u8 { I64, F64, Ptr, Bool, Void };
+
+enum class UOp : u8 {
+  ConstI, ConstF, ColAddr,           // column base address (Aux = column id)
+  Add, Sub, Mul, SAddTrap,           // SAddTrap: i64 add, trap on overflow
+  And, Or, Shl, Shr,
+  CmpLt, CmpLe, CmpEq, CmpNe, FCmpLt,
+  FAdd, FMul, I2F,
+  Load, Store, PtrIdx,               // PtrIdx: ptr + idx*Aux
+  Br, CondBr, Ret, Phi,
+};
+
+struct UInst {
+  UOp Op;
+  UTy Ty = UTy::I64;
+  u32 A = ~0u, B = ~0u;   ///< Operand value ids.
+  u64 Aux = 0;            ///< Constant bits / column id / scale.
+  u32 Block = 0;
+  // Phi incomings (2 max: database loops are simple).
+  u32 InBlock[2] = {~0u, ~0u};
+  u32 InVal[2] = {~0u, ~0u};
+};
+
+struct UBlock {
+  std::vector<u32> Phis;
+  std::vector<u32> Insts;
+  std::vector<u32> Succs;
+  u64 Aux = 0;
+};
+
+/// One query function: i64 query(ptr columns[], i64 rowCount).
+struct UFunc {
+  std::string Name;
+  std::vector<UInst> Vals;
+  std::vector<UBlock> Blocks;
+  u32 NumArgs = 2; ///< value ids 0 (columns ptr) and 1 (row count)
+
+  u32 push(UInst I) {
+    Vals.push_back(I);
+    return static_cast<u32>(Vals.size() - 1);
+  }
+};
+
+struct UModule {
+  std::vector<UFunc> Funcs;
+};
+
+// --- Query plans ----------------------------------------------------------
+
+/// Filter predicate: column[i] <op> constant.
+struct Pred {
+  u32 Col;
+  UOp Cmp; ///< CmpLt/CmpLe/CmpEq/CmpNe
+  i64 K;
+};
+
+/// A TPC-DS-like aggregation query: SELECT SUM(colA * colB + k)
+/// FROM t WHERE preds.
+struct QueryPlan {
+  std::string Name;
+  std::vector<Pred> Preds;
+  u32 AggColA = 0, AggColB = 1;
+  i64 AggK = 0;
+  bool Checked = true; ///< use saddtrap for the sum (Umbra semantics)
+};
+
+/// Compiles a plan into UIR (scan loop, fused filter chain, aggregate).
+u32 compilePlan(UModule &M, const QueryPlan &P);
+
+/// Builds ~20 TPC-DS-like plan variants.
+std::vector<QueryPlan> tpcdsLikePlans();
+
+/// Synthetic columnar table: \p NumCols i64 columns of \p Rows values.
+struct Table {
+  u32 NumCols;
+  u64 Rows;
+  std::vector<std::vector<i64>> Cols;
+  std::vector<const i64 *> ColPtrs;
+
+  Table(u32 NumCols, u64 Rows, u64 Seed);
+};
+
+/// Reference (interpreted) evaluation of a plan over a table.
+i64 evalPlan(const QueryPlan &P, const Table &T);
+
+} // namespace tpde::uir
+
+#endif // TPDE_UIR_UIR_H

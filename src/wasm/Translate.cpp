@@ -1,0 +1,358 @@
+//===- wasm/Translate.cpp - Wasm to TIR (CLIF stand-in) translation -------===//
+
+#include "wasm/Wasm.h"
+#include "tir/Builder.h"
+
+using namespace tpde;
+using namespace tpde::tir;
+using namespace tpde::wasm;
+
+namespace {
+
+Type tirType(WType T) {
+  switch (T) {
+  case WType::I32:
+    return Type::I32;
+  case WType::I64:
+    return Type::I64;
+  case WType::F64:
+    return Type::F64;
+  }
+  TPDE_UNREACHABLE("bad wasm type");
+}
+
+class FuncTranslator {
+public:
+  FuncTranslator(const WModule &W, const WFunc &F, Module &M, u32 MemGlobal)
+      : W(W), F(F), B(M, F.Name, F.HasRet ? tirType(F.Ret) : Type::Void,
+                      paramTypes(F)),
+        MemGlobal(MemGlobal) {}
+
+  static std::vector<Type> paramTypes(const WFunc &F) {
+    std::vector<Type> Out;
+    for (WType T : F.Params)
+      Out.push_back(tirType(T));
+    return Out;
+  }
+
+  bool run() {
+    BlockRef Entry = B.addBlock("entry");
+    B.setInsertPoint(Entry);
+    MemBase = B.globalAddr(MemGlobal);
+    // Locals: params then zero-initialized extras; full SSA from the
+    // start (this is what Wasmtime's translation does and what produces
+    // the redundant phis the paper mentions).
+    for (u32 I = 0; I < F.Params.size(); ++I) {
+      Locals.push_back(B.arg(I));
+      LocalTys.push_back(F.Params[I]);
+    }
+    for (WType T : F.Locals) {
+      Locals.push_back(zeroOf(T));
+      LocalTys.push_back(T);
+    }
+    Unreachable = false;
+    for (const WInst &I : F.Body)
+      if (!translate(I))
+        return false;
+    if (!Unreachable) {
+      if (F.HasRet)
+        B.ret(pop());
+      else
+        B.ret();
+    }
+    B.finish();
+    return Ctrl.empty() || true;
+  }
+
+private:
+  const WModule &W;
+  const WFunc &F;
+  FunctionBuilder B;
+  u32 MemGlobal;
+  ValRef MemBase{};
+  std::vector<ValRef> Locals;
+  std::vector<WType> LocalTys;
+  std::vector<ValRef> Stack;
+  bool Unreachable = false;
+
+  struct CtrlFrame {
+    bool IsLoop;
+    /// Branch target: loop header or block end.
+    BlockRef Target;
+    /// One phi per local at the target.
+    std::vector<ValRef> TargetPhis;
+    bool EndReachable = false; ///< Some edge reaches the end block.
+  };
+  std::vector<CtrlFrame> Ctrl;
+
+  ValRef zeroOf(WType T) {
+    if (T == WType::F64)
+      return B.constF64(0);
+    return B.constInt(tirType(T), 0);
+  }
+
+  void push(ValRef V) { Stack.push_back(V); }
+  ValRef pop() {
+    assert(!Stack.empty() && "wasm stack underflow");
+    ValRef V = Stack.back();
+    Stack.pop_back();
+    return V;
+  }
+
+  /// Adds the current locals as incomings to the frame's target phis.
+  void feedPhis(CtrlFrame &Fr, BlockRef From) {
+    for (u32 I = 0; I < Locals.size(); ++I)
+      B.addPhiIncoming(Fr.TargetPhis[I], From, Locals[I]);
+  }
+
+  CtrlFrame makeFrame(bool IsLoop) {
+    CtrlFrame Fr;
+    Fr.IsLoop = IsLoop;
+    BlockRef Save = B.insertPoint();
+    Fr.Target = B.addBlock(IsLoop ? "loop" : "block_end");
+    B.setInsertPoint(Fr.Target);
+    for (u32 I = 0; I < Locals.size(); ++I)
+      Fr.TargetPhis.push_back(B.phi(tirType(LocalTys[I])));
+    B.setInsertPoint(Save);
+    return Fr;
+  }
+
+  bool translate(const WInst &I) {
+    if (Unreachable && I.Op != WOp::End)
+      return true; // skip dead code until the structure closes
+    switch (I.Op) {
+    case WOp::Block: {
+      Ctrl.push_back(makeFrame(/*IsLoop=*/false));
+      return true;
+    }
+    case WOp::Loop: {
+      CtrlFrame Fr = makeFrame(/*IsLoop=*/true);
+      // Entry edge into the loop header.
+      feedPhis(Fr, B.insertPoint());
+      B.br(Fr.Target);
+      B.setInsertPoint(Fr.Target);
+      for (u32 I2 = 0; I2 < Locals.size(); ++I2)
+        Locals[I2] = Fr.TargetPhis[I2];
+      Ctrl.push_back(std::move(Fr));
+      return true;
+    }
+    case WOp::End: {
+      if (Ctrl.empty())
+        return true;
+      CtrlFrame Fr = std::move(Ctrl.back());
+      Ctrl.pop_back();
+      if (Fr.IsLoop) {
+        // Falling off a loop simply continues; the header phis got their
+        // incomings from the entry edge and every back branch. If the
+        // body ended with the back branch, everything following is only
+        // reachable through branches to enclosing blocks, so the
+        // unreachable state must persist until their End.
+        return true;
+      }
+      // Block: fallthrough edge joins the break edges at the end block.
+      if (!Unreachable) {
+        feedPhis(Fr, B.insertPoint());
+        B.br(Fr.Target);
+        Fr.EndReachable = true;
+      }
+      B.setInsertPoint(Fr.Target);
+      if (!Fr.EndReachable) {
+        // No edge reaches here; still terminate the block for validity.
+        B.unreachable();
+        Unreachable = true;
+        return true;
+      }
+      for (u32 I2 = 0; I2 < Locals.size(); ++I2)
+        Locals[I2] = Fr.TargetPhis[I2];
+      Unreachable = false;
+      return true;
+    }
+    case WOp::Br:
+    case WOp::BrIf: {
+      assert(Stack.size() == (I.Op == WOp::BrIf ? 1u : 0u) &&
+             "subset: empty operand stack at branches");
+      CtrlFrame &Fr = Ctrl[Ctrl.size() - 1 - I.Idx];
+      if (I.Op == WOp::Br) {
+        feedPhis(Fr, B.insertPoint());
+        if (!Fr.IsLoop)
+          Fr.EndReachable = true;
+        B.br(Fr.Target);
+        Unreachable = true;
+        return true;
+      }
+      ValRef C32 = pop();
+      ValRef Cond = B.icmp(ICmp::Ne, C32, zeroOf(WType::I32));
+      BlockRef Cont = B.addBlock("brif_cont");
+      feedPhis(Fr, B.insertPoint());
+      if (!Fr.IsLoop)
+        Fr.EndReachable = true;
+      B.condBr(Cond, Fr.Target, Cont);
+      B.setInsertPoint(Cont);
+      return true;
+    }
+    case WOp::Return: {
+      if (F.HasRet)
+        B.ret(pop());
+      else
+        B.ret();
+      Unreachable = true;
+      return true;
+    }
+    case WOp::LocalGet:
+      push(Locals[I.Idx]);
+      return true;
+    case WOp::LocalSet:
+      Locals[I.Idx] = pop();
+      return true;
+    case WOp::LocalTee:
+      Locals[I.Idx] = Stack.back();
+      return true;
+    case WOp::ConstI:
+      push(B.constInt(tirType(I.Ty), I.ImmI));
+      return true;
+    case WOp::ConstF:
+      push(B.constF64(I.ImmF));
+      return true;
+    case WOp::Add:
+    case WOp::Sub:
+    case WOp::Mul:
+    case WOp::DivS:
+    case WOp::DivU:
+    case WOp::RemU:
+    case WOp::And:
+    case WOp::Or:
+    case WOp::Xor:
+    case WOp::Shl:
+    case WOp::ShrS:
+    case WOp::ShrU: {
+      ValRef R = pop(), L = pop();
+      Op O = I.Op == WOp::Add    ? Op::Add
+             : I.Op == WOp::Sub  ? Op::Sub
+             : I.Op == WOp::Mul  ? Op::Mul
+             : I.Op == WOp::DivS ? Op::SDiv
+             : I.Op == WOp::DivU ? Op::UDiv
+             : I.Op == WOp::RemU ? Op::URem
+             : I.Op == WOp::And  ? Op::And
+             : I.Op == WOp::Or   ? Op::Or
+             : I.Op == WOp::Xor  ? Op::Xor
+             : I.Op == WOp::Shl  ? Op::Shl
+             : I.Op == WOp::ShrS ? Op::AShr
+                                 : Op::LShr;
+      push(B.binop(O, L, R));
+      return true;
+    }
+    case WOp::Eq:
+    case WOp::Ne:
+    case WOp::LtS:
+    case WOp::LtU:
+    case WOp::GtS:
+    case WOp::GeS:
+    case WOp::LeS: {
+      ValRef R = pop(), L = pop();
+      ICmp P = I.Op == WOp::Eq    ? ICmp::Eq
+               : I.Op == WOp::Ne  ? ICmp::Ne
+               : I.Op == WOp::LtS ? ICmp::Slt
+               : I.Op == WOp::LtU ? ICmp::Ult
+               : I.Op == WOp::GtS ? ICmp::Sgt
+               : I.Op == WOp::GeS ? ICmp::Sge
+                                  : ICmp::Sle;
+      push(B.cast(Op::Zext, Type::I32, B.icmp(P, L, R)));
+      return true;
+    }
+    case WOp::Eqz: {
+      ValRef V = pop();
+      push(B.cast(Op::Zext, Type::I32,
+                  B.icmp(ICmp::Eq, V,
+                         B.constInt(B.func().val(V).Ty, 0))));
+      return true;
+    }
+    case WOp::FAdd:
+    case WOp::FSub:
+    case WOp::FMul:
+    case WOp::FDiv: {
+      ValRef R = pop(), L = pop();
+      Op O = I.Op == WOp::FAdd   ? Op::FAdd
+             : I.Op == WOp::FSub ? Op::FSub
+             : I.Op == WOp::FMul ? Op::FMul
+                                 : Op::FDiv;
+      push(B.binop(O, L, R));
+      return true;
+    }
+    case WOp::FLt:
+    case WOp::FGt: {
+      ValRef R = pop(), L = pop();
+      push(B.cast(Op::Zext, Type::I32,
+                  B.fcmp(I.Op == WOp::FLt ? FCmp::Olt : FCmp::Ogt, L, R)));
+      return true;
+    }
+    case WOp::I32WrapI64:
+      push(B.cast(Op::Trunc, Type::I32, pop()));
+      return true;
+    case WOp::I64ExtendI32S:
+      push(B.cast(Op::Sext, Type::I64, pop()));
+      return true;
+    case WOp::I64ExtendI32U:
+      push(B.cast(Op::Zext, Type::I64, pop()));
+      return true;
+    case WOp::F64ConvertI64S:
+      push(B.cast(Op::SiToFp, Type::F64, pop()));
+      return true;
+    case WOp::I64TruncF64S:
+      push(B.cast(Op::FpToSi, Type::I64, pop()));
+      return true;
+    case WOp::LoadI32:
+    case WOp::LoadI64:
+    case WOp::LoadF64:
+    case WOp::LoadU8: {
+      ValRef Addr = pop();
+      ValRef P = B.ptrAdd(MemBase, Addr, 1, static_cast<i64>(I.ImmI));
+      Type Ty = I.Op == WOp::LoadI32   ? Type::I32
+                : I.Op == WOp::LoadI64 ? Type::I64
+                : I.Op == WOp::LoadF64 ? Type::F64
+                                       : Type::I8;
+      ValRef V = B.load(Ty, P);
+      if (I.Op == WOp::LoadU8)
+        V = B.cast(Op::Zext, Type::I32, V);
+      push(V);
+      return true;
+    }
+    case WOp::StoreI32:
+    case WOp::StoreI64:
+    case WOp::StoreF64:
+    case WOp::StoreU8: {
+      ValRef V = pop();
+      ValRef Addr = pop();
+      ValRef P = B.ptrAdd(MemBase, Addr, 1, static_cast<i64>(I.ImmI));
+      if (I.Op == WOp::StoreU8)
+        V = B.cast(Op::Trunc, Type::I8, V);
+      B.store(V, P);
+      return true;
+    }
+    case WOp::Call: {
+      const WFunc &Callee = W.Funcs[I.Idx];
+      std::vector<ValRef> Args(Callee.Params.size());
+      for (size_t A = Callee.Params.size(); A-- > 0;)
+        Args[A] = pop();
+      ValRef R = B.call(I.Idx,
+                        Callee.HasRet ? tirType(Callee.Ret) : Type::Void,
+                        Args);
+      if (Callee.HasRet)
+        push(R);
+      return true;
+    }
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+bool tpde::wasm::translateToTir(const WModule &W, tir::Module &Out) {
+  u32 Mem = addGlobal(Out, "wasm_memory", W.MemoryBytes, 16);
+  for (const WFunc &F : W.Funcs) {
+    FuncTranslator T(W, F, Out, Mem);
+    if (!T.run())
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,134 @@
+//===- wasm/Wasm.h - Mini-WebAssembly substrate -----------------*- C++ -*-===//
+///
+/// \file
+/// A compact WebAssembly-like substrate for the paper's §6 case study
+/// (Wasmtime/Cranelift). Modules contain functions with typed locals and a
+/// structured stack bytecode (blocks/loops/br_if), plus one linear memory.
+/// Two consumers exist:
+///
+///  * translateToTir(): builds SSA IR from the bytecode, creating phis for
+///    every local live at a control-flow join — deliberately including
+///    redundant ones, mirroring the paper's observation that Wasmtime's
+///    CLIF translation "already constructs SSA form for all variables ...
+///    and produces many trivially removable phi nodes" (§6.2.2). The
+///    translated IR plays the role of CLIF (block parameters ≙ phis).
+///  * compileWinch(): a direct single-pass stack-machine compiler
+///    standing in for Wasmtime's Winch baseline (no IR translation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_WASM_WASM_H
+#define TPDE_WASM_WASM_H
+
+#include "asmx/Assembler.h"
+#include "support/Common.h"
+#include "tir/TIR.h"
+
+#include <string>
+#include <vector>
+
+namespace tpde::wasm {
+
+enum class WType : u8 { I32, I64, F64 };
+
+enum class WOp : u8 {
+  // Control (structured).
+  Block, Loop, End, Br, BrIf, Return,
+  // Locals and constants.
+  LocalGet, LocalSet, LocalTee, ConstI, ConstF,
+  // Integer arithmetic (operates at the type of the operands).
+  Add, Sub, Mul, DivS, DivU, RemU, And, Or, Xor, Shl, ShrS, ShrU,
+  Eq, Ne, LtS, LtU, GtS, GeS, LeS,
+  Eqz,
+  // Float arithmetic.
+  FAdd, FSub, FMul, FDiv, FLt, FGt,
+  // Conversions.
+  I32WrapI64, I64ExtendI32S, I64ExtendI32U, F64ConvertI64S, I64TruncF64S,
+  // Memory (flat linear memory; immediate byte offset).
+  LoadI32, LoadI64, LoadF64, LoadU8,
+  StoreI32, StoreI64, StoreF64, StoreU8,
+  // Calls.
+  Call,
+};
+
+/// One bytecode instruction; immediates depend on the opcode.
+struct WInst {
+  WOp Op;
+  WType Ty = WType::I64;
+  u32 Idx = 0;  ///< local index / call target / branch depth
+  u64 ImmI = 0; ///< integer constant / memory offset
+  double ImmF = 0;
+};
+
+struct WFunc {
+  std::string Name;
+  std::vector<WType> Params;
+  std::vector<WType> Locals; ///< additional locals (zero-initialized)
+  WType Ret = WType::I64;
+  bool HasRet = true;
+  std::vector<WInst> Body;
+};
+
+struct WModule {
+  std::vector<WFunc> Funcs;
+  u64 MemoryBytes = 1 << 20;
+
+  u32 findFunc(std::string_view Name) const {
+    for (u32 I = 0; I < Funcs.size(); ++I)
+      if (Funcs[I].Name == Name)
+        return I;
+    return ~0u;
+  }
+};
+
+/// Small builder for writing kernels by hand.
+class WBuilder {
+public:
+  explicit WBuilder(WFunc &F) : F(F) {}
+  WBuilder &op(WOp O, WType T = WType::I64) {
+    F.Body.push_back(WInst{O, T, 0, 0, 0});
+    return *this;
+  }
+  WBuilder &local(WOp O, u32 Idx) {
+    F.Body.push_back(WInst{O, WType::I64, Idx, 0, 0});
+    return *this;
+  }
+  WBuilder &consti(i64 V, WType T = WType::I64) {
+    F.Body.push_back(WInst{WOp::ConstI, T, 0, static_cast<u64>(V), 0});
+    return *this;
+  }
+  WBuilder &constf(double V) {
+    F.Body.push_back(WInst{WOp::ConstF, WType::F64, 0, 0, V});
+    return *this;
+  }
+  WBuilder &mem(WOp O, u64 Off, WType T = WType::I64) {
+    F.Body.push_back(WInst{O, T, 0, Off, 0});
+    return *this;
+  }
+  WBuilder &br(WOp O, u32 Depth) {
+    F.Body.push_back(WInst{O, WType::I64, Depth, 0, 0});
+    return *this;
+  }
+  WBuilder &call(u32 FuncIdx) {
+    F.Body.push_back(WInst{WOp::Call, WType::I64, FuncIdx, 0, 0});
+    return *this;
+  }
+
+private:
+  WFunc &F;
+};
+
+/// Translates the module into TIR (the CLIF stand-in), including the
+/// linear memory as a global. The returned module contains one function
+/// per wasm function plus the memory global named "wasm_memory".
+/// \p TranslateMs (optional) receives the translation time.
+bool translateToTir(const WModule &W, tir::Module &Out);
+
+/// Winch stand-in: compiles the wasm module DIRECTLY to x86-64 without
+/// any IR translation, using a stack-machine discipline (operand stack
+/// spilled to the native stack, fixed scratch registers).
+bool compileWinch(const WModule &W, asmx::Assembler &Asm);
+
+} // namespace tpde::wasm
+
+#endif // TPDE_WASM_WASM_H

@@ -1,0 +1,420 @@
+//===- wasm/Winch.cpp - Direct single-pass wasm compiler ------------------===//
+///
+/// The Winch stand-in: compiles wasm bytecode straight to x86-64 in one
+/// pass with no IR. Locals and the operand stack live in frame slots;
+/// operations use fixed scratch registers. Fastest compile time of all
+/// wasm back-ends (it skips the IR translation the others need, §6.2.2),
+/// slowest generated code.
+///
+//===----------------------------------------------------------------------===//
+
+#include "wasm/Wasm.h"
+#include "x64/Encoder.h"
+
+using namespace tpde;
+using namespace tpde::asmx;
+using namespace tpde::wasm;
+using namespace tpde::x64;
+
+namespace {
+
+class WinchCompiler {
+public:
+  WinchCompiler(const WModule &W, Assembler &Asm) : W(W), Asm(Asm), E(Asm) {}
+
+  bool run() {
+    MemSym = Asm.createSymbol("wasm_memory", Linkage::External, false);
+    Section &BSS = Asm.section(SecKind::BSS);
+    BSS.BssSize = alignTo(BSS.BssSize, 16);
+    Asm.defineSymbol(MemSym, SecKind::BSS, BSS.BssSize, W.MemoryBytes);
+    BSS.BssSize += W.MemoryBytes;
+    for (const WFunc &F : W.Funcs)
+      FuncSyms.push_back(Asm.createSymbol(F.Name, Linkage::External, true));
+    for (u32 I = 0; I < W.Funcs.size(); ++I)
+      if (!compileFunc(W.Funcs[I], FuncSyms[I]))
+        return false;
+    return true;
+  }
+
+private:
+  const WModule &W;
+  Assembler &Asm;
+  Emitter E;
+  SymRef MemSym;
+  std::vector<SymRef> FuncSyms;
+
+  const WFunc *F = nullptr;
+  u32 NumLocals = 0;
+  u32 Depth = 0; ///< current operand stack depth
+  std::vector<WType> StackTy;
+
+  struct Frame {
+    bool IsLoop;
+    Label Target;
+    u32 DepthAtEntry;
+  };
+  std::vector<Frame> Ctrl;
+
+  i32 localOff(u32 I) { return -8 * static_cast<i32>(I + 1); }
+  i32 stackOff(u32 D) { return -8 * static_cast<i32>(NumLocals + D + 1); }
+
+  void pushFrom(AsmReg R, WType T) {
+    StackTy.push_back(T);
+    if (T == WType::F64)
+      E.fpStore(8, Mem(RBP, stackOff(Depth)), R);
+    else
+      E.store(8, Mem(RBP, stackOff(Depth)), R);
+    ++Depth;
+  }
+  WType popTo(AsmReg R) {
+    --Depth;
+    WType T = StackTy.back();
+    StackTy.pop_back();
+    if (T == WType::F64)
+      E.fpLoad(8, R, Mem(RBP, stackOff(Depth)));
+    else
+      E.load(8, R, Mem(RBP, stackOff(Depth)));
+    return T;
+  }
+
+  bool compileFunc(const WFunc &Fn, SymRef Sym) {
+    F = &Fn;
+    NumLocals = static_cast<u32>(Fn.Params.size() + Fn.Locals.size());
+    Depth = 0;
+    StackTy.clear();
+    Ctrl.clear();
+    Asm.text().alignToBoundary(16);
+    u64 Start = Asm.text().size();
+    Asm.defineSymbol(Sym, SecKind::Text, Start, 0);
+    Asm.resetLabels();
+
+    u32 MaxSlots = NumLocals + static_cast<u32>(Fn.Body.size()) + 8;
+    E.push(RBP);
+    E.movRR(8, RBP, RSP);
+    E.aluRI(AluOp::Sub, 8, RSP, alignTo(8 * MaxSlots, 16));
+
+    // Spill parameters; zero the extra locals.
+    static const AsmReg GPArg[6] = {RDI, RSI, RDX, RCX, R8, R9};
+    u32 GPUsed = 0, FPUsed = 0;
+    for (u32 I = 0; I < Fn.Params.size(); ++I) {
+      if (Fn.Params[I] == WType::F64)
+        E.fpStore(8, Mem(RBP, localOff(I)), AsmReg(16 + FPUsed++));
+      else
+        E.store(8, Mem(RBP, localOff(I)), GPArg[GPUsed++]);
+    }
+    if (!Fn.Locals.empty()) {
+      E.aluRR(AluOp::Xor, 4, RAX, RAX);
+      for (u32 I = 0; I < Fn.Locals.size(); ++I)
+        E.store(8, Mem(RBP, localOff(static_cast<u32>(Fn.Params.size()) + I)),
+                RAX);
+    }
+
+    for (const WInst &I : Fn.Body)
+      if (!inst(I))
+        return false;
+
+    // Implicit return at the end of the body.
+    if (Fn.HasRet && Depth > 0) {
+      if (Fn.Ret == WType::F64)
+        popTo(XMM0);
+      else
+        popTo(RAX);
+    }
+    Asm.text().appendByte(0xC9); // leave
+    E.ret();
+    Asm.setSymbolSize(Sym, Asm.text().size() - Start);
+    return true;
+  }
+
+  static u8 opSize(WType T) { return T == WType::I32 ? 4 : 8; }
+
+  bool inst(const WInst &I) {
+    switch (I.Op) {
+    case WOp::Block: {
+      Ctrl.push_back(Frame{false, Asm.makeLabel(), Depth});
+      return true;
+    }
+    case WOp::Loop: {
+      Label L = Asm.makeLabel();
+      Asm.bindLabel(L);
+      Ctrl.push_back(Frame{true, L, Depth});
+      return true;
+    }
+    case WOp::End: {
+      if (Ctrl.empty())
+        return true;
+      Frame Fr = Ctrl.back();
+      Ctrl.pop_back();
+      if (!Fr.IsLoop)
+        Asm.bindLabel(Fr.Target);
+      return true;
+    }
+    case WOp::Br: {
+      Frame &Fr = Ctrl[Ctrl.size() - 1 - I.Idx];
+      E.jmpLabel(Fr.Target);
+      return true;
+    }
+    case WOp::BrIf: {
+      popTo(RAX);
+      Frame &Fr = Ctrl[Ctrl.size() - 1 - I.Idx];
+      E.testRR(4, RAX, RAX);
+      E.jccLabel(Cond::NE, Fr.Target);
+      return true;
+    }
+    case WOp::Return: {
+      if (F->HasRet) {
+        if (F->Ret == WType::F64)
+          popTo(XMM0);
+        else
+          popTo(RAX);
+      }
+      Asm.text().appendByte(0xC9);
+      E.ret();
+      return true;
+    }
+    case WOp::LocalGet: {
+      // Straight slot-to-slot copy through RAX.
+      E.load(8, RAX, Mem(RBP, localOff(I.Idx)));
+      WType T = I.Idx < F->Params.size()
+                    ? F->Params[I.Idx]
+                    : F->Locals[I.Idx - F->Params.size()];
+      StackTy.push_back(T);
+      E.store(8, Mem(RBP, stackOff(Depth)), RAX);
+      ++Depth;
+      return true;
+    }
+    case WOp::LocalSet:
+    case WOp::LocalTee: {
+      E.load(8, RAX, Mem(RBP, stackOff(Depth - 1)));
+      E.store(8, Mem(RBP, localOff(I.Idx)), RAX);
+      if (I.Op == WOp::LocalSet) {
+        --Depth;
+        StackTy.pop_back();
+      }
+      return true;
+    }
+    case WOp::ConstI:
+      E.movRI(RAX, I.ImmI);
+      StackTy.push_back(I.Ty);
+      E.store(8, Mem(RBP, stackOff(Depth)), RAX);
+      ++Depth;
+      return true;
+    case WOp::ConstF: {
+      u64 Bits;
+      __builtin_memcpy(&Bits, &I.ImmF, 8);
+      E.movRI(RAX, Bits);
+      StackTy.push_back(WType::F64);
+      E.store(8, Mem(RBP, stackOff(Depth)), RAX);
+      ++Depth;
+      return true;
+    }
+    case WOp::Add:
+    case WOp::Sub:
+    case WOp::Mul:
+    case WOp::And:
+    case WOp::Or:
+    case WOp::Xor: {
+      popTo(RCX);
+      WType T = popTo(RAX);
+      u8 Sz = opSize(T);
+      AluOp O = I.Op == WOp::Add   ? AluOp::Add
+                : I.Op == WOp::Sub ? AluOp::Sub
+                : I.Op == WOp::And ? AluOp::And
+                : I.Op == WOp::Or  ? AluOp::Or
+                                   : AluOp::Xor;
+      if (I.Op == WOp::Mul)
+        E.imulRR(Sz, RAX, RCX);
+      else
+        E.aluRR(O, Sz, RAX, RCX);
+      pushFrom(RAX, T);
+      return true;
+    }
+    case WOp::DivS:
+    case WOp::DivU:
+    case WOp::RemU: {
+      popTo(RCX);
+      WType T = popTo(RAX);
+      u8 Sz = opSize(T);
+      if (I.Op == WOp::DivS) {
+        E.cwd(Sz);
+        E.idivR(Sz, RCX);
+      } else {
+        E.aluRR(AluOp::Xor, 4, RDX, RDX);
+        E.divR(Sz, RCX);
+      }
+      pushFrom(I.Op == WOp::RemU ? RDX : RAX, T);
+      return true;
+    }
+    case WOp::Shl:
+    case WOp::ShrS:
+    case WOp::ShrU: {
+      popTo(RCX);
+      WType T = popTo(RAX);
+      ShiftOp O = I.Op == WOp::Shl    ? ShiftOp::Shl
+                  : I.Op == WOp::ShrS ? ShiftOp::Sar
+                                      : ShiftOp::Shr;
+      E.shiftRC(O, opSize(T), RAX);
+      pushFrom(RAX, T);
+      return true;
+    }
+    case WOp::Eq:
+    case WOp::Ne:
+    case WOp::LtS:
+    case WOp::LtU:
+    case WOp::GtS:
+    case WOp::GeS:
+    case WOp::LeS: {
+      popTo(RCX);
+      WType T = popTo(RAX);
+      E.aluRR(AluOp::Cmp, opSize(T), RAX, RCX);
+      Cond C = I.Op == WOp::Eq    ? Cond::E
+               : I.Op == WOp::Ne  ? Cond::NE
+               : I.Op == WOp::LtS ? Cond::L
+               : I.Op == WOp::LtU ? Cond::B
+               : I.Op == WOp::GtS ? Cond::G
+               : I.Op == WOp::GeS ? Cond::GE
+                                  : Cond::LE;
+      E.setcc(C, RAX);
+      E.movzxRR(1, RAX, RAX);
+      pushFrom(RAX, WType::I32);
+      return true;
+    }
+    case WOp::Eqz: {
+      WType T = popTo(RAX);
+      E.testRR(opSize(T), RAX, RAX);
+      E.setcc(Cond::E, RAX);
+      E.movzxRR(1, RAX, RAX);
+      pushFrom(RAX, WType::I32);
+      return true;
+    }
+    case WOp::FAdd:
+    case WOp::FSub:
+    case WOp::FMul:
+    case WOp::FDiv: {
+      popTo(XMM1);
+      popTo(XMM0);
+      FpOp O = I.Op == WOp::FAdd   ? FpOp::Add
+               : I.Op == WOp::FSub ? FpOp::Sub
+               : I.Op == WOp::FMul ? FpOp::Mul
+                                   : FpOp::Div;
+      E.fpArith(O, 8, XMM0, XMM1);
+      pushFrom(XMM0, WType::F64);
+      return true;
+    }
+    case WOp::FLt:
+    case WOp::FGt: {
+      popTo(XMM1);
+      popTo(XMM0);
+      if (I.Op == WOp::FLt)
+        E.ucomis(8, XMM1, XMM0); // swapped: lt via above
+      else
+        E.ucomis(8, XMM0, XMM1);
+      E.setcc(Cond::A, RAX);
+      E.movzxRR(1, RAX, RAX);
+      pushFrom(RAX, WType::I32);
+      return true;
+    }
+    case WOp::I32WrapI64: {
+      popTo(RAX);
+      E.movzxRR(4, RAX, RAX);
+      pushFrom(RAX, WType::I32);
+      return true;
+    }
+    case WOp::I64ExtendI32S: {
+      popTo(RAX);
+      E.movsxRR(4, RAX, RAX);
+      pushFrom(RAX, WType::I64);
+      return true;
+    }
+    case WOp::I64ExtendI32U: {
+      popTo(RAX);
+      E.movzxRR(4, RAX, RAX);
+      pushFrom(RAX, WType::I64);
+      return true;
+    }
+    case WOp::F64ConvertI64S: {
+      popTo(RAX);
+      E.cvtsi2fp(8, 8, XMM0, RAX);
+      pushFrom(XMM0, WType::F64);
+      return true;
+    }
+    case WOp::I64TruncF64S: {
+      popTo(XMM0);
+      E.cvtfp2si(8, 8, RAX, XMM0);
+      pushFrom(RAX, WType::I64);
+      return true;
+    }
+    case WOp::LoadI32:
+    case WOp::LoadI64:
+    case WOp::LoadF64:
+    case WOp::LoadU8: {
+      popTo(RAX);
+      E.leaSym(RCX, MemSym);
+      E.aluRR(AluOp::Add, 8, RCX, RAX);
+      Mem M(RCX, static_cast<i32>(I.ImmI));
+      if (I.Op == WOp::LoadF64) {
+        E.fpLoad(8, XMM0, M);
+        pushFrom(XMM0, WType::F64);
+      } else if (I.Op == WOp::LoadI64) {
+        E.load(8, RAX, M);
+        pushFrom(RAX, WType::I64);
+      } else if (I.Op == WOp::LoadI32) {
+        E.loadZext(4, RAX, M);
+        pushFrom(RAX, WType::I32);
+      } else {
+        E.loadZext(1, RAX, M);
+        pushFrom(RAX, WType::I32);
+      }
+      return true;
+    }
+    case WOp::StoreI32:
+    case WOp::StoreI64:
+    case WOp::StoreF64:
+    case WOp::StoreU8: {
+      if (I.Op == WOp::StoreF64)
+        popTo(XMM0);
+      else
+        popTo(RDX);
+      popTo(RAX);
+      E.leaSym(RCX, MemSym);
+      E.aluRR(AluOp::Add, 8, RCX, RAX);
+      Mem M(RCX, static_cast<i32>(I.ImmI));
+      if (I.Op == WOp::StoreF64)
+        E.fpStore(8, M, XMM0);
+      else if (I.Op == WOp::StoreI64)
+        E.store(8, M, RDX);
+      else if (I.Op == WOp::StoreI32)
+        E.store(4, M, RDX);
+      else
+        E.store(1, M, RDX);
+      return true;
+    }
+    case WOp::Call: {
+      const WFunc &Callee = W.Funcs[I.Idx];
+      static const AsmReg GPArg[6] = {RDI, RSI, RDX, RCX, R8, R9};
+      u32 NGP = 0, NFP = 0;
+      for (WType T : Callee.Params)
+        (T == WType::F64 ? NFP : NGP) += 1;
+      assert(NGP <= 6 && NFP <= 8 && "winch subset: register args only");
+      u32 GP = NGP, FP = NFP;
+      for (size_t A = Callee.Params.size(); A-- > 0;) {
+        if (Callee.Params[A] == WType::F64)
+          popTo(AsmReg(16 + --FP));
+        else
+          popTo(GPArg[--GP]);
+      }
+      E.callSym(FuncSyms[I.Idx]);
+      if (Callee.HasRet)
+        pushFrom(Callee.Ret == WType::F64 ? XMM0 : RAX, Callee.Ret);
+      return true;
+    }
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+bool tpde::wasm::compileWinch(const WModule &W, Assembler &Asm) {
+  return WinchCompiler(W, Asm).run();
+}

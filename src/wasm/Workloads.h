@@ -1,0 +1,31 @@
+//===- wasm/Workloads.h - PolyBench/Sightglass-like wasm kernels -*- C++ -*-===//
+///
+/// \file
+/// The paper's §6 evaluation uses three Sightglass benchmarks and all of
+/// PolyBench compiled to WebAssembly. SPEC-quality originals are not
+/// available offline, so this module regenerates the workloads: the
+/// PolyBench kernels are re-implemented with the same loop nests directly
+/// in the wasm substrate, and the three Sightglass programs are replaced
+/// by structurally similar byte-processing/interpreter kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_WASM_WORKLOADS_H
+#define TPDE_WASM_WORKLOADS_H
+
+#include "wasm/Wasm.h"
+
+namespace tpde::wasm {
+
+struct NamedModule {
+  const char *Name;
+  WModule Module;
+};
+
+/// Builds all benchmark modules. Every module exports a function "kernel"
+/// with signature i64(i64, i64) returning a checksum.
+std::vector<NamedModule> wasmBenchModules();
+
+} // namespace tpde::wasm
+
+#endif // TPDE_WASM_WORKLOADS_H

@@ -1,0 +1,70 @@
+//===- workloads/Generator.h - Synthetic TIR program generation -*- C++ -*-===//
+///
+/// \file
+/// Deterministic random generation of structured, always-terminating TIR
+/// functions and modules. Two uses:
+///
+///  1. Differential testing: random programs are run through the reference
+///     interpreter and every back-end; results must agree.
+///  2. Benchmark workloads: the SPECint 2017 programs of the paper's
+///     evaluation (§5.2) are not available offline, so each benchmark is
+///     substituted by a deterministic synthetic program whose IR-level
+///     profile (function count/size, loop structure, memory traffic, FP
+///     share, call density, branchiness) mimics the original's character.
+///     Both IR flavors from the paper are supported: "-O0" (locals on the
+///     stack, loads/stores everywhere, almost no phis) and "-O1" (values
+///     in SSA registers, loop-carried phis).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_WORKLOADS_GENERATOR_H
+#define TPDE_WORKLOADS_GENERATOR_H
+
+#include "support/Rng.h"
+#include "tir/Builder.h"
+
+#include <string>
+#include <vector>
+
+namespace tpde::workloads {
+
+/// Tunable shape of one generated function/module.
+struct Profile {
+  u64 Seed = 1;
+  u32 NumFuncs = 10;
+  /// Approximate structured-region budget per function (drives block count).
+  u32 RegionBudget = 12;
+  u32 InstsPerBlock = 8;
+  u32 MaxLoopDepth = 2;
+  u32 MaxLoopTrip = 6;
+  /// Percentages (0-100) steering instruction selection.
+  u32 MemoryPct = 25;
+  u32 FloatPct = 10;
+  u32 CallPct = 5;
+  u32 BranchPct = 30;
+  u32 I128Pct = 2;
+  u32 NarrowPct = 15; ///< i8/i16/i32 operations.
+  /// False: "-O0" flavor (stack locals, no phis). True: "-O1" (SSA, phis).
+  bool SSAForm = true;
+};
+
+/// Generates one function named \p Name in \p M; signature is always
+/// i64(i64, i64). Also creates (once per module) a scratch global the
+/// memory operations touch. Returns the function index.
+u32 genFunction(tir::Module &M, const std::string &Name, Profile P);
+
+/// Generates a whole module: NumFuncs functions f0..fN (each i64(i64,i64))
+/// plus a driver "main_entry" calling all of them and folding the results.
+void genModule(tir::Module &M, const Profile &P);
+
+/// The nine SPECint-2017-like benchmark profiles used by the paper's
+/// figures (5-8). \p O0Flavor selects the unoptimized-IR variant.
+struct NamedProfile {
+  const char *Name;
+  Profile P;
+};
+std::vector<NamedProfile> specLikeProfiles(bool O0Flavor);
+
+} // namespace tpde::workloads
+
+#endif // TPDE_WORKLOADS_GENERATOR_H

@@ -1,0 +1,173 @@
+//===- tests/asmx_test.cpp - Assembler/ELF/JIT substrate tests -----------===//
+
+#include "asmx/Assembler.h"
+#include "asmx/ElfWriter.h"
+#include "asmx/JITMapper.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpde;
+using namespace tpde::asmx;
+
+TEST(Section, AppendAndPatch) {
+  Section S;
+  S.appendLE<u32>(0xdeadbeef);
+  S.appendByte(0x42);
+  EXPECT_EQ(S.size(), 5u);
+  EXPECT_EQ(S.readLE<u32>(0), 0xdeadbeefu);
+  S.patchLE<u16>(1, 0x1234);
+  EXPECT_EQ(S.Data[1], 0x34);
+  EXPECT_EQ(S.Data[2], 0x12);
+  S.alignToBoundary(8);
+  EXPECT_EQ(S.size(), 8u);
+}
+
+TEST(Assembler, SymbolCreationAndLookup) {
+  Assembler A;
+  SymRef F = A.createSymbol("foo", Linkage::External, /*IsFunc=*/true);
+  SymRef G = A.getOrCreateSymbol("bar");
+  EXPECT_TRUE(F.isValid());
+  EXPECT_TRUE(G.isValid());
+  EXPECT_EQ(A.findSymbol("foo").Idx, F.Idx);
+  EXPECT_EQ(A.getOrCreateSymbol("foo").Idx, F.Idx);
+  EXPECT_FALSE(A.findSymbol("baz").isValid());
+  EXPECT_FALSE(A.symbol(F).Defined);
+  A.defineSymbol(F, SecKind::Text, 16, 32);
+  EXPECT_TRUE(A.symbol(F).Defined);
+  EXPECT_EQ(A.symbol(F).Off, 16u);
+  EXPECT_EQ(A.symbol(F).Size, 32u);
+}
+
+TEST(Assembler, LabelForwardFixupRel32) {
+  Assembler A;
+  Section &T = A.text();
+  Label L = A.makeLabel();
+  // Pretend a jmp rel32: opcode byte then 4-byte displacement.
+  T.appendByte(0xE9);
+  u64 FixOff = T.size();
+  T.appendLE<i32>(0);
+  A.addFixup(L, FixupKind::Rel32, FixOff);
+  T.appendByte(0x90); // some padding instruction
+  A.bindLabel(L);
+  EXPECT_EQ(A.labelOffset(L), 6u);
+  // displacement = target(6) - end of field(5) = 1
+  EXPECT_EQ(T.readLE<i32>(FixOff), 1);
+}
+
+TEST(Assembler, LabelBackwardFixup) {
+  Assembler A;
+  Section &T = A.text();
+  Label L = A.makeLabel();
+  A.bindLabel(L); // bound at offset 0
+  T.appendByte(0xE9);
+  u64 FixOff = T.size();
+  T.appendLE<i32>(0);
+  A.addFixup(L, FixupKind::Rel32, FixOff);
+  EXPECT_EQ(T.readLE<i32>(FixOff), -5);
+}
+
+TEST(Assembler, MultipleFixupsOneLabel) {
+  Assembler A;
+  Section &T = A.text();
+  Label L = A.makeLabel();
+  u64 Offs[3];
+  for (int I = 0; I < 3; ++I) {
+    T.appendByte(0xE9);
+    Offs[I] = T.size();
+    T.appendLE<i32>(0);
+    A.addFixup(L, FixupKind::Rel32, Offs[I]);
+  }
+  A.bindLabel(L);
+  for (int I = 0; I < 3; ++I) {
+    i64 Expect = static_cast<i64>(T.size()) - static_cast<i64>(Offs[I] + 4);
+    EXPECT_EQ(T.readLE<i32>(Offs[I]), Expect);
+  }
+}
+
+TEST(Assembler, A64Branch26Fixup) {
+  Assembler A;
+  Section &T = A.text();
+  Label L = A.makeLabel();
+  u64 Off = T.size();
+  T.appendLE<u32>(0x14000000); // b #0
+  A.addFixup(L, FixupKind::A64Branch26, Off);
+  T.appendLE<u32>(0xd503201f); // nop
+  A.bindLabel(L);
+  // Branch distance = 8 bytes = 2 words.
+  EXPECT_EQ(T.readLE<u32>(Off), 0x14000002u);
+}
+
+TEST(ElfWriter, HeaderAndSymbols) {
+  Assembler A;
+  SymRef F = A.createSymbol("myfunc", Linkage::External, true);
+  A.text().appendByte(0xC3);
+  A.defineSymbol(F, SecKind::Text, 0, 1);
+  SymRef L = A.createSymbol("local", Linkage::Internal, false);
+  A.section(SecKind::Data).appendLE<u64>(123);
+  A.defineSymbol(L, SecKind::Data, 0, 8);
+  A.addReloc(SecKind::Data, 0, RelocKind::Abs64, F, 0);
+
+  std::vector<u8> Obj = writeElfObject(A, ElfMachine::X86_64);
+  ASSERT_GE(Obj.size(), 64u);
+  EXPECT_EQ(Obj[0], 0x7f);
+  EXPECT_EQ(Obj[1], 'E');
+  EXPECT_EQ(Obj[2], 'L');
+  EXPECT_EQ(Obj[3], 'F');
+  EXPECT_EQ(Obj[4], 2); // 64-bit
+  EXPECT_EQ(Obj[5], 1); // little endian
+  // e_type == ET_REL, e_machine == EM_X86_64
+  EXPECT_EQ(Obj[16], 1);
+  EXPECT_EQ(Obj[18], 62);
+}
+
+TEST(ElfWriter, AArch64Machine) {
+  Assembler A;
+  std::vector<u8> Obj = writeElfObject(A, ElfMachine::AArch64);
+  EXPECT_EQ(Obj[18], 183);
+}
+
+TEST(JITMapper, MapsDataAndResolvesAbs64) {
+  Assembler A;
+  // data: one pointer-sized slot relocated against "target".
+  SymRef Target = A.createSymbol("target", Linkage::External, false);
+  A.section(SecKind::ROData).appendLE<u64>(77); // rodata content
+  SymRef RoSym = A.createSymbol("ro", Linkage::Internal, false);
+  A.defineSymbol(RoSym, SecKind::ROData, 0, 8);
+  A.section(SecKind::Data).appendLE<u64>(0);
+  SymRef Ptr = A.createSymbol("ptr", Linkage::External, false);
+  A.defineSymbol(Ptr, SecKind::Data, 0, 8);
+  A.addReloc(SecKind::Data, 0, RelocKind::Abs64, Target, 16);
+
+  static int External;
+  JITMapper JIT;
+  ASSERT_TRUE(JIT.map(A, [](std::string_view Name) -> void * {
+    return Name == "target" ? &External : nullptr;
+  }));
+  u64 Stored;
+  memcpy(&Stored, JIT.address("ptr"), 8);
+  EXPECT_EQ(Stored, reinterpret_cast<u64>(&External) + 16);
+  u64 Ro;
+  memcpy(&Ro, JIT.address("ro"), 8);
+  EXPECT_EQ(Ro, 77u);
+}
+
+TEST(JITMapper, UnresolvedSymbolFails) {
+  Assembler A;
+  SymRef Missing = A.createSymbol("missing", Linkage::External, false);
+  A.section(SecKind::Data).appendLE<u64>(0);
+  A.addReloc(SecKind::Data, 0, RelocKind::Abs64, Missing, 0);
+  JITMapper JIT;
+  EXPECT_FALSE(JIT.map(A, nullptr));
+}
+
+TEST(JITMapper, BssIsZeroed) {
+  Assembler A;
+  A.section(SecKind::BSS).BssSize = 64;
+  SymRef B = A.createSymbol("bss_var", Linkage::External, false);
+  A.defineSymbol(B, SecKind::BSS, 0, 64);
+  JITMapper JIT;
+  ASSERT_TRUE(JIT.map(A));
+  u8 *P = static_cast<u8 *>(JIT.address("bss_var"));
+  for (int I = 0; I < 64; ++I)
+    EXPECT_EQ(P[I], 0);
+}

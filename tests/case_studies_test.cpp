@@ -1,0 +1,110 @@
+//===- tests/case_studies_test.cpp - Wasm and UIR case-study tests --------===//
+///
+/// End-to-end checks for the §6 (wasm) and §7 (database IR) case studies:
+/// every back-end must produce identical results, and the wasm translation
+/// must produce verifier-clean TIR.
+///
+//===----------------------------------------------------------------------===//
+
+#include "asmx/JITMapper.h"
+#include "baseline/Baseline.h"
+#include "tir/Verifier.h"
+#include "tpde_tir/TirCompilerX64.h"
+#include "uir/TpdeUir.h"
+#include "wasm/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpde;
+
+namespace {
+
+u64 runWasm(const wasm::WModule &W, int Backend) {
+  asmx::Assembler Asm;
+  bool OK = false;
+  if (Backend == 0) {
+    OK = wasm::compileWinch(W, Asm);
+  } else {
+    tir::Module M;
+    OK = wasm::translateToTir(W, M);
+    EXPECT_TRUE(OK);
+    std::string Err;
+    EXPECT_TRUE(tir::verifyModule(M, Err)) << Err;
+    if (Backend == 1)
+      OK = tpde_tir::compileModuleX64(M, Asm);
+    else if (Backend == 2)
+      OK = baseline::compileModule(M, Asm, baseline::OptLevel::O0);
+    else
+      OK = baseline::compileModule(M, Asm, baseline::OptLevel::O1);
+  }
+  EXPECT_TRUE(OK);
+  asmx::JITMapper JIT;
+  EXPECT_TRUE(JIT.map(Asm));
+  reinterpret_cast<void (*)()>(JIT.address("init"))();
+  return reinterpret_cast<u64 (*)(u64, u64)>(JIT.address("kernel"))(0, 0);
+}
+
+} // namespace
+
+class WasmKernels : public ::testing::TestWithParam<int> {};
+
+TEST_P(WasmKernels, AllBackendsAgree) {
+  auto Modules = wasm::wasmBenchModules();
+  const auto &NM = Modules[GetParam()];
+  u64 Winch = runWasm(NM.Module, 0);
+  EXPECT_EQ(runWasm(NM.Module, 1), Winch) << NM.Name << " TPDE";
+  EXPECT_EQ(runWasm(NM.Module, 2), Winch) << NM.Name << " baseline-O0";
+  EXPECT_EQ(runWasm(NM.Module, 3), Winch) << NM.Name << " baseline-O1";
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WasmKernels, ::testing::Range(0, 15),
+                         [](const ::testing::TestParamInfo<int> &I) {
+                           return std::string("kernel") +
+                                  std::to_string(I.param);
+                         });
+
+class UirQueries : public ::testing::TestWithParam<int> {};
+
+TEST_P(UirQueries, AllConfigsMatchReference) {
+  auto Plans = uir::tpcdsLikePlans();
+  const auto &P = Plans[GetParam()];
+  uir::Table T(8, 20000, /*Seed=*/GetParam() + 1);
+  i64 Expected = uir::evalPlan(P, T);
+
+  auto check = [&](const char *Name, auto Compile) {
+    uir::UModule U;
+    uir::compilePlan(U, P);
+    asmx::Assembler Asm;
+    ASSERT_TRUE(Compile(U, Asm)) << Name;
+    asmx::JITMapper JIT;
+    ASSERT_TRUE(JIT.map(Asm));
+    auto *Q = reinterpret_cast<i64 (*)(const i64 *const *, i64)>(
+        JIT.address(P.Name));
+    EXPECT_EQ(Q(T.ColPtrs.data(), static_cast<i64>(T.Rows)), Expected)
+        << Name;
+  };
+  check("tpde-uir", [](uir::UModule &U, asmx::Assembler &A) {
+    return uir::compileTpdeUir(U, A);
+  });
+  check("direct-emit", [](uir::UModule &U, asmx::Assembler &A) {
+    return uir::compileDirectEmit(U, A);
+  });
+  check("uir-to-tir+tpde", [](uir::UModule &U, asmx::Assembler &A) {
+    tir::Module M;
+    if (!uir::translateToTir(U, M))
+      return false;
+    std::string Err;
+    EXPECT_TRUE(tir::verifyModule(M, Err)) << Err;
+    return tpde_tir::compileModuleX64(M, A);
+  });
+  check("uir-to-tir+o1", [](uir::UModule &U, asmx::Assembler &A) {
+    tir::Module M;
+    return uir::translateToTir(U, M) &&
+           baseline::compileModule(M, A, baseline::OptLevel::O1);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(All, UirQueries, ::testing::Range(0, 20),
+                         [](const ::testing::TestParamInfo<int> &I) {
+                           return std::string("q") + std::to_string(I.param);
+                         });

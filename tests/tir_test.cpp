@@ -1,0 +1,276 @@
+//===- tests/tir_test.cpp - TIR builder/verifier/interpreter tests --------===//
+
+#include "tir/Builder.h"
+#include "tir/Interp.h"
+#include "tir/Printer.h"
+#include "tir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpde;
+using namespace tpde::tir;
+
+namespace {
+
+/// Builds: i64 f(i64 a, i64 b) { return a + b*2; }
+Module simpleModule() {
+  Module M;
+  FunctionBuilder B(M, "f", Type::I64, {Type::I64, Type::I64});
+  BlockRef Entry = B.addBlock("entry");
+  B.setInsertPoint(Entry);
+  ValRef Two = B.constInt(Type::I64, 2);
+  ValRef Mul = B.binop(Op::Mul, B.arg(1), Two);
+  ValRef Sum = B.binop(Op::Add, B.arg(0), Mul);
+  B.ret(Sum);
+  B.finish();
+  return M;
+}
+
+} // namespace
+
+TEST(TIRBuilder, SimpleFunction) {
+  Module M = simpleModule();
+  std::string Err;
+  EXPECT_TRUE(verifyModule(M, Err)) << Err;
+  EXPECT_EQ(M.Funcs.size(), 1u);
+  EXPECT_EQ(M.Funcs[0].Blocks.size(), 1u);
+  // 2 args + 1 const + 3 instructions (mul, add, ret)
+  EXPECT_EQ(M.Funcs[0].valueCount(), 6u);
+}
+
+TEST(TIRBuilder, ConstantsAreDeduplicated) {
+  Module M;
+  FunctionBuilder B(M, "g", Type::I64, {});
+  B.setInsertPoint(B.addBlock());
+  ValRef C1 = B.constInt(Type::I64, 7);
+  ValRef C2 = B.constInt(Type::I64, 7);
+  ValRef C3 = B.constInt(Type::I32, 7);
+  EXPECT_EQ(C1, C2);
+  EXPECT_NE(C1, C3);
+  B.ret(C1);
+  B.finish();
+}
+
+TEST(TIRInterp, Arithmetic) {
+  Module M = simpleModule();
+  Interp I(M);
+  auto R = I.run(0, {{5, 0}, {10, 0}});
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Lo, 25u);
+}
+
+TEST(TIRInterp, LoopWithPhis) {
+  // sum(n) = 0 + 1 + ... + (n-1)
+  Module M;
+  FunctionBuilder B(M, "sum", Type::I64, {Type::I64});
+  BlockRef Entry = B.addBlock("entry");
+  BlockRef Loop = B.addBlock("loop");
+  BlockRef Exit = B.addBlock("exit");
+  B.setInsertPoint(Entry);
+  B.br(Loop);
+  B.setInsertPoint(Loop);
+  ValRef I = B.phi(Type::I64);
+  ValRef Acc = B.phi(Type::I64);
+  ValRef Acc2 = B.binop(Op::Add, Acc, I);
+  ValRef I2 = B.binop(Op::Add, I, B.constInt(Type::I64, 1));
+  ValRef Cmp = B.icmp(ICmp::Slt, I2, B.arg(0));
+  B.condBr(Cmp, Loop, Exit);
+  B.setInsertPoint(Exit);
+  B.ret(Acc2);
+  B.addPhiIncoming(I, Entry, B.constInt(Type::I64, 0));
+  B.addPhiIncoming(I, Loop, I2);
+  B.addPhiIncoming(Acc, Entry, B.constInt(Type::I64, 0));
+  B.addPhiIncoming(Acc, Loop, Acc2);
+  B.finish();
+
+  std::string Err;
+  ASSERT_TRUE(verifyModule(M, Err)) << Err;
+  Interp In(M);
+  auto R = In.run(0, {{100, 0}});
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Lo, 4950u);
+}
+
+TEST(TIRInterp, MemoryAndStackVars) {
+  Module M;
+  FunctionBuilder B(M, "mem", Type::I32, {Type::I32});
+  B.setInsertPoint(B.addBlock());
+  ValRef Slot = B.stackVar(4, 4);
+  B.store(B.arg(0), Slot);
+  ValRef L = B.load(Type::I32, Slot);
+  ValRef R = B.binop(Op::Add, L, B.constInt(Type::I32, 1));
+  B.ret(R);
+  B.finish();
+  std::string Err;
+  ASSERT_TRUE(verifyModule(M, Err)) << Err;
+  Interp I(M);
+  EXPECT_EQ(I.run(0, {{41, 0}})->Lo, 42u);
+}
+
+TEST(TIRInterp, GlobalsAndPtrAdd) {
+  Module M;
+  u32 G = addGlobal(M, "arr", 64, 8);
+  FunctionBuilder B(M, "idx", Type::I64, {Type::I64});
+  B.setInsertPoint(B.addBlock());
+  ValRef Base = B.globalAddr(G);
+  ValRef P = B.ptrAdd(Base, B.arg(0), 8, 8);
+  ValRef L = B.load(Type::I64, P);
+  B.ret(L);
+  B.finish();
+  Interp I(M);
+  u64 *Arr = reinterpret_cast<u64 *>(I.globalStorage(G));
+  for (int K = 0; K < 8; ++K)
+    Arr[K] = K * 100;
+  EXPECT_EQ(I.run(0, {{2, 0}})->Lo, 300u); // arr[(2*8+8)/8] = arr[3]
+}
+
+TEST(TIRInterp, DivisionTraps) {
+  Module M;
+  FunctionBuilder B(M, "div", Type::I64, {Type::I64, Type::I64});
+  B.setInsertPoint(B.addBlock());
+  B.ret(B.binop(Op::SDiv, B.arg(0), B.arg(1)));
+  B.finish();
+  Interp I(M);
+  EXPECT_EQ(I.run(0, {{42, 0}, {7, 0}})->Lo, 6u);
+  EXPECT_FALSE(I.run(0, {{42, 0}, {0, 0}}).has_value());
+  // INT64_MIN / -1 traps like hardware.
+  EXPECT_FALSE(
+      I.run(0, {{0x8000000000000000ull, 0}, {static_cast<u64>(-1), 0}})
+          .has_value());
+}
+
+TEST(TIRInterp, I128Arithmetic) {
+  Module M;
+  FunctionBuilder B(M, "add128", Type::I64,
+                    {Type::I64, Type::I64, Type::I64, Type::I64});
+  B.setInsertPoint(B.addBlock());
+  // (a zext to 128 | b << 64) + (c | d << 64), return high half
+  ValRef A = B.cast(Op::Zext, Type::I128, B.arg(0));
+  ValRef Bv = B.cast(Op::Zext, Type::I128, B.arg(1));
+  ValRef C = B.cast(Op::Zext, Type::I128, B.arg(2));
+  ValRef D = B.cast(Op::Zext, Type::I128, B.arg(3));
+  ValRef C64 = B.constInt(Type::I128, 64);
+  ValRef Hi1 = B.binop(Op::Shl, Bv, C64);
+  ValRef Hi2 = B.binop(Op::Shl, D, C64);
+  ValRef X = B.binop(Op::Or, A, Hi1);
+  ValRef Y = B.binop(Op::Or, C, Hi2);
+  ValRef Sum = B.binop(Op::Add, X, Y);
+  ValRef Hi = B.binop(Op::LShr, Sum, C64);
+  B.ret(B.cast(Op::Trunc, Type::I64, Hi));
+  B.finish();
+  std::string Err;
+  ASSERT_TRUE(verifyModule(M, Err)) << Err;
+  Interp I(M);
+  // (2^64-1 + 1) carries into the high half.
+  auto R = I.run(0, {{~0ull, 0}, {5, 0}, {1, 0}, {7, 0}});
+  EXPECT_EQ(R->Lo, 13u);
+}
+
+TEST(TIRInterp, FloatOps) {
+  Module M;
+  FunctionBuilder B(M, "fp", Type::F64, {Type::F64, Type::F64});
+  B.setInsertPoint(B.addBlock());
+  ValRef Mul = B.binop(Op::FMul, B.arg(0), B.arg(1));
+  ValRef Add = B.binop(Op::FAdd, Mul, B.constF64(1.5));
+  B.ret(Add);
+  B.finish();
+  Interp I(M);
+  auto ToBits = [](double D) {
+    u64 B;
+    memcpy(&B, &D, 8);
+    return B;
+  };
+  auto R = I.run(0, {{ToBits(3.0), 0}, {ToBits(4.0), 0}});
+  double Res;
+  memcpy(&Res, &R->Lo, 8);
+  EXPECT_DOUBLE_EQ(Res, 13.5);
+}
+
+TEST(TIRInterp, CallsAndNatives) {
+  Module M;
+  u32 Ext = declareFunc(M, "twice", Type::I64, {Type::I64});
+  FunctionBuilder B(M, "caller", Type::I64, {Type::I64});
+  B.setInsertPoint(B.addBlock());
+  ValRef R = B.call(Ext, Type::I64, {B.arg(0)});
+  B.ret(B.binop(Op::Add, R, B.constInt(Type::I64, 1)));
+  B.finish();
+  Interp I(M);
+  I.registerNative("twice", [](const std::vector<Interp::Val> &A) {
+    return Interp::Val{A[0].Lo * 2, 0};
+  });
+  EXPECT_EQ(I.run(1, {{21, 0}})->Lo, 43u);
+  // Without the native registered, the call traps.
+  Interp I2(M);
+  EXPECT_FALSE(I2.run(1, {{21, 0}}).has_value());
+}
+
+TEST(TIRVerifier, CatchesMalformedIR) {
+  // Use before def across blocks without dominance.
+  Module M;
+  FunctionBuilder B(M, "bad", Type::I64, {Type::I64});
+  BlockRef E = B.addBlock("e");
+  BlockRef L = B.addBlock("l");
+  BlockRef R = B.addBlock("r");
+  BlockRef J = B.addBlock("j");
+  B.setInsertPoint(E);
+  ValRef C = B.icmp(ICmp::Eq, B.arg(0), B.constInt(Type::I64, 0));
+  B.condBr(C, L, R);
+  B.setInsertPoint(L);
+  ValRef X = B.binop(Op::Add, B.arg(0), B.constInt(Type::I64, 1));
+  B.br(J);
+  B.setInsertPoint(R);
+  B.br(J);
+  B.setInsertPoint(J);
+  B.ret(X); // X does not dominate J
+  B.finish();
+  std::string Err;
+  EXPECT_FALSE(verifyModule(M, Err));
+  EXPECT_NE(Err.find("use before def"), std::string::npos);
+}
+
+TEST(TIRVerifier, PhiPredecessorMismatch) {
+  Module M;
+  FunctionBuilder B(M, "badphi", Type::I64, {});
+  BlockRef E = B.addBlock();
+  BlockRef J = B.addBlock();
+  B.setInsertPoint(E);
+  B.br(J);
+  B.setInsertPoint(J);
+  ValRef P = B.phi(Type::I64);
+  // Incoming from J itself, which is not a predecessor.
+  B.addPhiIncoming(P, J, B.constInt(Type::I64, 3));
+  B.ret(P);
+  B.finish();
+  std::string Err;
+  EXPECT_FALSE(verifyModule(M, Err));
+}
+
+TEST(TIRVerifier, IDomComputation) {
+  // Diamond: entry -> a, b -> join
+  Module M;
+  FunctionBuilder B(M, "diamond", Type::I64, {Type::I64});
+  BlockRef E = B.addBlock(), A = B.addBlock(), Bb = B.addBlock(),
+           J = B.addBlock();
+  B.setInsertPoint(E);
+  ValRef C = B.icmp(ICmp::Eq, B.arg(0), B.constInt(Type::I64, 0));
+  B.condBr(C, A, Bb);
+  B.setInsertPoint(A);
+  B.br(J);
+  B.setInsertPoint(Bb);
+  B.br(J);
+  B.setInsertPoint(J);
+  B.ret(B.arg(0));
+  B.finish();
+  auto IDom = computeIDom(M.Funcs[0]);
+  EXPECT_EQ(IDom[A], E);
+  EXPECT_EQ(IDom[Bb], E);
+  EXPECT_EQ(IDom[J], E);
+}
+
+TEST(TIRPrinter, RoundTripText) {
+  Module M = simpleModule();
+  std::string Text = printFunction(M, M.Funcs[0]);
+  EXPECT_NE(Text.find("func @f"), std::string::npos);
+  EXPECT_NE(Text.find("mul i64"), std::string::npos);
+  EXPECT_NE(Text.find("ret i64"), std::string::npos);
+}

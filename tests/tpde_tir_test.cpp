@@ -1,0 +1,425 @@
+//===- tests/tpde_tir_test.cpp - End-to-end TPDE-TIR backend tests --------===//
+///
+/// Compiles TIR functions with the TPDE back-end, maps them into memory,
+/// executes them on the host, and checks results (in several cases against
+/// the reference interpreter).
+///
+//===----------------------------------------------------------------------===//
+
+#include "asmx/JITMapper.h"
+#include "tir/Builder.h"
+#include "tir/Interp.h"
+#include "tir/Verifier.h"
+#include "tpde_tir/TirCompilerX64.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpde;
+using namespace tpde::tir;
+
+namespace {
+
+struct Jitted {
+  asmx::Assembler Asm;
+  asmx::JITMapper JIT;
+
+  void *fn(const char *Name) { return JIT.address(Name); }
+};
+
+/// Compiles and maps a module; asserts success.
+std::unique_ptr<Jitted> jit(Module &M,
+                            const asmx::JITMapper::Resolver &R = nullptr) {
+  std::string Err;
+  EXPECT_TRUE(verifyModule(M, Err)) << Err;
+  auto Out = std::make_unique<Jitted>();
+  if (!tpde_tir::compileModuleX64(M, Out->Asm))
+    return nullptr;
+  if (!Out->JIT.map(Out->Asm, R))
+    return nullptr;
+  return Out;
+}
+
+} // namespace
+
+TEST(TpdeTir, ReturnConstant) {
+  Module M;
+  FunctionBuilder B(M, "f", Type::I64, {});
+  B.setInsertPoint(B.addBlock());
+  B.ret(B.constInt(Type::I64, 42));
+  B.finish();
+  auto J = jit(M);
+  ASSERT_TRUE(J);
+  auto *F = reinterpret_cast<long (*)()>(J->fn("f"));
+  EXPECT_EQ(F(), 42);
+}
+
+TEST(TpdeTir, AddArgs) {
+  Module M;
+  FunctionBuilder B(M, "add", Type::I64, {Type::I64, Type::I64});
+  B.setInsertPoint(B.addBlock());
+  B.ret(B.binop(Op::Add, B.arg(0), B.arg(1)));
+  B.finish();
+  auto J = jit(M);
+  ASSERT_TRUE(J);
+  auto *F = reinterpret_cast<long (*)(long, long)>(J->fn("add"));
+  EXPECT_EQ(F(2, 40), 42);
+  EXPECT_EQ(F(-7, 3), -4);
+}
+
+TEST(TpdeTir, ArithMix32) {
+  // (a * 3 + b) ^ (b - 5) as i32
+  Module M;
+  FunctionBuilder B(M, "mix", Type::I32, {Type::I32, Type::I32});
+  B.setInsertPoint(B.addBlock());
+  ValRef T1 = B.binop(Op::Mul, B.arg(0), B.constInt(Type::I32, 3));
+  ValRef T2 = B.binop(Op::Add, T1, B.arg(1));
+  ValRef T3 = B.binop(Op::Sub, B.arg(1), B.constInt(Type::I32, 5));
+  B.ret(B.binop(Op::Xor, T2, T3));
+  B.finish();
+  auto J = jit(M);
+  ASSERT_TRUE(J);
+  auto *F = reinterpret_cast<int (*)(int, int)>(J->fn("mix"));
+  auto Ref = [](int A, int Bv) { return (A * 3 + Bv) ^ (Bv - 5); };
+  EXPECT_EQ(F(1, 2), Ref(1, 2));
+  EXPECT_EQ(F(-100, 77), Ref(-100, 77));
+  EXPECT_EQ(F(0x7fffffff, -1), Ref(0x7fffffff, -1));
+}
+
+TEST(TpdeTir, BranchAndPhi) {
+  // max(a, b) via condbr + phi
+  Module M;
+  FunctionBuilder B(M, "max", Type::I64, {Type::I64, Type::I64});
+  BlockRef E = B.addBlock(), T = B.addBlock(), F = B.addBlock(),
+           Jn = B.addBlock();
+  B.setInsertPoint(E);
+  ValRef C = B.icmp(ICmp::Sgt, B.arg(0), B.arg(1));
+  B.condBr(C, T, F);
+  B.setInsertPoint(T);
+  B.br(Jn);
+  B.setInsertPoint(F);
+  B.br(Jn);
+  B.setInsertPoint(Jn);
+  ValRef P = B.phi(Type::I64);
+  B.addPhiIncoming(P, T, B.arg(0));
+  B.addPhiIncoming(P, F, B.arg(1));
+  B.ret(P);
+  B.finish();
+  auto J = jit(M);
+  ASSERT_TRUE(J);
+  auto *Fn = reinterpret_cast<long (*)(long, long)>(J->fn("max"));
+  EXPECT_EQ(Fn(3, 9), 9);
+  EXPECT_EQ(Fn(9, 3), 9);
+  EXPECT_EQ(Fn(-5, -9), -5);
+}
+
+TEST(TpdeTir, LoopSum) {
+  // sum 0..n-1 with loop phis (exercises fixed registers + back edges)
+  Module M;
+  FunctionBuilder B(M, "sum", Type::I64, {Type::I64});
+  BlockRef E = B.addBlock(), L = B.addBlock(), X = B.addBlock();
+  B.setInsertPoint(E);
+  B.br(L);
+  B.setInsertPoint(L);
+  ValRef I = B.phi(Type::I64);
+  ValRef Acc = B.phi(Type::I64);
+  ValRef Acc2 = B.binop(Op::Add, Acc, I);
+  ValRef I2 = B.binop(Op::Add, I, B.constInt(Type::I64, 1));
+  ValRef C = B.icmp(ICmp::Slt, I2, B.arg(0));
+  B.condBr(C, L, X);
+  B.setInsertPoint(X);
+  B.ret(Acc2);
+  B.addPhiIncoming(I, E, B.constInt(Type::I64, 0));
+  B.addPhiIncoming(I, L, I2);
+  B.addPhiIncoming(Acc, E, B.constInt(Type::I64, 0));
+  B.addPhiIncoming(Acc, L, Acc2);
+  B.finish();
+  auto J = jit(M);
+  ASSERT_TRUE(J);
+  auto *F = reinterpret_cast<long (*)(long)>(J->fn("sum"));
+  EXPECT_EQ(F(10), 45);
+  EXPECT_EQ(F(1), 0);
+  EXPECT_EQ(F(100000), 4999950000L);
+}
+
+TEST(TpdeTir, MemoryStackVars) {
+  Module M;
+  FunctionBuilder B(M, "mem", Type::I32, {Type::I32});
+  B.setInsertPoint(B.addBlock());
+  ValRef S = B.stackVar(16, 8);
+  B.store(B.arg(0), S);
+  ValRef P2 = B.ptrAdd(S, InvalidRef, 1, 4);
+  B.store(B.constInt(Type::I32, 7), P2);
+  ValRef V1 = B.load(Type::I32, S);
+  ValRef V2 = B.load(Type::I32, P2);
+  B.ret(B.binop(Op::Add, V1, V2));
+  B.finish();
+  auto J = jit(M);
+  ASSERT_TRUE(J);
+  auto *F = reinterpret_cast<int (*)(int)>(J->fn("mem"));
+  EXPECT_EQ(F(35), 42);
+}
+
+TEST(TpdeTir, GlobalsAndPtrArith) {
+  Module M;
+  std::vector<u8> Init(64, 0);
+  for (int I = 0; I < 8; ++I)
+    Init[8 * I] = static_cast<u8>(I + 1);
+  u32 G = addGlobal(M, "table", 64, 8, /*ReadOnly=*/false, Init);
+  FunctionBuilder B(M, "idx", Type::I64, {Type::I64});
+  B.setInsertPoint(B.addBlock());
+  ValRef P = B.ptrAdd(B.globalAddr(G), B.arg(0), 8, 0);
+  B.ret(B.load(Type::I64, P));
+  B.finish();
+  auto J = jit(M);
+  ASSERT_TRUE(J);
+  auto *F = reinterpret_cast<long (*)(long)>(J->fn("idx"));
+  EXPECT_EQ(F(0), 1);
+  EXPECT_EQ(F(5), 6);
+}
+
+TEST(TpdeTir, Calls) {
+  Module M;
+  {
+    FunctionBuilder B(M, "helper", Type::I64, {Type::I64, Type::I64});
+    B.setInsertPoint(B.addBlock());
+    B.ret(B.binop(Op::Mul, B.arg(0), B.arg(1)));
+    B.finish();
+  }
+  {
+    FunctionBuilder B(M, "caller", Type::I64, {Type::I64});
+    B.setInsertPoint(B.addBlock());
+    ValRef R = B.call(0, Type::I64, {B.arg(0), B.constInt(Type::I64, 6)});
+    B.ret(B.binop(Op::Add, R, B.constInt(Type::I64, 1)));
+    B.finish();
+  }
+  auto J = jit(M);
+  ASSERT_TRUE(J);
+  auto *F = reinterpret_cast<long (*)(long)>(J->fn("caller"));
+  EXPECT_EQ(F(7), 43);
+}
+
+static long extTwice(long X) { return 2 * X; }
+
+TEST(TpdeTir, ExternalCall) {
+  Module M;
+  u32 Ext = declareFunc(M, "ext_twice", Type::I64, {Type::I64});
+  FunctionBuilder B(M, "caller", Type::I64, {Type::I64});
+  B.setInsertPoint(B.addBlock());
+  B.ret(B.call(Ext, Type::I64, {B.arg(0)}));
+  B.finish();
+  auto J = jit(M, [](std::string_view N) -> void * {
+    return N == "ext_twice" ? reinterpret_cast<void *>(&extTwice) : nullptr;
+  });
+  ASSERT_TRUE(J);
+  auto *F = reinterpret_cast<long (*)(long)>(J->fn("caller"));
+  EXPECT_EQ(F(21), 42);
+}
+
+TEST(TpdeTir, ManyArgsSpillToStack) {
+  // 9 integer args: 6 in registers, 3 on the stack.
+  Module M;
+  std::vector<Type> Params(9, Type::I64);
+  {
+    FunctionBuilder B(M, "sum9", Type::I64, Params);
+    B.setInsertPoint(B.addBlock());
+    ValRef Acc = B.arg(0);
+    for (u32 I = 1; I < 9; ++I)
+      Acc = B.binop(Op::Add, Acc, B.arg(I));
+    B.ret(Acc);
+    B.finish();
+  }
+  {
+    FunctionBuilder B(M, "caller", Type::I64, {});
+    B.setInsertPoint(B.addBlock());
+    std::vector<ValRef> Args;
+    for (u32 I = 1; I <= 9; ++I)
+      Args.push_back(B.constInt(Type::I64, I));
+    B.ret(B.call(0, Type::I64, Args));
+    B.finish();
+  }
+  auto J = jit(M);
+  ASSERT_TRUE(J);
+  auto *Direct = reinterpret_cast<long (*)(long, long, long, long, long, long,
+                                           long, long, long)>(J->fn("sum9"));
+  EXPECT_EQ(Direct(1, 2, 3, 4, 5, 6, 7, 8, 9), 45);
+  auto *F = reinterpret_cast<long (*)()>(J->fn("caller"));
+  EXPECT_EQ(F(), 45);
+}
+
+TEST(TpdeTir, FloatArith) {
+  Module M;
+  FunctionBuilder B(M, "fp", Type::F64, {Type::F64, Type::F64});
+  B.setInsertPoint(B.addBlock());
+  ValRef P = B.binop(Op::FMul, B.arg(0), B.arg(1));
+  ValRef S = B.binop(Op::FAdd, P, B.constF64(0.5));
+  B.ret(B.binop(Op::FDiv, S, B.constF64(2.0)));
+  B.finish();
+  auto J = jit(M);
+  ASSERT_TRUE(J);
+  auto *F = reinterpret_cast<double (*)(double, double)>(J->fn("fp"));
+  EXPECT_DOUBLE_EQ(F(3.0, 4.0), 6.25);
+}
+
+TEST(TpdeTir, DivisionAndRemainder) {
+  Module M;
+  FunctionBuilder B(M, "divmod", Type::I64, {Type::I64, Type::I64});
+  B.setInsertPoint(B.addBlock());
+  ValRef Q = B.binop(Op::SDiv, B.arg(0), B.arg(1));
+  ValRef R = B.binop(Op::SRem, B.arg(0), B.arg(1));
+  ValRef Q100 = B.binop(Op::Mul, Q, B.constInt(Type::I64, 1000));
+  B.ret(B.binop(Op::Add, Q100, R));
+  B.finish();
+  auto J = jit(M);
+  ASSERT_TRUE(J);
+  auto *F = reinterpret_cast<long (*)(long, long)>(J->fn("divmod"));
+  EXPECT_EQ(F(42, 5), 8 * 1000 + 2);
+  EXPECT_EQ(F(-42, 5), -8 * 1000 - 2);
+}
+
+TEST(TpdeTir, Shifts) {
+  Module M;
+  FunctionBuilder B(M, "sh", Type::I64, {Type::I64, Type::I64});
+  B.setInsertPoint(B.addBlock());
+  ValRef A = B.binop(Op::Shl, B.arg(0), B.constInt(Type::I64, 3));
+  ValRef Bv = B.binop(Op::LShr, B.arg(0), B.arg(1));
+  ValRef Cv = B.binop(Op::AShr, B.arg(0), B.constInt(Type::I64, 2));
+  ValRef T = B.binop(Op::Xor, A, Bv);
+  B.ret(B.binop(Op::Xor, T, Cv));
+  B.finish();
+  auto J = jit(M);
+  ASSERT_TRUE(J);
+  auto *F = reinterpret_cast<long (*)(long, long)>(J->fn("sh"));
+  auto Ref = [](long X, long S) {
+    return (X << 3) ^ static_cast<long>(static_cast<unsigned long>(X) >> S) ^
+           (X >> 2);
+  };
+  EXPECT_EQ(F(12345, 4), Ref(12345, 4));
+  EXPECT_EQ(F(-99999, 17), Ref(-99999, 17));
+}
+
+TEST(TpdeTir, SelectAndCompare) {
+  Module M;
+  FunctionBuilder B(M, "clamp", Type::I64, {Type::I64});
+  B.setInsertPoint(B.addBlock());
+  ValRef Lo = B.constInt(Type::I64, 0);
+  ValRef Hi = B.constInt(Type::I64, 100);
+  ValRef C1 = B.icmp(ICmp::Slt, B.arg(0), Lo);
+  ValRef S1 = B.select(C1, Lo, B.arg(0));
+  ValRef C2 = B.icmp(ICmp::Sgt, S1, Hi);
+  B.ret(B.select(C2, Hi, S1));
+  B.finish();
+  auto J = jit(M);
+  ASSERT_TRUE(J);
+  auto *F = reinterpret_cast<long (*)(long)>(J->fn("clamp"));
+  EXPECT_EQ(F(-5), 0);
+  EXPECT_EQ(F(55), 55);
+  EXPECT_EQ(F(1000), 100);
+}
+
+TEST(TpdeTir, CastChain) {
+  Module M;
+  FunctionBuilder B(M, "casts", Type::I64, {Type::I32});
+  B.setInsertPoint(B.addBlock());
+  ValRef T8 = B.cast(Op::Trunc, Type::I8, B.arg(0));
+  ValRef S = B.cast(Op::Sext, Type::I64, T8);
+  ValRef Z = B.cast(Op::Zext, Type::I64, T8);
+  B.ret(B.binop(Op::Add, S, Z));
+  B.finish();
+  auto J = jit(M);
+  ASSERT_TRUE(J);
+  auto *F = reinterpret_cast<long (*)(int)>(J->fn("casts"));
+  auto Ref = [](int X) {
+    signed char C = static_cast<signed char>(X);
+    return static_cast<long>(C) + static_cast<long>(static_cast<u8>(C));
+  };
+  EXPECT_EQ(F(5), Ref(5));
+  EXPECT_EQ(F(-1), Ref(-1));
+  EXPECT_EQ(F(0x1FF), Ref(0x1FF));
+}
+
+TEST(TpdeTir, FloatIntConversions) {
+  Module M;
+  FunctionBuilder B(M, "conv", Type::I64, {Type::F64});
+  B.setInsertPoint(B.addBlock());
+  ValRef I = B.cast(Op::FpToSi, Type::I64, B.arg(0));
+  ValRef D = B.cast(Op::SiToFp, Type::F64, I);
+  ValRef Fl = B.cast(Op::FpTrunc, Type::F32, D);
+  ValRef D2 = B.cast(Op::FpExt, Type::F64, Fl);
+  B.ret(B.cast(Op::FpToSi, Type::I64, D2));
+  B.finish();
+  auto J = jit(M);
+  ASSERT_TRUE(J);
+  auto *F = reinterpret_cast<long (*)(double)>(J->fn("conv"));
+  EXPECT_EQ(F(42.9), 42);
+  EXPECT_EQ(F(-3.2), -3);
+}
+
+TEST(TpdeTir, I128AddCarry) {
+  Module M;
+  FunctionBuilder B(M, "carry", Type::I64, {Type::I64, Type::I64});
+  B.setInsertPoint(B.addBlock());
+  ValRef A = B.cast(Op::Zext, Type::I128, B.arg(0));
+  ValRef Bb = B.cast(Op::Zext, Type::I128, B.arg(1));
+  ValRef S = B.binop(Op::Add, A, Bb);
+  ValRef Hi = B.binop(Op::LShr, S, B.constInt(Type::I128, 64));
+  B.ret(B.cast(Op::Trunc, Type::I64, Hi));
+  B.finish();
+  auto J = jit(M);
+  ASSERT_TRUE(J);
+  auto *F = reinterpret_cast<long (*)(u64, u64)>(J->fn("carry"));
+  EXPECT_EQ(F(~0ull, 1), 1);
+  EXPECT_EQ(F(5, 9), 0);
+}
+
+TEST(TpdeTir, DifferentialSmoke) {
+  // A diamond with loops and mixed types, compared against the interpreter
+  // over a grid of inputs.
+  Module M;
+  FunctionBuilder B(M, "f", Type::I64, {Type::I64, Type::I64});
+  BlockRef E = B.addBlock(), L = B.addBlock(), Body = B.addBlock(),
+           Odd = B.addBlock(), Even = B.addBlock(), Latch = B.addBlock(),
+           X = B.addBlock();
+  B.setInsertPoint(E);
+  B.br(L);
+  B.setInsertPoint(L);
+  ValRef I = B.phi(Type::I64);
+  ValRef Acc = B.phi(Type::I64);
+  ValRef CLoop = B.icmp(ICmp::Slt, I, B.arg(0));
+  B.condBr(CLoop, Body, X);
+  B.setInsertPoint(Body);
+  ValRef Bit = B.binop(Op::And, I, B.constInt(Type::I64, 1));
+  ValRef CO = B.icmp(ICmp::Ne, Bit, B.constInt(Type::I64, 0));
+  B.condBr(CO, Odd, Even);
+  B.setInsertPoint(Odd);
+  ValRef AOdd = B.binop(Op::Add, Acc, I);
+  B.br(Latch);
+  B.setInsertPoint(Even);
+  ValRef AEven = B.binop(Op::Xor, Acc, B.arg(1));
+  B.br(Latch);
+  B.setInsertPoint(Latch);
+  ValRef ANext = B.phi(Type::I64);
+  ValRef I2 = B.binop(Op::Add, I, B.constInt(Type::I64, 1));
+  B.br(L);
+  B.setInsertPoint(X);
+  B.ret(Acc);
+  B.addPhiIncoming(I, E, B.constInt(Type::I64, 0));
+  B.addPhiIncoming(I, Latch, I2);
+  B.addPhiIncoming(Acc, E, B.constInt(Type::I64, 0));
+  B.addPhiIncoming(Acc, Latch, ANext);
+  B.addPhiIncoming(ANext, Odd, AOdd);
+  B.addPhiIncoming(ANext, Even, AEven);
+  B.finish();
+
+  auto J = jit(M);
+  ASSERT_TRUE(J);
+  auto *F = reinterpret_cast<long (*)(long, long)>(J->fn("f"));
+  Interp In(M);
+  for (long A = 0; A < 8; ++A) {
+    for (long Bv : {0L, 1L, 12345L, -7L}) {
+      auto R = In.run(0, {{static_cast<u64>(A), 0}, {static_cast<u64>(Bv), 0}});
+      ASSERT_TRUE(R.has_value());
+      EXPECT_EQ(static_cast<u64>(F(A, Bv)), R->Lo)
+          << "inputs " << A << ", " << Bv;
+    }
+  }
+}

@@ -1,0 +1,322 @@
+//===- tests/x64_test.cpp - x86-64 encoder tests --------------------------===//
+///
+/// Two validation strategies: byte-exact golden encodings for representative
+/// instructions, and end-to-end execution of small JIT-compiled functions on
+/// the x86-64 host.
+///
+//===----------------------------------------------------------------------===//
+
+#include "asmx/JITMapper.h"
+#include "x64/Encoder.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpde;
+using namespace tpde::asmx;
+using namespace tpde::x64;
+
+namespace {
+
+std::vector<u8> bytesOf(void (*Emit)(Emitter &)) {
+  Assembler A;
+  Emitter E(A);
+  Emit(E);
+  return A.text().Data;
+}
+
+#define EXPECT_BYTES(expr, ...)                                                \
+  do {                                                                         \
+    std::vector<u8> Got = bytesOf([](Emitter &E) { expr; });                   \
+    std::vector<u8> Want = {__VA_ARGS__};                                      \
+    EXPECT_EQ(Got, Want);                                                      \
+  } while (0)
+
+/// JIT-compiles whatever \p Emit emitted as function "f" and returns its
+/// address, keeping the mapper alive via the out-parameter.
+void *jitFunction(JITMapper &JIT, void (*Emit)(Emitter &),
+                  const JITMapper::Resolver &R = nullptr) {
+  static Assembler *A;
+  A = new Assembler();
+  Emitter E(*A);
+  SymRef F = A->createSymbol("f", Linkage::External, true);
+  A->defineSymbol(F, SecKind::Text, 0, 0);
+  Emit(E);
+  if (!JIT.map(*A, R))
+    return nullptr;
+  return JIT.address("f");
+}
+
+} // namespace
+
+// --- Golden byte encodings (verified against GNU as) ---------------------
+
+TEST(X64Encode, MovRR) {
+  EXPECT_BYTES(E.movRR(8, RAX, RBX), 0x48, 0x89, 0xd8);
+  EXPECT_BYTES(E.movRR(4, RAX, RBX), 0x89, 0xd8);
+  EXPECT_BYTES(E.movRR(8, R8, R15), 0x4d, 0x89, 0xf8);
+  EXPECT_BYTES(E.movRR(2, RCX, RDX), 0x66, 0x89, 0xd1);
+  EXPECT_BYTES(E.movRR(1, RSI, RDI), 0x40, 0x88, 0xfe); // needs bare REX
+}
+
+TEST(X64Encode, MovRI) {
+  EXPECT_BYTES(E.movRI(RAX, 42), 0xb8, 0x2a, 0x00, 0x00, 0x00);
+  EXPECT_BYTES(E.movRI(R9, 1), 0x41, 0xb9, 0x01, 0x00, 0x00, 0x00);
+  // Negative value needs sign-extended 64-bit form.
+  EXPECT_BYTES(E.movRI(RAX, static_cast<u64>(-1)), 0x48, 0xc7, 0xc0, 0xff,
+               0xff, 0xff, 0xff);
+  // Full 64-bit immediate -> movabs.
+  EXPECT_BYTES(E.movRI(RAX, 0x123456789abcdef0ull), 0x48, 0xb8, 0xf0, 0xde,
+               0xbc, 0x9a, 0x78, 0x56, 0x34, 0x12);
+}
+
+TEST(X64Encode, LoadStore) {
+  EXPECT_BYTES(E.load(8, RAX, Mem(RDI, 8)), 0x48, 0x8b, 0x47, 0x08);
+  EXPECT_BYTES(E.store(4, Mem(RSI, -4), RDX), 0x89, 0x56, 0xfc);
+  // RSP base requires SIB.
+  EXPECT_BYTES(E.load(8, RAX, Mem(RSP, 16)), 0x48, 0x8b, 0x44, 0x24, 0x10);
+  // RBP base with zero displacement still requires disp8.
+  EXPECT_BYTES(E.load(8, RAX, Mem(RBP, 0)), 0x48, 0x8b, 0x45, 0x00);
+  // R13 behaves like RBP, R12 like RSP.
+  EXPECT_BYTES(E.load(8, RAX, Mem(R13, 0)), 0x49, 0x8b, 0x45, 0x00);
+  EXPECT_BYTES(E.load(8, RAX, Mem(R12, 0)), 0x49, 0x8b, 0x04, 0x24);
+  // Scaled index.
+  EXPECT_BYTES(E.load(4, RCX, Mem(RDI, RSI, 4, 0)), 0x8b, 0x0c, 0xb7);
+  // Large displacement.
+  EXPECT_BYTES(E.load(8, RAX, Mem(RDI, 0x1000)), 0x48, 0x8b, 0x87, 0x00, 0x10,
+               0x00, 0x00);
+}
+
+TEST(X64Encode, Alu) {
+  EXPECT_BYTES(E.aluRR(AluOp::Add, 8, RAX, RBX), 0x48, 0x01, 0xd8);
+  EXPECT_BYTES(E.aluRR(AluOp::Sub, 4, RCX, RDX), 0x29, 0xd1);
+  EXPECT_BYTES(E.aluRR(AluOp::Cmp, 8, RDI, RSI), 0x48, 0x39, 0xf7);
+  EXPECT_BYTES(E.aluRI(AluOp::Add, 8, RSP, 8), 0x48, 0x83, 0xc4, 0x08);
+  EXPECT_BYTES(E.aluRI(AluOp::Sub, 8, RSP, 0x100), 0x48, 0x81, 0xec, 0x00,
+               0x01, 0x00, 0x00);
+  EXPECT_BYTES(E.aluRM(AluOp::Add, 8, RAX, Mem(RDI, 0)), 0x48, 0x03, 0x07);
+}
+
+TEST(X64Encode, ShiftsAndUnary) {
+  EXPECT_BYTES(E.shiftRI(ShiftOp::Shl, 8, RAX, 4), 0x48, 0xc1, 0xe0, 0x04);
+  EXPECT_BYTES(E.shiftRI(ShiftOp::Sar, 4, RDX, 1), 0xd1, 0xfa);
+  EXPECT_BYTES(E.shiftRC(ShiftOp::Shr, 8, RBX), 0x48, 0xd3, 0xeb);
+  EXPECT_BYTES(E.negR(8, RAX), 0x48, 0xf7, 0xd8);
+  EXPECT_BYTES(E.notR(4, RCX), 0xf7, 0xd1);
+}
+
+TEST(X64Encode, MulDiv) {
+  EXPECT_BYTES(E.imulRR(8, RAX, RBX), 0x48, 0x0f, 0xaf, 0xc3);
+  EXPECT_BYTES(E.idivR(8, RCX), 0x48, 0xf7, 0xf9);
+  EXPECT_BYTES(E.divR(4, RSI), 0xf7, 0xf6);
+  EXPECT_BYTES(E.cwd(8), 0x48, 0x99);
+  EXPECT_BYTES(E.cwd(4), 0x99);
+}
+
+TEST(X64Encode, SetccCmov) {
+  EXPECT_BYTES(E.setcc(Cond::E, RAX), 0x0f, 0x94, 0xc0);
+  EXPECT_BYTES(E.setcc(Cond::L, RSI), 0x40, 0x0f, 0x9c, 0xc6);
+  EXPECT_BYTES(E.cmovcc(Cond::NE, 8, RAX, RBX), 0x48, 0x0f, 0x45, 0xc3);
+}
+
+TEST(X64Encode, Extensions) {
+  EXPECT_BYTES(E.movzxRR(1, RAX, RCX), 0x0f, 0xb6, 0xc1);
+  EXPECT_BYTES(E.movzxRR(4, RAX, RCX), 0x89, 0xc8);
+  EXPECT_BYTES(E.movsxRR(4, RAX, RCX), 0x48, 0x63, 0xc1);
+  EXPECT_BYTES(E.movsxRR(1, RDX, RBX), 0x48, 0x0f, 0xbe, 0xd3);
+}
+
+TEST(X64Encode, PushPopRet) {
+  EXPECT_BYTES(E.push(RBP), 0x55);
+  EXPECT_BYTES(E.push(R12), 0x41, 0x54);
+  EXPECT_BYTES(E.pop(RBP), 0x5d);
+  EXPECT_BYTES(E.ret(), 0xc3);
+}
+
+TEST(X64Encode, Lea) {
+  EXPECT_BYTES(E.lea(RAX, Mem(RDI, RSI, 1, 0)), 0x48, 0x8d, 0x04, 0x37);
+  EXPECT_BYTES(E.lea(RCX, Mem(RBP, -8)), 0x48, 0x8d, 0x4d, 0xf8);
+}
+
+TEST(X64Encode, SSE) {
+  EXPECT_BYTES(E.fpArith(FpOp::Add, 8, XMM0, XMM1), 0xf2, 0x0f, 0x58, 0xc1);
+  EXPECT_BYTES(E.fpArith(FpOp::Mul, 4, XMM2, XMM3), 0xf3, 0x0f, 0x59, 0xd3);
+  EXPECT_BYTES(E.fpLoad(8, XMM0, Mem(RDI, 0)), 0xf2, 0x0f, 0x10, 0x07);
+  EXPECT_BYTES(E.fpStore(4, Mem(RSI, 4), XMM1), 0xf3, 0x0f, 0x11, 0x4e, 0x04);
+  EXPECT_BYTES(E.ucomis(8, XMM0, XMM1), 0x66, 0x0f, 0x2e, 0xc1);
+  EXPECT_BYTES(E.xorps(XMM0, XMM0), 0x0f, 0x57, 0xc0);
+  EXPECT_BYTES(E.cvtsi2fp(8, 8, XMM0, RAX), 0xf2, 0x48, 0x0f, 0x2a, 0xc0);
+  EXPECT_BYTES(E.cvtfp2si(8, 4, RAX, XMM0), 0xf2, 0x0f, 0x2c, 0xc0);
+  EXPECT_BYTES(E.movdToFp(8, XMM0, RAX), 0x66, 0x48, 0x0f, 0x6e, 0xc0);
+  EXPECT_BYTES(E.movdFromFp(8, RAX, XMM0), 0x66, 0x48, 0x0f, 0x7e, 0xc0);
+}
+
+TEST(X64Encode, Nops) {
+  for (unsigned N = 1; N <= 32; ++N) {
+    Assembler A;
+    Emitter E(A);
+    E.nops(N);
+    EXPECT_EQ(A.text().size(), N) << "nop length " << N;
+  }
+}
+
+// --- Execution tests -------------------------------------------------------
+
+TEST(X64Exec, Return42) {
+  JITMapper JIT;
+  auto *F = reinterpret_cast<int (*)()>(jitFunction(JIT, [](Emitter &E) {
+    E.movRI(RAX, 42);
+    E.ret();
+  }));
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F(), 42);
+}
+
+TEST(X64Exec, AddArgs) {
+  JITMapper JIT;
+  auto *F =
+      reinterpret_cast<long (*)(long, long)>(jitFunction(JIT, [](Emitter &E) {
+        E.lea(RAX, Mem(RDI, RSI, 1, 0));
+        E.ret();
+      }));
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F(2, 40), 42);
+  EXPECT_EQ(F(-5, 3), -2);
+}
+
+TEST(X64Exec, BranchMax) {
+  JITMapper JIT;
+  // max(a, b) with a conditional branch.
+  auto *F =
+      reinterpret_cast<long (*)(long, long)>(jitFunction(JIT, [](Emitter &E) {
+        Assembler &A = E.assembler();
+        Label L = A.makeLabel();
+        E.movRR(8, RAX, RDI);
+        E.aluRR(AluOp::Cmp, 8, RDI, RSI);
+        E.jccLabel(Cond::GE, L);
+        E.movRR(8, RAX, RSI);
+        A.bindLabel(L);
+        E.ret();
+      }));
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F(3, 9), 9);
+  EXPECT_EQ(F(9, 3), 9);
+  EXPECT_EQ(F(-1, -2), -1);
+}
+
+TEST(X64Exec, LoopSum) {
+  JITMapper JIT;
+  // sum of 0..n-1
+  auto *F = reinterpret_cast<long (*)(long)>(jitFunction(JIT, [](Emitter &E) {
+    Assembler &A = E.assembler();
+    Label Head = A.makeLabel(), End = A.makeLabel();
+    E.movRI(RAX, 0);
+    E.movRI(RCX, 0);
+    A.bindLabel(Head);
+    E.aluRR(AluOp::Cmp, 8, RCX, RDI);
+    E.jccLabel(Cond::GE, End);
+    E.aluRR(AluOp::Add, 8, RAX, RCX);
+    E.aluRI(AluOp::Add, 8, RCX, 1);
+    E.jmpLabel(Head);
+    A.bindLabel(End);
+    E.ret();
+  }));
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F(10), 45);
+  EXPECT_EQ(F(0), 0);
+  EXPECT_EQ(F(1000), 499500);
+}
+
+static long externalHelper(long X) { return X * 3; }
+
+TEST(X64Exec, CallExternalSymbol) {
+  JITMapper JIT;
+  auto *F = reinterpret_cast<long (*)(long)>(jitFunction(
+      JIT,
+      [](Emitter &E) {
+        Assembler &A = E.assembler();
+        SymRef H = A.getOrCreateSymbol("helper");
+        E.push(RBP); // keep stack 16-byte aligned for the call
+        E.callSym(H);
+        E.pop(RBP);
+        E.aluRI(AluOp::Add, 8, RAX, 1);
+        E.ret();
+      },
+      [](std::string_view Name) -> void * {
+        return Name == "helper" ? reinterpret_cast<void *>(&externalHelper)
+                                : nullptr;
+      }));
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F(10), 31);
+}
+
+TEST(X64Exec, FloatAdd) {
+  JITMapper JIT;
+  auto *F = reinterpret_cast<double (*)(double, double)>(
+      jitFunction(JIT, [](Emitter &E) {
+        E.fpArith(FpOp::Add, 8, XMM0, XMM1);
+        E.ret();
+      }));
+  ASSERT_NE(F, nullptr);
+  EXPECT_DOUBLE_EQ(F(1.5, 2.25), 3.75);
+}
+
+TEST(X64Exec, RodataConstant) {
+  JITMapper JIT;
+  auto *F =
+      reinterpret_cast<double (*)()>(jitFunction(JIT, [](Emitter &E) {
+        Assembler &A = E.assembler();
+        Section &RO = A.section(SecKind::ROData);
+        SymRef C = A.createSymbol("const_pi", Linkage::Internal, false);
+        u64 Off = RO.size();
+        double Pi = 3.14159;
+        RO.append(&Pi, 8);
+        A.defineSymbol(C, SecKind::ROData, Off, 8);
+        E.fpLoadSym(8, XMM0, C);
+        E.ret();
+      }));
+  ASSERT_NE(F, nullptr);
+  EXPECT_DOUBLE_EQ(F(), 3.14159);
+}
+
+TEST(X64Exec, MemoryLoadStore) {
+  JITMapper JIT;
+  // *(long*)(p + 8) = *(long*)p + 1; returns old value
+  auto *F =
+      reinterpret_cast<long (*)(long *)>(jitFunction(JIT, [](Emitter &E) {
+        E.load(8, RAX, Mem(RDI, 0));
+        E.lea(RCX, Mem(RAX, 1));
+        E.store(8, Mem(RDI, 8), RCX);
+        E.ret();
+      }));
+  ASSERT_NE(F, nullptr);
+  long Buf[2] = {41, 0};
+  EXPECT_EQ(F(Buf), 41);
+  EXPECT_EQ(Buf[1], 42);
+}
+
+TEST(X64Exec, DivisionSequence) {
+  JITMapper JIT;
+  // signed division rdi / rsi
+  auto *F =
+      reinterpret_cast<long (*)(long, long)>(jitFunction(JIT, [](Emitter &E) {
+        E.movRR(8, RAX, RDI);
+        E.cwd(8);
+        E.idivR(8, RSI);
+        E.ret();
+      }));
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F(42, 7), 6);
+  EXPECT_EQ(F(-42, 7), -6);
+  EXPECT_EQ(F(7, -2), -3);
+}
+
+TEST(X64Exec, Conversions) {
+  JITMapper JIT;
+  auto *F = reinterpret_cast<double (*)(long)>(jitFunction(JIT, [](Emitter &E) {
+    E.cvtsi2fp(8, 8, XMM0, RDI);
+    E.ret();
+  }));
+  ASSERT_NE(F, nullptr);
+  EXPECT_DOUBLE_EQ(F(7), 7.0);
+  EXPECT_DOUBLE_EQ(F(-3), -3.0);
+}
