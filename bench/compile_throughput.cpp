@@ -1,0 +1,155 @@
+//===- bench/compile_throughput.cpp - Hot-path allocation benchmark -------===//
+///
+/// Measures the compile hot path the paper's speed claims rest on:
+/// functions compiled per second and heap allocations per compiled
+/// function, for every back-end. Two scenarios:
+///
+///  * fresh:  a new assembler per module compile (the classic batch mode).
+///  * reused: one compiler instance recompiling the same module with
+///            reset-not-freed state; after warmup this must be
+///            allocation-free (docs/PERF.md).
+///
+/// Emits BENCH_compile_throughput.json for CI artifact upload.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/AllocCounter.h"
+
+TPDE_INSTALL_ALLOC_COUNTER
+
+using namespace tpde;
+using namespace tpde::bench;
+using support::AllocWatch;
+
+namespace {
+
+struct Result {
+  const char *Backend;
+  const char *Scenario;
+  double FuncsPerSec = 0;
+  double NewCallsPerFunc = 0;
+  double NewBytesPerFunc = 0;
+};
+
+/// Iterations so one measurement takes a meaningful amount of time without
+/// dragging out CI; each scenario takes the best of Reps measurements to
+/// shake off scheduler noise; throughput uses CPU time (CpuTimer), which
+/// is stable on loaded machines.
+constexpr unsigned Iters = 40;
+constexpr unsigned Reps = 3;
+
+template <typename Fn> Result bestOf(Fn Measure) {
+  Result Best = Measure();
+  for (unsigned R = 1; R < Reps; ++R) {
+    Result Cur = Measure();
+    if (Cur.FuncsPerSec > Best.FuncsPerSec)
+      Best = Cur;
+  }
+  return Best;
+}
+
+Result measureFresh(Backend B, tir::Module &M, u32 NumFuncs) {
+  // Warmup (first compile pays one-time costs: template caches etc).
+  {
+    asmx::Assembler Asm;
+    if (!compileWith(B, M, Asm)) {
+      std::fprintf(stderr, "compilation failed (%s)\n", backendName(B));
+      std::exit(1);
+    }
+  }
+  AllocWatch W;
+  CpuTimer T;
+  T.start();
+  for (unsigned I = 0; I < Iters; ++I) {
+    asmx::Assembler Asm;
+    compileWith(B, M, Asm);
+  }
+  T.stop();
+  Result R{backendName(B), "fresh"};
+  double Funcs = static_cast<double>(NumFuncs) * Iters;
+  R.FuncsPerSec = Funcs / (T.ms() / 1000.0);
+  R.NewCallsPerFunc = static_cast<double>(W.newCalls()) / Funcs;
+  R.NewBytesPerFunc = static_cast<double>(W.newBytes()) / Funcs;
+  return R;
+}
+
+/// TPDE with full state reuse: one adapter/compiler/assembler, reset
+/// between compiles. Steady state must not touch the heap.
+Result measureReused(tir::Module &M, u32 NumFuncs) {
+  tpde_tir::TirAdapter Adapter(M);
+  asmx::Assembler Asm;
+  tpde_tir::TirCompilerX64 Compiler(Adapter, Asm);
+  // Warmup grows all scratch buffers to their high-water mark.
+  for (unsigned I = 0; I < 4; ++I) {
+    Asm.reset();
+    if (!Compiler.compile()) {
+      std::fprintf(stderr, "compilation failed (TPDE reused)\n");
+      std::exit(1);
+    }
+  }
+  AllocWatch W;
+  CpuTimer T;
+  T.start();
+  for (unsigned I = 0; I < Iters; ++I) {
+    Asm.reset();
+    Compiler.compile();
+  }
+  T.stop();
+  Result R{"TPDE", "reused"};
+  double Funcs = static_cast<double>(NumFuncs) * Iters;
+  R.FuncsPerSec = Funcs / (T.ms() / 1000.0);
+  R.NewCallsPerFunc = static_cast<double>(W.newCalls()) / Funcs;
+  R.NewBytesPerFunc = static_cast<double>(W.newBytes()) / Funcs;
+  return R;
+}
+
+} // namespace
+
+int main() {
+  // A mid-size module: enough functions that per-function costs dominate,
+  // both IR flavors mixed in (O0-like stack traffic + SSA loops).
+  tir::Module M;
+  workloads::Profile P;
+  P.Seed = 7;
+  P.NumFuncs = 48;
+  P.RegionBudget = 10;
+  P.InstsPerBlock = 8;
+  P.SSAForm = true;
+  workloads::genModule(M, P);
+  u32 NumFuncs = static_cast<u32>(M.Funcs.size());
+
+  std::vector<Result> Results;
+  for (Backend B : {Backend::Tpde, Backend::CopyPatch, Backend::BaselineO0,
+                    Backend::BaselineO1})
+    Results.push_back(bestOf([&] { return measureFresh(B, M, NumFuncs); }));
+  Results.push_back(bestOf([&] { return measureReused(M, NumFuncs); }));
+
+  std::printf("%-12s %-7s %14s %12s %12s\n", "backend", "mode", "funcs/sec",
+              "new/func", "bytes/func");
+  for (const Result &R : Results)
+    std::printf("%-12s %-7s %14.0f %12.2f %12.1f\n", R.Backend, R.Scenario,
+                R.FuncsPerSec, R.NewCallsPerFunc, R.NewBytesPerFunc);
+
+  FILE *F = std::fopen("BENCH_compile_throughput.json", "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write BENCH_compile_throughput.json\n");
+    return 1;
+  }
+  std::fprintf(F, "{\n  \"benchmark\": \"compile_throughput\",\n"
+                  "  \"module_functions\": %u,\n  \"iterations\": %u,\n"
+                  "  \"results\": [\n",
+               NumFuncs, Iters);
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const Result &R = Results[I];
+    std::fprintf(F,
+                 "    {\"backend\": \"%s\", \"scenario\": \"%s\", "
+                 "\"funcs_per_sec\": %.1f, \"new_calls_per_func\": %.3f, "
+                 "\"new_bytes_per_func\": %.1f}%s\n",
+                 R.Backend, R.Scenario, R.FuncsPerSec, R.NewCallsPerFunc,
+                 R.NewBytesPerFunc, I + 1 < Results.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  return 0;
+}

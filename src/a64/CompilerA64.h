@@ -161,8 +161,11 @@ public:
     Emitter::patchFrameSub(T, FramePatchOff, FrameSize);
 
     // Fill the save/restore areas with actual instructions for the
-    // callee-saved registers that were used; pad the rest with NOPs.
-    asmx::Assembler TmpSave, TmpRestore;
+    // callee-saved registers that were used; pad the rest with NOPs. The
+    // scratch assemblers are members reset (not freed) per function.
+    asmx::Assembler &TmpSave = SaveScratchAsm, &TmpRestore = RestoreScratchAsm;
+    TmpSave.reset();
+    TmpRestore.reset();
     Emitter SaveE(TmpSave), RestoreE(TmpRestore);
     for (u8 Bank = 0; Bank < 2; ++Bank) {
       u32 CSRMask = this->UsedCalleeSaved[Bank] & A64Config::CalleeSaved[Bank];
@@ -242,13 +245,8 @@ public:
                const ValRef *Result, bool Vararg = false) {
     (void)Vararg; // AAPCS64 needs no vector-register count
     CCAssignerAAPCS CC;
-    struct Place {
-      ValRef V;
-      u8 Part;
-      CCAssignerAAPCS::Loc L;
-      u8 Bank;
-    };
-    std::vector<Place> Places;
+    auto &Places = CallPlaces; // scratch member (docs/PERF.md)
+    Places.clear();
     for (ValRef V : Args) {
       u8 N = static_cast<u8>(this->A.valPartCount(V));
       u8 Banks[core::Assignment::MaxParts];
@@ -285,8 +283,10 @@ public:
       if (P.L.InReg)
         ArgRegMask[A64Config::bankOf(P.L.RegId)] |=
             u32(1) << A64Config::idxOf(P.L.RegId);
-    std::vector<PendingMove> Moves;
-    std::vector<ValuePartRef> Holds;
+    auto &Moves = CallMoves;
+    auto &Holds = CallHolds;
+    Moves.clear();
+    Holds.clear();
     for (Place &P : Places) {
       if (!P.L.InReg)
         continue;
@@ -360,8 +360,10 @@ public:
   void emitReturn(const ValRef *RetVal) {
     if (RetVal) {
       u8 N = static_cast<u8>(this->A.valPartCount(*RetVal));
-      std::vector<PendingMove> Moves;
-      std::vector<ValuePartRef> Holds;
+      auto &Moves = CallMoves;
+      auto &Holds = CallHolds;
+      Moves.clear();
+      Holds.clear();
       u8 GPUsed = 0, FPUsed = 0;
       u32 RetMask[2] = {0, 0};
       for (u8 P = 0; P < N; ++P) {
@@ -401,6 +403,19 @@ protected:
   u64 FramePatchOff = 0;
   u64 SaveAreaOff = 0;
   std::vector<u64> RestoreAreaOffs;
+
+  struct Place {
+    ValRef V;
+    u8 Part;
+    CCAssignerAAPCS::Loc L;
+    u8 Bank;
+  };
+  // Per-call scratch, reused across calls/functions (docs/PERF.md).
+  support::SmallVector<Place, 16> CallPlaces;
+  typename Base::MoveVec CallMoves;
+  support::SmallVector<ValuePartRef, 16> CallHolds;
+  // Prologue/epilogue patching scratch (finishFunc).
+  asmx::Assembler SaveScratchAsm, RestoreScratchAsm;
 };
 
 } // namespace tpde::a64

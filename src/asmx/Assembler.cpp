@@ -6,35 +6,62 @@ using namespace tpde;
 using namespace tpde::asmx;
 
 SymRef Assembler::createSymbol(std::string_view Name, Linkage L, bool IsFunc) {
+  if (!Name.empty()) {
+    support::StringPool::StrId Id = Names.intern(Name);
+    if (SymOfName.size() < Names.count())
+      SymOfName.resize(Names.count(), ~0u);
+    u32 &Existing = SymOfName[Id];
+    if (Existing != ~0u) {
+      // Merge with the prior registration instead of silently shadowing
+      // it; definition conflicts are caught in defineSymbol(). Only an
+      // undefined external placeholder adopts the new linkage — a
+      // re-registration must never relax a defined or local symbol
+      // (e.g. Internal -> Weak would change ELF binding and disable the
+      // duplicate-strong-definition diagnostic).
+      Symbol &S = Syms[Existing];
+      if (!S.Defined && S.Link == Linkage::External)
+        S.Link = L;
+      S.IsFunc |= IsFunc;
+      return SymRef{Existing};
+    }
+    u32 Idx = static_cast<u32>(Syms.size());
+    Existing = Idx;
+    Syms.push_back(Symbol{Names.str(Id), L, false, IsFunc, SecKind::Text,
+                          0, 0});
+    return SymRef{Idx};
+  }
+  // Anonymous symbols (constant pool entries) are never looked up by name.
   u32 Idx = static_cast<u32>(Syms.size());
-  Symbol S;
-  S.Name = std::string(Name);
-  S.Link = L;
-  S.IsFunc = IsFunc;
-  Syms.push_back(std::move(S));
-  if (!Name.empty())
-    SymByName.emplace(Syms.back().Name, Idx);
+  Syms.push_back(Symbol{{}, L, false, IsFunc, SecKind::Text, 0, 0});
   return SymRef{Idx};
 }
 
 SymRef Assembler::getOrCreateSymbol(std::string_view Name) {
-  auto It = SymByName.find(std::string(Name));
-  if (It != SymByName.end())
-    return SymRef{It->second};
+  SymRef S = findSymbol(Name);
+  if (S.isValid())
+    return S;
   return createSymbol(Name, Linkage::External, /*IsFunc=*/false);
 }
 
 SymRef Assembler::findSymbol(std::string_view Name) const {
-  auto It = SymByName.find(std::string(Name));
-  if (It == SymByName.end())
+  support::StringPool::StrId Id = Names.lookup(Name);
+  if (Id == support::StringPool::InvalidId || Id >= SymOfName.size() ||
+      SymOfName[Id] == ~0u)
     return SymRef{};
-  return SymRef{It->second};
+  return SymRef{SymOfName[Id]};
 }
 
 void Assembler::defineSymbol(SymRef S, SecKind Sec, u64 Off, u64 Size) {
   assert(S.isValid() && "invalid symbol");
   Symbol &Sym = Syms[S.Idx];
-  assert(!Sym.Defined && "symbol already defined");
+  if (Sym.Defined) {
+    // Weak semantics: the first definition wins, later ones are ignored.
+    // A second definition of a strong symbol is a module error.
+    if (Sym.Link != Linkage::Weak)
+      setError("duplicate definition of strong symbol '" +
+               std::string(Sym.Name) + "'");
+    return;
+  }
   Sym.Defined = true;
   Sym.Sec = Sec;
   Sym.Off = Off;

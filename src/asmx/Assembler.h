@@ -8,16 +8,24 @@
 /// execution (JITMapper), mirroring the "Object File Generation" and
 /// "In-Memory Mapping (JIT)" boxes of Fig. 1 in the TPDE paper.
 ///
+/// Everything here sits on the per-function compile hot path, so the data
+/// structures follow the allocation policy of docs/PERF.md: symbol names
+/// are interned through a support::StringPool (no string-keyed hashing, no
+/// per-symbol string storage), and all tables are pooled — reset() rewinds
+/// them without releasing capacity so a reused assembler compiles without
+/// touching the heap.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TPDE_ASMX_ASSEMBLER_H
 #define TPDE_ASMX_ASSEMBLER_H
 
+#include "support/ByteBuffer.h"
 #include "support/Common.h"
+#include "support/StringPool.h"
 
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 namespace tpde::asmx {
@@ -67,33 +75,60 @@ enum class RelocKind : u8 {
   A64AddLo12,
 };
 
-/// A byte buffer backing one section.
+/// A byte buffer backing one section. Built on support::ByteBuffer so the
+/// encoders can batch an instruction's bytes through a raw write cursor
+/// (one bounds check per instruction, no per-byte zero-fill).
 class Section {
 public:
-  std::vector<u8> Data;
+  support::ByteBuffer Data;
   /// Size of the section if it is BSS (no bytes stored).
   u64 BssSize = 0;
   u64 Align = 16;
 
   u64 size() const { return Data.size(); }
 
+  /// Growth policy for the emission hot path: never grow by less than a
+  /// page's worth, always geometrically, so steady-state emission is
+  /// amortized allocation-free.
+  void ensureSpace(size_t More) { Data.ensure(More); }
+
   void appendByte(u8 V) { Data.push_back(V); }
-  void append(const void *Bytes, size_t N) {
-    const u8 *P = static_cast<const u8 *>(Bytes);
-    Data.insert(Data.end(), P, P + N);
-  }
+  void append(const void *Bytes, size_t N) { Data.append(Bytes, N); }
   template <typename T> void appendLE(T V) {
     static_assert(std::is_integral_v<T>);
+    Data.ensure(sizeof(T));
+    u8 *P = Data.writableEnd();
     for (unsigned I = 0; I < sizeof(T); ++I)
-      Data.push_back(static_cast<u8>(static_cast<u64>(V) >> (8 * I)));
+      P[I] = static_cast<u8>(static_cast<u64>(V) >> (8 * I));
+    Data.setEnd(P + sizeof(T));
   }
-  void appendZeros(size_t N) { Data.insert(Data.end(), N, 0); }
+  void appendZeros(size_t N) { Data.appendZeros(N); }
   /// Pads with zero bytes until the size is a multiple of \p A.
   void alignToBoundary(u64 A) {
     if (A > Align)
       Align = A;
-    while (Data.size() % A)
-      Data.push_back(0);
+    if (u64 Rem = Data.size() % A)
+      Data.appendZeros(A - Rem);
+  }
+
+  // --- Write cursor (see support::ByteBuffer) -------------------------
+  /// Reserves \p MaxBytes and returns a raw pointer to the section end;
+  /// write at most MaxBytes and hand the advanced pointer to
+  /// commitCursor(). No other section mutation may happen in between.
+  u8 *writeCursor(size_t MaxBytes) {
+    Data.ensure(MaxBytes);
+    return Data.writableEnd();
+  }
+  void commitCursor(u8 *End) { Data.setEnd(End); }
+  u64 cursorOffset(const u8 *P) const {
+    return static_cast<u64>(P - Data.data());
+  }
+
+  /// Drops all bytes but keeps the buffer for reuse.
+  void reset() {
+    Data.clear();
+    BssSize = 0;
+    Align = 16;
   }
 
   template <typename T> void patchLE(u64 Off, T V) {
@@ -110,9 +145,10 @@ public:
   }
 };
 
-/// A symbol table entry.
+/// A symbol table entry. The name is a view into the assembler's string
+/// pool and stays valid for the assembler's lifetime (across reset()).
 struct Symbol {
-  std::string Name;
+  std::string_view Name;
   Linkage Link = Linkage::External;
   bool Defined = false;
   bool IsFunc = false;
@@ -140,14 +176,18 @@ public:
   Section &text() { return section(SecKind::Text); }
   const Section &text() const { return section(SecKind::Text); }
 
-  /// Creates a new named symbol (not yet defined).
+  /// Creates (or merges into) the named symbol. Registering a name that
+  /// already exists returns the existing entry with linkage/kind updated —
+  /// a later *definition* conflict is diagnosed in defineSymbol().
   SymRef createSymbol(std::string_view Name, Linkage L, bool IsFunc);
   /// Returns the symbol named \p Name, creating an undefined external
   /// symbol if it does not exist yet.
   SymRef getOrCreateSymbol(std::string_view Name);
   /// Looks up a symbol by name; returns an invalid ref if absent.
   SymRef findSymbol(std::string_view Name) const;
-  /// Marks \p S as defined at the given section offset.
+  /// Marks \p S as defined at the given section offset. Defining a strong
+  /// symbol twice is an error (see hasError()); for weak symbols the first
+  /// definition wins.
   void defineSymbol(SymRef S, SecKind Sec, u64 Off, u64 Size);
   void setSymbolSize(SymRef S, u64 Size);
 
@@ -156,6 +196,12 @@ public:
     return Syms[S.Idx];
   }
   const std::vector<Symbol> &symbols() const { return Syms; }
+
+  /// True once any module-level inconsistency (e.g. a duplicate strong
+  /// symbol definition) was recorded. Checked by callers at module
+  /// boundaries; emission continues so all errors surface at once.
+  bool hasError() const { return !Err.empty(); }
+  std::string_view errorMessage() const { return Err; }
 
   void addReloc(SecKind Sec, u64 Off, RelocKind K, SymRef S, i64 Addend) {
     Relocs.push_back(Reloc{Sec, Off, K, S, Addend});
@@ -182,6 +228,20 @@ public:
     Fixups.clear();
   }
 
+  /// Rewinds the whole assembler to an empty module while keeping every
+  /// buffer's capacity and the interned name pool, so the next compile
+  /// into this assembler does not allocate.
+  void reset() {
+    for (Section &S : Secs)
+      S.reset();
+    Syms.clear();
+    std::fill(SymOfName.begin(), SymOfName.end(), ~0u);
+    Relocs.clear();
+    Labels.clear();
+    Fixups.clear();
+    Err.clear();
+  }
+
 private:
   struct LabelInfo {
     u64 Off = 0;
@@ -195,13 +255,21 @@ private:
   };
 
   void applyFixup(u64 Off, FixupKind K, u64 Target);
+  void setError(std::string Msg) {
+    if (Err.empty())
+      Err = std::move(Msg);
+  }
 
   Section Secs[NumSections];
   std::vector<Symbol> Syms;
-  std::unordered_map<std::string, u32> SymByName;
+  support::StringPool Names;
+  /// Name id -> symbol index (~0 = none). Indexed by StringPool id, so it
+  /// only ever grows with the pool; reset() refills with ~0.
+  std::vector<u32> SymOfName;
   std::vector<Reloc> Relocs;
   std::vector<LabelInfo> Labels;
   std::vector<FixupInfo> Fixups;
+  std::string Err;
 };
 
 } // namespace tpde::asmx

@@ -74,7 +74,7 @@ static u32 elfRelocType(RelocKind K, ElfMachine M) {
 class StrTab {
 public:
   StrTab() { Bytes.push_back(0); }
-  u32 add(const std::string &S) {
+  u32 add(std::string_view S) {
     if (S.empty())
       return 0;
     u32 Off = static_cast<u32>(Bytes.size());

@@ -1,9 +1,9 @@
 //===- asmx/JITMapper.cpp - In-memory code mapping for JIT ---------------===//
 
 #include "asmx/JITMapper.h"
+#include "support/DenseMap.h"
 
 #include <cstring>
-#include <unordered_map>
 #include <sys/mman.h>
 #include <unistd.h>
 
@@ -91,11 +91,10 @@ bool JITMapper::map(const Assembler &A, const Resolver &Resolve,
 
   // Lazily build a jump stub for an out-of-range undefined symbol.
   u8 *StubArea = SecBase[0] + StubAreaOff;
-  std::unordered_map<u32, u8 *> StubFor;
+  support::DenseMap<u32, u8 *> StubFor;
   auto stubAddr = [&](SymRef Ref, u8 *Target) -> u8 * {
-    auto It = StubFor.find(Ref.Idx);
-    if (It != StubFor.end())
-      return It->second;
+    if (u8 **Known = StubFor.find(Ref.Idx))
+      return *Known;
     u8 *Stub = StubArea;
     StubArea += 16;
     if (Arch == StubArch::X64) {
@@ -110,7 +109,7 @@ bool JITMapper::map(const Assembler &A, const Resolver &Resolve,
     }
     u64 T = reinterpret_cast<u64>(Target);
     std::memcpy(Stub + 8, &T, 8);
-    StubFor.emplace(Ref.Idx, Stub);
+    StubFor.insert(Ref.Idx, Stub);
     return Stub;
   };
 

@@ -88,5 +88,5 @@ bool tpde::baseline::compileModule(Module &M, asmx::Assembler &Asm,
     Times->RegAllocNs = TRA.ns();
     Times->EmitNs = TEmit.ns();
   }
-  return true;
+  return !Asm.hasError();
 }

@@ -7,9 +7,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "baseline/Internal.h"
+#include "support/DenseMap.h"
 #include "x64/CompilerX64.h" // CCAssignerSysV
-
-#include <unordered_map>
 
 using namespace tpde;
 using namespace tpde::asmx;
@@ -46,10 +45,10 @@ private:
   Assembler &Asm;
   Emitter E;
   std::vector<Label> Labels;
-  std::unordered_map<u32, i32> SlotOf; ///< vreg -> frame offset
+  support::DenseMap<u32, i32> SlotOf; ///< vreg -> frame offset
   std::vector<i32> StackVarOff;
   u32 FrameSize = 0;
-  std::unordered_map<u64, SymRef> FpPool;
+  support::DenseMap<u64, SymRef> FpPool;
   std::vector<MInst> PendingArgs; ///< buffered CallSetArg
   std::vector<MInst> EntryArgs;   ///< buffered GetArg
 
@@ -70,9 +69,9 @@ private:
       StackVarOff.push_back(Off);
     }
     auto slotFor = [&](u32 V) {
-      if (!SlotOf.count(V)) {
+      if (!SlotOf.contains(V)) {
         Off -= 8;
-        SlotOf[V] = Off;
+        SlotOf.insert(V, Off);
       }
     };
     for (const auto &B : F.Blocks) {
@@ -240,9 +239,8 @@ private:
 
   SymRef fpConst(u64 Bits, u8 Sz) {
     u64 Key = Bits ^ (static_cast<u64>(Sz) << 56);
-    auto It = FpPool.find(Key);
-    if (It != FpPool.end())
-      return It->second;
+    if (SymRef *Known = FpPool.find(Key))
+      return *Known;
     Section &RO = Asm.section(SecKind::ROData);
     RO.alignToBoundary(Sz);
     u64 Off = RO.size();
@@ -250,7 +248,7 @@ private:
       RO.appendByte(static_cast<u8>(Bits >> (8 * B)));
     SymRef S = Asm.createSymbol("", Linkage::Internal, false);
     Asm.defineSymbol(S, SecKind::ROData, Off, Sz);
-    FpPool.emplace(Key, S);
+    FpPool.insert(Key, S);
     return S;
   }
 

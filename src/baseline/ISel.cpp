@@ -27,6 +27,7 @@ public:
     for (u32 B = 0; B < F.Blocks.size(); ++B)
       Out.Blocks[B].Succs = F.Blocks[B].Succs;
     VRegOfPart.assign(F.Values.size() * 2, ~0u);
+    StackVarIdx.assign(F.Values.size(), ~0u);
     for (ValRef SV : F.StackVars) {
       StackVarIdx[SV] = static_cast<u32>(Out.StackVarSizes.size());
       Out.StackVarSizes.push_back(F.val(SV).Aux);
@@ -66,7 +67,8 @@ private:
   const std::vector<asmx::SymRef> &FuncSyms;
   const std::vector<asmx::SymRef> &GlobalSyms;
   std::vector<u32> VRegOfPart;
-  std::unordered_map<u32, u32> StackVarIdx;
+  /// Value -> stack-var ordinal (~0 for non-stack-vars), dense by value.
+  std::vector<u32> StackVarIdx;
   u32 Cur = 0;
   u32 ArgSlotCount = 0;
 
@@ -130,7 +132,8 @@ private:
       u32 R = newVReg(0);
       MInst MI = mk(MOp::FrameAddr);
       MI.Dst = R;
-      MI.Imm = StackVarIdx.at(V);
+      assert(StackVarIdx[V] != ~0u && "not a stack variable");
+      MI.Imm = StackVarIdx[V];
       emit(MI);
       return R;
     }

@@ -14,8 +14,6 @@
 #include "baseline/MIR.h"
 #include "tir/TIR.h"
 
-#include <unordered_map>
-
 namespace tpde::baseline {
 
 /// Allocatable pools (RAX/RDX/RCX and RSP/RBP are reserved; XMM14/15 are

@@ -1,9 +1,10 @@
 //===- copypatch/CopyPatch.cpp - Copy-and-patch back-end ------------------===//
 
 #include "copypatch/CopyPatch.h"
+#include "support/DenseMap.h"
 #include "x64/Encoder.h"
 
-#include <unordered_map>
+#include <deque>
 
 using namespace tpde;
 using namespace tpde::asmx;
@@ -38,7 +39,7 @@ template <typename Fn> Template buildTemplate(Fn Emit) {
   Emitter E(A);
   Emit(E);
   Template T;
-  T.Bytes = A.text().Data;
+  T.Bytes.assign(A.text().Data.begin(), A.text().Data.end());
   static const std::pair<i32, HoleKind> Marks[] = {
       {HoleA, HoleKind::A},   {HoleA2, HoleKind::A2}, {HoleB, HoleKind::B},
       {HoleB2, HoleKind::B2}, {HoleC, HoleKind::C},   {HoleC2, HoleKind::C2},
@@ -82,19 +83,6 @@ Mem mR2() { return Mem(RBP, HoleR2); }
 
 u8 opSzOf(u32 W) { return W < 4 ? 4 : static_cast<u8>(W); }
 
-/// Template cache keyed by an opcode-specific 64-bit key.
-std::unordered_map<u64, Template> &cache() {
-  static std::unordered_map<u64, Template> C;
-  return C;
-}
-
-template <typename Fn> const Template &getTemplate(u64 Key, Fn Emit) {
-  auto It = cache().find(Key);
-  if (It != cache().end())
-    return It->second;
-  return cache().emplace(Key, buildTemplate(Emit)).first->second;
-}
-
 u64 key(Op O, u64 V1 = 0, u64 V2 = 0, u64 V3 = 0) {
   return static_cast<u64>(O) | (V1 << 8) | (V2 << 24) | (V3 << 40);
 }
@@ -118,7 +106,7 @@ public:
       if (!compileFunc(M.Funcs[I], FuncSyms[I]))
         return false;
     }
-    return true;
+    return !Asm.hasError();
   }
 
 private:
@@ -130,6 +118,20 @@ private:
   const Function *F = nullptr;
   std::vector<Label> BlockLabels;
   i32 ShadowBase = 0, StackVarBase = 0;
+  /// Template cache keyed by an opcode-specific 64-bit key. Owned by the
+  /// compiler instance — a function-local static here would let two
+  /// concurrent compilers corrupt each other's templates. Templates live
+  /// in a deque so references handed out stay stable across insertions.
+  support::DenseMap<u64, u32> TemplateIdx;
+  std::deque<Template> TemplateStore;
+
+  template <typename Fn> const Template &getTemplate(u64 Key, Fn Emit) {
+    if (u32 *Known = TemplateIdx.find(Key))
+      return TemplateStore[*Known];
+    TemplateStore.push_back(buildTemplate(Emit));
+    TemplateIdx.insert(Key, static_cast<u32>(TemplateStore.size() - 1));
+    return TemplateStore.back();
+  }
 
   void defineGlobals() {
     for (const Global &G : M.Globals) {
@@ -295,7 +297,7 @@ private:
     BlockLabels.clear();
     for (u32 B = 0; B < Fn.Blocks.size(); ++B)
       BlockLabels.push_back(Asm.makeLabel());
-    PhiOrdinal.clear();
+    PhiOrdinal.assign(Fn.valueCount(), ~0u);
     u32 Ord = 0;
     for (const Block &B : Fn.Blocks)
       for (ValRef P : B.Phis)
@@ -312,7 +314,8 @@ private:
   }
 
   std::vector<i32> StackVarOffs;
-  std::unordered_map<u32, u32> PhiOrdinal;
+  /// Value -> phi shadow-slot ordinal (~0 for non-phis), dense by vreg.
+  std::vector<u32> PhiOrdinal;
 
   /// Copies phi inputs for the edge Pred -> Succ through shadow slots
   /// (two phases, so swaps are safe), then jumps to the target label.

@@ -71,6 +71,21 @@ public:
     computeLiveness();
   }
 
+  /// Pre-sizes all scratch for functions up to the given value/block
+  /// counts so steady-state analyze() calls never allocate.
+  void reserve(u32 MaxValues, u32 MaxBlocks) {
+    Live.reserve(MaxValues);
+    TmpBlocks.reserve(MaxBlocks);
+    ILoop.reserve(MaxBlocks);
+    IsHeader.reserve(MaxBlocks);
+    Dfsp.reserve(MaxBlocks);
+    PostOrder.reserve(MaxBlocks);
+    Layout.reserve(MaxBlocks);
+    Visited.reserve(MaxBlocks);
+    LoopOfHeader.reserve(MaxBlocks);
+    TmpToLayout.reserve(MaxBlocks);
+  }
+
   u32 numBlocks() const { return static_cast<u32>(Layout.size()); }
   const BlockInfo &block(u32 LayoutIdx) const { return Layout[LayoutIdx]; }
   u32 numLoops() const { return static_cast<u32>(Loops.size()); }
@@ -108,15 +123,16 @@ private:
     BlockRef Entry = A.blockRef(0);
     A.blockAux(Entry) = 0;
     TmpBlocks.push_back(Entry);
-    std::vector<BlockRef> Stack{Entry};
-    while (!Stack.empty()) {
-      BlockRef B = Stack.back();
-      Stack.pop_back();
+    WalkStack.clear();
+    WalkStack.push_back(Entry);
+    while (!WalkStack.empty()) {
+      BlockRef B = WalkStack.back();
+      WalkStack.pop_back();
       for (BlockRef S : A.blockSuccs(B)) {
         if (A.blockAux(S) == ~u64(0)) {
           A.blockAux(S) = TmpBlocks.size();
           TmpBlocks.push_back(S);
-          Stack.push_back(S);
+          WalkStack.push_back(S);
         }
       }
     }
@@ -133,17 +149,14 @@ private:
     PostOrder.clear();
     PostOrder.reserve(N);
 
-    struct Frame {
-      u32 B;
-      u32 SuccIdx;
-    };
-    std::vector<Frame> Stack;
-    std::vector<u8> Visited(N, 0);
+    auto &Stack = DfsStack;
+    Stack.clear();
+    Visited.assign(N, 0);
     Stack.push_back({0, 0});
     Visited[0] = 1;
     Dfsp[0] = 1;
     while (!Stack.empty()) {
-      Frame &F = Stack.back();
+      DfsFrame &F = Stack.back();
       auto Succs = A.blockSuccs(TmpBlocks[F.B]);
       if (F.SuccIdx < Succs.size()) {
         u32 S = tmpIdx(Succs[F.SuccIdx++]);
@@ -210,7 +223,7 @@ private:
   void layoutBlocks() {
     const u32 N = static_cast<u32>(TmpBlocks.size());
     // Loop table: pseudo-root is loop 0.
-    std::vector<u32> LoopOfHeader(N, 0);
+    LoopOfHeader.assign(N, 0);
     Loops.clear();
     Loops.push_back(LoopInfo{0, 0, 0, N ? N - 1 : 0});
     for (u32 B = 0; B < N; ++B) {
@@ -244,13 +257,14 @@ private:
     }
 
     // Build per-loop item lists in RPO order: a block item or, at the
-    // first encounter of an inner loop, a loop item.
-    struct Item {
-      bool IsLoop;
-      u32 Idx;
-    };
-    std::vector<std::vector<Item>> Items(Loops.size());
-    std::vector<u8> LoopAdded(Loops.size(), 0);
+    // first encounter of an inner loop, a loop item. The outer and inner
+    // item vectors are scratch members: reused across functions, so a
+    // steady-state analyze() performs no allocation.
+    if (Items.size() < Loops.size())
+      Items.resize(Loops.size());
+    for (size_t I = 0; I < Loops.size(); ++I)
+      Items[I].clear();
+    LoopAdded.assign(Loops.size(), 0);
     LoopAdded[0] = 1;
     auto ensureLoopAdded = [&](u32 L, auto &&Self) -> void {
       if (LoopAdded[L])
@@ -269,7 +283,7 @@ private:
     // Emit: blocks of a loop are contiguous in the layout.
     Layout.clear();
     Layout.reserve(N);
-    std::vector<u32> TmpToLayout(N, 0);
+    TmpToLayout.assign(N, 0);
     auto emit = [&](u32 L, auto &&Self) -> void {
       Loops[L].Begin = static_cast<u32>(Layout.size());
       for (const Item &It : Items[L]) {
@@ -298,8 +312,37 @@ private:
   }
 
   // --- Step 4: liveness ---------------------------------------------------
+
+  /// Extends \p L to cover a use in layout block \p UseBlock; crosses
+  /// loops that contain the use but not the definition (L.First).
+  void extendRange(LiveRange &L, u32 UseBlock, bool AtEnd) {
+    u32 Ext = UseBlock;
+    bool Full = AtEnd;
+    u32 DefBlock = L.First;
+    u32 Loop = Layout[UseBlock].Loop;
+    while (Loop != 0 &&
+           !(Loops[Loop].Begin <= DefBlock && DefBlock <= Loops[Loop].End)) {
+      Ext = Loops[Loop].End;
+      Full = true;
+      Loop = Loops[Loop].Parent;
+    }
+    if (Ext > L.Last) {
+      L.Last = Ext;
+      L.LastFull = Full;
+    } else if (Ext == L.Last) {
+      L.LastFull |= Full;
+    }
+  }
+
   void computeLiveness() {
-    Live.assign(A.valueCount(), LiveRange{});
+    // Entries are only ever read for values with a definition in the
+    // CURRENT function (liveAt/rangeEndsInBlock run on register-owning
+    // values, liveness() on assigned ones), and def() below
+    // (re-)initializes every field — so switching functions only grows
+    // the array; no per-function memset. Constant-like values never get
+    // a def and are never queried.
+    if (Live.size() < A.valueCount())
+      Live.resize(A.valueCount());
 
     // All definitions are recorded before any use is scanned, so the def
     // can simply initialize the range.
@@ -307,31 +350,9 @@ private:
       LiveRange &L = Live[A.valNumber(V)];
       L.First = B;
       L.Last = B;
+      L.RefCount = 0;
+      L.LastFull = false;
       L.HasDef = true;
-    };
-    auto use = [&](ValRef V, u32 UseBlock, bool AtEnd, u32 DefBlock,
-                   bool CountRef = true) {
-      LiveRange &L = Live[A.valNumber(V)];
-      // Instruction compilers take one ValuePartRef per part of an
-      // operand, so each occurrence accounts for PartCount references.
-      if (CountRef)
-        L.RefCount += A.valPartCount(V);
-      u32 Ext = UseBlock;
-      bool Full = AtEnd;
-      // Extend across loops that contain the use but not the def.
-      u32 Loop = Layout[UseBlock].Loop;
-      while (Loop != 0 &&
-             !(Loops[Loop].Begin <= DefBlock && DefBlock <= Loops[Loop].End)) {
-        Ext = Loops[Loop].End;
-        Full = true;
-        Loop = Loops[Loop].Parent;
-      }
-      if (Ext > L.Last) {
-        L.Last = Ext;
-        L.LastFull = Full;
-      } else if (Ext == L.Last) {
-        L.LastFull |= Full;
-      }
     };
 
     // Definitions: arguments in the entry block, then phis/instructions.
@@ -343,32 +364,47 @@ private:
       for (ValRef I : A.blockInsts(Layout[B].Ref))
         def(I, B);
     }
-    // Uses.
+    // Uses. Instruction compilers take one ValuePartRef per part of an
+    // operand, so each occurrence accounts for PartCount references.
     for (u32 B = 0; B < Layout.size(); ++B) {
       for (ValRef P : A.blockPhis(Layout[B].Ref)) {
+        LiveRange &PL = Live[A.valNumber(P)];
         u32 NumInc = A.phiIncomingCount(P);
         for (u32 I = 0; I < NumInc; ++I) {
           ValRef V = A.phiIncomingValue(P, I);
           u32 PredIdx =
               static_cast<u32>(A.blockAux(A.phiIncomingBlock(P, I)));
-          if (!A.isConstLike(V))
-            use(V, PredIdx, /*AtEnd=*/true, Live[A.valNumber(V)].First);
+          if (!A.isConstLike(V)) {
+            LiveRange &L = Live[A.valNumber(V)];
+            L.RefCount += A.valPartCount(V);
+            extendRange(L, PredIdx, /*AtEnd=*/true);
+          }
           // The phi itself is *written* at the end of every incoming
           // edge; its storage must stay live until the latest such write
           // (back edges!). This extends the range without adding a use.
-          use(P, PredIdx, /*AtEnd=*/true, Live[A.valNumber(P)].First,
-              /*CountRef=*/false);
+          extendRange(PL, PredIdx, /*AtEnd=*/true);
         }
       }
       for (ValRef I : A.blockInsts(Layout[B].Ref)) {
         for (ValRef V : A.instOperands(I)) {
           if (A.isConstLike(V))
             continue;
-          use(V, B, /*AtEnd=*/false, Live[A.valNumber(V)].First);
+          LiveRange &L = Live[A.valNumber(V)];
+          L.RefCount += A.valPartCount(V);
+          extendRange(L, B, /*AtEnd=*/false);
         }
       }
     }
   }
+
+  struct DfsFrame {
+    u32 B;
+    u32 SuccIdx;
+  };
+  struct Item {
+    bool IsLoop;
+    u32 Idx;
+  };
 
   Adapter &A;
   std::vector<BlockRef> TmpBlocks;
@@ -379,6 +415,14 @@ private:
   std::vector<BlockInfo> Layout;
   std::vector<LoopInfo> Loops;
   std::vector<LiveRange> Live;
+  // Scratch reused across analyze() calls (allocation policy: docs/PERF.md).
+  std::vector<BlockRef> WalkStack;
+  std::vector<DfsFrame> DfsStack;
+  std::vector<u8> Visited;
+  std::vector<u32> LoopOfHeader;
+  std::vector<std::vector<Item>> Items;
+  std::vector<u8> LoopAdded;
+  std::vector<u32> TmpToLayout;
 };
 
 } // namespace tpde::core

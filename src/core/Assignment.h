@@ -43,6 +43,11 @@ struct ValuePart {
 
 /// Per-value assignment. PartCount <= 2 covers all IRs in this repo
 /// (i128/data128 are the only multi-part values).
+///
+/// Assignments are initialized lazily per function: an entry is valid for
+/// the current function iff its Epoch matches the compiler's epoch
+/// counter. That way switching functions is an epoch bump instead of a
+/// memset over the whole array (docs/PERF.md).
 struct Assignment {
   static constexpr unsigned MaxParts = 2;
 
@@ -51,8 +56,9 @@ struct Assignment {
   /// arguments. 0 means "no slot allocated yet".
   i32 FrameOff = 0;
   u32 RefCount = 0;
+  /// Function epoch this entry belongs to (0 = never initialized).
+  u32 Epoch = 0;
   u8 PartCount = 0;
-  bool Init = false;
   ValuePart Parts[MaxParts];
 
   bool hasSlot() const { return FrameOff != 0; }

@@ -37,6 +37,7 @@
 #include "core/Analyzer.h"
 #include "core/Assignment.h"
 #include "core/RegFile.h"
+#include "support/SmallVector.h"
 
 #include <array>
 #include <vector>
@@ -78,6 +79,10 @@ public:
     u8 Size = 8;
     bool Done = false;
   };
+
+  /// Pending-move buffer type; inline storage covers typical phi/call
+  /// cardinalities so collecting moves does not allocate.
+  using MoveVec = support::SmallVector<PendingMove, 16>;
 
   CompilerBase(Adapter &A, asmx::Assembler &Asm) : A(A), Asm(Asm), An(A) {}
 
@@ -327,7 +332,7 @@ public:
     if (A.isConstLike(V))
       return ValuePartRef(this, V, ~0u, Part, /*IsUse=*/true);
     u32 VN = A.valNumber(V);
-    assert(Assigns[VN].Init && "use before definition");
+    assert(Assigns[VN].Epoch == CurEpoch && "use before definition");
     return ValuePartRef(this, V, VN, Part, /*IsUse=*/true);
   }
 
@@ -534,6 +539,14 @@ public:
   /// Compiles all functions of the adapter's module. Returns false if any
   /// instruction could not be compiled.
   bool compileModule() {
+    // Optional adapter capacity hints: size the per-function scratch for
+    // the module's largest function up front so the compile loop never
+    // grows it incrementally (docs/PERF.md).
+    if constexpr (requires { A.maxValueCount(); A.maxBlockCount(); }) {
+      Assigns.reserve(A.maxValueCount());
+      BlockLabels.reserve(A.maxBlockCount());
+      An.reserve(A.maxValueCount(), A.maxBlockCount());
+    }
     derived()->defineGlobals();
     u32 N = A.funcCount();
     FuncSyms.resize(N);
@@ -549,14 +562,20 @@ public:
       if (!compileFunc(F, FuncSyms[I]))
         return false;
     }
-    return true;
+    // Module-level inconsistencies (e.g. duplicate strong symbol
+    // definitions) are collected, not aborted on — fail the compile here.
+    return !Asm.hasError();
   }
 
   bool compileFunc(typename Adapter::FuncRef F, asmx::SymRef Sym) {
     A.switchFunc(F);
     An.analyze();
 
-    Assigns.assign(A.valueCount(), Assignment{});
+    // Lazy per-function assignment state: bumping the epoch invalidates
+    // every entry at once; ensureAssignment() re-initializes on demand.
+    if (Assigns.size() < A.valueCount())
+      Assigns.resize(A.valueCount());
+    ++CurEpoch;
     Regs.reset();
     for (u8 B = 0; B < Config::NumBanks; ++B) {
       FixedPoolFree[B] = Config::FixedRegPool[B];
@@ -610,9 +629,9 @@ public:
 
   void ensureAssignment(ValRef V, u32 VN) {
     Assignment &As = Assigns[VN];
-    if (As.Init)
+    if (As.Epoch == CurEpoch)
       return;
-    As.Init = true;
+    As.Epoch = CurEpoch;
     As.PartCount = static_cast<u8>(A.valPartCount(V));
     assert(As.PartCount <= Assignment::MaxParts && "too many value parts");
     As.RefCount = An.liveness(VN).RefCount;
@@ -777,10 +796,11 @@ public:
   /// are broken with scratch registers. Scratch allocation can be
   /// restricted per bank via \p ScratchAllow (e.g., to avoid call
   /// argument registers).
-  void resolveParallelMoves(std::vector<PendingMove> &Moves,
+  void resolveParallelMoves(MoveVec &Moves,
                             const std::array<u32, Config::NumBanks>
                                 &ScratchAllow) {
-    std::vector<ScratchReg> CycleTemps;
+    auto &CycleTemps = MoveCycleTemps; // scratch member; not reentrant
+    assert(CycleTemps.empty() && "parallel move resolution is not reentrant");
     unsigned Remaining = 0;
     for (const PendingMove &M : Moves)
       if (!M.Done)
@@ -823,6 +843,7 @@ public:
           O.Src = TempLoc;
       CycleTemps.push_back(std::move(Temp));
     }
+    CycleTemps.clear(); // releases the cycle-breaking registers
   }
 
   void emitLocMove(const PendingMove &M,
@@ -868,9 +889,13 @@ public:
     if (Phis.empty())
       return;
 
-    std::vector<PendingMove> Moves;
-    std::vector<ValuePartRef> Holds; // keeps locks and use counts
-    std::vector<u32> StaleRegPhis;
+    // Scratch members, reused across edges/functions (docs/PERF.md).
+    auto &Moves = PhiMoves;
+    auto &Holds = PhiHolds; // keeps locks and use counts
+    auto &StaleRegPhis = PhiStaleRegs;
+    Moves.clear();
+    Holds.clear();
+    StaleRegPhis.clear();
 
     for (ValRef Phi : Phis) {
       u32 PhiVN = A.valNumber(Phi);
@@ -962,6 +987,8 @@ public:
         }
       }
     }
+    Holds.clear(); // drop locks/use counts before the next collection
+    Moves.clear();
   }
 
 protected:
@@ -986,9 +1013,17 @@ protected:
   std::vector<asmx::SymRef> FuncSyms;
   std::vector<i32> StackVarOffs;
   std::vector<u32> FixedActive;
+  // Scratch buffers reused across phi edges and functions; cleared, never
+  // freed (allocation policy: docs/PERF.md).
+  MoveVec PhiMoves;
+  support::SmallVector<ValuePartRef, 16> PhiHolds;
+  support::SmallVector<u32, 16> PhiStaleRegs;
+  support::SmallVector<ScratchReg, 4> MoveCycleTemps;
   u32 FixedPoolFree[Config::NumBanks] = {};
   u32 UsedCalleeSaved[Config::NumBanks] = {};
   u32 CurBlock = 0;
+  /// Current function epoch for lazy Assigns invalidation (never 0).
+  u32 CurEpoch = 0;
 };
 
 } // namespace tpde::core

@@ -1,0 +1,87 @@
+//===- support/AllocCounter.h - Heap allocation accounting ------*- C++ -*-===//
+///
+/// \file
+/// A process-wide allocation counter used by the compile-throughput
+/// benchmark and the state-reuse regression tests to verify the hot-path
+/// allocation policy (docs/PERF.md): recompiling with reused compiler
+/// state must not allocate.
+///
+/// The counters themselves are ordinary inline variables. The actual
+/// interception happens by replacing the global `operator new`/`delete`,
+/// which must be done in exactly one translation unit of the final binary:
+/// expand TPDE_INSTALL_ALLOC_COUNTER there (benchmark/test main files
+/// only — never in the library).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_SUPPORT_ALLOCCOUNTER_H
+#define TPDE_SUPPORT_ALLOCCOUNTER_H
+
+#include "support/Common.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace tpde::support {
+
+/// Running totals since process start (only meaningful in binaries that
+/// expanded TPDE_INSTALL_ALLOC_COUNTER).
+struct AllocCounter {
+  static inline std::atomic<u64> Count{0};
+  static inline std::atomic<u64> Bytes{0};
+
+  static u64 count() { return Count.load(std::memory_order_relaxed); }
+  static u64 bytes() { return Bytes.load(std::memory_order_relaxed); }
+};
+
+/// Snapshot helper: construct, run the region of interest, then query the
+/// deltas.
+class AllocWatch {
+public:
+  AllocWatch()
+      : StartCount(AllocCounter::count()), StartBytes(AllocCounter::bytes()) {}
+  u64 newCalls() const { return AllocCounter::count() - StartCount; }
+  u64 newBytes() const { return AllocCounter::bytes() - StartBytes; }
+
+private:
+  u64 StartCount, StartBytes;
+};
+
+} // namespace tpde::support
+
+/// Replaces the global allocation functions with counting versions.
+/// Expand at namespace scope in exactly one TU per binary.
+#define TPDE_INSTALL_ALLOC_COUNTER                                             \
+  void *operator new(std::size_t Sz) {                                         \
+    ::tpde::support::AllocCounter::Count.fetch_add(                            \
+        1, std::memory_order_relaxed);                                         \
+    ::tpde::support::AllocCounter::Bytes.fetch_add(                            \
+        Sz, std::memory_order_relaxed);                                        \
+    if (void *P = std::malloc(Sz ? Sz : 1))                                    \
+      return P;                                                                \
+    throw std::bad_alloc();                                                    \
+  }                                                                            \
+  void *operator new[](std::size_t Sz) { return ::operator new(Sz); }          \
+  void *operator new(std::size_t Sz, const std::nothrow_t &) noexcept {        \
+    ::tpde::support::AllocCounter::Count.fetch_add(                            \
+        1, std::memory_order_relaxed);                                         \
+    ::tpde::support::AllocCounter::Bytes.fetch_add(                            \
+        Sz, std::memory_order_relaxed);                                        \
+    return std::malloc(Sz ? Sz : 1);                                           \
+  }                                                                            \
+  void *operator new[](std::size_t Sz, const std::nothrow_t &T) noexcept {     \
+    return ::operator new(Sz, T);                                              \
+  }                                                                            \
+  void operator delete(void *P) noexcept { std::free(P); }                     \
+  void operator delete[](void *P) noexcept { std::free(P); }                   \
+  void operator delete(void *P, std::size_t) noexcept { std::free(P); }        \
+  void operator delete[](void *P, std::size_t) noexcept { std::free(P); }      \
+  void operator delete(void *P, const std::nothrow_t &) noexcept {             \
+    std::free(P);                                                              \
+  }                                                                            \
+  void operator delete[](void *P, const std::nothrow_t &) noexcept {           \
+    std::free(P);                                                              \
+  }
+
+#endif // TPDE_SUPPORT_ALLOCCOUNTER_H

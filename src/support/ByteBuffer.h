@@ -1,0 +1,159 @@
+//===- support/ByteBuffer.h - Raw byte buffer for code emission -*- C++ -*-===//
+///
+/// \file
+/// A growable byte buffer replacing std::vector<u8> for section data on
+/// the emission hot path. Two properties std::vector cannot provide:
+///
+///  * uninitialized growth — the write-cursor API hands out raw pointers
+///    into reserved space so an instruction encoder performs ONE bounds
+///    check per instruction instead of one per byte, and no zero-fill;
+///  * an explicit geometric growth policy (page-sized minimum) so
+///    steady-state emission is amortized allocation-free (docs/PERF.md).
+///
+/// Allocation goes through ::operator new so the benchmark/test allocation
+/// counters (support/AllocCounter.h) observe it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_SUPPORT_BYTEBUFFER_H
+#define TPDE_SUPPORT_BYTEBUFFER_H
+
+#include "support/Common.h"
+
+#include <cstring>
+#include <new>
+
+namespace tpde::support {
+
+class ByteBuffer {
+public:
+  using value_type = u8;
+  using iterator = u8 *;
+  using const_iterator = const u8 *;
+
+  ByteBuffer() = default;
+  ~ByteBuffer() { ::operator delete(Ptr); }
+
+  ByteBuffer(const ByteBuffer &O) { append(O.Ptr, O.Sz); }
+  ByteBuffer &operator=(const ByteBuffer &O) {
+    if (this == &O)
+      return *this;
+    Sz = 0;
+    append(O.Ptr, O.Sz);
+    return *this;
+  }
+  ByteBuffer(ByteBuffer &&O) noexcept : Ptr(O.Ptr), Sz(O.Sz), Cap(O.Cap) {
+    O.Ptr = nullptr;
+    O.Sz = O.Cap = 0;
+  }
+  ByteBuffer &operator=(ByteBuffer &&O) noexcept {
+    if (this == &O)
+      return *this;
+    ::operator delete(Ptr);
+    Ptr = O.Ptr;
+    Sz = O.Sz;
+    Cap = O.Cap;
+    O.Ptr = nullptr;
+    O.Sz = O.Cap = 0;
+    return *this;
+  }
+
+  u8 *data() { return Ptr; }
+  const u8 *data() const { return Ptr; }
+  size_t size() const { return Sz; }
+  size_t capacity() const { return Cap; }
+  bool empty() const { return Sz == 0; }
+
+  u8 &operator[](size_t I) {
+    assert(I < Sz && "index out of range");
+    return Ptr[I];
+  }
+  u8 operator[](size_t I) const {
+    assert(I < Sz && "index out of range");
+    return Ptr[I];
+  }
+
+  iterator begin() { return Ptr; }
+  iterator end() { return Ptr + Sz; }
+  const_iterator begin() const { return Ptr; }
+  const_iterator end() const { return Ptr + Sz; }
+
+  /// Drops the contents but keeps the allocation (docs/PERF.md).
+  void clear() { Sz = 0; }
+
+  void reserve(size_t N) {
+    if (N > Cap)
+      growTo(N);
+  }
+
+  /// Guarantees room for \p More extra bytes; geometric growth with a
+  /// 4 KiB floor.
+  void ensure(size_t More) {
+    if (Sz + More > Cap)
+      growFor(More);
+  }
+
+  void push_back(u8 B) {
+    if (Sz == Cap)
+      growFor(1);
+    Ptr[Sz++] = B;
+  }
+
+  void append(const void *Src, size_t N) {
+    if (!N)
+      return;
+    ensure(N);
+    std::memcpy(Ptr + Sz, Src, N);
+    Sz += N;
+  }
+
+  void appendZeros(size_t N) {
+    ensure(N);
+    std::memset(Ptr + Sz, 0, N);
+    Sz += N;
+  }
+
+  /// Grows (zero-filling) or shrinks to exactly \p N bytes.
+  void resize(size_t N) {
+    if (N > Sz)
+      appendZeros(N - Sz);
+    else
+      Sz = N;
+  }
+
+  // --- Write cursor: unchecked appends into pre-reserved space ---------
+  /// Returns the current end of the buffer as a raw write pointer; the
+  /// caller must have ensure()d enough space and finish with setEnd().
+  u8 *writableEnd() { return Ptr + Sz; }
+  void setEnd(u8 *E) {
+    assert(E >= Ptr && static_cast<size_t>(E - Ptr) <= Cap &&
+           "cursor out of bounds");
+    Sz = static_cast<size_t>(E - Ptr);
+  }
+
+private:
+  void growFor(size_t More) {
+    size_t NewCap = Cap * 2;
+    if (NewCap < 4096)
+      NewCap = 4096;
+    while (NewCap < Sz + More)
+      NewCap *= 2;
+    growTo(NewCap);
+  }
+  void growTo(size_t NewCap) {
+    u8 *NewPtr = static_cast<u8 *>(::operator new(NewCap));
+    if (Sz)
+      std::memcpy(NewPtr, Ptr, Sz);
+    ::operator delete(Ptr);
+    Ptr = NewPtr;
+    Cap = NewCap;
+  }
+
+  u8 *Ptr = nullptr;
+  size_t Sz = 0;
+  size_t Cap = 0;
+};
+
+} // namespace tpde::support
+
+#endif // TPDE_SUPPORT_BYTEBUFFER_H

@@ -1,0 +1,156 @@
+//===- support/DenseMap.h - Open-addressed integer-keyed map ----*- C++ -*-===//
+///
+/// \file
+/// A flat, open-addressed hash map for integer keys, replacing
+/// std::unordered_map on the compile hot path. One contiguous slot array,
+/// linear probing, power-of-two capacity; no per-node allocation and no
+/// erase support (nothing on the hot path erases). clear() retains
+/// capacity so a reused compiler instance reaches an allocation-free
+/// steady state (docs/PERF.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_SUPPORT_DENSEMAP_H
+#define TPDE_SUPPORT_DENSEMAP_H
+
+#include "support/Common.h"
+
+#include <vector>
+
+namespace tpde::support {
+
+/// Mixes all key bits so sequential keys (value numbers, packed opcode
+/// keys) spread across the table (splitmix64 finalizer).
+inline u64 denseHash(u64 K) {
+  K += 0x9E3779B97F4A7C15ull;
+  K = (K ^ (K >> 30)) * 0xBF58476D1CE4E5B9ull;
+  K = (K ^ (K >> 27)) * 0x94D049BB133111EBull;
+  return K ^ (K >> 31);
+}
+
+template <typename K, typename V> class DenseMap {
+  static_assert(std::is_integral_v<K> || std::is_enum_v<K>,
+                "DenseMap is for integer-like keys");
+
+public:
+  DenseMap() = default;
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  /// Removes all entries; the slot array is retained for reuse.
+  void clear() {
+    if (Count == 0)
+      return;
+    for (Slot &S : Slots)
+      S.Full = false;
+    Count = 0;
+  }
+
+  /// Ensures capacity for \p Expected entries without rehashing.
+  void reserve(size_t Expected) {
+    size_t Needed = tableSizeFor(Expected);
+    if (Needed > Slots.size())
+      rehash(Needed);
+  }
+
+  V *find(K Key) {
+    if (Slots.empty())
+      return nullptr;
+    size_t I = probeStart(Key);
+    while (Slots[I].Full) {
+      if (Slots[I].Key == Key)
+        return &Slots[I].Val;
+      I = (I + 1) & (Slots.size() - 1);
+    }
+    return nullptr;
+  }
+  const V *find(K Key) const {
+    return const_cast<DenseMap *>(this)->find(Key);
+  }
+  bool contains(K Key) const { return find(Key) != nullptr; }
+
+  V &at(K Key) {
+    V *P = find(Key);
+    assert(P && "DenseMap::at: key not present");
+    return *P;
+  }
+  const V &at(K Key) const {
+    const V *P = find(Key);
+    assert(P && "DenseMap::at: key not present");
+    return *P;
+  }
+
+  /// Returns the value for \p Key, default-constructing it if absent.
+  V &operator[](K Key) {
+    return *insert(Key, V{}).First;
+  }
+
+  struct InsertResult {
+    V *First;
+    bool Inserted;
+  };
+
+  /// Inserts (Key, Val) if the key is absent; returns the slot either way.
+  InsertResult insert(K Key, V Val) {
+    if ((Count + 1) * 4 > Slots.size() * 3)
+      rehash(tableSizeFor(Count + 1));
+    size_t I = probeStart(Key);
+    while (Slots[I].Full) {
+      if (Slots[I].Key == Key)
+        return {&Slots[I].Val, false};
+      I = (I + 1) & (Slots.size() - 1);
+    }
+    Slots[I].Key = Key;
+    Slots[I].Val = std::move(Val);
+    Slots[I].Full = true;
+    ++Count;
+    return {&Slots[I].Val, true};
+  }
+
+  /// Calls \p Fn(key, value) for every entry (unspecified order).
+  template <typename Fn> void forEach(Fn F) const {
+    for (const Slot &S : Slots)
+      if (S.Full)
+        F(S.Key, S.Val);
+  }
+
+private:
+  struct Slot {
+    K Key{};
+    V Val{};
+    bool Full = false;
+  };
+
+  static size_t tableSizeFor(size_t Entries) {
+    // Max load factor 3/4, minimum 16 slots.
+    size_t Need = Entries * 4 / 3 + 1;
+    size_t Cap = 16;
+    while (Cap < Need)
+      Cap *= 2;
+    return Cap;
+  }
+
+  size_t probeStart(K Key) const {
+    return static_cast<size_t>(denseHash(static_cast<u64>(Key))) &
+           (Slots.size() - 1);
+  }
+
+  void rehash(size_t NewSize) {
+    if (NewSize <= Slots.size())
+      return;
+    std::vector<Slot> Old = std::move(Slots);
+    Slots.assign(NewSize, Slot{});
+    Count = 0;
+    for (Slot &S : Old)
+      if (S.Full)
+        insert(S.Key, std::move(S.Val));
+  }
+
+  std::vector<Slot> Slots;
+  size_t Count = 0;
+};
+
+} // namespace tpde::support
+
+#endif // TPDE_SUPPORT_DENSEMAP_H

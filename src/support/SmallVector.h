@@ -1,0 +1,186 @@
+//===- support/SmallVector.h - Vector with inline storage -------*- C++ -*-===//
+///
+/// \file
+/// A dynamically-sized array that stores its first N elements inline,
+/// avoiding any heap traffic for the common small case. Used for the
+/// per-instruction scratch buffers of the compile hot path (pending
+/// parallel moves, operand holds, cycle temporaries) where the typical
+/// cardinality is tiny but unbounded in principle.
+///
+/// Deliberately minimal compared to llvm::SmallVector: no insert/erase in
+/// the middle, since the hot path only ever appends and clears.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_SUPPORT_SMALLVECTOR_H
+#define TPDE_SUPPORT_SMALLVECTOR_H
+
+#include "support/Common.h"
+
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tpde::support {
+
+template <typename T, unsigned N> class SmallVector {
+public:
+  using value_type = T;
+  using iterator = T *;
+  using const_iterator = const T *;
+
+  SmallVector() = default;
+  ~SmallVector() {
+    clear();
+    if (!isInline())
+      ::operator delete(Ptr);
+  }
+
+  SmallVector(const SmallVector &O) { append(O.begin(), O.end()); }
+  SmallVector &operator=(const SmallVector &O) {
+    if (this == &O)
+      return *this;
+    clear();
+    append(O.begin(), O.end());
+    return *this;
+  }
+
+  SmallVector(SmallVector &&O) noexcept { moveFrom(std::move(O)); }
+  SmallVector &operator=(SmallVector &&O) noexcept {
+    if (this == &O)
+      return *this;
+    clear();
+    if (!isInline()) {
+      ::operator delete(Ptr);
+      Ptr = inlineData();
+      Cap = N;
+    }
+    moveFrom(std::move(O));
+    return *this;
+  }
+
+  T *data() { return Ptr; }
+  const T *data() const { return Ptr; }
+  iterator begin() { return Ptr; }
+  iterator end() { return Ptr + Sz; }
+  const_iterator begin() const { return Ptr; }
+  const_iterator end() const { return Ptr + Sz; }
+
+  size_t size() const { return Sz; }
+  bool empty() const { return Sz == 0; }
+  size_t capacity() const { return Cap; }
+
+  T &operator[](size_t I) {
+    assert(I < Sz && "index out of range");
+    return Ptr[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Sz && "index out of range");
+    return Ptr[I];
+  }
+  T &front() { return (*this)[0]; }
+  T &back() { return (*this)[Sz - 1]; }
+  const T &back() const { return (*this)[Sz - 1]; }
+
+  void push_back(const T &V) { emplace_back(V); }
+  void push_back(T &&V) { emplace_back(std::move(V)); }
+
+  template <typename... Args> T &emplace_back(Args &&...A) {
+    if (Sz == Cap)
+      grow(Sz + 1);
+    T *Slot = new (Ptr + Sz) T(std::forward<Args>(A)...);
+    ++Sz;
+    return *Slot;
+  }
+
+  void pop_back() {
+    assert(Sz && "pop from empty vector");
+    Ptr[--Sz].~T();
+  }
+
+  /// Destroys all elements; capacity (inline or heap) is retained.
+  void clear() {
+    for (size_t I = 0; I < Sz; ++I)
+      Ptr[I].~T();
+    Sz = 0;
+  }
+
+  void reserve(size_t NewCap) {
+    if (NewCap > Cap)
+      grow(NewCap);
+  }
+
+  void resize(size_t NewSz) {
+    if (NewSz < Sz) {
+      for (size_t I = NewSz; I < Sz; ++I)
+        Ptr[I].~T();
+    } else {
+      reserve(NewSz);
+      for (size_t I = Sz; I < NewSz; ++I)
+        new (Ptr + I) T();
+    }
+    Sz = static_cast<u32>(NewSz);
+  }
+
+  void assign(size_t Count, const T &V) {
+    clear();
+    reserve(Count);
+    for (size_t I = 0; I < Count; ++I)
+      new (Ptr + I) T(V);
+    Sz = static_cast<u32>(Count);
+  }
+
+  template <typename It> void append(It First, It Last) {
+    for (; First != Last; ++First)
+      emplace_back(*First);
+  }
+
+private:
+  T *inlineData() { return reinterpret_cast<T *>(Inline); }
+  bool isInline() const {
+    return Ptr == reinterpret_cast<const T *>(Inline);
+  }
+
+  void grow(size_t Min) {
+    size_t NewCap = Cap * 2;
+    if (NewCap < Min)
+      NewCap = Min;
+    T *NewPtr = static_cast<T *>(::operator new(NewCap * sizeof(T)));
+    for (size_t I = 0; I < Sz; ++I) {
+      new (NewPtr + I) T(std::move(Ptr[I]));
+      Ptr[I].~T();
+    }
+    if (!isInline())
+      ::operator delete(Ptr);
+    Ptr = NewPtr;
+    Cap = static_cast<u32>(NewCap);
+  }
+
+  void moveFrom(SmallVector &&O) {
+    assert(Sz == 0 && isInline() && "moveFrom requires a pristine target");
+    if (O.isInline()) {
+      for (size_t I = 0; I < O.Sz; ++I) {
+        new (Ptr + I) T(std::move(O.Ptr[I]));
+        O.Ptr[I].~T();
+      }
+      Sz = O.Sz;
+      O.Sz = 0;
+    } else {
+      Ptr = O.Ptr;
+      Sz = O.Sz;
+      Cap = O.Cap;
+      O.Ptr = O.inlineData();
+      O.Sz = 0;
+      O.Cap = N;
+    }
+  }
+
+  alignas(T) unsigned char Inline[N * sizeof(T)];
+  T *Ptr = inlineData();
+  u32 Sz = 0;
+  u32 Cap = N;
+};
+
+} // namespace tpde::support
+
+#endif // TPDE_SUPPORT_SMALLVECTOR_H

@@ -11,6 +11,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 
 namespace tpde {
 
@@ -21,6 +22,36 @@ inline std::uint64_t nowNs() {
       duration_cast<nanoseconds>(steady_clock::now().time_since_epoch())
           .count());
 }
+
+/// Returns this process's consumed CPU time in nanoseconds. Preferred for
+/// CPU-bound throughput measurements: insensitive to scheduler noise on a
+/// loaded machine.
+inline std::uint64_t cpuNowNs() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec TS;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &TS);
+  return static_cast<std::uint64_t>(TS.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(TS.tv_nsec);
+#else
+  return nowNs();
+#endif
+}
+
+/// Accumulating stopwatch over process CPU time (see cpuNowNs()).
+class CpuTimer {
+public:
+  void start() { Begin = cpuNowNs(); }
+  void stop() { TotalNs += cpuNowNs() - Begin; }
+  void reset() { TotalNs = 0; }
+
+  std::uint64_t ns() const { return TotalNs; }
+  double ms() const { return static_cast<double>(TotalNs) / 1e6; }
+  double sec() const { return static_cast<double>(TotalNs) / 1e9; }
+
+private:
+  std::uint64_t Begin = 0;
+  std::uint64_t TotalNs = 0;
+};
 
 /// Accumulating stopwatch. start()/stop() pairs add to the total.
 class Timer {

@@ -62,8 +62,9 @@ public:
     V.Ty = Type::Ptr;
     V.Aux = Size;
     V.Aux2 = Align;
-    V.Name = std::string(Name);
     ValRef R = pushValue(std::move(V));
+    if (!Name.empty())
+      func().setValueName(R, Name);
     func().StackVars.push_back(R);
     return R;
   }

@@ -160,8 +160,8 @@ private:
     case ValKind::GlobalAddr:
       return "@" + M.Globals[V.Aux].Name;
     default:
-      if (!V.Name.empty())
-        return "%" + V.Name;
+      if (std::string_view N = F.valueName(R); !N.empty())
+        return "%" + std::string(N);
       return "%v" + std::to_string(R);
     }
   }

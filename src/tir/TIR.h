@@ -99,24 +99,28 @@ constexpr u32 InvalidRef = ~0u;
 
 /// One value: argument, stack slot, constant, global address, or
 /// instruction result. Stored in a dense per-function array.
+// Field order keeps the struct at 32 bytes — exactly two per cache line —
+// because the Values array is the single hottest data structure of the
+// compile path (docs/PERF.md). Optional debug names live in
+// Function::ValueNames, NOT here, for the same reason.
 struct Value {
   ValKind Kind = ValKind::Inst;
   Op Opcode = Op::None;
   Type Ty = Type::Void;
+  /// Operand list [OpBegin, OpBegin+NumOps) in Function::OperandPool.
+  /// For phis: incoming blocks parallel to operands, in
+  /// Function::PhiBlockPool at the same positions.
+  u32 OpBegin = 0;
+  u32 NumOps = 0;
+  u32 Block = InvalidRef; ///< Defining block for instructions.
   /// Generic immediate slot: icmp/fcmp predicate, PtrAdd scale, call callee,
   /// argument index, stack-var size, constant low 64 bits, global index.
   u64 Aux = 0;
   /// Second immediate: PtrAdd byte offset, i128-constant high bits,
   /// stack-var alignment.
   u64 Aux2 = 0;
-  /// Operand list [OpBegin, OpBegin+NumOps) in Function::OperandPool.
-  u32 OpBegin = 0;
-  u32 NumOps = 0;
-  /// For phis: incoming blocks parallel to operands, in
-  /// Function::PhiBlockPool at the same positions.
-  u32 Block = InvalidRef; ///< Defining block for instructions.
-  std::string Name;       ///< Optional, for printing/parsing.
 };
+static_assert(sizeof(Value) == 32, "Value must stay two-per-cache-line");
 
 /// A basic block: phis, then instructions ending in one terminator.
 struct Block {
@@ -145,6 +149,18 @@ struct Function {
   std::vector<Block> Blocks;
   std::vector<ValRef> Args;      ///< Value indices of arguments.
   std::vector<ValRef> StackVars; ///< Value indices of stack variables.
+  /// Sparse per-value debug names (printing only); see valueName().
+  std::vector<std::string> ValueNames;
+
+  void setValueName(ValRef V, std::string_view N) {
+    if (ValueNames.size() <= V)
+      ValueNames.resize(V + 1);
+    ValueNames[V] = std::string(N);
+  }
+  std::string_view valueName(ValRef V) const {
+    return V < ValueNames.size() ? std::string_view(ValueNames[V])
+                                 : std::string_view();
+  }
 
   u32 valueCount() const { return static_cast<u32>(Values.size()); }
   const Value &val(ValRef V) const { return Values[V]; }

@@ -25,7 +25,20 @@ public:
   using BlockRef = tir::BlockRef;
   using ValRef = tir::ValRef;
 
-  explicit TirAdapter(tir::Module &M) : M(M) {}
+  explicit TirAdapter(tir::Module &M) : M(M) {
+    for (const tir::Function &F : M.Funcs) {
+      if (F.Values.size() > MaxValues)
+        MaxValues = static_cast<u32>(F.Values.size());
+      if (F.Blocks.size() > MaxBlocks)
+        MaxBlocks = static_cast<u32>(F.Blocks.size());
+    }
+  }
+
+  /// Capacity hints (largest function of the module): the framework uses
+  /// these to size per-function scratch once instead of growing it
+  /// piecemeal while ratcheting through the functions (docs/PERF.md).
+  u32 maxValueCount() const { return MaxValues; }
+  u32 maxBlockCount() const { return MaxBlocks; }
 
   tir::Module &module() { return M; }
   const tir::Function &func() const { return *F; }
@@ -51,17 +64,42 @@ public:
   // --- Function switching ------------------------------------------------
   void switchFunc(FuncRef FR) {
     F = &M.Funcs[FR];
+    const u32 N = static_cast<u32>(F->Values.size());
+    Next.reserve(MaxValues);
+    StackVarIdx.reserve(MaxValues);
+    Meta.reserve(MaxValues);
     // Next-instruction table for fusion decisions (§3.4.4: "instruction
     // compilers will only want to look at immediately following
     // instructions; the framework provides access to this list").
-    Next.assign(F->Values.size(), tir::InvalidRef);
+    Next.assign(N, tir::InvalidRef);
     for (const tir::Block &B : F->Blocks)
       for (size_t I = 0; I + 1 < B.Insts.size(); ++I)
         Next[B.Insts[I]] = B.Insts[I + 1];
     // Stack-variable index of a value.
-    StackVarIdx.assign(F->Values.size(), ~0u);
+    StackVarIdx.assign(N, ~0u);
     for (u32 I = 0; I < F->StackVars.size(); ++I)
       StackVarIdx[F->StackVars[I]] = I;
+    // Dense per-value metadata byte: the analysis and value machinery
+    // query part count/size/bank and const-likeness for random values on
+    // every use; one sequential pass here turns those into single-byte
+    // reads instead of strided Value fetches (docs/PERF.md).
+    Meta.resize(N);
+    for (u32 I = 0; I < N; ++I) {
+      const tir::Value &V = F->Values[I];
+      u8 B = static_cast<u8>(tir::partSize(V.Ty, 0) & MetaSizeMask);
+      if (V.Kind == tir::ValKind::ConstInt ||
+          V.Kind == tir::ValKind::ConstFP ||
+          V.Kind == tir::ValKind::GlobalAddr ||
+          V.Kind == tir::ValKind::StackVar)
+        B |= MetaConstLike;
+      if (V.Kind == tir::ValKind::ConstInt)
+        B |= MetaConstInt;
+      if (V.Ty == tir::Type::I128)
+        B |= MetaTwoParts;
+      if (tir::isFloatType(V.Ty))
+        B |= MetaFpBank;
+      Meta[I] = B;
+    }
   }
   void finalizeFunc() {}
 
@@ -81,18 +119,20 @@ public:
   }
   std::span<const ValRef> funcArgs() const { return F->Args; }
 
-  // --- Values -----------------------------------------------------------------
+  // --- Values (all answered from the dense metadata byte) ---------------
   u32 valNumber(ValRef V) const { return V; }
-  u32 valPartCount(ValRef V) const { return tir::partCount(F->val(V).Ty); }
+  u32 valPartCount(ValRef V) const {
+    return Meta[V] & MetaTwoParts ? 2 : 1;
+  }
   u32 valPartSize(ValRef V, u32 P) const {
-    return tir::partSize(F->val(V).Ty, P);
+    return P ? 8 : (Meta[V] & MetaSizeMask);
   }
-  u8 valPartBank(ValRef V, u32 P) const { return tir::partBank(F->val(V).Ty); }
-  bool isConstLike(ValRef V) const {
-    tir::ValKind K = F->val(V).Kind;
-    return K == tir::ValKind::ConstInt || K == tir::ValKind::ConstFP ||
-           K == tir::ValKind::GlobalAddr || K == tir::ValKind::StackVar;
+  u8 valPartBank(ValRef V, u32 P) const {
+    return Meta[V] & MetaFpBank ? 1 : 0;
   }
+  bool isConstLike(ValRef V) const { return Meta[V] & MetaConstLike; }
+  /// Fast integer-constant test for immediate folding (no Value fetch).
+  bool isConstInt(ValRef V) const { return Meta[V] & MetaConstInt; }
 
   // --- Instructions and phis ------------------------------------------------
   std::span<const ValRef> instOperands(ValRef V) const {
@@ -113,10 +153,21 @@ public:
   u32 stackVarIdx(ValRef V) const { return StackVarIdx[V]; }
 
 private:
+  // Metadata byte layout: bits 0-3 part-0 size in bytes, bit 4
+  // const-like, bit 5 two parts (i128), bit 6 FP bank, bit 7 ConstInt.
+  static constexpr u8 MetaSizeMask = 0x0F;
+  static constexpr u8 MetaConstLike = 0x10;
+  static constexpr u8 MetaTwoParts = 0x20;
+  static constexpr u8 MetaFpBank = 0x40;
+  static constexpr u8 MetaConstInt = 0x80;
+
   tir::Module &M;
   tir::Function *F = nullptr;
   std::vector<ValRef> Next;
   std::vector<u32> StackVarIdx;
+  std::vector<u8> Meta;
+  u32 MaxValues = 0;
+  u32 MaxBlocks = 0;
 };
 
 static_assert(core::IRAdapter<TirAdapter>,

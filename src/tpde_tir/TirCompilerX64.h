@@ -13,10 +13,9 @@
 #ifndef TPDE_TPDE_TIR_TIRCOMPILERX64_H
 #define TPDE_TPDE_TIR_TIRCOMPILERX64_H
 
+#include "support/DenseMap.h"
 #include "tpde_tir/TirAdapter.h"
 #include "x64/CompilerX64.h"
-
-#include <unordered_map>
 
 namespace tpde::tpde_tir {
 
@@ -34,7 +33,10 @@ public:
   TirCompilerX64(TirAdapter &A, asmx::Assembler &Asm) : Base(A, Asm) {}
 
   /// Compiles the whole module; returns false on unsupported constructs.
-  bool compile() { return this->compileModule(); }
+  bool compile() {
+    Fused.reserve(this->A.maxValueCount());
+    return this->compileModule();
+  }
 
   // =====================================================================
   // Framework hooks
@@ -43,6 +45,9 @@ public:
   void defineGlobals() {
     tir::Module &M = this->A.module();
     GlobalSyms.clear();
+    // The cached constant-pool symbols refer into the assembler's symbol
+    // table, which restarts per module compile (capacity retained).
+    FpPool.clear();
     for (const tir::Global &G : M.Globals) {
       asmx::Linkage L = G.Link == tir::Linkage::Internal
                             ? asmx::Linkage::Internal
@@ -268,9 +273,9 @@ private:
 
   /// Can the operand be folded as a 32-bit immediate for width \p W ops?
   bool foldableImm(tir::ValRef V, u32 W, i64 *Out) {
-    const tir::Value &Val = this->A.val(V);
-    if (Val.Kind != tir::ValKind::ConstInt)
+    if (!this->A.isConstInt(V)) // metadata bit: no Value fetch
       return false;
+    const tir::Value &Val = this->A.val(V);
     i64 Imm = signExtend(Val.Aux, W >= 8 ? 64 : 8 * W);
     if (W >= 8 && !isInt32(Imm))
       return false;
@@ -1199,9 +1204,8 @@ private:
 
   asmx::SymRef fpConstSym(u64 Bits, u8 Size) {
     u64 Key = Bits ^ (static_cast<u64>(Size) << 56);
-    auto It = FpPool.find(Key);
-    if (It != FpPool.end())
-      return It->second;
+    if (asmx::SymRef *Known = FpPool.find(Key))
+      return *Known;
     asmx::Section &RO = this->Asm.section(asmx::SecKind::ROData);
     RO.alignToBoundary(Size);
     u64 Off = RO.size();
@@ -1210,12 +1214,12 @@ private:
     asmx::SymRef S = this->Asm.createSymbol(
         "", asmx::Linkage::Internal, /*IsFunc=*/false);
     this->Asm.defineSymbol(S, asmx::SecKind::ROData, Off, Size);
-    FpPool.emplace(Key, S);
+    FpPool.insert(Key, S);
     return S;
   }
 
   std::vector<asmx::SymRef> GlobalSyms;
-  std::unordered_map<u64, asmx::SymRef> FpPool;
+  support::DenseMap<u64, asmx::SymRef> FpPool;
   std::vector<u8> Fused;
 };
 

@@ -447,7 +447,7 @@ bool compileDirectEmit(const UModule &M, asmx::Assembler &Asm) {
     E.ret();
     Asm.setSymbolSize(Sym, Asm.text().size() - Start);
   }
-  return true;
+  return !Asm.hasError();
 }
 
 } // namespace tpde::uir

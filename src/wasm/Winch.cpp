@@ -33,7 +33,7 @@ public:
     for (u32 I = 0; I < W.Funcs.size(); ++I)
       if (!compileFunc(W.Funcs[I], FuncSyms[I]))
         return false;
-    return true;
+    return !Asm.hasError();
   }
 
 private:

@@ -170,9 +170,12 @@ public:
     T.patchLE<u32>(FramePatchOff, FrameSize);
 
     // Fill the save/restore areas with actual instructions for the
-    // callee-saved registers that were used; pad the rest with NOPs.
+    // callee-saved registers that were used; pad the rest with NOPs. The
+    // scratch assemblers are members reset (not freed) per function.
     u32 CSRMask = this->UsedCalleeSaved[0] & X64Config::CalleeSaved[0];
-    asmx::Assembler TmpSave, TmpRestore;
+    asmx::Assembler &TmpSave = SaveScratchAsm, &TmpRestore = RestoreScratchAsm;
+    TmpSave.reset();
+    TmpRestore.reset();
     Emitter SaveE(TmpSave), RestoreE(TmpRestore);
     for (u32 M = CSRMask; M;) {
       u8 Idx = static_cast<u8>(countTrailingZeros(M));
@@ -254,13 +257,8 @@ public:
   void genCall(asmx::SymRef Callee, std::span<const ValRef> Args,
                const ValRef *Result, bool Vararg = false) {
     CCAssignerSysV CC;
-    struct Place {
-      ValRef V;
-      u8 Part;
-      CCAssignerSysV::Loc L;
-      u8 Bank;
-    };
-    std::vector<Place> Places;
+    auto &Places = CallPlaces; // scratch member (docs/PERF.md)
+    Places.clear();
     for (ValRef V : Args) {
       u8 N = static_cast<u8>(this->A.valPartCount(V));
       u8 Banks[core::Assignment::MaxParts];
@@ -300,8 +298,10 @@ public:
       if (P.L.InReg)
         ArgRegMask[X64Config::bankOf(P.L.RegId)] |=
             u32(1) << X64Config::idxOf(P.L.RegId);
-    std::vector<PendingMove> Moves;
-    std::vector<ValuePartRef> Holds;
+    auto &Moves = CallMoves;
+    auto &Holds = CallHolds;
+    Moves.clear();
+    Holds.clear();
     for (Place &P : Places) {
       if (!P.L.InReg)
         continue;
@@ -379,8 +379,10 @@ public:
   void emitReturn(const ValRef *RetVal) {
     if (RetVal) {
       u8 N = static_cast<u8>(this->A.valPartCount(*RetVal));
-      std::vector<PendingMove> Moves;
-      std::vector<ValuePartRef> Holds;
+      auto &Moves = CallMoves;
+      auto &Holds = CallHolds;
+      Moves.clear();
+      Holds.clear();
       u8 GPUsed = 0, FPUsed = 0;
       u32 RetMask[2] = {0, 0};
       for (u8 P = 0; P < N; ++P) {
@@ -419,6 +421,19 @@ protected:
   u64 FramePatchOff = 0;
   u64 SaveAreaOff = 0;
   std::vector<u64> RestoreAreaOffs;
+
+  struct Place {
+    ValRef V;
+    u8 Part;
+    CCAssignerSysV::Loc L;
+    u8 Bank;
+  };
+  // Per-call scratch, reused across calls/functions (docs/PERF.md).
+  support::SmallVector<Place, 16> CallPlaces;
+  typename Base::MoveVec CallMoves;
+  support::SmallVector<ValuePartRef, 16> CallHolds;
+  // Prologue/epilogue patching scratch (finishFunc).
+  asmx::Assembler SaveScratchAsm, RestoreScratchAsm;
 };
 
 } // namespace tpde::x64

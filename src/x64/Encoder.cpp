@@ -1,4 +1,11 @@
 //===- x64/Encoder.cpp - x86-64 instruction encoder ----------------------===//
+//
+// Every public method batches its instruction bytes through the section
+// write cursor (Emitter::begin/put/commit): space for the longest possible
+// encoding is reserved up front, bytes are raw stores, and the final
+// length is committed once — one bounds check per instruction.
+//
+//===----------------------------------------------------------------------===//
 
 #include "x64/Encoder.h"
 
@@ -17,30 +24,29 @@ void Emitter::rex(bool W, u8 RegId, u8 IdxId, u8 BaseId, bool Force) {
   if (BaseId != 0xFF && (BaseId & 0x8))
     Rex |= 0x01;
   if (Rex != 0x40 || Force)
-    T.appendByte(Rex);
+    put(Rex);
 }
 
 void Emitter::modRMReg(u8 RegField, u8 RmReg) {
-  T.appendByte(0xC0 | ((RegField & 7) << 3) | (RmReg & 7));
+  put(0xC0 | ((RegField & 7) << 3) | (RmReg & 7));
 }
 
 void Emitter::modRMMem(u8 RegField, const Mem &M) {
   const u8 Reg = (RegField & 7) << 3;
   if (!M.Base.isValid() && !M.Index.isValid()) {
     // Absolute 32-bit address: mod=00, rm=100, SIB base=101 index=100.
-    T.appendByte(Reg | 0x04);
-    T.appendByte(0x25);
-    T.appendLE<i32>(M.Disp);
+    put(Reg | 0x04);
+    put(0x25);
+    putLE<i32>(M.Disp);
     return;
   }
   if (!M.Base.isValid()) {
     // Index-only: mod=00 rm=100, SIB with base=101 forces disp32.
     assert(M.Index.hw() != 4 && "RSP cannot be an index register");
     u8 ScaleBits = M.Scale == 1 ? 0 : M.Scale == 2 ? 1 : M.Scale == 4 ? 2 : 3;
-    T.appendByte(Reg | 0x04);
-    T.appendByte(static_cast<u8>((ScaleBits << 6) | ((M.Index.hw() & 7) << 3) |
-                                 0x05));
-    T.appendLE<i32>(M.Disp);
+    put(Reg | 0x04);
+    put(static_cast<u8>((ScaleBits << 6) | ((M.Index.hw() & 7) << 3) | 0x05));
+    putLE<i32>(M.Disp);
     return;
   }
 
@@ -56,25 +62,25 @@ void Emitter::modRMMem(u8 RegField, const Mem &M) {
     Mod = 0x80;
 
   if (!NeedSib) {
-    T.appendByte(Mod | Reg | BaseLow);
+    put(Mod | Reg | BaseLow);
   } else {
     assert(!M.Index.isValid() || M.Index.hw() != 4
            && "RSP cannot be an index register");
     u8 ScaleBits = M.Scale == 1 ? 0 : M.Scale == 2 ? 1 : M.Scale == 4 ? 2 : 3;
     u8 IdxLow = M.Index.isValid() ? (M.Index.hw() & 7) : 4;
-    T.appendByte(Mod | Reg | 0x04);
-    T.appendByte(static_cast<u8>((ScaleBits << 6) | (IdxLow << 3) | BaseLow));
+    put(Mod | Reg | 0x04);
+    put(static_cast<u8>((ScaleBits << 6) | (IdxLow << 3) | BaseLow));
   }
   if (Mod == 0x40)
-    T.appendByte(static_cast<u8>(M.Disp));
+    put(static_cast<u8>(M.Disp));
   else if (Mod == 0x80)
-    T.appendLE<i32>(M.Disp);
+    putLE<i32>(M.Disp);
 }
 
 void Emitter::modRMRip(u8 RegField, SymRef S, i64 Addend) {
-  T.appendByte(((RegField & 7) << 3) | 0x05);
-  u64 Off = T.size();
-  T.appendLE<i32>(0);
+  put(((RegField & 7) << 3) | 0x05);
+  u64 Off = off();
+  putLE<i32>(0);
   // P points at the displacement field; the CPU adds from the end of the
   // instruction, which for all our uses is the end of the 4 disp bytes.
   A.addReloc(SecKind::Text, Off, RelocKind::PC32, S, Addend - 4);
@@ -84,39 +90,43 @@ void Emitter::modRMRip(u8 RegField, SymRef S, i64 Addend) {
 
 void Emitter::movRR(u8 Sz, AsmReg Dst, AsmReg Src) {
   assert(Dst.bank() == 0 && Src.bank() == 0 && "GP registers expected");
+  begin();
   opSizePrefix(Sz);
   bool F8 = Sz == 1 && (rex8Needed(Dst) || rex8Needed(Src));
   rex(Sz == 8, Src.Id, 0xFF, Dst.Id, F8);
-  T.appendByte(Sz == 1 ? 0x88 : 0x89);
+  put(Sz == 1 ? 0x88 : 0x89);
   modRMReg(Src.Id, Dst.Id);
+  commit();
 }
 
 void Emitter::movRI(AsmReg Dst, u64 Imm) {
+  begin();
   if (isUInt32(Imm)) {
     // mov r32, imm32 zero-extends to the full register.
     rex(false, 0xFF, 0xFF, Dst.Id);
-    T.appendByte(0xB8 | (Dst.hw() & 7));
-    T.appendLE<u32>(static_cast<u32>(Imm));
-    return;
-  }
-  if (isInt32(static_cast<i64>(Imm))) {
+    put(0xB8 | (Dst.hw() & 7));
+    putLE<u32>(static_cast<u32>(Imm));
+  } else if (isInt32(static_cast<i64>(Imm))) {
     rex(true, 0, 0xFF, Dst.Id);
-    T.appendByte(0xC7);
+    put(0xC7);
     modRMReg(0, Dst.Id);
-    T.appendLE<i32>(static_cast<i32>(Imm));
-    return;
+    putLE<i32>(static_cast<i32>(Imm));
+  } else {
+    rex(true, 0xFF, 0xFF, Dst.Id);
+    put(0xB8 | (Dst.hw() & 7));
+    putLE<u64>(Imm);
   }
-  rex(true, 0xFF, 0xFF, Dst.Id);
-  T.appendByte(0xB8 | (Dst.hw() & 7));
-  T.appendLE<u64>(Imm);
+  commit();
 }
 
 void Emitter::load(u8 Sz, AsmReg Dst, Mem M) {
+  begin();
   opSizePrefix(Sz);
   bool F8 = Sz == 1 && rex8Needed(Dst);
   rex(Sz == 8, Dst.Id, M.Index.Id, M.Base.Id, F8);
-  T.appendByte(Sz == 1 ? 0x8A : 0x8B);
+  put(Sz == 1 ? 0x8A : 0x8B);
   modRMMem(Dst.Id, M);
+  commit();
 }
 
 void Emitter::loadZext(u8 Sz, AsmReg Dst, Mem M) {
@@ -124,10 +134,12 @@ void Emitter::loadZext(u8 Sz, AsmReg Dst, Mem M) {
     load(Sz, Dst, M);
     return;
   }
+  begin();
   rex(false, Dst.Id, M.Index.Id, M.Base.Id);
-  T.appendByte(0x0F);
-  T.appendByte(Sz == 1 ? 0xB6 : 0xB7);
+  put(0x0F);
+  put(Sz == 1 ? 0xB6 : 0xB7);
   modRMMem(Dst.Id, M);
+  commit();
 }
 
 void Emitter::loadSext(u8 Sz, AsmReg Dst, Mem M) {
@@ -135,75 +147,89 @@ void Emitter::loadSext(u8 Sz, AsmReg Dst, Mem M) {
     load(8, Dst, M);
     return;
   }
+  begin();
   rex(true, Dst.Id, M.Index.Id, M.Base.Id);
   if (Sz == 4) {
-    T.appendByte(0x63); // movsxd
+    put(0x63); // movsxd
   } else {
-    T.appendByte(0x0F);
-    T.appendByte(Sz == 1 ? 0xBE : 0xBF);
+    put(0x0F);
+    put(Sz == 1 ? 0xBE : 0xBF);
   }
   modRMMem(Dst.Id, M);
+  commit();
 }
 
 void Emitter::store(u8 Sz, Mem M, AsmReg Src) {
+  begin();
   opSizePrefix(Sz);
   bool F8 = Sz == 1 && rex8Needed(Src);
   rex(Sz == 8, Src.Id, M.Index.Id, M.Base.Id, F8);
-  T.appendByte(Sz == 1 ? 0x88 : 0x89);
+  put(Sz == 1 ? 0x88 : 0x89);
   modRMMem(Src.Id, M);
+  commit();
 }
 
 void Emitter::storeImm(u8 Sz, Mem M, i32 Imm) {
+  begin();
   opSizePrefix(Sz);
   rex(Sz == 8, 0, M.Index.Id, M.Base.Id);
-  T.appendByte(Sz == 1 ? 0xC6 : 0xC7);
+  put(Sz == 1 ? 0xC6 : 0xC7);
   modRMMem(0, M);
   if (Sz == 1)
-    T.appendByte(static_cast<u8>(Imm));
+    put(static_cast<u8>(Imm));
   else if (Sz == 2)
-    T.appendLE<i16>(static_cast<i16>(Imm));
+    putLE<i16>(static_cast<i16>(Imm));
   else
-    T.appendLE<i32>(Imm);
+    putLE<i32>(Imm);
+  commit();
 }
 
 void Emitter::movzxRR(u8 SrcSz, AsmReg Dst, AsmReg Src) {
+  begin();
   if (SrcSz == 4) {
     // mov r32, r32 zero-extends.
     rex(false, Src.Id, 0xFF, Dst.Id);
-    T.appendByte(0x89);
+    put(0x89);
     modRMReg(Src.Id, Dst.Id);
-    return;
+  } else {
+    bool F8 = SrcSz == 1 && rex8Needed(Src);
+    rex(false, Dst.Id, 0xFF, Src.Id, F8);
+    put(0x0F);
+    put(SrcSz == 1 ? 0xB6 : 0xB7);
+    modRMReg(Dst.Id, Src.Id);
   }
-  bool F8 = SrcSz == 1 && rex8Needed(Src);
-  rex(false, Dst.Id, 0xFF, Src.Id, F8);
-  T.appendByte(0x0F);
-  T.appendByte(SrcSz == 1 ? 0xB6 : 0xB7);
-  modRMReg(Dst.Id, Src.Id);
+  commit();
 }
 
 void Emitter::movsxRR(u8 SrcSz, AsmReg Dst, AsmReg Src) {
+  begin();
   bool F8 = SrcSz == 1 && rex8Needed(Src);
   rex(true, Dst.Id, 0xFF, Src.Id, F8);
   if (SrcSz == 4) {
-    T.appendByte(0x63);
+    put(0x63);
   } else {
-    T.appendByte(0x0F);
-    T.appendByte(SrcSz == 1 ? 0xBE : 0xBF);
+    put(0x0F);
+    put(SrcSz == 1 ? 0xBE : 0xBF);
   }
   modRMReg(Dst.Id, Src.Id);
+  commit();
 }
 
 void Emitter::lea(AsmReg Dst, Mem M) {
+  begin();
   rex(true, Dst.Id, M.Index.Id, M.Base.Id);
-  T.appendByte(0x8D);
+  put(0x8D);
   modRMMem(Dst.Id, M);
+  commit();
 }
 
 void Emitter::xchgRR(u8 Sz, AsmReg RegA, AsmReg RegB) {
+  begin();
   opSizePrefix(Sz);
   rex(Sz == 8, RegA.Id, 0xFF, RegB.Id);
-  T.appendByte(Sz == 1 ? 0x86 : 0x87);
+  put(Sz == 1 ? 0x86 : 0x87);
   modRMReg(RegA.Id, RegB.Id);
+  commit();
 }
 
 // --- Integer arithmetic ----------------------------------------------------
@@ -211,303 +237,372 @@ void Emitter::xchgRR(u8 Sz, AsmReg RegA, AsmReg RegB) {
 static u8 aluBase(AluOp Op) { return static_cast<u8>(Op) << 3; }
 
 void Emitter::aluRR(AluOp Op, u8 Sz, AsmReg Dst, AsmReg Src) {
+  begin();
   opSizePrefix(Sz);
   bool F8 = Sz == 1 && (rex8Needed(Dst) || rex8Needed(Src));
   rex(Sz == 8, Src.Id, 0xFF, Dst.Id, F8);
-  T.appendByte(aluBase(Op) + (Sz == 1 ? 0x00 : 0x01));
+  put(aluBase(Op) + (Sz == 1 ? 0x00 : 0x01));
   modRMReg(Src.Id, Dst.Id);
+  commit();
 }
 
 void Emitter::aluRI(AluOp Op, u8 Sz, AsmReg Dst, i64 Imm) {
+  begin();
   opSizePrefix(Sz);
   bool F8 = Sz == 1 && rex8Needed(Dst);
   rex(Sz == 8, 0, 0xFF, Dst.Id, F8);
   u8 Digit = static_cast<u8>(Op);
   if (Sz == 1) {
-    T.appendByte(0x80);
+    put(0x80);
     modRMReg(Digit, Dst.Id);
-    T.appendByte(static_cast<u8>(Imm));
-    return;
-  }
-  if (isInt8(Imm)) {
-    T.appendByte(0x83);
+    put(static_cast<u8>(Imm));
+  } else if (isInt8(Imm)) {
+    put(0x83);
     modRMReg(Digit, Dst.Id);
-    T.appendByte(static_cast<u8>(Imm));
-    return;
-  }
-  T.appendByte(0x81);
-  modRMReg(Digit, Dst.Id);
-  if (Sz == 2) {
-    T.appendLE<i16>(static_cast<i16>(Imm));
+    put(static_cast<u8>(Imm));
   } else {
-    assert(isInt32(Imm) && "ALU immediate exceeds 32 bits");
-    T.appendLE<i32>(static_cast<i32>(Imm));
+    put(0x81);
+    modRMReg(Digit, Dst.Id);
+    if (Sz == 2) {
+      putLE<i16>(static_cast<i16>(Imm));
+    } else {
+      assert(isInt32(Imm) && "ALU immediate exceeds 32 bits");
+      putLE<i32>(static_cast<i32>(Imm));
+    }
   }
+  commit();
 }
 
 void Emitter::aluRM(AluOp Op, u8 Sz, AsmReg Dst, Mem M) {
+  begin();
   opSizePrefix(Sz);
   bool F8 = Sz == 1 && rex8Needed(Dst);
   rex(Sz == 8, Dst.Id, M.Index.Id, M.Base.Id, F8);
-  T.appendByte(aluBase(Op) + (Sz == 1 ? 0x02 : 0x03));
+  put(aluBase(Op) + (Sz == 1 ? 0x02 : 0x03));
   modRMMem(Dst.Id, M);
+  commit();
 }
 
 void Emitter::testRR(u8 Sz, AsmReg RegA, AsmReg RegB) {
+  begin();
   opSizePrefix(Sz);
   bool F8 = Sz == 1 && (rex8Needed(RegA) || rex8Needed(RegB));
   rex(Sz == 8, RegB.Id, 0xFF, RegA.Id, F8);
-  T.appendByte(Sz == 1 ? 0x84 : 0x85);
+  put(Sz == 1 ? 0x84 : 0x85);
   modRMReg(RegB.Id, RegA.Id);
+  commit();
 }
 
 void Emitter::testRI(u8 Sz, AsmReg R, i32 Imm) {
+  begin();
   opSizePrefix(Sz);
   bool F8 = Sz == 1 && rex8Needed(R);
   rex(Sz == 8, 0, 0xFF, R.Id, F8);
-  T.appendByte(Sz == 1 ? 0xF6 : 0xF7);
+  put(Sz == 1 ? 0xF6 : 0xF7);
   modRMReg(0, R.Id);
   if (Sz == 1)
-    T.appendByte(static_cast<u8>(Imm));
+    put(static_cast<u8>(Imm));
   else if (Sz == 2)
-    T.appendLE<i16>(static_cast<i16>(Imm));
+    putLE<i16>(static_cast<i16>(Imm));
   else
-    T.appendLE<i32>(Imm);
+    putLE<i32>(Imm);
+  commit();
 }
 
 void Emitter::imulRR(u8 Sz, AsmReg Dst, AsmReg Src) {
   assert(Sz >= 2 && "8-bit imul must use the one-operand form");
+  begin();
   opSizePrefix(Sz);
   rex(Sz == 8, Dst.Id, 0xFF, Src.Id);
-  T.appendByte(0x0F);
-  T.appendByte(0xAF);
+  put(0x0F);
+  put(0xAF);
   modRMReg(Dst.Id, Src.Id);
+  commit();
 }
 
 void Emitter::imulRRI(u8 Sz, AsmReg Dst, AsmReg Src, i32 Imm) {
   assert(Sz >= 2 && "8-bit imul must use the one-operand form");
+  begin();
   opSizePrefix(Sz);
   rex(Sz == 8, Dst.Id, 0xFF, Src.Id);
   if (isInt8(Imm)) {
-    T.appendByte(0x6B);
+    put(0x6B);
     modRMReg(Dst.Id, Src.Id);
-    T.appendByte(static_cast<u8>(Imm));
-    return;
+    put(static_cast<u8>(Imm));
+  } else {
+    put(0x69);
+    modRMReg(Dst.Id, Src.Id);
+    if (Sz == 2)
+      putLE<i16>(static_cast<i16>(Imm));
+    else
+      putLE<i32>(Imm);
   }
-  T.appendByte(0x69);
-  modRMReg(Dst.Id, Src.Id);
-  if (Sz == 2)
-    T.appendLE<i16>(static_cast<i16>(Imm));
-  else
-    T.appendLE<i32>(Imm);
+  commit();
 }
 
+/// One-operand F6/F7 group (mul/imul/div/idiv/neg/not) shared encoding.
 void Emitter::mulR(u8 Sz, AsmReg Src) {
+  begin();
   opSizePrefix(Sz);
   bool F8 = Sz == 1 && rex8Needed(Src);
   rex(Sz == 8, 0, 0xFF, Src.Id, F8);
-  T.appendByte(Sz == 1 ? 0xF6 : 0xF7);
+  put(Sz == 1 ? 0xF6 : 0xF7);
   modRMReg(4, Src.Id);
+  commit();
 }
 
 void Emitter::imulR(u8 Sz, AsmReg Src) {
+  begin();
   opSizePrefix(Sz);
   bool F8 = Sz == 1 && rex8Needed(Src);
   rex(Sz == 8, 0, 0xFF, Src.Id, F8);
-  T.appendByte(Sz == 1 ? 0xF6 : 0xF7);
+  put(Sz == 1 ? 0xF6 : 0xF7);
   modRMReg(5, Src.Id);
+  commit();
 }
 
 void Emitter::divR(u8 Sz, AsmReg Src) {
+  begin();
   opSizePrefix(Sz);
   bool F8 = Sz == 1 && rex8Needed(Src);
   rex(Sz == 8, 0, 0xFF, Src.Id, F8);
-  T.appendByte(Sz == 1 ? 0xF6 : 0xF7);
+  put(Sz == 1 ? 0xF6 : 0xF7);
   modRMReg(6, Src.Id);
+  commit();
 }
 
 void Emitter::idivR(u8 Sz, AsmReg Src) {
+  begin();
   opSizePrefix(Sz);
   bool F8 = Sz == 1 && rex8Needed(Src);
   rex(Sz == 8, 0, 0xFF, Src.Id, F8);
-  T.appendByte(Sz == 1 ? 0xF6 : 0xF7);
+  put(Sz == 1 ? 0xF6 : 0xF7);
   modRMReg(7, Src.Id);
+  commit();
 }
 
 void Emitter::cwd(u8 Sz) {
+  begin();
   opSizePrefix(Sz);
   if (Sz == 8)
-    T.appendByte(0x48);
-  T.appendByte(0x99);
+    put(0x48);
+  put(0x99);
+  commit();
 }
 
 void Emitter::negR(u8 Sz, AsmReg R) {
+  begin();
   opSizePrefix(Sz);
   bool F8 = Sz == 1 && rex8Needed(R);
   rex(Sz == 8, 0, 0xFF, R.Id, F8);
-  T.appendByte(Sz == 1 ? 0xF6 : 0xF7);
+  put(Sz == 1 ? 0xF6 : 0xF7);
   modRMReg(3, R.Id);
+  commit();
 }
 
 void Emitter::notR(u8 Sz, AsmReg R) {
+  begin();
   opSizePrefix(Sz);
   bool F8 = Sz == 1 && rex8Needed(R);
   rex(Sz == 8, 0, 0xFF, R.Id, F8);
-  T.appendByte(Sz == 1 ? 0xF6 : 0xF7);
+  put(Sz == 1 ? 0xF6 : 0xF7);
   modRMReg(2, R.Id);
+  commit();
 }
 
 void Emitter::shiftRI(ShiftOp Op, u8 Sz, AsmReg R, u8 Imm) {
+  begin();
   opSizePrefix(Sz);
   bool F8 = Sz == 1 && rex8Needed(R);
   rex(Sz == 8, 0, 0xFF, R.Id, F8);
   u8 Digit = static_cast<u8>(Op);
   if (Imm == 1) {
-    T.appendByte(Sz == 1 ? 0xD0 : 0xD1);
+    put(Sz == 1 ? 0xD0 : 0xD1);
     modRMReg(Digit, R.Id);
-    return;
+  } else {
+    put(Sz == 1 ? 0xC0 : 0xC1);
+    modRMReg(Digit, R.Id);
+    put(Imm);
   }
-  T.appendByte(Sz == 1 ? 0xC0 : 0xC1);
-  modRMReg(Digit, R.Id);
-  T.appendByte(Imm);
+  commit();
 }
 
 void Emitter::shiftRC(ShiftOp Op, u8 Sz, AsmReg R) {
+  begin();
   opSizePrefix(Sz);
   bool F8 = Sz == 1 && rex8Needed(R);
   rex(Sz == 8, 0, 0xFF, R.Id, F8);
-  T.appendByte(Sz == 1 ? 0xD2 : 0xD3);
+  put(Sz == 1 ? 0xD2 : 0xD3);
   modRMReg(static_cast<u8>(Op), R.Id);
+  commit();
 }
 
 void Emitter::shldRRC(u8 Sz, AsmReg Dst, AsmReg Src) {
+  begin();
   opSizePrefix(Sz);
   rex(Sz == 8, Src.Id, 0xFF, Dst.Id);
-  T.appendByte(0x0F);
-  T.appendByte(0xA5);
+  put(0x0F);
+  put(0xA5);
   modRMReg(Src.Id, Dst.Id);
+  commit();
 }
 
 void Emitter::shrdRRC(u8 Sz, AsmReg Dst, AsmReg Src) {
+  begin();
   opSizePrefix(Sz);
   rex(Sz == 8, Src.Id, 0xFF, Dst.Id);
-  T.appendByte(0x0F);
-  T.appendByte(0xAD);
+  put(0x0F);
+  put(0xAD);
   modRMReg(Src.Id, Dst.Id);
+  commit();
 }
 
 void Emitter::shldRRI(u8 Sz, AsmReg Dst, AsmReg Src, u8 Imm) {
+  begin();
   opSizePrefix(Sz);
   rex(Sz == 8, Src.Id, 0xFF, Dst.Id);
-  T.appendByte(0x0F);
-  T.appendByte(0xA4);
+  put(0x0F);
+  put(0xA4);
   modRMReg(Src.Id, Dst.Id);
-  T.appendByte(Imm);
+  put(Imm);
+  commit();
 }
 
 void Emitter::shrdRRI(u8 Sz, AsmReg Dst, AsmReg Src, u8 Imm) {
+  begin();
   opSizePrefix(Sz);
   rex(Sz == 8, Src.Id, 0xFF, Dst.Id);
-  T.appendByte(0x0F);
-  T.appendByte(0xAC);
+  put(0x0F);
+  put(0xAC);
   modRMReg(Src.Id, Dst.Id);
-  T.appendByte(Imm);
+  put(Imm);
+  commit();
 }
 
 void Emitter::bsr(u8 Sz, AsmReg Dst, AsmReg Src) {
+  begin();
   opSizePrefix(Sz);
   rex(Sz == 8, Dst.Id, 0xFF, Src.Id);
-  T.appendByte(0x0F);
-  T.appendByte(0xBD);
+  put(0x0F);
+  put(0xBD);
   modRMReg(Dst.Id, Src.Id);
+  commit();
 }
 
 void Emitter::bsf(u8 Sz, AsmReg Dst, AsmReg Src) {
+  begin();
   opSizePrefix(Sz);
   rex(Sz == 8, Dst.Id, 0xFF, Src.Id);
-  T.appendByte(0x0F);
-  T.appendByte(0xBC);
+  put(0x0F);
+  put(0xBC);
   modRMReg(Dst.Id, Src.Id);
+  commit();
 }
 
 void Emitter::popcnt(u8 Sz, AsmReg Dst, AsmReg Src) {
-  T.appendByte(0xF3);
+  begin();
+  put(0xF3);
   opSizePrefix(Sz);
   rex(Sz == 8, Dst.Id, 0xFF, Src.Id);
-  T.appendByte(0x0F);
-  T.appendByte(0xB8);
+  put(0x0F);
+  put(0xB8);
   modRMReg(Dst.Id, Src.Id);
+  commit();
 }
 
 // --- Flags and conditionals -------------------------------------------------
 
 void Emitter::setcc(Cond C, AsmReg Dst8) {
+  begin();
   rex(false, 0, 0xFF, Dst8.Id, rex8Needed(Dst8));
-  T.appendByte(0x0F);
-  T.appendByte(0x90 | static_cast<u8>(C));
+  put(0x0F);
+  put(0x90 | static_cast<u8>(C));
   modRMReg(0, Dst8.Id);
+  commit();
 }
 
 void Emitter::cmovcc(Cond C, u8 Sz, AsmReg Dst, AsmReg Src) {
   assert(Sz >= 2 && "no 8-bit cmov");
+  begin();
   opSizePrefix(Sz);
   rex(Sz == 8, Dst.Id, 0xFF, Src.Id);
-  T.appendByte(0x0F);
-  T.appendByte(0x40 | static_cast<u8>(C));
+  put(0x0F);
+  put(0x40 | static_cast<u8>(C));
   modRMReg(Dst.Id, Src.Id);
+  commit();
 }
 
 // --- Control flow -------------------------------------------------------------
 
 void Emitter::jmpLabel(Label L) {
-  T.appendByte(0xE9);
-  u64 Off = T.size();
-  T.appendLE<i32>(0);
+  begin();
+  put(0xE9);
+  u64 Off = off();
+  putLE<i32>(0);
+  commit(); // the fixup may patch immediately; the bytes must be live
   A.addFixup(L, FixupKind::Rel32, Off);
 }
 
 void Emitter::jccLabel(Cond C, Label L) {
-  T.appendByte(0x0F);
-  T.appendByte(0x80 | static_cast<u8>(C));
-  u64 Off = T.size();
-  T.appendLE<i32>(0);
+  begin();
+  put(0x0F);
+  put(0x80 | static_cast<u8>(C));
+  u64 Off = off();
+  putLE<i32>(0);
+  commit();
   A.addFixup(L, FixupKind::Rel32, Off);
 }
 
 void Emitter::jmpReg(AsmReg R) {
+  begin();
   rex(false, 0, 0xFF, R.Id);
-  T.appendByte(0xFF);
+  put(0xFF);
   modRMReg(4, R.Id);
+  commit();
 }
 
 void Emitter::callSym(SymRef S) {
-  T.appendByte(0xE8);
-  u64 Off = T.size();
-  T.appendLE<i32>(0);
+  begin();
+  put(0xE8);
+  u64 Off = off();
+  putLE<i32>(0);
+  commit();
   A.addReloc(SecKind::Text, Off, RelocKind::PC32, S, -4);
 }
 
 void Emitter::callReg(AsmReg R) {
+  begin();
   rex(false, 0, 0xFF, R.Id);
-  T.appendByte(0xFF);
+  put(0xFF);
   modRMReg(2, R.Id);
+  commit();
 }
 
-void Emitter::ret() { T.appendByte(0xC3); }
+void Emitter::ret() {
+  begin();
+  put(0xC3);
+  commit();
+}
 
 void Emitter::ud2() {
-  T.appendByte(0x0F);
-  T.appendByte(0x0B);
+  begin();
+  put(0x0F);
+  put(0x0B);
+  commit();
 }
 
 void Emitter::push(AsmReg R) {
+  begin();
   rex(false, 0xFF, 0xFF, R.Id);
-  T.appendByte(0x50 | (R.hw() & 7));
+  put(0x50 | (R.hw() & 7));
+  commit();
 }
 
 void Emitter::pop(AsmReg R) {
+  begin();
   rex(false, 0xFF, 0xFF, R.Id);
-  T.appendByte(0x58 | (R.hw() & 7));
+  put(0x58 | (R.hw() & 7));
+  commit();
 }
 
 void Emitter::nops(unsigned N) {
@@ -532,122 +627,152 @@ void Emitter::nops(unsigned N) {
 // --- RIP-relative addressing ----------------------------------------------
 
 void Emitter::leaSym(AsmReg Dst, SymRef S, i64 Addend) {
+  begin();
   rex(true, Dst.Id, 0xFF, 0xFF);
-  T.appendByte(0x8D);
+  put(0x8D);
   modRMRip(Dst.Id, S, Addend);
+  commit();
 }
 
 void Emitter::loadSym(u8 Sz, AsmReg Dst, SymRef S, i64 Addend) {
+  begin();
   opSizePrefix(Sz);
   rex(Sz == 8, Dst.Id, 0xFF, 0xFF, Sz == 1 && rex8Needed(Dst));
-  T.appendByte(Sz == 1 ? 0x8A : 0x8B);
+  put(Sz == 1 ? 0x8A : 0x8B);
   modRMRip(Dst.Id, S, Addend);
+  commit();
 }
 
 void Emitter::fpLoadSym(u8 Sz, AsmReg Dst, SymRef S, i64 Addend) {
-  T.appendByte(Sz == 4 ? 0xF3 : 0xF2);
+  begin();
+  put(Sz == 4 ? 0xF3 : 0xF2);
   rex(false, Dst.Id, 0xFF, 0xFF);
-  T.appendByte(0x0F);
-  T.appendByte(0x10);
+  put(0x0F);
+  put(0x10);
   modRMRip(Dst.Id, S, Addend);
+  commit();
 }
 
 // --- Scalar SSE ---------------------------------------------------------------
 
 void Emitter::fpMovRR(u8 Sz, AsmReg Dst, AsmReg Src) {
   (void)Sz; // movaps copies all 128 bits; fine for scalar values.
+  begin();
   rex(false, Dst.Id, 0xFF, Src.Id);
-  T.appendByte(0x0F);
-  T.appendByte(0x28);
+  put(0x0F);
+  put(0x28);
   modRMReg(Dst.Id, Src.Id);
+  commit();
 }
 
 void Emitter::fpLoad(u8 Sz, AsmReg Dst, Mem M) {
-  T.appendByte(Sz == 4 ? 0xF3 : 0xF2);
+  begin();
+  put(Sz == 4 ? 0xF3 : 0xF2);
   rex(false, Dst.Id, M.Index.Id, M.Base.Id);
-  T.appendByte(0x0F);
-  T.appendByte(0x10);
+  put(0x0F);
+  put(0x10);
   modRMMem(Dst.Id, M);
+  commit();
 }
 
 void Emitter::fpStore(u8 Sz, Mem M, AsmReg Src) {
-  T.appendByte(Sz == 4 ? 0xF3 : 0xF2);
+  begin();
+  put(Sz == 4 ? 0xF3 : 0xF2);
   rex(false, Src.Id, M.Index.Id, M.Base.Id);
-  T.appendByte(0x0F);
-  T.appendByte(0x11);
+  put(0x0F);
+  put(0x11);
   modRMMem(Src.Id, M);
+  commit();
 }
 
 void Emitter::fpArith(FpOp Op, u8 Sz, AsmReg Dst, AsmReg Src) {
-  T.appendByte(Sz == 4 ? 0xF3 : 0xF2);
+  begin();
+  put(Sz == 4 ? 0xF3 : 0xF2);
   rex(false, Dst.Id, 0xFF, Src.Id);
-  T.appendByte(0x0F);
-  T.appendByte(static_cast<u8>(Op));
+  put(0x0F);
+  put(static_cast<u8>(Op));
   modRMReg(Dst.Id, Src.Id);
+  commit();
 }
 
 void Emitter::fpArithMem(FpOp Op, u8 Sz, AsmReg Dst, Mem M) {
-  T.appendByte(Sz == 4 ? 0xF3 : 0xF2);
+  begin();
+  put(Sz == 4 ? 0xF3 : 0xF2);
   rex(false, Dst.Id, M.Index.Id, M.Base.Id);
-  T.appendByte(0x0F);
-  T.appendByte(static_cast<u8>(Op));
+  put(0x0F);
+  put(static_cast<u8>(Op));
   modRMMem(Dst.Id, M);
+  commit();
 }
 
 void Emitter::ucomis(u8 Sz, AsmReg RegA, AsmReg RegB) {
+  begin();
   if (Sz == 8)
-    T.appendByte(0x66);
+    put(0x66);
   rex(false, RegA.Id, 0xFF, RegB.Id);
-  T.appendByte(0x0F);
-  T.appendByte(0x2E);
+  put(0x0F);
+  put(0x2E);
   modRMReg(RegA.Id, RegB.Id);
+  commit();
 }
 
 void Emitter::xorps(AsmReg Dst, AsmReg Src) {
+  begin();
   rex(false, Dst.Id, 0xFF, Src.Id);
-  T.appendByte(0x0F);
-  T.appendByte(0x57);
+  put(0x0F);
+  put(0x57);
   modRMReg(Dst.Id, Src.Id);
+  commit();
 }
 
 void Emitter::cvtsi2fp(u8 IntSz, u8 FpSz, AsmReg Dst, AsmReg Src) {
   assert(IntSz == 4 || IntSz == 8);
-  T.appendByte(FpSz == 4 ? 0xF3 : 0xF2);
+  begin();
+  put(FpSz == 4 ? 0xF3 : 0xF2);
   rex(IntSz == 8, Dst.Id, 0xFF, Src.Id);
-  T.appendByte(0x0F);
-  T.appendByte(0x2A);
+  put(0x0F);
+  put(0x2A);
   modRMReg(Dst.Id, Src.Id);
+  commit();
 }
 
 void Emitter::cvtfp2si(u8 FpSz, u8 IntSz, AsmReg Dst, AsmReg Src) {
   assert(IntSz == 4 || IntSz == 8);
-  T.appendByte(FpSz == 4 ? 0xF3 : 0xF2);
+  begin();
+  put(FpSz == 4 ? 0xF3 : 0xF2);
   rex(IntSz == 8, Dst.Id, 0xFF, Src.Id);
-  T.appendByte(0x0F);
-  T.appendByte(0x2C);
+  put(0x0F);
+  put(0x2C);
   modRMReg(Dst.Id, Src.Id);
+  commit();
 }
 
 void Emitter::cvtfp2fp(u8 SrcSz, AsmReg Dst, AsmReg Src) {
-  T.appendByte(SrcSz == 4 ? 0xF3 : 0xF2);
+  begin();
+  put(SrcSz == 4 ? 0xF3 : 0xF2);
   rex(false, Dst.Id, 0xFF, Src.Id);
-  T.appendByte(0x0F);
-  T.appendByte(0x5A);
+  put(0x0F);
+  put(0x5A);
   modRMReg(Dst.Id, Src.Id);
+  commit();
 }
 
 void Emitter::movdToFp(u8 Sz, AsmReg Dst, AsmReg Src) {
-  T.appendByte(0x66);
+  begin();
+  put(0x66);
   rex(Sz == 8, Dst.Id, 0xFF, Src.Id);
-  T.appendByte(0x0F);
-  T.appendByte(0x6E);
+  put(0x0F);
+  put(0x6E);
   modRMReg(Dst.Id, Src.Id);
+  commit();
 }
 
 void Emitter::movdFromFp(u8 Sz, AsmReg Dst, AsmReg Src) {
-  T.appendByte(0x66);
+  begin();
+  put(0x66);
   rex(Sz == 8, Src.Id, 0xFF, Dst.Id);
-  T.appendByte(0x0F);
-  T.appendByte(0x7E);
+  put(0x0F);
+  put(0x7E);
   modRMReg(Src.Id, Dst.Id);
+  commit();
 }

@@ -201,9 +201,31 @@ public:
   asmx::Section &textSection() { return T; }
 
 private:
+  // --- Batched emission -------------------------------------------------
+  // Every instruction reserves its maximum encoded length once (begin),
+  // writes raw bytes through the cursor (put*), and commits the final
+  // length (commit): one bounds check per instruction instead of one per
+  // byte (see support::ByteBuffer).
+  void begin(size_t MaxBytes = 24) {
+    assert(!P && "instruction already in progress");
+    P = T.writeCursor(MaxBytes);
+  }
+  void commit() {
+    T.commitCursor(P);
+    P = nullptr;
+  }
+  /// Section offset of the cursor (valid between begin and commit).
+  u64 off() const { return T.cursorOffset(P); }
+  void put(u8 B) { *P++ = B; }
+  template <typename V> void putLE(V Val) {
+    static_assert(std::is_integral_v<V>);
+    for (unsigned I = 0; I < sizeof(V); ++I)
+      *P++ = static_cast<u8>(static_cast<u64>(Val) >> (8 * I));
+  }
+
   void opSizePrefix(u8 Sz) {
     if (Sz == 2)
-      T.appendByte(0x66);
+      put(0x66);
   }
   /// Emits a REX prefix if required. \p RegId/\p IdxId/\p BaseId are full
   /// register ids (0xFF if absent); \p Force8 handles SPL/BPL/SIL/DIL.
@@ -216,6 +238,7 @@ private:
 
   asmx::Assembler &A;
   asmx::Section &T;
+  u8 *P = nullptr; ///< Pending-instruction write cursor.
 };
 
 } // namespace tpde::x64

@@ -38,6 +38,64 @@ TEST(Assembler, SymbolCreationAndLookup) {
   EXPECT_EQ(A.symbol(F).Size, 32u);
 }
 
+TEST(Assembler, DuplicateRegistrationMergesIntoOneSymbol) {
+  Assembler A;
+  SymRef S1 = A.createSymbol("f", Linkage::External, /*IsFunc=*/false);
+  // Re-registering the same name returns the same symbol (upgraded), it
+  // does not silently create a shadowed second entry.
+  SymRef S2 = A.createSymbol("f", Linkage::Internal, /*IsFunc=*/true);
+  EXPECT_EQ(S1.Idx, S2.Idx);
+  EXPECT_EQ(A.symbols().size(), 1u);
+  EXPECT_TRUE(A.symbol(S1).IsFunc);
+  EXPECT_EQ(A.symbol(S1).Link, Linkage::Internal);
+}
+
+TEST(Assembler, DuplicateStrongDefinitionIsAnError) {
+  Assembler A;
+  SymRef S = A.createSymbol("dup", Linkage::External, /*IsFunc=*/true);
+  A.defineSymbol(S, SecKind::Text, 0, 4);
+  EXPECT_FALSE(A.hasError());
+  A.defineSymbol(S, SecKind::Text, 8, 4);
+  EXPECT_TRUE(A.hasError());
+  EXPECT_NE(A.errorMessage().find("dup"), std::string_view::npos);
+  // The first definition wins; the conflicting one is ignored.
+  EXPECT_EQ(A.symbol(S).Off, 0u);
+}
+
+TEST(Assembler, ReRegistrationNeverRelaxesDefinedOrLocalLinkage) {
+  Assembler A;
+  SymRef S = A.createSymbol("g", Linkage::Internal, /*IsFunc=*/false);
+  A.defineSymbol(S, SecKind::Data, 0, 8);
+  // A later Weak registration must not downgrade the defined local
+  // symbol (would change ELF binding and mask duplicate-def errors).
+  SymRef S2 = A.createSymbol("g", Linkage::Weak, /*IsFunc=*/false);
+  EXPECT_EQ(S.Idx, S2.Idx);
+  EXPECT_EQ(A.symbol(S).Link, Linkage::Internal);
+  A.defineSymbol(S, SecKind::Data, 16, 8);
+  EXPECT_TRUE(A.hasError()) << "second strong definition must error";
+}
+
+TEST(Assembler, WeakSymbolFirstDefinitionWins) {
+  Assembler A;
+  SymRef S = A.createSymbol("w", Linkage::Weak, /*IsFunc=*/false);
+  A.defineSymbol(S, SecKind::Data, 0, 8);
+  A.defineSymbol(S, SecKind::Data, 16, 8);
+  EXPECT_FALSE(A.hasError()) << "weak redefinition is not an error";
+  EXPECT_EQ(A.symbol(S).Off, 0u);
+}
+
+TEST(Assembler, ResetRetainsInternedNames) {
+  Assembler A;
+  SymRef S = A.createSymbol("persistent", Linkage::External, true);
+  std::string_view Name = A.symbol(S).Name;
+  A.reset();
+  EXPECT_FALSE(A.findSymbol("persistent").isValid());
+  SymRef S2 = A.createSymbol("persistent", Linkage::External, true);
+  // The name view stays valid across reset (string pool persists).
+  EXPECT_EQ(Name, "persistent");
+  EXPECT_EQ(A.symbol(S2).Name.data(), Name.data());
+}
+
 TEST(Assembler, LabelForwardFixupRel32) {
   Assembler A;
   Section &T = A.text();

@@ -21,7 +21,7 @@ std::vector<u8> bytesOf(void (*Emit)(Emitter &)) {
   Assembler A;
   Emitter E(A);
   Emit(E);
-  return A.text().Data;
+  return std::vector<u8>(A.text().Data.begin(), A.text().Data.end());
 }
 
 #define EXPECT_BYTES(expr, ...)                                                \
