@@ -2,19 +2,34 @@
 ///
 /// Measures the compile hot path the paper's speed claims rest on:
 /// functions compiled per second and heap allocations per compiled
-/// function, for every back-end. Two scenarios:
+/// function, for every back-end. Scenarios:
 ///
-///  * fresh:  a new assembler per module compile (the classic batch mode).
-///  * reused: one compiler instance recompiling the same module with
-///            reset-not-freed state; after warmup this must be
-///            allocation-free (docs/PERF.md).
+///  * fresh:    a new assembler per module compile (classic batch mode).
+///  * reused:   one compiler instance recompiling the same module with
+///              reset-not-freed state and module-level symbol batching;
+///              after warmup this must be allocation-free (docs/PERF.md).
+///  * parallel: the sharded ParallelModuleCompiler with a reused worker
+///              pool, one row per --threads entry. Measured on wall-clock
+///              time (the other scenarios use process-CPU time, which by
+///              construction cannot show a parallel speedup).
 ///
-/// Emits BENCH_compile_throughput.json for CI artifact upload.
+/// Every scenario is measured --repeat times and reported with mean,
+/// stddev, and min so the CI regression gate can derive a noise threshold
+/// instead of comparing single samples (see scripts/
+/// check_bench_regression.py). Emits BENCH_compile_throughput.json.
+///
+/// Usage: compile_throughput [--repeat=N] [--threads=1,2,4,8] [--funcs=N]
 ///
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
 #include "support/AllocCounter.h"
+#include "tpde_tir/ParallelCompiler.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 
 TPDE_INSTALL_ALLOC_COUNTER
 
@@ -24,32 +39,56 @@ using support::AllocWatch;
 
 namespace {
 
+/// Iterations per measurement so one sample takes a meaningful amount of
+/// time without dragging out CI; throughput of the serial scenarios uses
+/// CPU time (CpuTimer), which is stable on loaded machines.
+constexpr unsigned Iters = 40;
+
+struct Dispersion {
+  double Mean = 0, Stddev = 0, Min = 0;
+};
+
+Dispersion disperse(const std::vector<double> &Samples) {
+  Dispersion D;
+  D.Min = Samples[0];
+  for (double S : Samples) {
+    D.Mean += S;
+    if (S < D.Min)
+      D.Min = S;
+  }
+  D.Mean /= static_cast<double>(Samples.size());
+  double Var = 0;
+  for (double S : Samples)
+    Var += (S - D.Mean) * (S - D.Mean);
+  if (Samples.size() > 1)
+    Var /= static_cast<double>(Samples.size() - 1);
+  D.Stddev = std::sqrt(Var);
+  return D;
+}
+
 struct Result {
-  const char *Backend;
-  const char *Scenario;
-  double FuncsPerSec = 0;
+  std::string Backend;
+  std::string Scenario;
+  unsigned Threads = 0; ///< 0 = not a threaded scenario.
+  const char *Clock = "cpu";
+  Dispersion FuncsPerSec;
   double NewCallsPerFunc = 0;
   double NewBytesPerFunc = 0;
 };
 
-/// Iterations so one measurement takes a meaningful amount of time without
-/// dragging out CI; each scenario takes the best of Reps measurements to
-/// shake off scheduler noise; throughput uses CPU time (CpuTimer), which
-/// is stable on loaded machines.
-constexpr unsigned Iters = 40;
-constexpr unsigned Reps = 3;
-
-template <typename Fn> Result bestOf(Fn Measure) {
-  Result Best = Measure();
-  for (unsigned R = 1; R < Reps; ++R) {
-    Result Cur = Measure();
-    if (Cur.FuncsPerSec > Best.FuncsPerSec)
-      Best = Cur;
-  }
-  return Best;
+/// Runs \p Measure (returning funcs/sec for one sample) Repeat times and
+/// folds the samples into a dispersion summary.
+template <typename Fn>
+Dispersion sample(unsigned Repeat, Fn Measure) {
+  std::vector<double> Samples;
+  Samples.reserve(Repeat);
+  for (unsigned R = 0; R < Repeat; ++R)
+    Samples.push_back(Measure());
+  return disperse(Samples);
 }
 
-Result measureFresh(Backend B, tir::Module &M, u32 NumFuncs) {
+Result measureFresh(Backend B, tir::Module &M, u32 NumFuncs,
+                    unsigned Repeat) {
   // Warmup (first compile pays one-time costs: template caches etc).
   {
     asmx::Assembler Asm;
@@ -58,47 +97,108 @@ Result measureFresh(Backend B, tir::Module &M, u32 NumFuncs) {
       std::exit(1);
     }
   }
+  Result R;
+  R.Backend = backendName(B);
+  R.Scenario = "fresh";
   AllocWatch W;
-  CpuTimer T;
-  T.start();
-  for (unsigned I = 0; I < Iters; ++I) {
-    asmx::Assembler Asm;
-    compileWith(B, M, Asm);
+  u64 Funcs = 0;
+  bool OK = true;
+  R.FuncsPerSec = sample(Repeat, [&] {
+    CpuTimer T;
+    T.start();
+    for (unsigned I = 0; I < Iters; ++I) {
+      asmx::Assembler Asm;
+      OK &= compileWith(B, M, Asm);
+    }
+    T.stop();
+    Funcs += static_cast<u64>(NumFuncs) * Iters;
+    return static_cast<double>(NumFuncs) * Iters / (T.ms() / 1000.0);
+  });
+  if (!OK) {
+    std::fprintf(stderr, "compilation failed mid-measurement (%s)\n",
+                 backendName(B));
+    std::exit(1);
   }
-  T.stop();
-  Result R{backendName(B), "fresh"};
-  double Funcs = static_cast<double>(NumFuncs) * Iters;
-  R.FuncsPerSec = Funcs / (T.ms() / 1000.0);
   R.NewCallsPerFunc = static_cast<double>(W.newCalls()) / Funcs;
   R.NewBytesPerFunc = static_cast<double>(W.newBytes()) / Funcs;
   return R;
 }
 
-/// TPDE with full state reuse: one adapter/compiler/assembler, reset
-/// between compiles. Steady state must not touch the heap.
-Result measureReused(tir::Module &M, u32 NumFuncs) {
+/// TPDE with full state reuse: one adapter/compiler/assembler, recompiled
+/// through the module-level symbol-batching fast path. Steady state must
+/// not touch the heap.
+Result measureReused(tir::Module &M, u32 NumFuncs, unsigned Repeat) {
   tpde_tir::TirAdapter Adapter(M);
   asmx::Assembler Asm;
   tpde_tir::TirCompilerX64 Compiler(Adapter, Asm);
   // Warmup grows all scratch buffers to their high-water mark.
   for (unsigned I = 0; I < 4; ++I) {
-    Asm.reset();
-    if (!Compiler.compile()) {
+    if (!Compiler.compileReuse()) {
       std::fprintf(stderr, "compilation failed (TPDE reused)\n");
       std::exit(1);
     }
   }
+  Result R;
+  R.Backend = "TPDE";
+  R.Scenario = "reused";
   AllocWatch W;
-  CpuTimer T;
-  T.start();
-  for (unsigned I = 0; I < Iters; ++I) {
-    Asm.reset();
-    Compiler.compile();
+  u64 Funcs = 0;
+  bool OK = true; // accumulated, checked after timing: a silent failure
+                  // would otherwise feed bogus numbers to the CI gate
+  R.FuncsPerSec = sample(Repeat, [&] {
+    CpuTimer T;
+    T.start();
+    for (unsigned I = 0; I < Iters; ++I)
+      OK &= Compiler.compileReuse();
+    T.stop();
+    Funcs += static_cast<u64>(NumFuncs) * Iters;
+    return static_cast<double>(NumFuncs) * Iters / (T.ms() / 1000.0);
+  });
+  if (!OK) {
+    std::fprintf(stderr, "compilation failed mid-measurement (TPDE reused)\n");
+    std::exit(1);
   }
-  T.stop();
-  Result R{"TPDE", "reused"};
-  double Funcs = static_cast<double>(NumFuncs) * Iters;
-  R.FuncsPerSec = Funcs / (T.ms() / 1000.0);
+  R.NewCallsPerFunc = static_cast<double>(W.newCalls()) / Funcs;
+  R.NewBytesPerFunc = static_cast<double>(W.newBytes()) / Funcs;
+  return R;
+}
+
+/// Sharded compilation with a persistent worker pool. Wall-clock time:
+/// the whole point is spending more CPUs to finish sooner.
+Result measureParallel(tir::Module &M, u32 NumFuncs, unsigned Threads,
+                       unsigned Repeat) {
+  tpde_tir::ParallelCompileOptions Opts;
+  Opts.NumThreads = Threads;
+  tpde_tir::ParallelModuleCompiler PC(M, Opts);
+  asmx::Assembler Out;
+  for (unsigned I = 0; I < 4; ++I) {
+    if (!PC.compile(Out)) {
+      std::fprintf(stderr, "compilation failed (TPDE parallel)\n");
+      std::exit(1);
+    }
+  }
+  Result R;
+  R.Backend = "TPDE";
+  R.Scenario = "parallel";
+  R.Threads = Threads;
+  R.Clock = "wall";
+  AllocWatch W;
+  u64 Funcs = 0;
+  bool OK = true;
+  R.FuncsPerSec = sample(Repeat, [&] {
+    Timer T;
+    T.start();
+    for (unsigned I = 0; I < Iters; ++I)
+      OK &= PC.compile(Out);
+    T.stop();
+    Funcs += static_cast<u64>(NumFuncs) * Iters;
+    return static_cast<double>(NumFuncs) * Iters / (T.ms() / 1000.0);
+  });
+  if (!OK) {
+    std::fprintf(stderr,
+                 "compilation failed mid-measurement (TPDE parallel)\n");
+    std::exit(1);
+  }
   R.NewCallsPerFunc = static_cast<double>(W.newCalls()) / Funcs;
   R.NewBytesPerFunc = static_cast<double>(W.newBytes()) / Funcs;
   return R;
@@ -106,48 +206,149 @@ Result measureReused(tir::Module &M, u32 NumFuncs) {
 
 } // namespace
 
-int main() {
+namespace {
+
+/// Parses a positive integer in [1, Max]; exits with a usage error on
+/// anything else. threads=0 in particular must be rejected: 0 is this
+/// benchmark's JSON sentinel for "not a threaded scenario" and would
+/// collide with the serial rows in the regression gate.
+unsigned parsePositive(const char *What, const char *S, const char **End,
+                       unsigned Max) {
+  char *P = nullptr;
+  unsigned long V = std::strtoul(S, &P, 10);
+  if (P == S || V < 1 || V > Max) {
+    std::fprintf(stderr, "invalid %s value '%s' (expect 1..%u)\n", What, S,
+                 Max);
+    std::exit(2);
+  }
+  *End = P;
+  return static_cast<unsigned>(V);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Repeat = 5;
+  u32 NumFuncsOpt = 48;
+  std::vector<unsigned> ThreadCounts = {1, 2, 4, 8};
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    const char *End = nullptr;
+    if (std::strncmp(Arg, "--repeat=", 9) == 0) {
+      Repeat = parsePositive("--repeat", Arg + 9, &End, 1000);
+      if (*End) {
+        std::fprintf(stderr, "invalid --repeat value '%s'\n", Arg + 9);
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--funcs=", 8) == 0) {
+      NumFuncsOpt = parsePositive("--funcs", Arg + 8, &End, 100000);
+      if (*End) {
+        std::fprintf(stderr, "invalid --funcs value '%s'\n", Arg + 8);
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--threads=", 10) == 0) {
+      ThreadCounts.clear();
+      for (const char *P = Arg + 10; *P;) {
+        ThreadCounts.push_back(parsePositive("--threads", P, &P, 256));
+        if (*P == ',')
+          ++P;
+        else if (*P) {
+          std::fprintf(stderr, "invalid --threads list '%s'\n", Arg + 10);
+          return 2;
+        }
+      }
+      if (ThreadCounts.empty()) {
+        std::fprintf(stderr, "--threads needs at least one entry\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--repeat=N] [--threads=1,2,4] [--funcs=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
   // A mid-size module: enough functions that per-function costs dominate,
   // both IR flavors mixed in (O0-like stack traffic + SSA loops).
   tir::Module M;
   workloads::Profile P;
   P.Seed = 7;
-  P.NumFuncs = 48;
+  P.NumFuncs = NumFuncsOpt;
   P.RegionBudget = 10;
   P.InstsPerBlock = 8;
   P.SSAForm = true;
   workloads::genModule(M, P);
   u32 NumFuncs = static_cast<u32>(M.Funcs.size());
+  unsigned HwThreads = std::thread::hardware_concurrency();
+
+  // The parallel series runs on a 4x larger module: with the default
+  // FuncsPerShard that is ~48 shards instead of 12, so the worker pool
+  // has scaling headroom and the per-compile job handshake amortizes —
+  // keeping the CI speedup assertion meaningful on modest multicore
+  // runners. Its rows are self-consistent (funcs/sec over its own
+  // function count); the serial rows keep the smaller module.
+  tir::Module ParM;
+  workloads::Profile ParP = P;
+  ParP.NumFuncs = NumFuncsOpt * 4;
+  workloads::genModule(ParM, ParP);
+  u32 ParFuncs = static_cast<u32>(ParM.Funcs.size());
 
   std::vector<Result> Results;
   for (Backend B : {Backend::Tpde, Backend::CopyPatch, Backend::BaselineO0,
                     Backend::BaselineO1})
-    Results.push_back(bestOf([&] { return measureFresh(B, M, NumFuncs); }));
-  Results.push_back(bestOf([&] { return measureReused(M, NumFuncs); }));
+    Results.push_back(measureFresh(B, M, NumFuncs, Repeat));
+  Results.push_back(measureReused(M, NumFuncs, Repeat));
+  for (unsigned T : ThreadCounts)
+    Results.push_back(measureParallel(ParM, ParFuncs, T, Repeat));
 
-  std::printf("%-12s %-7s %14s %12s %12s\n", "backend", "mode", "funcs/sec",
+  std::printf("%-12s %-9s %3s %5s %12s %12s %12s %10s %11s\n", "backend",
+              "mode", "thr", "clock", "f/s mean", "f/s stddev", "f/s min",
               "new/func", "bytes/func");
   for (const Result &R : Results)
-    std::printf("%-12s %-7s %14.0f %12.2f %12.1f\n", R.Backend, R.Scenario,
-                R.FuncsPerSec, R.NewCallsPerFunc, R.NewBytesPerFunc);
+    std::printf("%-12s %-9s %3u %5s %12.0f %12.0f %12.0f %10.2f %11.1f\n",
+                R.Backend.c_str(), R.Scenario.c_str(), R.Threads, R.Clock,
+                R.FuncsPerSec.Mean, R.FuncsPerSec.Stddev, R.FuncsPerSec.Min,
+                R.NewCallsPerFunc, R.NewBytesPerFunc);
+
+  // Parallel scaling summary (the CI gate asserts this when the machine
+  // has enough hardware threads; see scripts/check_bench_regression.py).
+  double Par1 = 0;
+  for (const Result &R : Results)
+    if (R.Scenario == "parallel" && R.Threads == 1)
+      Par1 = R.FuncsPerSec.Mean;
+  if (Par1 > 0)
+    for (const Result &R : Results)
+      if (R.Scenario == "parallel" && R.Threads > 1)
+        std::printf("parallel speedup @%u threads: %.2fx (hw threads: %u)\n",
+                    R.Threads, R.FuncsPerSec.Mean / Par1, HwThreads);
 
   FILE *F = std::fopen("BENCH_compile_throughput.json", "w");
   if (!F) {
     std::fprintf(stderr, "cannot write BENCH_compile_throughput.json\n");
     return 1;
   }
-  std::fprintf(F, "{\n  \"benchmark\": \"compile_throughput\",\n"
-                  "  \"module_functions\": %u,\n  \"iterations\": %u,\n"
-                  "  \"results\": [\n",
-               NumFuncs, Iters);
+  std::fprintf(F,
+               "{\n  \"benchmark\": \"compile_throughput\",\n"
+               "  \"module_functions\": %u,\n"
+               "  \"parallel_module_functions\": %u,\n"
+               "  \"iterations\": %u,\n"
+               "  \"repeat\": %u,\n  \"hardware_concurrency\": %u,\n"
+               "  \"results\": [\n",
+               NumFuncs, ParFuncs, Iters, Repeat, HwThreads);
   for (size_t I = 0; I < Results.size(); ++I) {
     const Result &R = Results[I];
     std::fprintf(F,
                  "    {\"backend\": \"%s\", \"scenario\": \"%s\", "
-                 "\"funcs_per_sec\": %.1f, \"new_calls_per_func\": %.3f, "
+                 "\"threads\": %u, \"clock\": \"%s\", "
+                 "\"funcs_per_sec\": %.1f, \"funcs_per_sec_stddev\": %.1f, "
+                 "\"funcs_per_sec_min\": %.1f, "
+                 "\"new_calls_per_func\": %.3f, "
                  "\"new_bytes_per_func\": %.1f}%s\n",
-                 R.Backend, R.Scenario, R.FuncsPerSec, R.NewCallsPerFunc,
-                 R.NewBytesPerFunc, I + 1 < Results.size() ? "," : "");
+                 R.Backend.c_str(), R.Scenario.c_str(), R.Threads, R.Clock,
+                 R.FuncsPerSec.Mean, R.FuncsPerSec.Stddev, R.FuncsPerSec.Min,
+                 R.NewCallsPerFunc, R.NewBytesPerFunc,
+                 I + 1 < Results.size() ? "," : "");
   }
   std::fprintf(F, "  ]\n}\n");
   std::fclose(F);

@@ -11,6 +11,7 @@
 #include "asmx/JITMapper.h"
 #include "tir/Builder.h"
 #include "tir/Printer.h"
+#include "tpde_tir/ParallelCompiler.h"
 #include "tpde_tir/TirCompilerX64.h"
 
 #include <cstdio>
@@ -46,9 +47,15 @@ int main() {
 
   std::printf("--- input IR ---\n%s\n", printFunction(M, M.Funcs[0]).c_str());
 
-  // Compile with TPDE (analysis pass + single codegen pass) and map.
+  // Compile with TPDE (analysis pass + single codegen pass) and map. The
+  // parallel entry point shards the module's functions across one
+  // compiler per hardware thread and merges the results; the output is
+  // byte-identical whatever the thread count (for a single-function
+  // module like this one it simply degenerates to a serial compile —
+  // tpde_tir::compileModuleX64(M, Asm) is the single-threaded
+  // equivalent).
   asmx::Assembler Asm;
-  if (!tpde_tir::compileModuleX64(M, Asm)) {
+  if (!tpde_tir::compileModuleX64Parallel(M, Asm)) {
     std::fprintf(stderr, "compilation failed\n");
     return 1;
   }

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for compile_throughput.
+
+Compares a freshly measured BENCH_compile_throughput.json against the
+committed baseline and fails (exit 1) when any scenario's mean throughput
+undercuts the baseline by more than a noise threshold derived from the
+reported dispersion:
+
+    allowed_drop = max(SIGMas * sqrt(base_std^2 + new_std^2),
+                       REL_FLOOR * base_mean)
+
+The stddev term adapts to how noisy the two runs actually were; the
+relative floor keeps one lucky ultra-tight pair of runs from turning
+ordinary scheduler jitter into a CI failure (shared runners easily move
+by double-digit percents between jobs). Scenarios present in only one of
+the two files are reported but never fail the gate, so adding or
+removing a backend does not require regenerating the baseline in the
+same commit.
+
+With --normalize, both runs are first rescaled by their own
+Baseline-O0/fresh mean before comparing. That anchor measures the
+machine's single-thread compile speed with a backend whose code rarely
+changes, so the gate then checks *relative* throughput (TPDE vs the
+baseline backend on the same box) and stays meaningful when the
+baseline json was recorded on different hardware than the CI runner —
+which is exactly the committed-baseline-vs-shared-runner situation.
+The tradeoff: a regression that slows every backend equally (e.g. in
+asmx) shrinks the anchor too and is masked; refresh the baseline on the
+runner class and drop --normalize to regain absolute sensitivity.
+
+Optionally (--require-speedup X) asserts the parallel-scaling acceptance
+criterion: mean(parallel, 4 threads) >= X * mean(parallel, 1 thread),
+checked only when the measuring machine reported >= 4 hardware threads —
+on smaller machines a 4-thread speedup is not reachable and the check is
+skipped with a notice.
+
+Usage:
+    check_bench_regression.py BASELINE.json NEW.json
+        [--sigmas=4] [--rel-floor=0.30] [--normalize]
+        [--require-speedup=1.5]
+"""
+
+import json
+import math
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for r in data.get("results", []):
+        key = (r["backend"], r["scenario"], int(r.get("threads", 0)))
+        out[key] = r
+    return data, out
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    opts = {}
+    for a in argv[1:]:
+        if a.startswith("--"):
+            k, _, v = a[2:].partition("=")
+            opts[k] = v
+    if len(args) != 2:
+        print(__doc__)
+        return 2
+    sigmas = float(opts.get("sigmas", 4.0))
+    rel_floor = float(opts.get("rel-floor", 0.30))
+    require_speedup = float(opts["require-speedup"]) if "require-speedup" in opts else None
+
+    base_doc, base = load(args[0])
+    new_doc, new = load(args[1])
+
+    # Cross-machine normalization: rescale the baseline into the new
+    # machine's terms using the Baseline-O0/fresh anchor of each run.
+    anchor_key = ("Baseline-O0", "fresh", 0)
+    scale = 1.0
+    if "normalize" in opts:
+        ba, na = base.get(anchor_key), new.get(anchor_key)
+        if not ba or not na or ba["funcs_per_sec"] <= 0:
+            print("FAIL: --normalize needs the Baseline-O0 fresh anchor "
+                  "in both files")
+            return 1
+        scale = na["funcs_per_sec"] / ba["funcs_per_sec"]
+        print(f"normalizing: anchor base {ba['funcs_per_sec']:.0f} -> "
+              f"new {na['funcs_per_sec']:.0f} f/s, scale {scale:.3f}")
+
+    failed = False
+    print(f"{'backend':<12} {'scenario':<9} {'thr':>3} {'base':>12} "
+          f"{'new':>12} {'drop':>8} {'allowed':>8}  verdict")
+    for key in sorted(base):
+        if key not in new:
+            print(f"{key[0]:<12} {key[1]:<9} {key[2]:>3} -- only in baseline, skipped")
+            continue
+        b, n = base[key], new[key]
+        bm, nm = b["funcs_per_sec"] * scale, n["funcs_per_sec"]
+        bs = b.get("funcs_per_sec_stddev", 0.0) * scale
+        ns = n.get("funcs_per_sec_stddev", 0.0)
+        allowed = max(sigmas * math.sqrt(bs * bs + ns * ns), rel_floor * bm)
+        drop = bm - nm
+        verdict = "ok"
+        if key == anchor_key and scale != 1.0:
+            verdict = "anchor"  # trivially equal after normalization
+        elif drop > allowed:
+            verdict = "REGRESSION"
+            failed = True
+        print(f"{key[0]:<12} {key[1]:<9} {key[2]:>3} {bm:>12.0f} {nm:>12.0f} "
+              f"{drop:>8.0f} {allowed:>8.0f}  {verdict}")
+    for key in sorted(set(new) - set(base)):
+        print(f"{key[0]:<12} {key[1]:<9} {key[2]:>3} -- new scenario, no baseline")
+
+    # Allocation-policy gate: the reused scenario must stay at zero
+    # steady-state allocations (docs/PERF.md) — this one is exact, not
+    # noise-bounded.
+    reused = new.get(("TPDE", "reused", 0))
+    if reused and reused.get("new_calls_per_func", 0) > 0.001:
+        print(f"FAIL: reused scenario allocates "
+              f"{reused['new_calls_per_func']:.3f} times/function "
+              f"(must be 0; see docs/PERF.md)")
+        failed = True
+
+    if require_speedup is not None:
+        hw = int(new_doc.get("hardware_concurrency", 0))
+        p1 = new.get(("TPDE", "parallel", 1))
+        p4 = new.get(("TPDE", "parallel", 4))
+        if hw < 4:
+            print(f"speedup check skipped: only {hw} hardware thread(s)")
+        elif not p1 or not p4:
+            print("FAIL: speedup check requested but parallel rows for "
+                  "1 and 4 threads are missing")
+            failed = True
+        else:
+            m1, m4 = p1["funcs_per_sec"], p4["funcs_per_sec"]
+            s1 = p1.get("funcs_per_sec_stddev", 0.0)
+            s4 = p4.get("funcs_per_sec_stddev", 0.0)
+            speedup = m4 / m1
+            # Same noise-awareness as the drop checks: propagate the two
+            # rows' relative errors into a sigma-scaled slack so a noisy
+            # shared-runner sample cannot hard-fail an unrelated PR.
+            slack = sigmas * speedup * math.sqrt(
+                (s1 / m1) ** 2 + (s4 / m4) ** 2) if m1 > 0 and m4 > 0 else 0.0
+            print(f"parallel speedup @4 threads: {speedup:.2f}x "
+                  f"(+/-{slack:.2f} noise slack, required "
+                  f"{require_speedup:.2f}x, hw threads {hw})")
+            if speedup + slack < require_speedup:
+                print("FAIL: parallel speedup below requirement")
+                failed = True
+
+    if failed:
+        print("benchmark regression gate: FAILED")
+        return 1
+    print("benchmark regression gate: passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -26,14 +26,103 @@ SymRef Assembler::createSymbol(std::string_view Name, Linkage L, bool IsFunc) {
     }
     u32 Idx = static_cast<u32>(Syms.size());
     Existing = Idx;
-    Syms.push_back(Symbol{Names.str(Id), L, false, IsFunc, SecKind::Text,
+    Syms.push_back(Symbol{Names.str(Id), Id, L, false, IsFunc, SecKind::Text,
                           0, 0});
     return SymRef{Idx};
   }
   // Anonymous symbols (constant pool entries) are never looked up by name.
   u32 Idx = static_cast<u32>(Syms.size());
-  Syms.push_back(Symbol{{}, L, false, IsFunc, SecKind::Text, 0, 0});
+  Syms.push_back(Symbol{{}, ~0u, L, false, IsFunc, SecKind::Text, 0, 0});
   return SymRef{Idx};
+}
+
+void Assembler::rewindForRecompile(u32 SymbolWatermark) {
+  assert(SymbolWatermark <= Syms.size() && "watermark past symbol table");
+  for (u32 I = SymbolWatermark; I < Syms.size(); ++I)
+    if (Syms[I].NameId != ~0u)
+      SymOfName[Syms[I].NameId] = ~0u;
+  Syms.resize(SymbolWatermark);
+  for (Symbol &S : Syms) {
+    S.Defined = false;
+    S.Off = 0;
+    S.Size = 0;
+  }
+  clearEmission();
+}
+
+void Assembler::mergeFrom(const Assembler &Src) {
+  assert(&Src != this && "cannot merge an assembler into itself");
+#ifndef NDEBUG
+  // Label fixups patch text in place once the label is bound; an unbound
+  // label with pending fixups means half-finished code that must not be
+  // merged. (Applied fixup records linger in the pool — that is fine.)
+  for (const LabelInfo &L : Src.Labels)
+    assert((L.Bound || L.FirstFixup == ~0u) &&
+           "mergeFrom source has pending label fixups");
+#endif
+  // Lay the source sections behind the destination's, padded to the
+  // source's alignment so intra-section offsets keep their alignment
+  // guarantees (e.g. the 16-byte function starts in .text). Empty source
+  // sections contribute nothing — not even padding — so a module's merged
+  // image depends only on the fragments' content, never on how many empty
+  // fragments took part.
+  u64 Base[NumSections];
+  for (unsigned I = 0; I < NumSections; ++I) {
+    Section &D = Secs[I];
+    const Section &S = Src.Secs[I];
+    if (static_cast<SecKind>(I) == SecKind::BSS) {
+      Base[I] = 0;
+      if (S.BssSize) {
+        D.BssSize = alignTo(D.BssSize, S.Align);
+        Base[I] = D.BssSize;
+        D.BssSize += S.BssSize;
+        if (S.Align > D.Align)
+          D.Align = S.Align;
+      }
+      continue;
+    }
+    Base[I] = D.size();
+    if (S.Data.empty())
+      continue;
+    D.alignToBoundary(S.Align);
+    Base[I] = D.size();
+    D.append(S.Data.data(), S.Data.size());
+  }
+
+  // Symbols: resolve named ones against the destination table, append
+  // anonymous ones. createSymbol() upgrades an undefined external
+  // placeholder to the stronger registration; defineSymbol() diagnoses
+  // duplicate strong definitions and keeps the first weak one.
+  // Undefined symbols nothing in the source references are dropped, like
+  // a linker would: shard fragments declare the whole module's symbol
+  // table, and copying every declaration into every fragment would make
+  // the final merge quadratic in module size for no information gain.
+  MergeRefd.assign(Src.Syms.size(), 0);
+  for (const Reloc &R : Src.Relocs)
+    MergeRefd[R.Sym.Idx] = 1;
+  MergeSymMap.clear();
+  MergeSymMap.reserve(Src.Syms.size());
+  for (size_t I = 0; I < Src.Syms.size(); ++I) {
+    const Symbol &S = Src.Syms[I];
+    if (!S.Defined && !MergeRefd[I]) {
+      MergeSymMap.push_back(~0u);
+      continue;
+    }
+    SymRef R = createSymbol(S.Name, S.Link, S.IsFunc);
+    if (S.Defined)
+      defineSymbol(R, S.Sec, Base[static_cast<unsigned>(S.Sec)] + S.Off,
+                   S.Size);
+    MergeSymMap.push_back(R.Idx);
+  }
+
+  for (const Reloc &R : Src.Relocs) {
+    assert(MergeSymMap[R.Sym.Idx] != ~0u && "referenced symbol not merged");
+    Relocs.push_back(Reloc{R.Sec, Base[static_cast<unsigned>(R.Sec)] + R.Off,
+                           R.Kind, SymRef{MergeSymMap[R.Sym.Idx]}, R.Addend});
+  }
+
+  if (!Src.Err.empty())
+    setError(std::string(Src.Err));
 }
 
 SymRef Assembler::getOrCreateSymbol(std::string_view Name) {

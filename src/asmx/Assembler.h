@@ -149,6 +149,9 @@ public:
 /// pool and stays valid for the assembler's lifetime (across reset()).
 struct Symbol {
   std::string_view Name;
+  /// Interned-name id (StringPool::InvalidId for anonymous symbols); lets
+  /// rewindForRecompile() drop the name->symbol mapping without hashing.
+  u32 NameId = ~0u;
   Linkage Link = Linkage::External;
   bool Defined = false;
   bool IsFunc = false;
@@ -196,6 +199,7 @@ public:
     return Syms[S.Idx];
   }
   const std::vector<Symbol> &symbols() const { return Syms; }
+  u32 symbolCount() const { return static_cast<u32>(Syms.size()); }
 
   /// True once any module-level inconsistency (e.g. a duplicate strong
   /// symbol definition) was recorded. Checked by callers at module
@@ -232,17 +236,60 @@ public:
   /// buffer's capacity and the interned name pool, so the next compile
   /// into this assembler does not allocate.
   void reset() {
-    for (Section &S : Secs)
-      S.reset();
+    clearEmission();
     Syms.clear();
     std::fill(SymOfName.begin(), SymOfName.end(), ~0u);
+    ++Epoch;
+  }
+
+  /// Counts the reset() calls so far. Module compilers use it to detect
+  /// that the symbol table they registered is still intact and can be
+  /// reused on a recompile (module-level symbol batching): the fast path
+  /// is valid only while the epoch recorded at registration time matches.
+  u64 resetEpoch() const { return Epoch; }
+
+  /// Like reset(), but keeps the first \p SymbolWatermark symbols as
+  /// *declarations*: names, linkage, and function-ness survive while
+  /// definitions, sections, relocations, and labels are dropped. Symbols
+  /// past the watermark (e.g. anonymous constant-pool entries created
+  /// during function compilation) are removed entirely. Does not bump
+  /// resetEpoch(), so a recompile loop stays on the fast path.
+  void rewindForRecompile(u32 SymbolWatermark);
+
+  /// Appends \p Src's sections, symbols, and relocations to this module.
+  ///
+  /// Section bytes land at the alignment-padded end of the corresponding
+  /// destination section (BSS sizes are concatenated the same way), and
+  /// relocation offsets are rebased accordingly. Named symbols are
+  /// resolved against the destination table by interned name: an
+  /// undefined reference in one input binds to the definition from
+  /// another, which is what links calls between functions compiled into
+  /// different assemblers (cross-shard symbol resolution). Duplicate
+  /// strong definitions surface through hasError(); weak symbols keep the
+  /// first definition, so merge order decides. Anonymous symbols are
+  /// appended as fresh entries. Undefined source symbols that no source
+  /// relocation references are dropped (linker semantics — keeps merging
+  /// K fragments that each declare a whole module's symbol table linear
+  /// instead of quadratic). Both assemblers must be label-finalized (no
+  /// pending fixups). Steady-state merging into a reset() assembler does
+  /// not allocate once all buffers reached their high-water mark.
+  void mergeFrom(const Assembler &Src);
+
+private:
+  /// Shared tail of reset() and rewindForRecompile(): drops everything
+  /// that belongs to one compile's emitted output (sections, relocations,
+  /// labels, fixups, error state) while keeping capacity. Any new pooled
+  /// emission container must be cleared HERE so the symbol-batched
+  /// rewind path cannot drift from the full reset.
+  void clearEmission() {
+    for (Section &S : Secs)
+      S.reset();
     Relocs.clear();
     Labels.clear();
     Fixups.clear();
     Err.clear();
   }
 
-private:
   struct LabelInfo {
     u64 Off = 0;
     bool Bound = false;
@@ -270,6 +317,12 @@ private:
   std::vector<LabelInfo> Labels;
   std::vector<FixupInfo> Fixups;
   std::string Err;
+  /// Scratch for mergeFrom(): source symbol index -> merged index (~0 for
+  /// dropped unreferenced declarations), and the reloc-referenced flags.
+  /// Members so steady-state merges reuse their capacity (docs/PERF.md).
+  std::vector<u32> MergeSymMap;
+  std::vector<u8> MergeRefd;
+  u64 Epoch = 0;
 };
 
 } // namespace tpde::asmx

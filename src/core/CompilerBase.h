@@ -537,8 +537,53 @@ public:
   // =====================================================================
 
   /// Compiles all functions of the adapter's module. Returns false if any
-  /// instruction could not be compiled.
+  /// instruction could not be compiled. The assembler must be fresh (or
+  /// reset()); use recompileModule() to recompile with symbol reuse.
   bool compileModule() {
+    return compileModuleImpl</*EmitData=*/true>(0, A.funcCount(),
+                                               /*ManageAsm=*/false);
+  }
+
+  /// Recompiles the module into the same assembler, reusing the interned
+  /// symbol table built by the previous compile (module-level symbol
+  /// batching): sections and relocations are rewound, but the per-module
+  /// createSymbol pass is skipped entirely. Falls back to a full reset +
+  /// compile when the assembler was reset (or never saw this module).
+  bool recompileModule() {
+    return compileModuleImpl</*EmitData=*/true>(0, A.funcCount(),
+                                               /*ManageAsm=*/true);
+  }
+
+  /// Shard entry point for the parallel module driver: declares every
+  /// module-level symbol (globals and all functions, so cross-shard
+  /// references relocate by name) but compiles and defines only the
+  /// functions in [Begin, End). Global *data* is not emitted — the driver
+  /// merges it from a compileGlobalsOnly() fragment. Manages the
+  /// assembler itself (rewind fast path or full reset).
+  bool compileFunctionRange(u32 Begin, u32 End) {
+    return compileModuleImpl</*EmitData=*/false>(Begin, End,
+                                                /*ManageAsm=*/true);
+  }
+
+  /// Emits the module-level fragment only: global data/BSS definitions
+  /// plus declarations of every function. Counterpart of
+  /// compileFunctionRange() for the parallel driver.
+  bool compileGlobalsOnly() {
+    return compileModuleImpl</*EmitData=*/true>(0, 0, /*ManageAsm=*/true);
+  }
+
+  /// True while defineGlobals()/declareGlobals() runs on the symbol-reuse
+  /// fast path: the derived compiler's module-level symbol caches (e.g.
+  /// its global-symbol table) are still valid and must not be rebuilt.
+  bool reusingModuleSymbols() const { return ReusingModuleSyms; }
+
+  /// EmitData is a template parameter so that only the range entry points
+  /// (EmitData=false) require the derived compiler to provide
+  /// declareGlobals() — a hard compile error at the call site, not a
+  /// runtime assert — while plain compileModule() keeps working for
+  /// back-ends without range support (e.g. CompilerA64).
+  template <bool EmitData>
+  bool compileModuleImpl(u32 Begin, u32 End, bool ManageAsm) {
     // Optional adapter capacity hints: size the per-function scratch for
     // the module's largest function up front so the compile loop never
     // grows it incrementally (docs/PERF.md).
@@ -547,15 +592,55 @@ public:
       BlockLabels.reserve(A.maxBlockCount());
       An.reserve(A.maxValueCount(), A.maxBlockCount());
     }
-    derived()->defineGlobals();
     u32 N = A.funcCount();
-    FuncSyms.resize(N);
-    for (u32 I = 0; I < N; ++I) {
-      auto F = A.funcRef(I);
-      FuncSyms[I] =
-          Asm.createSymbol(A.funcName(F), A.funcLinkage(F), /*IsFunc=*/true);
+    // Globals participate in the cache key where the derived compiler
+    // exposes a count: adding/removing a module global between recompiles
+    // must force the fallback, or reuse would index a stale GlobalSyms
+    // table. (Renaming symbols while keeping counts is not detected —
+    // the reuse contract is "same module", this guard just downgrades
+    // the common mutation from UB to a clean rebuild.)
+    u32 Globals = 0;
+    if constexpr (requires { derived()->moduleGlobalCount(); })
+      Globals = derived()->moduleGlobalCount();
+    bool Reuse = false;
+    if (ManageAsm) {
+      // Module-level symbol batching: if the assembler still carries the
+      // symbol table this compiler registered (same reset epoch, same
+      // function and global counts), rewind to it instead of rebuilding.
+      if (SymCacheValid && SymCacheEpoch == Asm.resetEpoch() &&
+          SymCacheFuncCount == N && SymCacheGlobalCount == Globals &&
+          SymCacheWatermark <= Asm.symbolCount()) {
+        Asm.rewindForRecompile(SymCacheWatermark);
+        Reuse = true;
+      } else {
+        Asm.reset();
+        SymCacheValid = false;
+      }
     }
-    for (u32 I = 0; I < N; ++I) {
+    ReusingModuleSyms = Reuse;
+    if constexpr (EmitData)
+      derived()->defineGlobals();
+    else
+      derived()->declareGlobals();
+    if (!Reuse) {
+      FuncSyms.resize(N);
+      for (u32 I = 0; I < N; ++I) {
+        auto F = A.funcRef(I);
+        FuncSyms[I] =
+            Asm.createSymbol(A.funcName(F), A.funcLinkage(F), /*IsFunc=*/true);
+      }
+      SymCacheValid = true;
+      SymCacheEpoch = Asm.resetEpoch();
+      SymCacheWatermark = Asm.symbolCount();
+      SymCacheFuncCount = N;
+      SymCacheGlobalCount = Globals;
+    }
+    assert(Asm.symbolCount() == SymCacheWatermark &&
+           "module symbol setup must be identical on the reuse path");
+    ReusingModuleSyms = false;
+    if (End > N)
+      End = N;
+    for (u32 I = Begin; I < End; ++I) {
       auto F = A.funcRef(I);
       if (!A.funcIsDefinition(F))
         continue;
@@ -1024,6 +1109,16 @@ protected:
   u32 CurBlock = 0;
   /// Current function epoch for lazy Assigns invalidation (never 0).
   u32 CurEpoch = 0;
+  // Module-level symbol batching cache (recompileModule /
+  // compileFunctionRange): the assembler symbol prefix [0, Watermark)
+  // holds exactly this module's globals + function symbols, registered
+  // while the assembler was at reset epoch SymCacheEpoch.
+  bool SymCacheValid = false;
+  bool ReusingModuleSyms = false;
+  u64 SymCacheEpoch = 0;
+  u32 SymCacheWatermark = 0;
+  u32 SymCacheFuncCount = 0;
+  u32 SymCacheGlobalCount = 0;
 };
 
 } // namespace tpde::core

@@ -1,0 +1,135 @@
+//===- support/WorkQueue.h - Work-stealing range queue ----------*- C++ -*-===//
+///
+/// \file
+/// A small work-stealing queue over a dense index range [0, Count), used by
+/// the parallel module compiler to distribute shards across worker threads.
+///
+/// Each worker owns one contiguous sub-range packed into a single atomic
+/// u64 (Begin in the high half, End in the low half). The owner pops from
+/// the *front* of its range with a CAS; a worker whose range ran dry steals
+/// from the *back* of the largest remaining victim range. Every transition
+/// is a single CAS on one word, so the queue is lock-free, every unclaimed
+/// index is visible in exactly one slot at all times (pop() returning false
+/// really means the range is exhausted), and the queue is allocation-free
+/// after reset() has grown the slot array once (docs/PERF.md).
+///
+/// The queue distributes *indices*, not work items: callers map the index
+/// to whatever unit they shard by. Which worker ends up claiming an index
+/// is scheduling-dependent; anything that must be deterministic (e.g. where
+/// a shard's output lands) must therefore be keyed on the index, never on
+/// the worker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_SUPPORT_WORKQUEUE_H
+#define TPDE_SUPPORT_WORKQUEUE_H
+
+#include "support/Common.h"
+
+#include <atomic>
+#include <memory>
+
+namespace tpde::support {
+
+class WorkStealingRangeQueue {
+public:
+  WorkStealingRangeQueue() = default;
+
+  /// Prepares the queue to hand out [0, Count) across \p NumWorkers
+  /// workers. The initial partition is contiguous and even; imbalance is
+  /// corrected by stealing. Must not race with pop(). Only grows the slot
+  /// array (never shrinks), so repeated reset() with the same worker count
+  /// does not allocate.
+  void reset(u32 Count, unsigned NumWorkers) {
+    assert(NumWorkers > 0 && "need at least one worker");
+    if (NumWorkers > Cap) {
+      Slots = std::make_unique<Slot[]>(NumWorkers);
+      Cap = NumWorkers;
+    }
+    Workers = NumWorkers;
+    u32 Chunk = Count / NumWorkers, Rem = Count % NumWorkers;
+    u32 Next = 0;
+    for (unsigned W = 0; W < NumWorkers; ++W) {
+      u32 Take = Chunk + (W < Rem ? 1 : 0);
+      Slots[W].Range.store(pack(Next, Next + Take), std::memory_order_relaxed);
+      Next += Take;
+    }
+    assert(Next == Count && "partition must cover the range");
+  }
+
+  /// Claims the next index for \p Worker: first from the front of its own
+  /// range, then by stealing from the back of the largest victim range.
+  /// Returns false only once every index of the current reset() has been
+  /// claimed.
+  bool pop(unsigned Worker, u32 &Out) {
+    assert(Worker < Workers && "worker id out of range");
+    if (popOwn(Worker, Out))
+      return true;
+    return steal(Worker, Out);
+  }
+
+  unsigned workerCount() const { return Workers; }
+
+private:
+  struct alignas(64) Slot {
+    std::atomic<u64> Range{0};
+  };
+
+  static u64 pack(u32 Begin, u32 End) {
+    return (static_cast<u64>(Begin) << 32) | End;
+  }
+  static u32 begin(u64 R) { return static_cast<u32>(R >> 32); }
+  static u32 end(u64 R) { return static_cast<u32>(R); }
+
+  bool popOwn(unsigned Worker, u32 &Out) {
+    std::atomic<u64> &R = Slots[Worker].Range;
+    u64 Cur = R.load(std::memory_order_acquire);
+    while (begin(Cur) < end(Cur)) {
+      if (R.compare_exchange_weak(Cur, pack(begin(Cur) + 1, end(Cur)),
+                                  std::memory_order_acq_rel)) {
+        Out = begin(Cur);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool steal(unsigned Thief, u32 &Out) {
+    for (;;) {
+      // Pick the victim with the most remaining work; retry from scratch
+      // whenever the CAS loses a race, since the best victim may change.
+      unsigned Victim = Workers;
+      u64 VictimRange = 0;
+      u32 Best = 0;
+      for (unsigned W = 0; W < Workers; ++W) {
+        if (W == Thief)
+          continue;
+        u64 Cur = Slots[W].Range.load(std::memory_order_acquire);
+        u32 Size = end(Cur) - begin(Cur);
+        if (begin(Cur) < end(Cur) && Size > Best) {
+          Best = Size;
+          Victim = W;
+          VictimRange = Cur;
+        }
+      }
+      if (Victim == Workers)
+        return false; // everything claimed
+      u32 B = begin(VictimRange), E = end(VictimRange);
+      // Take one index off the back; owner pops stay at the front, so the
+      // contention window between owner and thief is a single element.
+      if (Slots[Victim].Range.compare_exchange_weak(
+              VictimRange, pack(B, E - 1), std::memory_order_acq_rel)) {
+        Out = E - 1;
+        return true;
+      }
+    }
+  }
+
+  std::unique_ptr<Slot[]> Slots;
+  unsigned Cap = 0;
+  unsigned Workers = 0;
+};
+
+} // namespace tpde::support
+
+#endif // TPDE_SUPPORT_WORKQUEUE_H

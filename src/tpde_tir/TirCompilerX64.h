@@ -38,29 +38,65 @@ public:
     return this->compileModule();
   }
 
+  /// Recompiles the module, reusing the assembler's symbol table from the
+  /// previous compile (module-level symbol batching). No Assembler::reset()
+  /// needed — the compiler rewinds sections itself.
+  bool compileReuse() {
+    Fused.reserve(this->A.maxValueCount());
+    return this->recompileModule();
+  }
+
+  /// Compiles only functions [Begin, End); everything else is declared.
+  /// Shard entry point used by the parallel module compiler.
+  bool compileRange(u32 Begin, u32 End) {
+    Fused.reserve(this->A.maxValueCount());
+    return this->compileFunctionRange(Begin, End);
+  }
+
+  /// Emits the module-level fragment (global data + declarations) only.
+  bool compileGlobals() { return this->compileGlobalsOnly(); }
+
+  /// Cache-key input for the symbol-reuse fast path (CompilerBase): a
+  /// change in the module's global count must invalidate GlobalSyms.
+  u32 moduleGlobalCount() {
+    return static_cast<u32>(this->A.module().Globals.size());
+  }
+
   // =====================================================================
   // Framework hooks
   // =====================================================================
 
   void defineGlobals() {
     tir::Module &M = this->A.module();
-    GlobalSyms.clear();
+    // On the symbol-reuse fast path the registrations (and GlobalSyms)
+    // from the previous compile are still valid; only the data emission
+    // and the definitions have to be redone.
+    bool Reuse = this->reusingModuleSymbols();
+    if (!Reuse)
+      GlobalSyms.clear();
     // The cached constant-pool symbols refer into the assembler's symbol
     // table, which restarts per module compile (capacity retained).
     FpPool.clear();
-    for (const tir::Global &G : M.Globals) {
-      asmx::Linkage L = G.Link == tir::Linkage::Internal
-                            ? asmx::Linkage::Internal
-                            : (G.Link == tir::Linkage::Weak
-                                   ? asmx::Linkage::Weak
-                                   : asmx::Linkage::External);
-      asmx::SymRef S = this->Asm.createSymbol(G.Name, L, /*IsFunc=*/false);
-      GlobalSyms.push_back(S);
+    for (u32 GI = 0; GI < M.Globals.size(); ++GI) {
+      const tir::Global &G = M.Globals[GI];
+      asmx::SymRef S;
+      if (Reuse) {
+        S = GlobalSyms[GI];
+      } else {
+        S = this->Asm.createSymbol(G.Name, globalLinkage(G), /*IsFunc=*/false);
+        GlobalSyms.push_back(S);
+      }
       if (!G.Defined)
         continue;
       if (G.Init.empty() && !G.ReadOnly) {
         asmx::Section &BSS = this->Asm.section(asmx::SecKind::BSS);
-        BSS.BssSize = alignTo(BSS.BssSize, G.Align < 1 ? 1 : G.Align);
+        u64 Al = G.Align < 1 ? 1 : G.Align;
+        BSS.BssSize = alignTo(BSS.BssSize, Al);
+        // Keep the section alignment >= every member's alignment, like
+        // alignToBoundary() does for data sections: ELF sh_addralign and
+        // the mergeFrom() rebase both rely on it.
+        if (Al > BSS.Align)
+          BSS.Align = Al;
         this->Asm.defineSymbol(S, asmx::SecKind::BSS, BSS.BssSize, G.Size);
         BSS.BssSize += G.Size;
         continue;
@@ -75,6 +111,29 @@ public:
         Sec.appendZeros(G.Size - G.Init.size());
       this->Asm.defineSymbol(S, K, Off, G.Size);
     }
+  }
+
+  /// Range-compile variant of defineGlobals(): registers the same symbols
+  /// (so the symbol-table layout — and thus the reuse watermark — matches
+  /// defineGlobals() exactly) but emits no data and defines nothing. The
+  /// parallel driver merges the actual data from the compileGlobals()
+  /// fragment; references from shards bind by name during the merge.
+  void declareGlobals() {
+    tir::Module &M = this->A.module();
+    if (!this->reusingModuleSymbols()) {
+      GlobalSyms.clear();
+      for (const tir::Global &G : M.Globals)
+        GlobalSyms.push_back(
+            this->Asm.createSymbol(G.Name, globalLinkage(G), /*IsFunc=*/false));
+    }
+    FpPool.clear();
+  }
+
+  static asmx::Linkage globalLinkage(const tir::Global &G) {
+    return G.Link == tir::Linkage::Internal
+               ? asmx::Linkage::Internal
+               : (G.Link == tir::Linkage::Weak ? asmx::Linkage::Weak
+                                               : asmx::Linkage::External);
   }
 
   template <typename Fn> void forEachStackVar(Fn Cb) {

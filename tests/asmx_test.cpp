@@ -3,8 +3,11 @@
 #include "asmx/Assembler.h"
 #include "asmx/ElfWriter.h"
 #include "asmx/JITMapper.h"
+#include "support/AllocCounter.h"
 
 #include <gtest/gtest.h>
+
+TPDE_INSTALL_ALLOC_COUNTER
 
 using namespace tpde;
 using namespace tpde::asmx;
@@ -228,4 +231,249 @@ TEST(JITMapper, BssIsZeroed) {
   u8 *P = static_cast<u8 *>(JIT.address("bss_var"));
   for (int I = 0; I < 64; ++I)
     EXPECT_EQ(P[I], 0);
+}
+
+// --- Merging (parallel shard fragments) ------------------------------------
+
+TEST(Merge, SectionsConcatenateWithAlignmentAndRebasedOffsets) {
+  Assembler Dst, Src;
+  // Destination: 5 bytes of text (unaligned end), a defined symbol.
+  for (int I = 0; I < 5; ++I)
+    Dst.section(SecKind::Text).appendByte(0x90);
+  SymRef F = Dst.createSymbol("f", Linkage::External, true);
+  Dst.defineSymbol(F, SecKind::Text, 0, 5);
+  // Source: 4 text bytes starting at its offset 0, plus a reloc at 0.
+  Src.section(SecKind::Text).appendLE<u32>(0x11223344);
+  SymRef G = Src.createSymbol("g", Linkage::External, true);
+  Src.defineSymbol(G, SecKind::Text, 0, 4);
+  Src.addReloc(SecKind::Text, 0, RelocKind::PC32, G, -4);
+
+  Dst.mergeFrom(Src);
+  // Source text lands 16-aligned (text alignment), so at offset 16.
+  EXPECT_EQ(Dst.section(SecKind::Text).size(), 20u);
+  EXPECT_EQ(Dst.section(SecKind::Text).readLE<u32>(16), 0x11223344u);
+  SymRef MG = Dst.findSymbol("g");
+  ASSERT_TRUE(MG.isValid());
+  EXPECT_TRUE(Dst.symbol(MG).Defined);
+  EXPECT_EQ(Dst.symbol(MG).Off, 16u);
+  ASSERT_EQ(Dst.relocs().size(), 1u);
+  EXPECT_EQ(Dst.relocs()[0].Off, 16u);
+  EXPECT_EQ(Dst.relocs()[0].Sym.Idx, MG.Idx);
+}
+
+TEST(Merge, UndefinedReferenceBindsToDefinitionAcrossFragments) {
+  // Fragment A calls "callee" (undefined there); fragment B defines it.
+  Assembler Out, FragA, FragB;
+  FragA.section(SecKind::Text).appendLE<u32>(0);
+  SymRef CalleeA = FragA.createSymbol("callee", Linkage::External, true);
+  FragA.addReloc(SecKind::Text, 0, RelocKind::PC32, CalleeA, -4);
+
+  FragB.section(SecKind::Text).appendLE<u32>(0xC3C3C3C3);
+  SymRef CalleeB = FragB.createSymbol("callee", Linkage::Internal, true);
+  FragB.defineSymbol(CalleeB, SecKind::Text, 0, 4);
+
+  Out.mergeFrom(FragA);
+  Out.mergeFrom(FragB);
+  SymRef C = Out.findSymbol("callee");
+  ASSERT_TRUE(C.isValid());
+  EXPECT_TRUE(Out.symbol(C).Defined);
+  // The declaration adopted the definition's stronger linkage.
+  EXPECT_EQ(Out.symbol(C).Link, Linkage::Internal);
+  EXPECT_EQ(Out.symbol(C).Off, 16u); // B's text is 16-aligned after A's
+  ASSERT_EQ(Out.relocs().size(), 1u);
+  EXPECT_EQ(Out.relocs()[0].Sym.Idx, C.Idx);
+}
+
+TEST(Merge, DuplicateStrongDefinitionAcrossFragmentsIsAnError) {
+  Assembler Out, FragA, FragB;
+  for (Assembler *Frag : {&FragA, &FragB}) {
+    Frag->section(SecKind::Text).appendByte(0xC3);
+    SymRef S = Frag->createSymbol("twice", Linkage::External, true);
+    Frag->defineSymbol(S, SecKind::Text, 0, 1);
+  }
+  Out.mergeFrom(FragA);
+  EXPECT_FALSE(Out.hasError());
+  Out.mergeFrom(FragB);
+  EXPECT_TRUE(Out.hasError());
+  EXPECT_NE(Out.errorMessage().find("twice"), std::string_view::npos);
+}
+
+TEST(Merge, WeakKeepsFirstDefinitionInMergeOrder) {
+  Assembler Out, FragA, FragB;
+  for (Assembler *Frag : {&FragA, &FragB}) {
+    Frag->section(SecKind::Text).appendByte(0xC3);
+    SymRef S = Frag->createSymbol("weak_fn", Linkage::Weak, true);
+    Frag->defineSymbol(S, SecKind::Text, 0, 1);
+  }
+  Out.mergeFrom(FragA);
+  Out.mergeFrom(FragB);
+  EXPECT_FALSE(Out.hasError());
+  SymRef S = Out.findSymbol("weak_fn");
+  EXPECT_EQ(Out.symbol(S).Off, 0u) << "first (fragment A) definition wins";
+}
+
+TEST(Merge, AnonymousSymbolsAreAppendedNotCoalesced) {
+  Assembler Out, FragA, FragB;
+  for (Assembler *Frag : {&FragA, &FragB}) {
+    Frag->section(SecKind::ROData).appendLE<u64>(0x3FF0000000000000ull);
+    SymRef S = Frag->createSymbol("", Linkage::Internal, false);
+    Frag->defineSymbol(S, SecKind::ROData, 0, 8);
+    Frag->section(SecKind::Text).appendLE<u32>(0);
+    Frag->addReloc(SecKind::Text, 0, RelocKind::PC32, S, -4);
+  }
+  Out.mergeFrom(FragA);
+  Out.mergeFrom(FragB);
+  EXPECT_FALSE(Out.hasError());
+  ASSERT_EQ(Out.symbols().size(), 2u);
+  ASSERT_EQ(Out.relocs().size(), 2u);
+  // Each text reloc points at its own fragment's pool entry.
+  EXPECT_NE(Out.relocs()[0].Sym.Idx, Out.relocs()[1].Sym.Idx);
+  EXPECT_EQ(Out.symbol(Out.relocs()[0].Sym).Off, 0u);
+  // Fragment B's rodata is rebased to the (16-byte aligned) end of A's.
+  EXPECT_EQ(Out.symbol(Out.relocs()[1].Sym).Off, 16u);
+}
+
+TEST(Merge, BssSizesConcatenate) {
+  Assembler Out, FragA, FragB;
+  FragA.section(SecKind::BSS).BssSize = 10;
+  SymRef A1 = FragA.createSymbol("a", Linkage::External, false);
+  FragA.defineSymbol(A1, SecKind::BSS, 0, 10);
+  FragB.section(SecKind::BSS).BssSize = 8;
+  SymRef B1 = FragB.createSymbol("b", Linkage::External, false);
+  FragB.defineSymbol(B1, SecKind::BSS, 0, 8);
+  Out.mergeFrom(FragA);
+  Out.mergeFrom(FragB);
+  EXPECT_EQ(Out.section(SecKind::BSS).BssSize, 24u) << "16-aligned rebase";
+  EXPECT_EQ(Out.symbol(Out.findSymbol("b")).Off, 16u);
+}
+
+TEST(Merge, MergedModuleSurvivesElfAndJitConsumers) {
+  // A merged module must be a first-class citizen for both output paths.
+  Assembler Out, FragA, FragB;
+  // Fragment A: ret-only function "one" returning via JIT call.
+  // mov eax, 1; ret
+  for (u8 B : {0xB8, 0x01, 0x00, 0x00, 0x00, 0xC3})
+    FragA.section(SecKind::Text).appendByte(B);
+  SymRef One = FragA.createSymbol("one", Linkage::External, true);
+  FragA.defineSymbol(One, SecKind::Text, 0, 6);
+  // Fragment B: "two" calls "one" (cross-fragment) and adds 1.
+  // call rel32; inc eax; ret
+  FragB.section(SecKind::Text).appendByte(0xE8);
+  u64 RelOff = FragB.section(SecKind::Text).size();
+  FragB.section(SecKind::Text).appendLE<u32>(0);
+  SymRef OneDecl = FragB.createSymbol("one", Linkage::External, true);
+  FragB.addReloc(SecKind::Text, RelOff, RelocKind::PC32, OneDecl, -4);
+  for (u8 B : {0xFF, 0xC0, 0xC3}) // inc eax; ret
+    FragB.section(SecKind::Text).appendByte(B);
+  SymRef Two = FragB.createSymbol("two", Linkage::External, true);
+  FragB.defineSymbol(Two, SecKind::Text, 0, 8);
+
+  Out.mergeFrom(FragA);
+  Out.mergeFrom(FragB);
+  ASSERT_FALSE(Out.hasError());
+
+  std::vector<u8> Obj = writeElfObject(Out, ElfMachine::X86_64);
+  EXPECT_GT(Obj.size(), 64u);
+  EXPECT_EQ(Obj[0], 0x7f);
+
+  JITMapper JIT;
+  ASSERT_TRUE(JIT.map(Out));
+  auto *TwoFn = reinterpret_cast<int (*)()>(JIT.address("two"));
+  ASSERT_NE(TwoFn, nullptr);
+  EXPECT_EQ(TwoFn(), 2);
+}
+
+TEST(Merge, SteadyStateMergeIsAllocationFree) {
+  Assembler FragA, FragB;
+  for (Assembler *Frag : {&FragA, &FragB}) {
+    for (int I = 0; I < 100; ++I)
+      Frag->section(SecKind::Text).appendByte(0x90);
+  }
+  SymRef S = FragA.createSymbol("fn", Linkage::External, true);
+  FragA.defineSymbol(S, SecKind::Text, 0, 100);
+  SymRef D = FragB.createSymbol("fn", Linkage::External, true);
+  FragB.addReloc(SecKind::Text, 0, RelocKind::PC32, D, -4);
+
+  Assembler Out;
+  for (int Warm = 0; Warm < 2; ++Warm) {
+    Out.reset();
+    Out.mergeFrom(FragA);
+    Out.mergeFrom(FragB);
+  }
+  support::AllocWatch W;
+  Out.reset();
+  Out.mergeFrom(FragA);
+  Out.mergeFrom(FragB);
+  EXPECT_EQ(W.newCalls(), 0u) << "steady-state merge touched the heap";
+}
+
+// --- rewindForRecompile (module-level symbol batching) ---------------------
+
+TEST(Rewind, KeepsDeclarationsDropsDefinitionsAndAnonymous) {
+  Assembler A;
+  SymRef F = A.createSymbol("f", Linkage::External, true);
+  SymRef G = A.createSymbol("g", Linkage::Internal, false);
+  u32 Watermark = A.symbolCount();
+  A.defineSymbol(F, SecKind::Text, 0, 4);
+  SymRef Anon = A.createSymbol("", Linkage::Internal, false);
+  A.defineSymbol(Anon, SecKind::ROData, 0, 8);
+  SymRef Named = A.createSymbol("late", Linkage::External, false);
+  A.section(SecKind::Text).appendLE<u32>(0x90909090);
+  A.addReloc(SecKind::Text, 0, RelocKind::PC32, F, -4);
+  (void)Named;
+
+  u64 Epoch = A.resetEpoch();
+  A.rewindForRecompile(Watermark);
+  EXPECT_EQ(A.resetEpoch(), Epoch) << "rewind must not invalidate the cache";
+  EXPECT_EQ(A.symbolCount(), Watermark);
+  EXPECT_EQ(A.section(SecKind::Text).size(), 0u);
+  EXPECT_TRUE(A.relocs().empty());
+  // Kept symbols are declarations again, same handles, same names.
+  EXPECT_EQ(A.findSymbol("f").Idx, F.Idx);
+  EXPECT_FALSE(A.symbol(F).Defined);
+  EXPECT_EQ(A.symbol(G).Link, Linkage::Internal);
+  // Dropped names are gone and can be re-created cleanly.
+  EXPECT_FALSE(A.findSymbol("late").isValid());
+  SymRef Again = A.createSymbol("late", Linkage::External, false);
+  EXPECT_EQ(Again.Idx, Watermark) << "new symbols reuse the truncated slots";
+}
+
+TEST(Merge, BssRebaseHonorsOveralignedSections) {
+  // A fragment whose BSS holds a 32-byte-aligned member raises the
+  // section alignment; the merge must rebase to that alignment so the
+  // member's intra-section offset guarantee survives.
+  Assembler Out, FragA, FragB;
+  FragA.section(SecKind::BSS).BssSize = 10;
+  SymRef A1 = FragA.createSymbol("a", Linkage::External, false);
+  FragA.defineSymbol(A1, SecKind::BSS, 0, 10);
+  Section &BBss = FragB.section(SecKind::BSS);
+  BBss.Align = 32;
+  BBss.BssSize = 8;
+  SymRef B1 = FragB.createSymbol("b", Linkage::External, false);
+  FragB.defineSymbol(B1, SecKind::BSS, 0, 8);
+  Out.mergeFrom(FragA);
+  Out.mergeFrom(FragB);
+  EXPECT_EQ(Out.symbol(Out.findSymbol("b")).Off, 32u);
+  EXPECT_EQ(Out.section(SecKind::BSS).Align, 32u)
+      << "merged section must keep the strictest member alignment";
+}
+
+TEST(Merge, UnreferencedDeclarationsAreDropped) {
+  // Shard fragments declare the whole module's symbol table; merging must
+  // keep only definitions and actually-referenced declarations (linker
+  // semantics), or merging K fragments goes quadratic in module size.
+  Assembler Out, Frag;
+  Frag.section(SecKind::Text).appendLE<u32>(0);
+  SymRef Def = Frag.createSymbol("defined_fn", Linkage::External, true);
+  Frag.defineSymbol(Def, SecKind::Text, 0, 4);
+  SymRef Called = Frag.createSymbol("called_fn", Linkage::External, true);
+  Frag.addReloc(SecKind::Text, 0, RelocKind::PC32, Called, -4);
+  Frag.createSymbol("unused_decl", Linkage::External, true);
+
+  Out.mergeFrom(Frag);
+  EXPECT_TRUE(Out.findSymbol("defined_fn").isValid());
+  EXPECT_TRUE(Out.findSymbol("called_fn").isValid());
+  EXPECT_FALSE(Out.findSymbol("unused_decl").isValid())
+      << "unreferenced declaration must not survive the merge";
+  EXPECT_EQ(Out.symbols().size(), 2u);
 }

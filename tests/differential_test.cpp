@@ -14,6 +14,7 @@
 #include "tir/Interp.h"
 #include "tir/Printer.h"
 #include "tir/Verifier.h"
+#include "tpde_tir/ParallelCompiler.h"
 #include "tpde_tir/TirCompilerX64.h"
 #include "workloads/Generator.h"
 
@@ -33,12 +34,22 @@ struct DiffParam {
 
 class Differential : public ::testing::TestWithParam<DiffParam> {};
 
-enum class Backend { Tpde, BaselineO0, BaselineO1, CopyPatch };
+enum class Backend { Tpde, TpdeParallel, BaselineO0, BaselineO1, CopyPatch };
 
 bool compileWith(Backend BE, Module &M, asmx::Assembler &Asm) {
   switch (BE) {
   case Backend::Tpde:
     return tpde_tir::compileModuleX64(M, Asm);
+  case Backend::TpdeParallel: {
+    // Sharded compilation with the merged-module output: one function
+    // per shard guarantees every call in the module crosses a shard
+    // boundary and is linked through Assembler::mergeFrom().
+    tpde_tir::ParallelCompileOptions Opts;
+    Opts.NumThreads = 3;
+    Opts.FuncsPerShard = 1;
+    tpde_tir::ParallelModuleCompiler PC(M, Opts);
+    return PC.compile(Asm);
+  }
   case Backend::BaselineO0:
     return baseline::compileModule(M, Asm, baseline::OptLevel::O0);
   case Backend::BaselineO1:
@@ -117,6 +128,11 @@ static Profile fuzzProfile(u64 Seed, bool SSAForm) {
 TEST_P(Differential, TpdeMatchesInterpreter) {
   DiffParam DP = GetParam();
   runDifferential(fuzzProfile(DP.Seed, DP.SSAForm), Backend::Tpde);
+}
+
+TEST_P(Differential, TpdeParallelMatchesInterpreter) {
+  DiffParam DP = GetParam();
+  runDifferential(fuzzProfile(DP.Seed, DP.SSAForm), Backend::TpdeParallel);
 }
 
 TEST_P(Differential, BaselineO0MatchesInterpreter) {

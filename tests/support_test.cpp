@@ -326,3 +326,101 @@ TEST(StateReuse, O0FlavorAlsoAllocationFree) {
   ASSERT_TRUE(Compiler.compile());
   EXPECT_EQ(W.newCalls(), 0u);
 }
+
+/// Module-level symbol batching: compileReuse() recompiles into the same
+/// assembler WITHOUT Assembler::reset(), rewinding sections but keeping
+/// the interned symbol table, so the per-module createSymbol pass is
+/// skipped. Must be byte-identical to the reset-based path, allocation
+/// free, and must actually stay on the fast path (the reset epoch never
+/// moves).
+TEST(StateReuse, SymbolBatchedRecompileIsByteIdenticalAndFast) {
+  tir::Module M;
+  workloads::Profile P;
+  P.Seed = 19;
+  P.NumFuncs = 10;
+  P.SSAForm = true;
+  workloads::genModule(M, P);
+
+  tpde_tir::TirAdapter Adapter(M);
+  asmx::Assembler Asm;
+  tpde_tir::TirCompilerX64 Compiler(Adapter, Asm);
+
+  ASSERT_TRUE(Compiler.compile());
+  std::vector<u8> First = textBytes(Asm);
+  u32 Symbols = Asm.symbolCount();
+  u64 Epoch = Asm.resetEpoch();
+
+  // No reset() between compiles: compileReuse rewinds internally.
+  ASSERT_TRUE(Compiler.compileReuse());
+  EXPECT_EQ(textBytes(Asm), First);
+  EXPECT_EQ(Asm.symbolCount(), Symbols)
+      << "recompile must not grow the symbol table";
+  EXPECT_EQ(Asm.resetEpoch(), Epoch)
+      << "fast path must not fall back to a full reset";
+
+  // Steady state: zero allocations, still identical.
+  ASSERT_TRUE(Compiler.compileReuse());
+  support::AllocWatch W;
+  ASSERT_TRUE(Compiler.compileReuse());
+  EXPECT_EQ(W.newCalls(), 0u)
+      << "symbol-batched recompilation allocated " << W.newCalls()
+      << " times (" << W.newBytes() << " bytes)";
+  EXPECT_EQ(textBytes(Asm), First);
+  EXPECT_EQ(Asm.resetEpoch(), Epoch);
+}
+
+/// The fast path must disengage when the assembler is reset underneath
+/// the compiler (cache invalidation by epoch), and re-arm afterwards.
+TEST(StateReuse, SymbolBatchingInvalidatesOnExternalReset) {
+  tir::Module M;
+  workloads::Profile P;
+  P.Seed = 21;
+  P.NumFuncs = 4;
+  workloads::genModule(M, P);
+
+  tpde_tir::TirAdapter Adapter(M);
+  asmx::Assembler Asm;
+  tpde_tir::TirCompilerX64 Compiler(Adapter, Asm);
+  ASSERT_TRUE(Compiler.compile());
+  std::vector<u8> First = textBytes(Asm);
+
+  Asm.reset(); // external reset: the cached symbol table is gone
+  ASSERT_TRUE(Compiler.compileReuse()) << "must fall back to a full compile";
+  EXPECT_EQ(textBytes(Asm), First);
+  u64 Epoch = Asm.resetEpoch();
+  ASSERT_TRUE(Compiler.compileReuse());
+  EXPECT_EQ(Asm.resetEpoch(), Epoch) << "fast path must re-arm after fallback";
+  EXPECT_EQ(textBytes(Asm), First);
+}
+
+/// Mutating the module's global list between recompiles must disengage
+/// the symbol-reuse fast path (stale GlobalSyms would otherwise be
+/// indexed out of bounds) and fall back to a clean full rebuild.
+TEST(StateReuse, SymbolBatchingInvalidatesOnGlobalCountChange) {
+  tir::Module M;
+  workloads::Profile P;
+  P.Seed = 31;
+  P.NumFuncs = 3;
+  workloads::genModule(M, P);
+
+  tpde_tir::TirAdapter Adapter(M);
+  asmx::Assembler Asm;
+  tpde_tir::TirCompilerX64 Compiler(Adapter, Asm);
+  ASSERT_TRUE(Compiler.compile());
+  ASSERT_TRUE(Compiler.compileReuse());
+  u64 FastEpoch = Asm.resetEpoch();
+
+  tir::Global G;
+  G.Name = "late_global";
+  G.Size = 16;
+  G.Init = {1, 2, 3, 4};
+  M.Globals.push_back(G);
+
+  ASSERT_TRUE(Compiler.compileReuse());
+  EXPECT_NE(Asm.resetEpoch(), FastEpoch)
+      << "global-count change must force the full-reset fallback";
+  EXPECT_TRUE(Asm.findSymbol("late_global").isValid());
+  ASSERT_TRUE(Compiler.compileReuse());
+  EXPECT_TRUE(Asm.findSymbol("late_global").isValid())
+      << "fast path must re-arm with the new global registered";
+}

@@ -79,7 +79,12 @@ TEST(TpdeTir, ArithMix32) {
   auto J = jit(M);
   ASSERT_TRUE(J);
   auto *F = reinterpret_cast<int (*)(int, int)>(J->fn("mix"));
-  auto Ref = [](int A, int Bv) { return (A * 3 + Bv) ^ (Bv - 5); };
+  // Reference in unsigned arithmetic: the JIT result wraps mod 2^32, and
+  // e.g. INT_MAX * 3 would be UB on the int type (UBSan).
+  auto Ref = [](int A, int Bv) {
+    return static_cast<int>((static_cast<u32>(A) * 3 + static_cast<u32>(Bv)) ^
+                            (static_cast<u32>(Bv) - 5));
+  };
   EXPECT_EQ(F(1, 2), Ref(1, 2));
   EXPECT_EQ(F(-100, 77), Ref(-100, 77));
   EXPECT_EQ(F(0x7fffffff, -1), Ref(0x7fffffff, -1));

@@ -35,7 +35,11 @@ std::vector<u8> bytesOf(void (*Emit)(Emitter &)) {
 /// address, keeping the mapper alive via the out-parameter.
 void *jitFunction(JITMapper &JIT, void (*Emit)(Emitter &),
                   const JITMapper::Resolver &R = nullptr) {
-  static Assembler *A;
+  // The assembler must outlive the mapper (address() reads its symbol
+  // table), hence the static; free the previous test's instance so the
+  // suite does not accumulate one leaked assembler per call (LeakSan).
+  static Assembler *A = nullptr;
+  delete A;
   A = new Assembler();
   Emitter E(*A);
   SymRef F = A->createSymbol("f", Linkage::External, true);
