@@ -8,10 +8,16 @@
 ///  * reused:   one compiler instance recompiling the same module with
 ///              reset-not-freed state and module-level symbol batching;
 ///              after warmup this must be allocation-free (docs/PERF.md).
-///  * parallel: the sharded ParallelModuleCompiler with a reused worker
+///  * parallel: the sharded parallel module compiler with a reused worker
 ///              pool, one row per --threads entry. Measured on wall-clock
 ///              time (the other scenarios use process-CPU time, which by
 ///              construction cannot show a parallel speedup).
+///
+/// The TPDE scenarios run for BOTH targets: "TPDE" rows are x86-64,
+/// "TPDE-A64" rows are AArch64 through the same driver template. The a64
+/// output is validated once on the instruction-set simulator (compile
+/// throughput itself is native either way — only execution needs the
+/// simulator on this machine).
 ///
 /// Every scenario is measured --repeat times and reported with mean,
 /// stddev, and min so the CI regression gate can derive a noise threshold
@@ -22,6 +28,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "a64/Sim.h"
 #include "bench/BenchCommon.h"
 #include "support/AllocCounter.h"
 #include "tpde_tir/ParallelCompiler.h"
@@ -124,22 +131,62 @@ Result measureFresh(Backend B, tir::Module &M, u32 NumFuncs,
   return R;
 }
 
-/// TPDE with full state reuse: one adapter/compiler/assembler, recompiled
-/// through the module-level symbol-batching fast path. Steady state must
-/// not touch the heap.
-Result measureReused(tir::Module &M, u32 NumFuncs, unsigned Repeat) {
-  tpde_tir::TirAdapter Adapter(M);
-  asmx::Assembler Asm;
-  tpde_tir::TirCompilerX64 Compiler(Adapter, Asm);
-  // Warmup grows all scratch buffers to their high-water mark.
-  for (unsigned I = 0; I < 4; ++I) {
-    if (!Compiler.compileReuse()) {
-      std::fprintf(stderr, "compilation failed (TPDE reused)\n");
+/// TPDE with a fresh assembler per compile, for either target's serial
+/// entry point (x64: compileModuleX64, a64: compileModuleA64).
+template <typename CompileFn>
+Result measureFreshTpde(const char *Name, CompileFn Compile, tir::Module &M,
+                        u32 NumFuncs, unsigned Repeat) {
+  {
+    asmx::Assembler Asm;
+    if (!Compile(M, Asm)) {
+      std::fprintf(stderr, "compilation failed (%s fresh)\n", Name);
       std::exit(1);
     }
   }
   Result R;
-  R.Backend = "TPDE";
+  R.Backend = Name;
+  R.Scenario = "fresh";
+  AllocWatch W;
+  u64 Funcs = 0;
+  bool OK = true;
+  R.FuncsPerSec = sample(Repeat, [&] {
+    CpuTimer T;
+    T.start();
+    for (unsigned I = 0; I < Iters; ++I) {
+      asmx::Assembler Asm;
+      OK &= Compile(M, Asm);
+    }
+    T.stop();
+    Funcs += static_cast<u64>(NumFuncs) * Iters;
+    return static_cast<double>(NumFuncs) * Iters / (T.ms() / 1000.0);
+  });
+  if (!OK) {
+    std::fprintf(stderr, "compilation failed mid-measurement (%s)\n", Name);
+    std::exit(1);
+  }
+  R.NewCallsPerFunc = static_cast<double>(W.newCalls()) / Funcs;
+  R.NewBytesPerFunc = static_cast<double>(W.newBytes()) / Funcs;
+  return R;
+}
+
+/// TPDE with full state reuse: one adapter/compiler/assembler, recompiled
+/// through the module-level symbol-batching fast path. Steady state must
+/// not touch the heap — for both targets.
+template <typename CompilerT>
+Result measureReused(const char *Name, tir::Module &M, u32 NumFuncs,
+                     unsigned Repeat) {
+  tpde_tir::TirAdapter Adapter(M);
+  asmx::Assembler Asm;
+  CompilerT Compiler(Adapter, Asm);
+  // Warmup grows all scratch buffers to their high-water mark.
+  for (unsigned I = 0; I < 4; ++I) {
+    if (!Compiler.compileReuse()) {
+      std::fprintf(stderr, "compilation failed (%s reused)\n", Name);
+      std::exit(1);
+    }
+  }
+  Result R;
+  R.Backend = Name;
   R.Scenario = "reused";
   AllocWatch W;
   u64 Funcs = 0;
@@ -155,7 +202,8 @@ Result measureReused(tir::Module &M, u32 NumFuncs, unsigned Repeat) {
     return static_cast<double>(NumFuncs) * Iters / (T.ms() / 1000.0);
   });
   if (!OK) {
-    std::fprintf(stderr, "compilation failed mid-measurement (TPDE reused)\n");
+    std::fprintf(stderr, "compilation failed mid-measurement (%s reused)\n",
+                 Name);
     std::exit(1);
   }
   R.NewCallsPerFunc = static_cast<double>(W.newCalls()) / Funcs;
@@ -163,22 +211,24 @@ Result measureReused(tir::Module &M, u32 NumFuncs, unsigned Repeat) {
   return R;
 }
 
-/// Sharded compilation with a persistent worker pool. Wall-clock time:
-/// the whole point is spending more CPUs to finish sooner.
-Result measureParallel(tir::Module &M, u32 NumFuncs, unsigned Threads,
-                       unsigned Repeat) {
+/// Sharded compilation with a persistent worker pool (either target's
+/// instantiation of the core driver template). Wall-clock time: the
+/// whole point is spending more CPUs to finish sooner.
+template <typename PipelineT>
+Result measureParallel(const char *Name, tir::Module &M, u32 NumFuncs,
+                       unsigned Threads, unsigned Repeat) {
   tpde_tir::ParallelCompileOptions Opts;
   Opts.NumThreads = Threads;
-  tpde_tir::ParallelModuleCompiler PC(M, Opts);
+  PipelineT PC(M, Opts);
   asmx::Assembler Out;
   for (unsigned I = 0; I < 4; ++I) {
     if (!PC.compile(Out)) {
-      std::fprintf(stderr, "compilation failed (TPDE parallel)\n");
+      std::fprintf(stderr, "compilation failed (%s parallel)\n", Name);
       std::exit(1);
     }
   }
   Result R;
-  R.Backend = "TPDE";
+  R.Backend = Name;
   R.Scenario = "parallel";
   R.Threads = Threads;
   R.Clock = "wall";
@@ -195,13 +245,46 @@ Result measureParallel(tir::Module &M, u32 NumFuncs, unsigned Threads,
     return static_cast<double>(NumFuncs) * Iters / (T.ms() / 1000.0);
   });
   if (!OK) {
-    std::fprintf(stderr,
-                 "compilation failed mid-measurement (TPDE parallel)\n");
+    std::fprintf(stderr, "compilation failed mid-measurement (%s parallel)\n",
+                 Name);
     std::exit(1);
   }
   R.NewCallsPerFunc = static_cast<double>(W.newCalls()) / Funcs;
   R.NewBytesPerFunc = static_cast<double>(W.newBytes()) / Funcs;
   return R;
+}
+
+/// One-time sanity execution of the a64 output on the instruction-set
+/// simulator (a small module: the simulator is ~100x slower than
+/// native). Aborts if the compiled code traps — the throughput numbers
+/// would be meaningless for broken output.
+void validateA64OnSimulator() {
+  tir::Module M;
+  workloads::Profile P;
+  P.Seed = 3;
+  P.NumFuncs = 6;
+  P.RegionBudget = 3;
+  P.MaxLoopTrip = 2;
+  P.SSAForm = true;
+  workloads::genModule(M, P);
+  asmx::Assembler Asm;
+  if (!tpde_tir::compileModuleA64Parallel(M, Asm, 2)) {
+    std::fprintf(stderr, "a64 validation compile failed\n");
+    std::exit(1);
+  }
+  a64::Sim S;
+  a64::SimModule Mod;
+  if (!Mod.map(Asm, S)) {
+    std::fprintf(stderr, "a64 validation mapping failed\n");
+    std::exit(1);
+  }
+  S.call(Mod.address("main_entry"), {7, 9});
+  if (S.Trapped) {
+    std::fprintf(stderr, "a64 validation execution trapped\n");
+    std::exit(1);
+  }
+  std::printf("a64 simulator validation: ok (%llu insts)\n",
+              static_cast<unsigned long long>(S.InstCount));
 }
 
 } // namespace
@@ -294,13 +377,28 @@ int main(int argc, char **argv) {
   workloads::genModule(ParM, ParP);
   u32 ParFuncs = static_cast<u32>(ParM.Funcs.size());
 
+  validateA64OnSimulator();
+
   std::vector<Result> Results;
   for (Backend B : {Backend::Tpde, Backend::CopyPatch, Backend::BaselineO0,
                     Backend::BaselineO1})
     Results.push_back(measureFresh(B, M, NumFuncs, Repeat));
-  Results.push_back(measureReused(M, NumFuncs, Repeat));
+  Results.push_back(measureFreshTpde(
+      "TPDE-A64",
+      [](tir::Module &Mod, asmx::Assembler &Asm) {
+        return tpde_tir::compileModuleA64(Mod, Asm);
+      },
+      M, NumFuncs, Repeat));
+  Results.push_back(
+      measureReused<tpde_tir::TirCompilerX64>("TPDE", M, NumFuncs, Repeat));
+  Results.push_back(measureReused<tpde_tir::TirCompilerA64>("TPDE-A64", M,
+                                                            NumFuncs, Repeat));
   for (unsigned T : ThreadCounts)
-    Results.push_back(measureParallel(ParM, ParFuncs, T, Repeat));
+    Results.push_back(measureParallel<tpde_tir::ParallelModuleCompiler>(
+        "TPDE", ParM, ParFuncs, T, Repeat));
+  for (unsigned T : ThreadCounts)
+    Results.push_back(measureParallel<tpde_tir::ParallelModuleCompilerA64>(
+        "TPDE-A64", ParM, ParFuncs, T, Repeat));
 
   std::printf("%-12s %-9s %3s %5s %12s %12s %12s %10s %11s\n", "backend",
               "mode", "thr", "clock", "f/s mean", "f/s stddev", "f/s min",
@@ -311,17 +409,21 @@ int main(int argc, char **argv) {
                 R.FuncsPerSec.Mean, R.FuncsPerSec.Stddev, R.FuncsPerSec.Min,
                 R.NewCallsPerFunc, R.NewBytesPerFunc);
 
-  // Parallel scaling summary (the CI gate asserts this when the machine
-  // has enough hardware threads; see scripts/check_bench_regression.py).
-  double Par1 = 0;
-  for (const Result &R : Results)
-    if (R.Scenario == "parallel" && R.Threads == 1)
-      Par1 = R.FuncsPerSec.Mean;
-  if (Par1 > 0)
+  // Parallel scaling summary per backend (the CI gate asserts this when
+  // the machine has enough hardware threads; see
+  // scripts/check_bench_regression.py).
+  for (const char *BE : {"TPDE", "TPDE-A64"}) {
+    double Par1 = 0;
     for (const Result &R : Results)
-      if (R.Scenario == "parallel" && R.Threads > 1)
-        std::printf("parallel speedup @%u threads: %.2fx (hw threads: %u)\n",
-                    R.Threads, R.FuncsPerSec.Mean / Par1, HwThreads);
+      if (R.Backend == BE && R.Scenario == "parallel" && R.Threads == 1)
+        Par1 = R.FuncsPerSec.Mean;
+    if (Par1 > 0)
+      for (const Result &R : Results)
+        if (R.Backend == BE && R.Scenario == "parallel" && R.Threads > 1)
+          std::printf("%s parallel speedup @%u threads: %.2fx "
+                      "(hw threads: %u)\n",
+                      BE, R.Threads, R.FuncsPerSec.Mean / Par1, HwThreads);
+  }
 
   FILE *F = std::fopen("BENCH_compile_throughput.json", "w");
   if (!F) {

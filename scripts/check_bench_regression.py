@@ -110,42 +110,55 @@ def main(argv):
     for key in sorted(set(new) - set(base)):
         print(f"{key[0]:<12} {key[1]:<9} {key[2]:>3} -- new scenario, no baseline")
 
-    # Allocation-policy gate: the reused scenario must stay at zero
-    # steady-state allocations (docs/PERF.md) — this one is exact, not
-    # noise-bounded.
-    reused = new.get(("TPDE", "reused", 0))
-    if reused and reused.get("new_calls_per_func", 0) > 0.001:
-        print(f"FAIL: reused scenario allocates "
-              f"{reused['new_calls_per_func']:.3f} times/function "
-              f"(must be 0; see docs/PERF.md)")
-        failed = True
+    # Allocation-policy gate: the reused scenarios must stay at zero
+    # steady-state allocations (docs/PERF.md) — exact, not noise-bounded,
+    # and enforced for both targets of the shared framework. A missing
+    # row is itself a failure: the benchmark always emits both backends,
+    # so absence means the measurement silently broke.
+    for backend in ("TPDE", "TPDE-A64"):
+        reused = new.get((backend, "reused", 0))
+        if not reused:
+            print(f"FAIL: {backend} reused row missing from the new run")
+            failed = True
+        elif reused.get("new_calls_per_func", 0) > 0.001:
+            print(f"FAIL: {backend} reused scenario allocates "
+                  f"{reused['new_calls_per_func']:.3f} times/function "
+                  f"(must be 0; see docs/PERF.md)")
+            failed = True
 
     if require_speedup is not None:
         hw = int(new_doc.get("hardware_concurrency", 0))
-        p1 = new.get(("TPDE", "parallel", 1))
-        p4 = new.get(("TPDE", "parallel", 4))
         if hw < 4:
             print(f"speedup check skipped: only {hw} hardware thread(s)")
-        elif not p1 or not p4:
-            print("FAIL: speedup check requested but parallel rows for "
-                  "1 and 4 threads are missing")
-            failed = True
         else:
-            m1, m4 = p1["funcs_per_sec"], p4["funcs_per_sec"]
-            s1 = p1.get("funcs_per_sec_stddev", 0.0)
-            s4 = p4.get("funcs_per_sec_stddev", 0.0)
-            speedup = m4 / m1
-            # Same noise-awareness as the drop checks: propagate the two
-            # rows' relative errors into a sigma-scaled slack so a noisy
-            # shared-runner sample cannot hard-fail an unrelated PR.
-            slack = sigmas * speedup * math.sqrt(
-                (s1 / m1) ** 2 + (s4 / m4) ** 2) if m1 > 0 and m4 > 0 else 0.0
-            print(f"parallel speedup @4 threads: {speedup:.2f}x "
-                  f"(+/-{slack:.2f} noise slack, required "
-                  f"{require_speedup:.2f}x, hw threads {hw})")
-            if speedup + slack < require_speedup:
-                print("FAIL: parallel speedup below requirement")
-                failed = True
+            # Both targets ride the same driver template; both must scale,
+            # and a missing row is a broken measurement, not a skip.
+            for backend in ("TPDE", "TPDE-A64"):
+                p1 = new.get((backend, "parallel", 1))
+                p4 = new.get((backend, "parallel", 4))
+                if not p1 or not p4:
+                    print(f"FAIL: speedup check requested but {backend} "
+                          f"parallel rows for 1 and 4 threads are missing")
+                    failed = True
+                    continue
+                m1, m4 = p1["funcs_per_sec"], p4["funcs_per_sec"]
+                s1 = p1.get("funcs_per_sec_stddev", 0.0)
+                s4 = p4.get("funcs_per_sec_stddev", 0.0)
+                speedup = m4 / m1
+                # Same noise-awareness as the drop checks: propagate the
+                # two rows' relative errors into a sigma-scaled slack so a
+                # noisy shared-runner sample cannot hard-fail an unrelated
+                # PR.
+                slack = sigmas * speedup * math.sqrt(
+                    (s1 / m1) ** 2 + (s4 / m4) ** 2) if m1 > 0 and m4 > 0 \
+                    else 0.0
+                print(f"{backend} parallel speedup @4 threads: {speedup:.2f}x "
+                      f"(+/-{slack:.2f} noise slack, required "
+                      f"{require_speedup:.2f}x, hw threads {hw})")
+                if speedup + slack < require_speedup:
+                    print(f"FAIL: {backend} parallel speedup below "
+                          f"requirement")
+                    failed = True
 
     if failed:
         print("benchmark regression gate: FAILED")

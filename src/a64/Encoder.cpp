@@ -1,4 +1,12 @@
 //===- a64/Encoder.cpp - AArch64 instruction encoder ----------------------===//
+//
+// Every public method batches its instruction words through the section
+// write cursor (Emitter::begin/putW/commit): space for the longest
+// possible encoding is reserved up front, words are raw stores, and the
+// final length is committed once — one bounds check per emitter call
+// (docs/PERF.md "Emission is batched"), matching the x64 encoder.
+//
+//===----------------------------------------------------------------------===//
 
 #include "a64/Encoder.h"
 
@@ -99,7 +107,7 @@ void Emitter::movSP(AsmReg Dst, AsmReg Src) {
   word(0x91000000u | (u32(Src.hw()) << 5) | Dst.hw());
 }
 
-void Emitter::movRI(AsmReg Dst, u64 Imm) {
+void Emitter::movRIIn(AsmReg Dst, u64 Imm) {
   // Count 16-bit chunks equal to 0 and to 0xFFFF to pick MOVZ vs MOVN.
   unsigned ZeroChunks = 0, OneChunks = 0;
   for (unsigned I = 0; I < 4; ++I) {
@@ -116,14 +124,14 @@ void Emitter::movRI(AsmReg Dst, u64 Imm) {
       if (C == 0xFFFF)
         continue;
       if (First) {
-        word(0x92800000u | (u32(I) << 21) | (u32(u16(~C)) << 5) | Rd); // MOVN
+        putW(0x92800000u | (u32(I) << 21) | (u32(u16(~C)) << 5) | Rd); // MOVN
         First = false;
       } else {
-        word(0xF2800000u | (u32(I) << 21) | (u32(C) << 5) | Rd); // MOVK
+        putW(0xF2800000u | (u32(I) << 21) | (u32(C) << 5) | Rd); // MOVK
       }
     }
     if (First)
-      word(0x92800000u | Rd); // Imm == ~0: MOVN Dst, #0
+      putW(0x92800000u | Rd); // Imm == ~0: MOVN Dst, #0
     return;
   }
   bool First = true;
@@ -132,14 +140,20 @@ void Emitter::movRI(AsmReg Dst, u64 Imm) {
     if (C == 0)
       continue;
     if (First) {
-      word(0xD2800000u | (u32(I) << 21) | (u32(C) << 5) | Rd); // MOVZ
+      putW(0xD2800000u | (u32(I) << 21) | (u32(C) << 5) | Rd); // MOVZ
       First = false;
     } else {
-      word(0xF2800000u | (u32(I) << 21) | (u32(C) << 5) | Rd); // MOVK
+      putW(0xF2800000u | (u32(I) << 21) | (u32(C) << 5) | Rd); // MOVK
     }
   }
   if (First)
-    word(0xD2800000u | Rd); // Imm == 0: MOVZ Dst, #0
+    putW(0xD2800000u | Rd); // Imm == 0: MOVZ Dst, #0
+}
+
+void Emitter::movRI(AsmReg Dst, u64 Imm) {
+  begin(16); // at most MOVZ/MOVN + 3 MOVK
+  movRIIn(Dst, Imm);
+  commit();
 }
 
 // ---------------------------------------------------------------------------
@@ -173,63 +187,50 @@ static u32 addSubImmWord(u8 Sz, bool SubOp, bool SetFlags, AsmReg Dst,
   return W | (Imm12 << 10) | (u32(Src.hw()) << 5) | Dst.hw();
 }
 
-void Emitter::addRI(u8 Sz, AsmReg Dst, AsmReg Src, u64 Imm, bool SetFlags) {
+void Emitter::addSubRIIn(u8 Sz, bool SubOp, AsmReg Dst, AsmReg Src, u64 Imm,
+                         bool SetFlags) {
   if (Imm < 4096) {
-    word(addSubImmWord(Sz, false, SetFlags, Dst, Src, static_cast<u32>(Imm),
+    putW(addSubImmWord(Sz, SubOp, SetFlags, Dst, Src, static_cast<u32>(Imm),
                        false));
     return;
   }
-  assert(!SetFlags && "flag-setting add requires an imm12 immediate");
+  assert(!SetFlags && "flag-setting add/sub requires an imm12 immediate");
   if ((Imm & 0xFFF) == 0 && Imm < (u64(4096) << 12)) {
-    word(addSubImmWord(Sz, false, false, Dst, Src,
+    putW(addSubImmWord(Sz, SubOp, false, Dst, Src,
                        static_cast<u32>(Imm >> 12), true));
     return;
   }
   if (Imm < (u64(4096) << 12)) {
-    word(addSubImmWord(Sz, false, false, Dst, Src,
+    putW(addSubImmWord(Sz, SubOp, false, Dst, Src,
                        static_cast<u32>(Imm & 0xFFF), false));
-    word(addSubImmWord(Sz, false, false, Dst, Dst,
+    putW(addSubImmWord(Sz, SubOp, false, Dst, Dst,
                        static_cast<u32>(Imm >> 12), true));
     return;
   }
   assert(!(Src == X16) && !(Dst == X16) && "X16 is encoder scratch");
-  movRI(X16, Imm);
+  movRIIn(X16, Imm);
+  const u32 OpBit = SubOp ? (1u << 30) : 0;
   if (Src.hw() == 31 || Dst.hw() == 31) {
-    // ADD (extended register), UXTX: valid with SP.
-    word(sf(Sz) | 0x0B206000u | (u32(X16.hw()) << 16) | (u32(Src.hw()) << 5) |
-         Dst.hw());
+    // ADD/SUB (extended register), UXTX: valid with SP.
+    putW(sf(Sz) | 0x0B206000u | OpBit | (u32(X16.hw()) << 16) |
+         (u32(Src.hw()) << 5) | Dst.hw());
   } else {
-    addRRR(Sz, Dst, Src, X16);
+    // ADD/SUB (shifted register) with X16.
+    putW(sf(Sz) | 0x0B000000u | OpBit | (u32(X16.hw()) << 16) |
+         (u32(Src.hw()) << 5) | Dst.hw());
   }
 }
 
+void Emitter::addRI(u8 Sz, AsmReg Dst, AsmReg Src, u64 Imm, bool SetFlags) {
+  begin(20); // worst case: 4-word X16 materialization + the add
+  addSubRIIn(Sz, /*SubOp=*/false, Dst, Src, Imm, SetFlags);
+  commit();
+}
+
 void Emitter::subRI(u8 Sz, AsmReg Dst, AsmReg Src, u64 Imm, bool SetFlags) {
-  if (Imm < 4096) {
-    word(addSubImmWord(Sz, true, SetFlags, Dst, Src, static_cast<u32>(Imm),
-                       false));
-    return;
-  }
-  assert(!SetFlags && "flag-setting sub requires an imm12 immediate");
-  if ((Imm & 0xFFF) == 0 && Imm < (u64(4096) << 12)) {
-    word(addSubImmWord(Sz, true, false, Dst, Src,
-                       static_cast<u32>(Imm >> 12), true));
-    return;
-  }
-  if (Imm < (u64(4096) << 12)) {
-    word(addSubImmWord(Sz, true, false, Dst, Src,
-                       static_cast<u32>(Imm & 0xFFF), false));
-    word(addSubImmWord(Sz, true, false, Dst, Dst,
-                       static_cast<u32>(Imm >> 12), true));
-    return;
-  }
-  assert(!(Src == X16) && !(Dst == X16) && "X16 is encoder scratch");
-  movRI(X16, Imm);
-  if (Src.hw() == 31 || Dst.hw() == 31) {
-    word(sf(Sz) | 0x4B206000u | (u32(X16.hw()) << 16) | (u32(Src.hw()) << 5) |
-         Dst.hw());
-  } else {
-    subRRR(Sz, Dst, Src, X16);
-  }
+  begin(20);
+  addSubRIIn(Sz, /*SubOp=*/true, Dst, Src, Imm, SetFlags);
+  commit();
 }
 
 void Emitter::adcsRRR(u8 Sz, AsmReg Dst, AsmReg Src1, AsmReg Src2) {
@@ -258,31 +259,41 @@ void Emitter::mvnRR(u8 Sz, AsmReg Dst, AsmReg Src) {
 }
 
 void Emitter::logicRI(LogicOp Op, u8 Sz, AsmReg Dst, AsmReg Src, u64 Imm) {
+  begin(20); // worst case: 4-word X16 materialization + the logic op
   u32 N, Immr, Imms;
   if (encodeLogicalImm(Imm, Sz == 8 ? 64 : 32, N, Immr, Imms)) {
     u32 W = sf(Sz) | 0x12000000u | (u32(static_cast<u8>(Op)) << 29);
-    word(W | (N << 22) | (Immr << 16) | (Imms << 10) | (u32(Src.hw()) << 5) |
+    putW(W | (N << 22) | (Immr << 16) | (Imms << 10) | (u32(Src.hw()) << 5) |
          Dst.hw());
-    return;
+  } else {
+    assert(!(Src == X16) && !(Dst == X16) && "X16 is encoder scratch");
+    movRIIn(X16, Imm);
+    putW(sf(Sz) | 0x0A000000u | (u32(static_cast<u8>(Op)) << 29) |
+         (u32(X16.hw()) << 16) | (u32(Src.hw()) << 5) | Dst.hw());
   }
-  assert(!(Src == X16) && !(Dst == X16) && "X16 is encoder scratch");
-  movRI(X16, Imm);
-  logicRRR(Op, Sz, Dst, Src, X16);
+  commit();
 }
 
 void Emitter::cmpRI(u8 Sz, AsmReg R, u64 Imm) {
+  begin(20); // worst case: 4-word X16 materialization + the compare
   if (Imm < 4096) {
-    subRI(Sz, XZR, R, Imm, /*SetFlags=*/true);
+    putW(addSubImmWord(Sz, true, true, XZR, R, static_cast<u32>(Imm), false));
+    commit();
     return;
   }
   u64 Neg = Sz == 8 ? (0 - Imm) : ((0 - Imm) & 0xFFFFFFFFull);
   if (Neg < 4096) {
-    addRI(Sz, XZR, R, Neg, /*SetFlags=*/true); // CMN
+    // CMN.
+    putW(addSubImmWord(Sz, false, true, XZR, R, static_cast<u32>(Neg), false));
+    commit();
     return;
   }
   assert(!(R == X16) && "X16 is encoder scratch");
-  movRI(X16, Imm);
-  cmpRR(Sz, R, X16);
+  movRIIn(X16, Imm);
+  // SUBS XZR, R, X16.
+  putW(sf(Sz) | 0x6B000000u | (u32(X16.hw()) << 16) | (u32(R.hw()) << 5) |
+       XZR.hw());
+  commit();
 }
 
 // ---------------------------------------------------------------------------
@@ -414,32 +425,37 @@ void Emitter::csinc(u8 Sz, AsmReg Dst, AsmReg IfTrue, AsmReg IfFalse, Cond C) {
 // ---------------------------------------------------------------------------
 
 void Emitter::ldst(u8 SizeLog2, u32 Opc, bool V, AsmReg Rt, Mem M) {
+  begin(20); // worst case: 4-word X16 displacement + the access
   const u32 Base = (u32(SizeLog2) << 30) | 0x38000000u |
                    (V ? (1u << 26) : 0) | (Opc << 22);
   const u32 RtRn = (u32(M.Base.hw()) << 5) | Rt.hw();
   if (M.Index.isValid()) {
     assert((M.Shift == 0 || M.Shift == SizeLog2) && "bad index shift");
-    word(Base | (1u << 21) | (u32(M.Index.hw()) << 16) | (0x3u << 13) |
+    putW(Base | (1u << 21) | (u32(M.Index.hw()) << 16) | (0x3u << 13) |
          (M.Shift ? (1u << 12) : 0) | (0x2u << 10) | RtRn);
+    commit();
     return;
   }
   const i64 D = M.Disp;
   const u32 Scale = u32(1) << SizeLog2;
   if (D >= 0 && (D & (Scale - 1)) == 0 && (D >> SizeLog2) < 4096) {
     // Scaled unsigned-offset form (bit 24 distinguishes it).
-    word(Base | (1u << 24) | (static_cast<u32>(D >> SizeLog2) << 10) | RtRn);
+    putW(Base | (1u << 24) | (static_cast<u32>(D >> SizeLog2) << 10) | RtRn);
+    commit();
     return;
   }
   if (D >= -256 && D <= 255) {
     // LDUR/STUR.
-    word(Base | ((static_cast<u32>(D) & 0x1FF) << 12) | RtRn);
+    putW(Base | ((static_cast<u32>(D) & 0x1FF) << 12) | RtRn);
+    commit();
     return;
   }
   // Out-of-range displacement: X16 = Disp, register-offset access.
   assert(!(Rt == X16) && !(M.Base == X16) && "X16 is encoder scratch");
-  movRI(X16, static_cast<u64>(D));
-  word(Base | (1u << 21) | (u32(X16.hw()) << 16) | (0x3u << 13) |
+  movRIIn(X16, static_cast<u64>(D));
+  putW(Base | (1u << 21) | (u32(X16.hw()) << 16) | (0x3u << 13) |
        (0x2u << 10) | RtRn);
+  commit();
 }
 
 void Emitter::ldr(u8 Sz, AsmReg Dst, Mem M) {
@@ -478,16 +494,18 @@ void Emitter::leaMem(AsmReg Dst, AsmReg Base, i64 Disp) {
   if (Disp >= 0)
     addRI(8, Dst, Base, static_cast<u64>(Disp));
   else
-    subRI(8, Dst, Base, static_cast<u64>(-Disp));
+    subRI(8, Dst, Base, 0 - static_cast<u64>(Disp)); // INT64_MIN-safe
 }
 
 void Emitter::leaSym(AsmReg Dst, asmx::SymRef S, i64 Addend) {
-  A.addReloc(asmx::SecKind::Text, offset(), asmx::RelocKind::A64AdrPage21, S,
+  begin(8);
+  A.addReloc(asmx::SecKind::Text, off(), asmx::RelocKind::A64AdrPage21, S,
              Addend);
-  word(0x90000000u | Dst.hw()); // ADRP Dst, sym
-  A.addReloc(asmx::SecKind::Text, offset(), asmx::RelocKind::A64AddLo12, S,
+  putW(0x90000000u | Dst.hw()); // ADRP Dst, sym
+  A.addReloc(asmx::SecKind::Text, off(), asmx::RelocKind::A64AddLo12, S,
              Addend);
-  word(0x91000000u | (u32(Dst.hw()) << 5) | Dst.hw()); // ADD Dst, Dst, #lo12
+  putW(0x91000000u | (u32(Dst.hw()) << 5) | Dst.hw()); // ADD Dst, Dst, #lo12
+  commit();
 }
 
 // ---------------------------------------------------------------------------
@@ -496,7 +514,7 @@ void Emitter::leaSym(AsmReg Dst, asmx::SymRef S, i64 Addend) {
 
 void Emitter::bLabel(asmx::Label L) {
   u64 Off = offset();
-  word(0x14000000u);
+  word(0x14000000u); // committed before the fixup may patch it
   A.addFixup(L, asmx::FixupKind::A64Branch26, Off);
 }
 
@@ -519,8 +537,9 @@ void Emitter::cbnzLabel(u8 Sz, AsmReg R, asmx::Label L) {
 }
 
 void Emitter::blSym(asmx::SymRef S) {
-  A.addReloc(asmx::SecKind::Text, offset(), asmx::RelocKind::A64Call26, S, 0);
+  u64 Off = offset();
   word(0x94000000u);
+  A.addReloc(asmx::SecKind::Text, Off, asmx::RelocKind::A64Call26, S, 0);
 }
 
 void Emitter::blrReg(AsmReg R) { word(0xD63F0000u | (u32(R.hw()) << 5)); }
@@ -531,8 +550,12 @@ void Emitter::nop() { word(0xD503201Fu); }
 
 void Emitter::nops(unsigned N) {
   assert(N % 4 == 0 && "NOP padding must be whole instructions");
+  if (!N)
+    return;
+  begin(N); // one bounds check for the whole pad
   for (unsigned I = 0; I < N; I += 4)
-    nop();
+    putW(0xD503201Fu);
+  commit();
 }
 
 // ---------------------------------------------------------------------------
@@ -626,8 +649,10 @@ void Emitter::fmovFromFp(u8 Sz, AsmReg Dst, AsmReg Src) {
 // ---------------------------------------------------------------------------
 
 void Emitter::frameSubPlaceholder() {
-  word(0xD10003FFu); // sub sp, sp, #0
-  word(0xD14003FFu); // sub sp, sp, #0, lsl #12
+  begin(8);
+  putW(0xD10003FFu); // sub sp, sp, #0
+  putW(0xD14003FFu); // sub sp, sp, #0, lsl #12
+  commit();
 }
 
 void Emitter::patchFrameSub(asmx::Section &T, u64 Off, u32 FrameSize) {

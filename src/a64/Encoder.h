@@ -121,8 +121,12 @@ public:
   asmx::Assembler &assembler() { return A; }
   u64 offset() const { return T.size(); }
 
-  /// Appends a raw 32-bit instruction word.
-  void word(u32 W) { T.appendLE<u32>(W); }
+  /// Appends a raw 32-bit instruction word (one bounds check).
+  void word(u32 W) {
+    begin(4);
+    putW(W);
+    commit();
+  }
 
   // --- Moves and immediates ---------------------------------------------
   /// Register move via ORR; neither operand may be SP (use movSP).
@@ -259,12 +263,48 @@ public:
 
 private:
   static constexpr u32 sf(u8 Sz) { return Sz == 8 ? (1u << 31) : 0; }
+
+  // --- Batched emission -------------------------------------------------
+  // Every emitter call reserves its maximum encoded length once (begin),
+  // writes raw instruction words through the cursor (putW), and commits
+  // the final length (commit): one bounds check per emitted instruction
+  // sequence instead of one per word (see support::ByteBuffer), exactly
+  // like the x64 encoder. Multi-word sequences (immediate
+  // materialization, out-of-range displacements) reserve their worst
+  // case up front and route through the *In() helpers, which require an
+  // open cursor.
+  void begin(size_t MaxBytes = 4) {
+    assert(!P && "instruction already in progress");
+    P = T.writeCursor(MaxBytes);
+  }
+  void commit() {
+    T.commitCursor(P);
+    P = nullptr;
+  }
+  /// Section offset of the cursor (valid between begin and commit).
+  u64 off() const { return T.cursorOffset(P); }
+  void putW(u32 W) {
+    P[0] = static_cast<u8>(W);
+    P[1] = static_cast<u8>(W >> 8);
+    P[2] = static_cast<u8>(W >> 16);
+    P[3] = static_cast<u8>(W >> 24);
+    P += 4;
+  }
+
+  /// movRI body writing through an open cursor (max 16 bytes).
+  void movRIIn(AsmReg Dst, u64 Imm);
+  /// ADD/SUB with arbitrary immediate through an open cursor (max 20
+  /// bytes, including a possible X16 materialization).
+  void addSubRIIn(u8 Sz, bool SubOp, AsmReg Dst, AsmReg Src, u64 Imm,
+                  bool SetFlags);
+
   /// Emits a load/store for the operand size (SizeLog2), operation class
   /// opc, and register class V; handles all three addressing forms.
   void ldst(u8 SizeLog2, u32 Opc, bool V, AsmReg Rt, Mem M);
 
   asmx::Assembler &A;
   asmx::Section &T;
+  u8 *P = nullptr; ///< Pending-instruction write cursor.
 };
 
 } // namespace tpde::a64

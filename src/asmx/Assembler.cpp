@@ -2,8 +2,23 @@
 
 #include "asmx/Assembler.h"
 
+#include <algorithm>
+#include <cstring>
+
 using namespace tpde;
 using namespace tpde::asmx;
+
+namespace {
+
+/// Content hash for rodata pool entries (FNV-1a over size, then bytes).
+u64 roContentHash(const u8 *Bytes, u64 Size) {
+  u64 H = 0xcbf29ce484222325ull ^ Size;
+  for (u64 I = 0; I < Size; ++I)
+    H = (H ^ Bytes[I]) * 0x100000001b3ull;
+  return H;
+}
+
+} // namespace
 
 SymRef Assembler::createSymbol(std::string_view Name, Linkage L, bool IsFunc) {
   if (!Name.empty()) {
@@ -50,6 +65,43 @@ void Assembler::rewindForRecompile(u32 SymbolWatermark) {
   clearEmission();
 }
 
+bool Assembler::roDedupEligible(const Assembler &Src) {
+  const Section &RO = Src.Secs[static_cast<unsigned>(SecKind::ROData)];
+  if (RO.Data.empty())
+    return false; // nothing to dedup; the wholesale path is a no-op
+  for (const Reloc &R : Src.Relocs)
+    if (R.Sec == SecKind::ROData)
+      return false; // offset remapping of rodata relocs is not supported
+  MergeRoOrder.clear();
+  for (u32 I = 0; I < Src.Syms.size(); ++I) {
+    const Symbol &S = Src.Syms[I];
+    if (!S.Defined || S.Sec != SecKind::ROData)
+      continue;
+    if (S.NameId != ~0u)
+      return false; // named rodata (global data): identity matters
+    if (S.Size == 0 || S.Size > 16 || (S.Size & (S.Size - 1)))
+      return false; // alignment is reconstructed as the pow2 entry size
+    MergeRoOrder.push_back(I);
+  }
+  if (MergeRoOrder.empty())
+    return false; // rodata bytes with no covering symbol
+  std::sort(MergeRoOrder.begin(), MergeRoOrder.end(), [&](u32 A, u32 B) {
+    return Src.Syms[A].Off < Src.Syms[B].Off;
+  });
+  // The entries must tile the section exactly, counting the alignment
+  // padding alignToBoundary(entry size) would have inserted — that is
+  // the layout fpPoolConstSym() produces and the only one the piecewise
+  // re-append reproduces byte for byte.
+  u64 End = 0;
+  for (u32 I : MergeRoOrder) {
+    const Symbol &S = Src.Syms[I];
+    if (S.Off != alignTo(End, S.Size))
+      return false;
+    End = S.Off + S.Size;
+  }
+  return End == RO.Data.size();
+}
+
 void Assembler::mergeFrom(const Assembler &Src) {
   assert(&Src != this && "cannot merge an assembler into itself");
 #ifndef NDEBUG
@@ -60,12 +112,14 @@ void Assembler::mergeFrom(const Assembler &Src) {
     assert((L.Bound || L.FirstFixup == ~0u) &&
            "mergeFrom source has pending label fixups");
 #endif
+  const bool RoPiecewise = roDedupEligible(Src);
   // Lay the source sections behind the destination's, padded to the
   // source's alignment so intra-section offsets keep their alignment
   // guarantees (e.g. the 16-byte function starts in .text). Empty source
   // sections contribute nothing — not even padding — so a module's merged
   // image depends only on the fragments' content, never on how many empty
-  // fragments took part.
+  // fragments took part. An eligible rodata section is merged
+  // symbol-by-symbol below instead (constant-pool dedup).
   u64 Base[NumSections];
   for (unsigned I = 0; I < NumSections; ++I) {
     Section &D = Secs[I];
@@ -84,9 +138,44 @@ void Assembler::mergeFrom(const Assembler &Src) {
     Base[I] = D.size();
     if (S.Data.empty())
       continue;
+    if (static_cast<SecKind>(I) == SecKind::ROData && RoPiecewise)
+      continue;
     D.alignToBoundary(S.Align);
     Base[I] = D.size();
     D.append(S.Data.data(), S.Data.size());
+  }
+
+  // Constant-pool dedup: append each anonymous rodata entry individually
+  // (in source offset order, with its own alignment), unless this module
+  // already holds an entry with identical bytes — then bind the source
+  // symbol to the existing one. RoDedupSyms accumulates across the merges
+  // of one module, so shards contribute each distinct constant once and
+  // the merged pool matches a serial compile's.
+  MergeRoSym.assign(Src.Syms.size(), ~0u);
+  if (RoPiecewise) {
+    Section &D = Secs[static_cast<unsigned>(SecKind::ROData)];
+    const Section &SRO = Src.Secs[static_cast<unsigned>(SecKind::ROData)];
+    for (u32 I : MergeRoOrder) {
+      const Symbol &S = Src.Syms[I];
+      const u8 *Bytes = SRO.Data.data() + S.Off;
+      u64 H = roContentHash(Bytes, S.Size);
+      if (u32 *Known = RoDedupSyms.find(H)) {
+        const Symbol &K = Syms[*Known];
+        if (K.Size == S.Size &&
+            std::memcmp(D.Data.data() + K.Off, Bytes, S.Size) == 0) {
+          MergeRoSym[I] = *Known;
+          continue;
+        }
+        // Hash collision with different bytes: append without dedup.
+      }
+      D.alignToBoundary(S.Size);
+      u64 Off = D.size();
+      D.append(Bytes, S.Size);
+      SymRef R = createSymbol({}, S.Link, S.IsFunc);
+      defineSymbol(R, SecKind::ROData, Off, S.Size);
+      RoDedupSyms.insert(H, R.Idx);
+      MergeRoSym[I] = R.Idx;
+    }
   }
 
   // Symbols: resolve named ones against the destination table, append
@@ -104,6 +193,11 @@ void Assembler::mergeFrom(const Assembler &Src) {
   MergeSymMap.reserve(Src.Syms.size());
   for (size_t I = 0; I < Src.Syms.size(); ++I) {
     const Symbol &S = Src.Syms[I];
+    if (MergeRoSym[I] != ~0u) {
+      // Rodata pool entry: already appended (or deduplicated) above.
+      MergeSymMap.push_back(MergeRoSym[I]);
+      continue;
+    }
     if (!S.Defined && !MergeRefd[I]) {
       MergeSymMap.push_back(~0u);
       continue;

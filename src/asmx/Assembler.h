@@ -22,6 +22,7 @@
 
 #include "support/ByteBuffer.h"
 #include "support/Common.h"
+#include "support/DenseMap.h"
 #include "support/StringPool.h"
 
 #include <string>
@@ -273,6 +274,19 @@ public:
   /// instead of quadratic). Both assemblers must be label-finalized (no
   /// pending fixups). Steady-state merging into a reset() assembler does
   /// not allocate once all buffers reached their high-water mark.
+  ///
+  /// Cross-fragment constant-pool dedup: when the source's read-only data
+  /// consists purely of anonymous defined symbols tiling the section (the
+  /// shape of the FP constant pool a shard compile emits), the section is
+  /// merged symbol-by-symbol and entries whose bytes already exist in this
+  /// module (appended by an earlier merge) are bound to the existing
+  /// symbol instead of being copied — so K shards that each materialized
+  /// the same constant contribute it once, and the merged pool matches a
+  /// serial whole-module compile. The decision depends only on fragment
+  /// content and merge order, preserving the thread-count determinism
+  /// contract. Sources with named rodata symbols, rodata relocations, or
+  /// uncovered rodata bytes (e.g. the globals fragment) fall back to the
+  /// wholesale section copy above.
   void mergeFrom(const Assembler &Src);
 
 private:
@@ -288,6 +302,7 @@ private:
     Labels.clear();
     Fixups.clear();
     Err.clear();
+    RoDedupSyms.clear();
   }
 
   struct LabelInfo {
@@ -317,11 +332,24 @@ private:
   std::vector<LabelInfo> Labels;
   std::vector<FixupInfo> Fixups;
   std::string Err;
+  /// True if \p Src's rodata is eligible for the symbol-by-symbol dedup
+  /// merge (see mergeFrom); fills MergeRoOrder with the defined rodata
+  /// symbol indices in offset order.
+  bool roDedupEligible(const Assembler &Src);
+
   /// Scratch for mergeFrom(): source symbol index -> merged index (~0 for
   /// dropped unreferenced declarations), and the reloc-referenced flags.
   /// Members so steady-state merges reuse their capacity (docs/PERF.md).
   std::vector<u32> MergeSymMap;
   std::vector<u8> MergeRefd;
+  /// Rodata-dedup scratch: source rodata symbols in offset order, and the
+  /// per-source-symbol destination symbol index (~0 = not a rodata pool
+  /// entry). Content-hash -> destination symbol index of every anonymous
+  /// rodata entry this module accumulated across merges; cleared with the
+  /// emission state.
+  std::vector<u32> MergeRoOrder;
+  std::vector<u32> MergeRoSym;
+  support::DenseMap<u64, u32> RoDedupSyms;
   u64 Epoch = 0;
 };
 

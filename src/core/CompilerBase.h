@@ -581,7 +581,8 @@ public:
   /// (EmitData=false) require the derived compiler to provide
   /// declareGlobals() — a hard compile error at the call site, not a
   /// runtime assert — while plain compileModule() keeps working for
-  /// back-ends without range support (e.g. CompilerA64).
+  /// back-ends that have not opted into parallel range compilation yet
+  /// (both TIR targets have; see TirCompilerX64/TirCompilerA64).
   template <bool EmitData>
   bool compileModuleImpl(u32 Begin, u32 End, bool ManageAsm) {
     // Optional adapter capacity hints: size the per-function scratch for

@@ -1,0 +1,319 @@
+//===- core/ParallelCompiler.h - Sharded module compilation -----*- C++ -*-===//
+///
+/// \file
+/// The backend-agnostic parallel module compile driver: compiles a
+/// module's functions across N worker threads, each owning a private
+/// asmx::Assembler + compiler instance (reset-not-freed, per docs/
+/// PERF.md), then deterministically merges the per-shard text/rodata,
+/// relocations, and symbol tables into one linkable/JIT-mappable module.
+///
+/// The driver is a template over the *worker* type — parallel compilation
+/// is a framework property, not a per-target feature. A back-end opts in
+/// by providing a type satisfying the ParallelCompileWorker concept:
+///
+///   struct MyWorker {
+///     using ModuleT = ...;                 // the IR module type
+///     explicit MyWorker(ModuleT &M);       // per-thread state (adapter,
+///                                          // assembler, compiler)
+///     asmx::Assembler &assembler();        // the worker's private output
+///     bool compileGlobals();               // module-level fragment only
+///                                          //   (CompilerBase::compileGlobalsOnly)
+///     bool compileRange(u32 Begin, u32 End); // functions [Begin, End)
+///                                          //   (CompilerBase::compileFunctionRange)
+///     static u32 funcCount(const ModuleT &M);
+///     static u32 funcWeight(const ModuleT &M, u32 I); // size proxy for
+///                                          // shard balancing (e.g. value count)
+///   };
+///
+/// compileRange()/compileGlobals() are thin wrappers over the
+/// CompilerBase range entry points, which in turn require the derived
+/// compiler to implement the declareGlobals() hook (see
+/// core/CompilerBase.h); Assembler::mergeFrom() supplies the cross-shard
+/// symbol resolution. Nothing in this file knows about the target or the
+/// IR.
+///
+/// Determinism contract: the merged output is **byte-identical regardless
+/// of thread count and schedule**. This falls out of three rules:
+///
+///  1. The shard decomposition depends only on the module — boundaries
+///     are a pure function of the per-function weights and FuncsPerShard,
+///     never of the thread count.
+///  2. Each shard's output is snapshotted into its own fragment assembler;
+///     the work-stealing queue decides *who* compiles a shard, never
+///     *where* its bytes land.
+///  3. The final merge walks fragments in shard-index order on the calling
+///     thread (module-level globals fragment first).
+///
+/// Cross-shard references (calls, global addresses) work because the code
+/// generators only ever reference symbols through relocations: every shard
+/// declares the full module-level symbol table, and Assembler::mergeFrom()
+/// binds those declarations to the defining shard's symbols by interned
+/// name. The .text bytes of the merged module are identical to a
+/// single-assembler serial compile; the read-only data matches the serial
+/// pool as well because mergeFrom() content-deduplicates the anonymous
+/// FP-pool entries across shards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_CORE_PARALLELCOMPILER_H
+#define TPDE_CORE_PARALLELCOMPILER_H
+
+#include "asmx/Assembler.h"
+#include "support/WorkQueue.h"
+
+#include <atomic>
+#include <concepts>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+namespace tpde::core {
+
+template <typename W>
+concept ParallelCompileWorker =
+    requires(W Wk, typename W::ModuleT &M, const typename W::ModuleT &CM,
+             u32 I) {
+      typename W::ModuleT;
+      requires std::constructible_from<W, typename W::ModuleT &>;
+      { Wk.assembler() } -> std::same_as<asmx::Assembler &>;
+      { Wk.compileGlobals() } -> std::convertible_to<bool>;
+      { Wk.compileRange(I, I) } -> std::convertible_to<bool>;
+      { W::funcCount(CM) } -> std::convertible_to<u32>;
+      { W::funcWeight(CM, I) } -> std::convertible_to<u32>;
+    };
+
+struct ParallelCompileOptions {
+  /// Worker threads including the calling thread; 0 means
+  /// std::thread::hardware_concurrency().
+  unsigned NumThreads = 0;
+  /// Shard granularity in functions. Part of the determinism contract:
+  /// the same module always decomposes into the same shards, whatever the
+  /// thread count. Smaller shards balance better; larger shards amortize
+  /// the per-shard snapshot/merge cost.
+  u32 FuncsPerShard = 4;
+  /// Weight shard boundaries by the per-function size proxy
+  /// (WorkerT::funcWeight) instead of cutting every FuncsPerShard
+  /// functions: the shard *count* stays ceil(Funcs / FuncsPerShard), but
+  /// the boundaries equalize accumulated weight, so modules with a few
+  /// giant functions balance across workers. Still a pure function of the
+  /// module — output is independent of the thread count either way.
+  bool SizeWeightedShards = true;
+};
+
+/// Reusable parallel compilation pipeline for one module. Construction
+/// spawns the worker pool; compile() may be called repeatedly (e.g. a JIT
+/// recompiling on deoptimization) and is allocation-free in steady state:
+/// workers reuse their compiler/assembler state via the module-level
+/// symbol-batching fast path, and all fragments retain their capacity.
+template <ParallelCompileWorker WorkerT>
+class ParallelModuleCompiler {
+public:
+  using ModuleT = typename WorkerT::ModuleT;
+
+  explicit ParallelModuleCompiler(ModuleT &M, ParallelCompileOptions Opts = {})
+      : M(M), Opts(Opts) {
+    unsigned N = Opts.NumThreads;
+    if (N == 0) {
+      N = std::thread::hardware_concurrency();
+      if (N == 0)
+        N = 1;
+    }
+    if (this->Opts.FuncsPerShard == 0)
+      this->Opts.FuncsPerShard = 1;
+    Workers.reserve(N);
+    for (unsigned I = 0; I < N; ++I)
+      Workers.push_back(std::make_unique<Worker>(M));
+    // Worker 0 is the calling thread; only 1..N-1 get their own thread.
+    for (unsigned I = 1; I < N; ++I)
+      Workers[I]->Thread = std::thread([this, I] { workerMain(I); });
+  }
+
+  ~ParallelModuleCompiler() {
+    {
+      std::lock_guard<std::mutex> L(Mtx);
+      Stop = true;
+    }
+    JobCV.notify_all();
+    for (auto &W : Workers)
+      if (W->Thread.joinable())
+        W->Thread.join();
+  }
+
+  ParallelModuleCompiler(const ParallelModuleCompiler &) = delete;
+  ParallelModuleCompiler &operator=(const ParallelModuleCompiler &) = delete;
+
+  /// Compiles the module into \p Out (which is reset first). Returns
+  /// false if any function failed to compile or the merged module is
+  /// inconsistent (Out.hasError() has the details).
+  bool compile(asmx::Assembler &Out) {
+    computeShardBounds();
+    while (Frags.size() < NumShards)
+      Frags.push_back(std::make_unique<asmx::Assembler>());
+    Failed.store(false, std::memory_order_relaxed);
+    Queue.reset(NumShards, threadCount());
+
+    // Publish the job. The mutex orders the shard/fragment setup above
+    // before any worker starts draining.
+    {
+      std::lock_guard<std::mutex> L(Mtx);
+      ++JobSeq;
+      Pending = threadCount() - 1;
+    }
+    JobCV.notify_all();
+
+    // The calling thread produces the module-level fragment (global data +
+    // declarations) and then joins shard compilation as worker 0.
+    Worker &W0 = *Workers[0];
+    bool GlobalsOK = W0.W.compileGlobals();
+    GlobalsFrag.reset();
+    GlobalsFrag.mergeFrom(W0.W.assembler());
+    if (!GlobalsOK)
+      Failed.store(true, std::memory_order_relaxed);
+    drainQueue(0);
+
+    {
+      std::unique_lock<std::mutex> L(Mtx);
+      DoneCV.wait(L, [this] { return Pending == 0; });
+    }
+
+    // Deterministic merge: globals fragment first, then every shard in
+    // shard-index order — independent of which worker compiled what.
+    Out.reset();
+    Out.mergeFrom(GlobalsFrag);
+    for (u32 S = 0; S < NumShards; ++S)
+      Out.mergeFrom(*Frags[S]);
+    return !Failed.load(std::memory_order_relaxed) && !Out.hasError();
+  }
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+  u32 shardCount() const { return NumShards; }
+  /// Shard S covers functions [shardBounds()[S], shardBounds()[S+1]);
+  /// NumShards+1 entries, valid after the first compile().
+  std::span<const u32> shardBounds() const { return ShardBounds; }
+
+private:
+  struct Worker {
+    explicit Worker(ModuleT &M) : W(M) {}
+    WorkerT W;
+    std::thread Thread; ///< Unjoinable for worker 0 (the calling thread).
+  };
+
+  /// Deterministic shard decomposition. The shard count is
+  /// ceil(Funcs / FuncsPerShard) as in the unweighted scheme; with
+  /// SizeWeightedShards each boundary is placed where the accumulated
+  /// function weight reaches the next 1/NumShards slice of the total, so
+  /// skewed modules produce balanced shards. Every shard is non-empty and
+  /// the bounds depend only on the module and the options.
+  void computeShardBounds() {
+    const u32 NumFuncs = WorkerT::funcCount(M);
+    NumShards = (NumFuncs + Opts.FuncsPerShard - 1) / Opts.FuncsPerShard;
+    ShardBounds.clear();
+    ShardBounds.push_back(0);
+    if (NumShards == 0)
+      return;
+    if (!Opts.SizeWeightedShards || NumShards == 1) {
+      for (u32 S = 1; S < NumShards; ++S)
+        ShardBounds.push_back(S * Opts.FuncsPerShard);
+      ShardBounds.push_back(NumFuncs);
+      return;
+    }
+    u64 Total = 0;
+    for (u32 F = 0; F < NumFuncs; ++F)
+      Total += weightOf(F);
+    u64 Acc = 0;
+    u32 S = 1; // next boundary to place
+    for (u32 F = 0; F < NumFuncs && S < NumShards; ++F) {
+      Acc += weightOf(F);
+      u32 Remaining = NumFuncs - (F + 1);
+      u32 ShardsLeft = NumShards - S;
+      // Close the current shard when its weight slice is full — or when
+      // the remaining shards need every remaining function to stay
+      // non-empty. At most one boundary per function keeps shards
+      // non-empty on the other side.
+      if (Acc * NumShards >= Total * S || Remaining == ShardsLeft) {
+        ShardBounds.push_back(F + 1);
+        ++S;
+      }
+    }
+    ShardBounds.push_back(NumFuncs);
+    assert(ShardBounds.size() == NumShards + 1 && "bad shard decomposition");
+  }
+
+  u64 weightOf(u32 F) const {
+    u32 W = WorkerT::funcWeight(M, F);
+    return W ? W : 1; // declarations and empty functions still occupy a slot
+  }
+
+  void workerMain(unsigned Id) {
+    u64 Seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> L(Mtx);
+        JobCV.wait(L, [&] { return Stop || JobSeq > Seen; });
+        if (Stop)
+          return;
+        Seen = JobSeq;
+      }
+      drainQueue(Id);
+      {
+        std::lock_guard<std::mutex> L(Mtx);
+        if (--Pending == 0)
+          DoneCV.notify_one();
+      }
+    }
+  }
+
+  void drainQueue(unsigned Id) {
+    u32 Shard;
+    while (Queue.pop(Id, Shard))
+      compileShard(Id, Shard);
+  }
+
+  void compileShard(unsigned Id, u32 Shard) {
+    Worker &W = *Workers[Id];
+    u32 Begin = ShardBounds[Shard];
+    u32 End = ShardBounds[Shard + 1];
+    // compileRange rewinds (or resets) the worker's assembler itself; after
+    // the first compile this hits the symbol-batching fast path and the
+    // whole shard compile is allocation-free.
+    bool OK = W.W.compileRange(Begin, End);
+    asmx::Assembler &Frag = *Frags[Shard];
+    Frag.reset();
+    if (OK) {
+      Frag.mergeFrom(W.W.assembler());
+    } else {
+      // A failed shard may hold half-emitted code with unbound labels; drop
+      // it (the compile reports failure) instead of merging garbage.
+      Failed.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  ModuleT &M;
+  ParallelCompileOptions Opts;
+  std::vector<std::unique_ptr<Worker>> Workers;
+  /// Per-shard output snapshots, indexed by shard — the schedule-proof
+  /// staging area between parallel compilation and the ordered merge.
+  std::vector<std::unique_ptr<asmx::Assembler>> Frags;
+  asmx::Assembler GlobalsFrag;
+  support::WorkStealingRangeQueue Queue;
+  /// Shard S = functions [ShardBounds[S], ShardBounds[S+1]); capacity is
+  /// retained across compiles (docs/PERF.md).
+  std::vector<u32> ShardBounds;
+  u32 NumShards = 0;
+  std::atomic<bool> Failed{false};
+
+  std::mutex Mtx;
+  std::condition_variable JobCV, DoneCV;
+  u64 JobSeq = 0;       ///< Bumped per compile(); workers wait for it.
+  unsigned Pending = 0; ///< Spawned workers still draining the current job.
+  bool Stop = false;
+};
+
+} // namespace tpde::core
+
+#endif // TPDE_CORE_PARALLELCOMPILER_H

@@ -1,127 +1,9 @@
-//===- tpde_tir/ParallelCompiler.cpp - Sharded module compilation ---------===//
+//===- tpde_tir/ParallelCompiler.cpp - One-shot parallel entry points -----===//
 
 #include "tpde_tir/ParallelCompiler.h"
 
 using namespace tpde;
 using namespace tpde::tpde_tir;
-
-ParallelModuleCompiler::ParallelModuleCompiler(tir::Module &M,
-                                              ParallelCompileOptions Opts)
-    : M(M), Opts(Opts) {
-  unsigned N = Opts.NumThreads;
-  if (N == 0) {
-    N = std::thread::hardware_concurrency();
-    if (N == 0)
-      N = 1;
-  }
-  if (this->Opts.FuncsPerShard == 0)
-    this->Opts.FuncsPerShard = 1;
-  Workers.reserve(N);
-  for (unsigned I = 0; I < N; ++I)
-    Workers.push_back(std::make_unique<Worker>(M));
-  // Worker 0 is the calling thread; only 1..N-1 get their own thread.
-  for (unsigned I = 1; I < N; ++I)
-    Workers[I]->Thread = std::thread([this, I] { workerMain(I); });
-}
-
-ParallelModuleCompiler::~ParallelModuleCompiler() {
-  {
-    std::lock_guard<std::mutex> L(Mtx);
-    Stop = true;
-  }
-  JobCV.notify_all();
-  for (auto &W : Workers)
-    if (W->Thread.joinable())
-      W->Thread.join();
-}
-
-bool ParallelModuleCompiler::compile(asmx::Assembler &Out) {
-  const u32 NumFuncs = static_cast<u32>(M.Funcs.size());
-  NumShards = (NumFuncs + Opts.FuncsPerShard - 1) / Opts.FuncsPerShard;
-  while (Frags.size() < NumShards)
-    Frags.push_back(std::make_unique<asmx::Assembler>());
-  Failed.store(false, std::memory_order_relaxed);
-  Queue.reset(NumShards, threadCount());
-
-  // Publish the job. The mutex orders the shard/fragment setup above
-  // before any worker starts draining.
-  {
-    std::lock_guard<std::mutex> L(Mtx);
-    ++JobSeq;
-    Pending = threadCount() - 1;
-  }
-  JobCV.notify_all();
-
-  // The calling thread produces the module-level fragment (global data +
-  // declarations) and then joins shard compilation as worker 0.
-  Worker &W0 = *Workers[0];
-  bool GlobalsOK = W0.Compiler.compileGlobals();
-  GlobalsFrag.reset();
-  GlobalsFrag.mergeFrom(W0.Asm);
-  if (!GlobalsOK)
-    Failed.store(true, std::memory_order_relaxed);
-  drainQueue(0);
-
-  {
-    std::unique_lock<std::mutex> L(Mtx);
-    DoneCV.wait(L, [this] { return Pending == 0; });
-  }
-
-  // Deterministic merge: globals fragment first, then every shard in
-  // shard-index order — independent of which worker compiled what.
-  Out.reset();
-  Out.mergeFrom(GlobalsFrag);
-  for (u32 S = 0; S < NumShards; ++S)
-    Out.mergeFrom(*Frags[S]);
-  return !Failed.load(std::memory_order_relaxed) && !Out.hasError();
-}
-
-void ParallelModuleCompiler::workerMain(unsigned Id) {
-  u64 Seen = 0;
-  for (;;) {
-    {
-      std::unique_lock<std::mutex> L(Mtx);
-      JobCV.wait(L, [&] { return Stop || JobSeq > Seen; });
-      if (Stop)
-        return;
-      Seen = JobSeq;
-    }
-    drainQueue(Id);
-    {
-      std::lock_guard<std::mutex> L(Mtx);
-      if (--Pending == 0)
-        DoneCV.notify_one();
-    }
-  }
-}
-
-void ParallelModuleCompiler::drainQueue(unsigned Id) {
-  u32 Shard;
-  while (Queue.pop(Id, Shard))
-    compileShard(Id, Shard);
-}
-
-void ParallelModuleCompiler::compileShard(unsigned Id, u32 Shard) {
-  Worker &W = *Workers[Id];
-  const u32 NumFuncs = static_cast<u32>(M.Funcs.size());
-  u32 Begin = Shard * Opts.FuncsPerShard;
-  u32 End = Begin + Opts.FuncsPerShard;
-  if (End > NumFuncs)
-    End = NumFuncs;
-  // compileRange rewinds (or resets) the worker's assembler itself; after
-  // the first compile this hits the symbol-batching fast path and the
-  // whole shard compile is allocation-free.
-  bool OK = W.Compiler.compileRange(Begin, End);
-  asmx::Assembler &Frag = *Frags[Shard];
-  Frag.reset();
-  if (OK) {
-    Frag.mergeFrom(W.Asm);
-  } else {
-    // A failed shard may hold half-emitted code with unbound labels; drop
-    // it (the compile reports failure) instead of merging garbage.
-    Failed.store(true, std::memory_order_relaxed);
-  }
-}
 
 bool tpde::tpde_tir::compileModuleX64Parallel(tir::Module &M,
                                               asmx::Assembler &Out,
@@ -129,5 +11,14 @@ bool tpde::tpde_tir::compileModuleX64Parallel(tir::Module &M,
   ParallelCompileOptions Opts;
   Opts.NumThreads = NumThreads;
   ParallelModuleCompiler PC(M, Opts);
+  return PC.compile(Out);
+}
+
+bool tpde::tpde_tir::compileModuleA64Parallel(tir::Module &M,
+                                              asmx::Assembler &Out,
+                                              unsigned NumThreads) {
+  ParallelCompileOptions Opts;
+  Opts.NumThreads = NumThreads;
+  ParallelModuleCompilerA64 PC(M, Opts);
   return PC.compile(Out);
 }

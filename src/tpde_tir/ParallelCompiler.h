@@ -1,116 +1,72 @@
-//===- tpde_tir/ParallelCompiler.h - Sharded module compilation -*- C++ -*-===//
+//===- tpde_tir/ParallelCompiler.h - TIR parallel instantiation -*- C++ -*-===//
 ///
 /// \file
-/// Compiles a tir::Module's functions across N worker threads, each owning
-/// a private asmx::Assembler + TPDE compiler instance (reset-not-freed, per
-/// docs/PERF.md), then deterministically merges the per-shard text/rodata,
-/// relocations, and symbol tables into one linkable/JIT-mappable module.
-///
-/// Determinism contract: the merged output is **byte-identical regardless
-/// of thread count and schedule**. This falls out of three rules:
-///
-///  1. The shard decomposition depends only on the module (fixed functions
-///     per shard), never on the thread count.
-///  2. Each shard's output is snapshotted into its own fragment assembler;
-///     the work-stealing queue decides *who* compiles a shard, never
-///     *where* its bytes land.
-///  3. The final merge walks fragments in shard-index order on the calling
-///     thread (module-level globals fragment first).
-///
-/// Cross-shard references (calls, global addresses) work because the code
-/// generators only ever reference symbols through relocations: every shard
-/// declares the full module-level symbol table, and Assembler::mergeFrom()
-/// binds those declarations to the defining shard's symbols by interned
-/// name. The .text bytes of the merged module are identical to a
-/// single-assembler serial compile; only the read-only data can differ
-/// (the FP constant pool deduplicates per shard instead of per module).
+/// Instantiates the backend-agnostic parallel module compile driver
+/// (core/ParallelCompiler.h) for the TIR back-ends. All driver logic —
+/// worker pool, deterministic weighted sharding, fragment snapshots,
+/// ordered merge — lives in the shared core template; this file only
+/// supplies the per-target worker types (adapter + assembler + compiler
+/// bundles) and the one-shot convenience entry points.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef TPDE_TPDE_TIR_PARALLELCOMPILER_H
 #define TPDE_TPDE_TIR_PARALLELCOMPILER_H
 
-#include "support/WorkQueue.h"
+#include "core/ParallelCompiler.h"
+#include "tpde_tir/TirCompilerA64.h"
 #include "tpde_tir/TirCompilerX64.h"
-
-#include <atomic>
-#include <condition_variable>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 namespace tpde::tpde_tir {
 
-struct ParallelCompileOptions {
-  /// Worker threads including the calling thread; 0 means
-  /// std::thread::hardware_concurrency().
-  unsigned NumThreads = 0;
-  /// Shard granularity in functions. Part of the determinism contract:
-  /// the same module always decomposes into the same shards, whatever the
-  /// thread count. Smaller shards balance better; larger shards amortize
-  /// the per-shard snapshot/merge cost and share more FP-pool entries.
-  u32 FuncsPerShard = 4;
+using ParallelCompileOptions = core::ParallelCompileOptions;
+
+/// Per-thread compile state for one TIR worker: private adapter,
+/// assembler, and compiler instance (reset-not-freed, docs/PERF.md).
+/// Satisfies core::ParallelCompileWorker.
+template <typename CompilerT>
+struct TirParallelWorker {
+  using ModuleT = tir::Module;
+
+  explicit TirParallelWorker(tir::Module &M)
+      : Adapter(M), Compiler(Adapter, Asm) {}
+
+  asmx::Assembler &assembler() { return Asm; }
+  bool compileGlobals() { return Compiler.compileGlobals(); }
+  bool compileRange(u32 Begin, u32 End) {
+    return Compiler.compileRange(Begin, End);
+  }
+
+  static u32 funcCount(const tir::Module &M) {
+    return static_cast<u32>(M.Funcs.size());
+  }
+  /// Shard-balancing size proxy: the per-function value count is known up
+  /// front and tracks compile cost closely (single pass over values).
+  static u32 funcWeight(const tir::Module &M, u32 I) {
+    return static_cast<u32>(M.Funcs[I].Values.size());
+  }
+
+  TirAdapter Adapter;
+  asmx::Assembler Asm;
+  CompilerT Compiler;
 };
 
-/// Reusable parallel compilation pipeline for one module. Construction
-/// spawns the worker pool; compile() may be called repeatedly (e.g. a JIT
-/// recompiling on deoptimization) and is allocation-free in steady state:
-/// workers reuse their compiler/assembler state via the module-level
-/// symbol-batching fast path, and all fragments retain their capacity.
-class ParallelModuleCompiler {
-public:
-  explicit ParallelModuleCompiler(tir::Module &M,
-                                  ParallelCompileOptions Opts = {});
-  ~ParallelModuleCompiler();
-  ParallelModuleCompiler(const ParallelModuleCompiler &) = delete;
-  ParallelModuleCompiler &operator=(const ParallelModuleCompiler &) = delete;
+/// The x86-64 instantiation (the name predates the driver template and is
+/// kept for existing users).
+using ParallelModuleCompiler =
+    core::ParallelModuleCompiler<TirParallelWorker<TirCompilerX64>>;
+/// The AArch64 instantiation — same driver, second worker type.
+using ParallelModuleCompilerA64 =
+    core::ParallelModuleCompiler<TirParallelWorker<TirCompilerA64>>;
 
-  /// Compiles the module into \p Out (which is reset first). Returns
-  /// false if any function failed to compile or the merged module is
-  /// inconsistent (Out.hasError() has the details).
-  bool compile(asmx::Assembler &Out);
-
-  unsigned threadCount() const { return static_cast<unsigned>(Workers.size()); }
-  u32 shardCount() const { return NumShards; }
-
-private:
-  struct Worker {
-    explicit Worker(tir::Module &M)
-        : Adapter(M), Compiler(Adapter, Asm) {}
-    TirAdapter Adapter;
-    asmx::Assembler Asm;
-    TirCompilerX64 Compiler;
-    std::thread Thread; ///< Unjoinable for worker 0 (the calling thread).
-  };
-
-  void workerMain(unsigned Id);
-  void drainQueue(unsigned Id);
-  void compileShard(unsigned Id, u32 Shard);
-
-  tir::Module &M;
-  ParallelCompileOptions Opts;
-  std::vector<std::unique_ptr<Worker>> Workers;
-  /// Per-shard output snapshots, indexed by shard — the schedule-proof
-  /// staging area between parallel compilation and the ordered merge.
-  std::vector<std::unique_ptr<asmx::Assembler>> Frags;
-  asmx::Assembler GlobalsFrag;
-  support::WorkStealingRangeQueue Queue;
-  u32 NumShards = 0;
-  std::atomic<bool> Failed{false};
-
-  std::mutex Mtx;
-  std::condition_variable JobCV, DoneCV;
-  u64 JobSeq = 0;       ///< Bumped per compile(); workers wait for it.
-  unsigned Pending = 0; ///< Spawned workers still draining the current job.
-  bool Stop = false;
-};
-
-/// One-shot convenience entry point mirroring compileModuleX64():
-/// compiles \p M into \p Out with \p NumThreads workers (0 = hardware
-/// concurrency). For repeated compiles keep a ParallelModuleCompiler
-/// around instead — this constructs and tears down the pool per call.
+/// One-shot convenience entry points mirroring compileModuleX64() /
+/// compileModuleA64(): compile \p M into \p Out with \p NumThreads
+/// workers (0 = hardware concurrency). For repeated compiles keep a
+/// ParallelModuleCompiler[A64] around instead — these construct and tear
+/// down the pool per call.
 bool compileModuleX64Parallel(tir::Module &M, asmx::Assembler &Out,
+                              unsigned NumThreads = 0);
+bool compileModuleA64Parallel(tir::Module &M, asmx::Assembler &Out,
                               unsigned NumThreads = 0);
 
 } // namespace tpde::tpde_tir

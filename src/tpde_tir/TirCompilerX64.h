@@ -15,13 +15,10 @@
 
 #include "support/DenseMap.h"
 #include "tpde_tir/TirAdapter.h"
+#include "tpde_tir/TirGlobals.h"
 #include "x64/CompilerX64.h"
 
 namespace tpde::tpde_tir {
-
-/// Ablation switch (bench/ablation_fusion): disables compare-branch
-/// fusion, address-mode folding, and memory operands for spilled values.
-inline bool DisableFusion = false;
 
 class TirCompilerX64 : public x64::CompilerX64<TirAdapter, TirCompilerX64> {
 public:
@@ -67,73 +64,22 @@ public:
   // =====================================================================
 
   void defineGlobals() {
-    tir::Module &M = this->A.module();
     // On the symbol-reuse fast path the registrations (and GlobalSyms)
     // from the previous compile are still valid; only the data emission
-    // and the definitions have to be redone.
-    bool Reuse = this->reusingModuleSymbols();
-    if (!Reuse)
-      GlobalSyms.clear();
-    // The cached constant-pool symbols refer into the assembler's symbol
-    // table, which restarts per module compile (capacity retained).
+    // and the definitions have to be redone. The cached constant-pool
+    // symbols refer into the assembler's symbol table, which restarts per
+    // module compile (capacity retained).
     FpPool.clear();
-    for (u32 GI = 0; GI < M.Globals.size(); ++GI) {
-      const tir::Global &G = M.Globals[GI];
-      asmx::SymRef S;
-      if (Reuse) {
-        S = GlobalSyms[GI];
-      } else {
-        S = this->Asm.createSymbol(G.Name, globalLinkage(G), /*IsFunc=*/false);
-        GlobalSyms.push_back(S);
-      }
-      if (!G.Defined)
-        continue;
-      if (G.Init.empty() && !G.ReadOnly) {
-        asmx::Section &BSS = this->Asm.section(asmx::SecKind::BSS);
-        u64 Al = G.Align < 1 ? 1 : G.Align;
-        BSS.BssSize = alignTo(BSS.BssSize, Al);
-        // Keep the section alignment >= every member's alignment, like
-        // alignToBoundary() does for data sections: ELF sh_addralign and
-        // the mergeFrom() rebase both rely on it.
-        if (Al > BSS.Align)
-          BSS.Align = Al;
-        this->Asm.defineSymbol(S, asmx::SecKind::BSS, BSS.BssSize, G.Size);
-        BSS.BssSize += G.Size;
-        continue;
-      }
-      asmx::SecKind K = G.ReadOnly ? asmx::SecKind::ROData
-                                   : asmx::SecKind::Data;
-      asmx::Section &Sec = this->Asm.section(K);
-      Sec.alignToBoundary(G.Align < 1 ? 1 : G.Align);
-      u64 Off = Sec.size();
-      Sec.append(G.Init.data(), G.Init.size());
-      if (G.Init.size() < G.Size)
-        Sec.appendZeros(G.Size - G.Init.size());
-      this->Asm.defineSymbol(S, K, Off, G.Size);
-    }
+    defineTirGlobals(this->Asm, this->A.module(), GlobalSyms,
+                     this->reusingModuleSymbols());
   }
 
-  /// Range-compile variant of defineGlobals(): registers the same symbols
-  /// (so the symbol-table layout — and thus the reuse watermark — matches
-  /// defineGlobals() exactly) but emits no data and defines nothing. The
-  /// parallel driver merges the actual data from the compileGlobals()
-  /// fragment; references from shards bind by name during the merge.
+  /// Range-compile variant of defineGlobals() (shard compiles): same
+  /// symbol-table layout, no data emission — see TirGlobals.h.
   void declareGlobals() {
-    tir::Module &M = this->A.module();
-    if (!this->reusingModuleSymbols()) {
-      GlobalSyms.clear();
-      for (const tir::Global &G : M.Globals)
-        GlobalSyms.push_back(
-            this->Asm.createSymbol(G.Name, globalLinkage(G), /*IsFunc=*/false));
-    }
     FpPool.clear();
-  }
-
-  static asmx::Linkage globalLinkage(const tir::Global &G) {
-    return G.Link == tir::Linkage::Internal
-               ? asmx::Linkage::Internal
-               : (G.Link == tir::Linkage::Weak ? asmx::Linkage::Weak
-                                               : asmx::Linkage::External);
+    declareTirGlobals(this->Asm, this->A.module(), GlobalSyms,
+                      this->reusingModuleSymbols());
   }
 
   template <typename Fn> void forEachStackVar(Fn Cb) {
@@ -1262,19 +1208,7 @@ private:
   // --- Constant pool --------------------------------------------------------
 
   asmx::SymRef fpConstSym(u64 Bits, u8 Size) {
-    u64 Key = Bits ^ (static_cast<u64>(Size) << 56);
-    if (asmx::SymRef *Known = FpPool.find(Key))
-      return *Known;
-    asmx::Section &RO = this->Asm.section(asmx::SecKind::ROData);
-    RO.alignToBoundary(Size);
-    u64 Off = RO.size();
-    for (u8 B = 0; B < Size; ++B)
-      RO.appendByte(static_cast<u8>(Bits >> (8 * B)));
-    asmx::SymRef S = this->Asm.createSymbol(
-        "", asmx::Linkage::Internal, /*IsFunc=*/false);
-    this->Asm.defineSymbol(S, asmx::SecKind::ROData, Off, Size);
-    FpPool.insert(Key, S);
-    return S;
+    return fpPoolConstSym(this->Asm, FpPool, Bits, Size);
   }
 
   std::vector<asmx::SymRef> GlobalSyms;

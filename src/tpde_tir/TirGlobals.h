@@ -1,0 +1,126 @@
+//===- tpde_tir/TirGlobals.h - Shared TIR global emission -------*- C++ -*-===//
+///
+/// \file
+/// Module-level global handling shared by the TIR instruction compilers of
+/// every target (x64, a64): symbol registration, data/BSS emission, and
+/// the declaration-only variant used by the parallel driver's shard
+/// compiles. The logic is entirely target-independent — it only touches
+/// the assembler's sections and symbol table — so keeping it in one place
+/// guarantees the symbol-table layout (and thus the symbol-batching reuse
+/// watermark) is identical across targets and across the define/declare
+/// entry points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_TPDE_TIR_TIRGLOBALS_H
+#define TPDE_TPDE_TIR_TIRGLOBALS_H
+
+#include "asmx/Assembler.h"
+#include "support/DenseMap.h"
+#include "tir/TIR.h"
+
+#include <vector>
+
+namespace tpde::tpde_tir {
+
+/// Ablation switch (bench/ablation_fusion): disables compare-branch
+/// fusion, address-mode folding, and (on x64) memory operands for spilled
+/// values, for every TIR target back-end.
+inline bool DisableFusion = false;
+
+inline asmx::Linkage tirGlobalLinkage(const tir::Global &G) {
+  return G.Link == tir::Linkage::Internal
+             ? asmx::Linkage::Internal
+             : (G.Link == tir::Linkage::Weak ? asmx::Linkage::Weak
+                                             : asmx::Linkage::External);
+}
+
+/// Registers and defines every module global: data/rodata bytes, BSS
+/// ranges, symbol definitions. \p Reuse is the symbol-batching fast path
+/// (CompilerBase::reusingModuleSymbols()): registrations and \p GlobalSyms
+/// from the previous compile are still valid, only data emission and the
+/// definitions are redone.
+inline void defineTirGlobals(asmx::Assembler &Asm, tir::Module &M,
+                             std::vector<asmx::SymRef> &GlobalSyms,
+                             bool Reuse) {
+  if (!Reuse)
+    GlobalSyms.clear();
+  for (u32 GI = 0; GI < M.Globals.size(); ++GI) {
+    const tir::Global &G = M.Globals[GI];
+    asmx::SymRef S;
+    if (Reuse) {
+      S = GlobalSyms[GI];
+    } else {
+      S = Asm.createSymbol(G.Name, tirGlobalLinkage(G), /*IsFunc=*/false);
+      GlobalSyms.push_back(S);
+    }
+    if (!G.Defined)
+      continue;
+    if (G.Init.empty() && !G.ReadOnly) {
+      asmx::Section &BSS = Asm.section(asmx::SecKind::BSS);
+      u64 Al = G.Align < 1 ? 1 : G.Align;
+      BSS.BssSize = alignTo(BSS.BssSize, Al);
+      // Keep the section alignment >= every member's alignment, like
+      // alignToBoundary() does for data sections: ELF sh_addralign and
+      // the mergeFrom() rebase both rely on it.
+      if (Al > BSS.Align)
+        BSS.Align = Al;
+      Asm.defineSymbol(S, asmx::SecKind::BSS, BSS.BssSize, G.Size);
+      BSS.BssSize += G.Size;
+      continue;
+    }
+    asmx::SecKind K =
+        G.ReadOnly ? asmx::SecKind::ROData : asmx::SecKind::Data;
+    asmx::Section &Sec = Asm.section(K);
+    Sec.alignToBoundary(G.Align < 1 ? 1 : G.Align);
+    u64 Off = Sec.size();
+    Sec.append(G.Init.data(), G.Init.size());
+    if (G.Init.size() < G.Size)
+      Sec.appendZeros(G.Size - G.Init.size());
+    Asm.defineSymbol(S, K, Off, G.Size);
+  }
+}
+
+/// Range-compile variant of defineTirGlobals(): registers the same symbols
+/// (so the symbol-table layout — and thus the reuse watermark — matches
+/// the define path exactly) but emits no data and defines nothing. The
+/// parallel driver merges the actual data from the compileGlobals()
+/// fragment; references from shards bind by name during the merge.
+inline void declareTirGlobals(asmx::Assembler &Asm, const tir::Module &M,
+                              std::vector<asmx::SymRef> &GlobalSyms,
+                              bool Reuse) {
+  if (Reuse)
+    return;
+  GlobalSyms.clear();
+  for (const tir::Global &G : M.Globals)
+    GlobalSyms.push_back(
+        Asm.createSymbol(G.Name, tirGlobalLinkage(G), /*IsFunc=*/false));
+}
+
+/// Returns (creating on first use) the anonymous .rodata symbol holding
+/// the FP constant \p Bits of \p Size bytes (4 or 8), deduplicated per
+/// module compile through \p Pool. Shared by all targets so the pool
+/// layout — entry order, alignment, anonymity — is identical everywhere;
+/// Assembler::mergeFrom() additionally content-deduplicates these entries
+/// across shard fragments.
+inline asmx::SymRef fpPoolConstSym(asmx::Assembler &Asm,
+                                   support::DenseMap<u64, asmx::SymRef> &Pool,
+                                   u64 Bits, u8 Size) {
+  u64 Key = Bits ^ (static_cast<u64>(Size) << 56);
+  if (asmx::SymRef *Known = Pool.find(Key))
+    return *Known;
+  asmx::Section &RO = Asm.section(asmx::SecKind::ROData);
+  RO.alignToBoundary(Size);
+  u64 Off = RO.size();
+  for (u8 B = 0; B < Size; ++B)
+    RO.appendByte(static_cast<u8>(Bits >> (8 * B)));
+  asmx::SymRef S =
+      Asm.createSymbol("", asmx::Linkage::Internal, /*IsFunc=*/false);
+  Asm.defineSymbol(S, asmx::SecKind::ROData, Off, Size);
+  Pool.insert(Key, S);
+  return S;
+}
+
+} // namespace tpde::tpde_tir
+
+#endif // TPDE_TPDE_TIR_TIRGLOBALS_H

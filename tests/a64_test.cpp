@@ -10,8 +10,13 @@
 
 #include "a64/Encoder.h"
 #include "a64/Sim.h"
+#include "support/AllocCounter.h"
 
 #include <gtest/gtest.h>
+
+#include <vector>
+
+TPDE_INSTALL_ALLOC_COUNTER
 
 using namespace tpde;
 using namespace tpde::a64;
@@ -204,6 +209,46 @@ TEST_F(EncTest, ScalarFP) {
   EXPECT_EQ(wordAt(11), 0x1E624020u);
   EXPECT_EQ(wordAt(12), 0x1E614020u);
   EXPECT_EQ(wordAt(13), 0x1E604020u);
+}
+
+/// The write-cursor batching regression (mirrors the x64 encoder suite):
+/// once the section reached its high-water mark, re-emitting the same
+/// instruction stream — covering every multi-word path (immediate
+/// materialization, X16 displacement fallbacks, relocations, NOP pads) —
+/// must not touch the heap, and must produce identical bytes.
+TEST(EncBatching, SteadyStateEmissionIsAllocationFreeAndByteStable) {
+  asmx::Assembler Asm;
+  Emitter E(Asm);
+  auto EmitAll = [&] {
+    asmx::SymRef S = Asm.createSymbol("g", asmx::Linkage::External, false);
+    E.movRI(X0, 0x123456789ABCDEF0ull);    // MOVZ + 3x MOVK
+    E.movRI(X1, ~u64(0x1234));             // MOVN path
+    E.addRI(8, X0, X1, 0xFFFFFFFFull);     // X16 materialization
+    E.addRI(8, X2, X3, (u64(5) << 12) | 7); // two-instruction imm24
+    E.subRI(8, SP, SP, 1u << 13);          // shifted imm12
+    E.logicRI(LogicOp::And, 8, X0, X1, 5); // unencodable -> X16
+    E.logicRI(LogicOp::Orr, 8, X0, X1, 0xFF); // bitmask immediate
+    E.cmpRI(8, X0, 123456789);             // X16 compare
+    E.cmpRI(8, X0, 4097);                  // CMN path
+    E.ldr(8, X0, Mem(X1, i64(1) << 20));   // X16 displacement
+    E.str(8, Mem(X1, -4096), X0);
+    E.leaSym(X0, S);                       // ADRP+ADD with relocations
+    E.blSym(S);
+    E.addRRR(8, X0, X1, X2);
+    E.mulRRR(8, X0, X1, X2);
+    E.fpArith(FpOp::Add, 8, V0, V1, V2);
+    E.nops(72);                            // one reservation for the pad
+  };
+  EmitAll(); // grows buffers/symbol pool to the high-water mark
+  std::vector<u8> First(Asm.text().Data.begin(), Asm.text().Data.end());
+  Asm.reset();
+  support::AllocWatch W;
+  EmitAll();
+  u64 Calls = W.newCalls(), Bytes = W.newBytes();
+  EXPECT_EQ(Calls, 0u) << "steady-state a64 emission allocated " << Calls
+                       << " times (" << Bytes << " bytes)";
+  std::vector<u8> Second(Asm.text().Data.begin(), Asm.text().Data.end());
+  EXPECT_EQ(First, Second);
 }
 
 TEST(LogicalImm, EncodableValues) {

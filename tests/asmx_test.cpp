@@ -312,7 +312,10 @@ TEST(Merge, WeakKeepsFirstDefinitionInMergeOrder) {
   EXPECT_EQ(Out.symbol(S).Off, 0u) << "first (fragment A) definition wins";
 }
 
-TEST(Merge, AnonymousSymbolsAreAppendedNotCoalesced) {
+TEST(Merge, RodataPoolEntriesDeduplicateAcrossFragments) {
+  // Two fragments that each materialized the same FP constant: the merged
+  // module holds the bytes once and both relocations bind to that entry —
+  // the pool matches what a serial whole-module compile would emit.
   Assembler Out, FragA, FragB;
   for (Assembler *Frag : {&FragA, &FragB}) {
     Frag->section(SecKind::ROData).appendLE<u64>(0x3FF0000000000000ull);
@@ -324,13 +327,82 @@ TEST(Merge, AnonymousSymbolsAreAppendedNotCoalesced) {
   Out.mergeFrom(FragA);
   Out.mergeFrom(FragB);
   EXPECT_FALSE(Out.hasError());
-  ASSERT_EQ(Out.symbols().size(), 2u);
+  ASSERT_EQ(Out.symbols().size(), 1u);
   ASSERT_EQ(Out.relocs().size(), 2u);
-  // Each text reloc points at its own fragment's pool entry.
+  EXPECT_EQ(Out.relocs()[0].Sym.Idx, Out.relocs()[1].Sym.Idx);
+  EXPECT_EQ(Out.symbol(Out.relocs()[0].Sym).Off, 0u);
+  EXPECT_EQ(Out.section(SecKind::ROData).size(), 8u);
+}
+
+TEST(Merge, RodataPoolKeepsDistinctEntries) {
+  // Distinct constants stay distinct, appended at their own (entry-size)
+  // alignment rather than the 16-byte wholesale-section alignment.
+  Assembler Out, FragA, FragB;
+  u64 K = 0x3FF0000000000000ull;
+  for (Assembler *Frag : {&FragA, &FragB}) {
+    Frag->section(SecKind::ROData).appendLE<u64>(K);
+    K += 1; // different bytes per fragment
+    SymRef S = Frag->createSymbol("", Linkage::Internal, false);
+    Frag->defineSymbol(S, SecKind::ROData, 0, 8);
+    Frag->section(SecKind::Text).appendLE<u32>(0);
+    Frag->addReloc(SecKind::Text, 0, RelocKind::PC32, S, -4);
+  }
+  Out.mergeFrom(FragA);
+  Out.mergeFrom(FragB);
+  EXPECT_FALSE(Out.hasError());
+  ASSERT_EQ(Out.symbols().size(), 2u);
   EXPECT_NE(Out.relocs()[0].Sym.Idx, Out.relocs()[1].Sym.Idx);
   EXPECT_EQ(Out.symbol(Out.relocs()[0].Sym).Off, 0u);
-  // Fragment B's rodata is rebased to the (16-byte aligned) end of A's.
-  EXPECT_EQ(Out.symbol(Out.relocs()[1].Sym).Off, 16u);
+  EXPECT_EQ(Out.symbol(Out.relocs()[1].Sym).Off, 8u);
+  EXPECT_EQ(Out.section(SecKind::ROData).size(), 16u);
+}
+
+TEST(Merge, MixedPoolSizesTileWithEntryAlignment) {
+  // A 4-byte float entry followed by an 8-byte double entry: the fragment
+  // layout (4 bytes, 4 padding, 8 bytes) is eligible and reproduced.
+  Assembler Out, FragA, FragB;
+  for (Assembler *Frag : {&FragA, &FragB}) {
+    Section &RO = Frag->section(SecKind::ROData);
+    RO.appendLE<u32>(0x3F800000u);
+    SymRef F = Frag->createSymbol("", Linkage::Internal, false);
+    Frag->defineSymbol(F, SecKind::ROData, 0, 4);
+    RO.alignToBoundary(8);
+    SymRef D = Frag->createSymbol("", Linkage::Internal, false);
+    u64 Off = RO.size();
+    RO.appendLE<u64>(0x4000000000000000ull);
+    Frag->defineSymbol(D, SecKind::ROData, Off, 8);
+    Frag->section(SecKind::Text).appendLE<u32>(0);
+    Frag->addReloc(SecKind::Text, 0, RelocKind::PC32, F, -4);
+    Frag->addReloc(SecKind::Text, 0, RelocKind::PC32, D, -4);
+  }
+  Out.mergeFrom(FragA);
+  Out.mergeFrom(FragB);
+  EXPECT_FALSE(Out.hasError());
+  ASSERT_EQ(Out.symbols().size(), 2u) << "both fragments dedup to one pool";
+  EXPECT_EQ(Out.section(SecKind::ROData).size(), 16u);
+}
+
+TEST(Merge, NamedRodataIsNotDeduplicated) {
+  // Fragments whose rodata carries named symbols (global data, i.e. the
+  // globals fragment shape) keep the wholesale section merge: identical
+  // bytes under different names must remain separate objects.
+  Assembler Out, FragA, FragB;
+  const char *Names[2] = {"ro_a", "ro_b"};
+  int N = 0;
+  for (Assembler *Frag : {&FragA, &FragB}) {
+    Frag->section(SecKind::ROData).appendLE<u64>(0x1122334455667788ull);
+    SymRef S = Frag->createSymbol(Names[N++], Linkage::Internal, false);
+    Frag->defineSymbol(S, SecKind::ROData, 0, 8);
+  }
+  Out.mergeFrom(FragA);
+  Out.mergeFrom(FragB);
+  EXPECT_FALSE(Out.hasError());
+  SymRef A = Out.findSymbol("ro_a"), B = Out.findSymbol("ro_b");
+  ASSERT_TRUE(A.isValid());
+  ASSERT_TRUE(B.isValid());
+  EXPECT_EQ(Out.symbol(A).Off, 0u);
+  // Wholesale path: fragment B lands at the 16-byte aligned end of A's.
+  EXPECT_EQ(Out.symbol(B).Off, 16u);
 }
 
 TEST(Merge, BssSizesConcatenate) {

@@ -13,6 +13,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "a64/Sim.h"
 #include "asmx/JITMapper.h"
 #include "support/AllocCounter.h"
 #include "support/WorkQueue.h"
@@ -140,12 +141,33 @@ tir::Module makeModule(u64 Seed, u32 NumFuncs, bool SSAForm) {
   return M;
 }
 
+/// Smaller dynamic footprint for tests that *execute* on the a64
+/// simulator (~100x slower than native): shallow loops, fewer blocks.
+tir::Module makeSimModule(u64 Seed, u32 NumFuncs, bool WithFloat) {
+  tir::Module M;
+  workloads::Profile P;
+  P.Seed = Seed;
+  P.NumFuncs = NumFuncs;
+  P.SSAForm = true;
+  P.CallPct = 12;
+  P.RegionBudget = 4;
+  P.MaxLoopTrip = 3;
+  // fptosi overflow semantics legitimately differ between the targets
+  // (x86 "integer indefinite" vs AArch64 saturation; UB at the IR
+  // level), so cross-back-end comparisons run without FP.
+  if (!WithFloat)
+    P.FloatPct = 0;
+  workloads::genModule(M, P);
+  return M;
+}
+
 } // namespace
 
 /// The tentpole property: one module, compiled with 1, 2, 4, and 8
 /// threads, must produce a byte-identical merged image — sections,
-/// symbol table, and relocations. The .text bytes must additionally
-/// match a serial single-assembler compile.
+/// symbol table, and relocations. The .text and .rodata bytes must
+/// additionally match a serial single-assembler compile (rodata thanks
+/// to the merge-time FP-pool dedup).
 TEST(ParallelDeterminism, ByteIdenticalAcrossThreadCounts) {
   for (bool SSA : {true, false}) {
     tir::Module M = makeModule(11, 26, SSA);
@@ -154,6 +176,9 @@ TEST(ParallelDeterminism, ByteIdenticalAcrossThreadCounts) {
     ASSERT_TRUE(tpde_tir::compileModuleX64(M, SerialAsm));
     std::vector<u8> SerialText(SerialAsm.text().Data.begin(),
                                SerialAsm.text().Data.end());
+    const asmx::Section &SerialROSec =
+        SerialAsm.section(asmx::SecKind::ROData);
+    std::vector<u8> SerialRO(SerialROSec.Data.begin(), SerialROSec.Data.end());
 
     ModuleImage Ref;
     bool HaveRef = false;
@@ -166,6 +191,9 @@ TEST(ParallelDeterminism, ByteIdenticalAcrossThreadCounts) {
       EXPECT_EQ(Img.Text, SerialText)
           << "merged .text diverged from the serial compile, threads="
           << Threads;
+      EXPECT_EQ(Img.RO, SerialRO)
+          << "merged .rodata (FP pool) diverged from the serial compile, "
+             "threads=" << Threads;
       if (!HaveRef) {
         Ref = std::move(Img);
         HaveRef = true;
@@ -175,6 +203,37 @@ TEST(ParallelDeterminism, ByteIdenticalAcrossThreadCounts) {
       }
     }
   }
+}
+
+/// The FP-pool dedup must actually fire: with FP constants shared across
+/// functions in different shards, the merged pool equals the serial one
+/// (which dedups per module) — not the concatenation of per-shard pools.
+TEST(ParallelDeterminism, FpPoolMatchesSerialAcrossShards) {
+  tir::Module M;
+  workloads::Profile P;
+  P.Seed = 71;
+  P.NumFuncs = 20;
+  P.FloatPct = 45; // plenty of FP constants in every shard
+  P.SSAForm = true;
+  workloads::genModule(M, P);
+
+  asmx::Assembler SerialAsm;
+  ASSERT_TRUE(tpde_tir::compileModuleX64(M, SerialAsm));
+  const asmx::Section &SerialRO = SerialAsm.section(asmx::SecKind::ROData);
+  ASSERT_GT(SerialRO.size(), 0u) << "profile generated no FP constants";
+
+  tpde_tir::ParallelCompileOptions Opts;
+  Opts.NumThreads = 4;
+  Opts.FuncsPerShard = 2; // many shards -> many would-be duplicates
+  tpde_tir::ParallelModuleCompiler PC(M, Opts);
+  asmx::Assembler Out;
+  ASSERT_TRUE(PC.compile(Out));
+  ASSERT_GT(PC.shardCount(), 4u);
+  const asmx::Section &MergedRO = Out.section(asmx::SecKind::ROData);
+  EXPECT_EQ(MergedRO.size(), SerialRO.size())
+      << "cross-shard FP-pool dedup did not restore the serial pool size";
+  EXPECT_TRUE(std::equal(MergedRO.Data.begin(), MergedRO.Data.end(),
+                         SerialRO.Data.begin(), SerialRO.Data.end()));
 }
 
 /// Repeated compiles through one reused pipeline must also be identical —
@@ -263,6 +322,205 @@ TEST(ParallelReuse, SteadyStateConvergesMultiWorker) {
     Last = W.newCalls();
   }
   EXPECT_EQ(Last, 0u) << "multi-worker pipeline never reached steady state";
+}
+
+// --- Deterministic size-weighted shard sizing ------------------------------
+
+/// Weighted shard boundaries are a pure function of the module: same
+/// bounds for every thread count, every shard non-empty, full coverage —
+/// and the merged .text must still equal the serial compile (the merge
+/// walks shards in function order regardless of where the cuts fall).
+TEST(WeightedShards, DeterministicBoundsAndSerialText) {
+  tir::Module M = makeModule(41, 21, true);
+  // Skew the module: make one function much larger than the rest so the
+  // weighted cut visibly deviates from the fixed-FuncsPerShard grid.
+  {
+    workloads::Profile Big;
+    Big.Seed = 99;
+    Big.NumFuncs = 1;
+    Big.RegionBudget = 60;
+    Big.InstsPerBlock = 16;
+    workloads::genFunction(M, "whale", Big);
+  }
+
+  asmx::Assembler SerialAsm;
+  ASSERT_TRUE(tpde_tir::compileModuleX64(M, SerialAsm));
+  std::vector<u8> SerialText(SerialAsm.text().Data.begin(),
+                             SerialAsm.text().Data.end());
+
+  std::vector<u32> RefBounds;
+  for (unsigned Threads : {1u, 3u, 8u}) {
+    tpde_tir::ParallelCompileOptions Opts;
+    Opts.NumThreads = Threads;
+    ASSERT_TRUE(Opts.SizeWeightedShards) << "weighted sharding is the default";
+    tpde_tir::ParallelModuleCompiler PC(M, Opts);
+    asmx::Assembler Out;
+    ASSERT_TRUE(PC.compile(Out));
+    std::span<const u32> Bounds = PC.shardBounds();
+    ASSERT_EQ(Bounds.size(), PC.shardCount() + 1u);
+    EXPECT_EQ(Bounds.front(), 0u);
+    EXPECT_EQ(Bounds.back(), static_cast<u32>(M.Funcs.size()));
+    for (size_t I = 1; I < Bounds.size(); ++I)
+      EXPECT_LT(Bounds[I - 1], Bounds[I]) << "empty shard " << I;
+    if (RefBounds.empty())
+      RefBounds.assign(Bounds.begin(), Bounds.end());
+    else
+      EXPECT_TRUE(std::equal(Bounds.begin(), Bounds.end(), RefBounds.begin(),
+                             RefBounds.end()))
+          << "shard bounds depend on thread count (threads=" << Threads << ")";
+    std::vector<u8> Text(Out.text().Data.begin(), Out.text().Data.end());
+    EXPECT_EQ(Text, SerialText) << "weighted shards broke the serial-text "
+                                   "contract, threads=" << Threads;
+  }
+
+  // The unweighted decomposition must produce the same serial text too.
+  tpde_tir::ParallelCompileOptions Fixed;
+  Fixed.NumThreads = 2;
+  Fixed.SizeWeightedShards = false;
+  tpde_tir::ParallelModuleCompiler PC(M, Fixed);
+  asmx::Assembler Out;
+  ASSERT_TRUE(PC.compile(Out));
+  std::vector<u8> Text(Out.text().Data.begin(), Out.text().Data.end());
+  EXPECT_EQ(Text, SerialText);
+}
+
+// --- AArch64: the driver's second instantiation ----------------------------
+
+/// The tentpole parity property: the a64 back-end through the shared
+/// driver template is byte-identical for every thread count, and its
+/// merged .text equals the serial a64 compile.
+TEST(A64ParallelDeterminism, ByteIdenticalAcrossThreadCounts) {
+  for (bool SSA : {true, false}) {
+    tir::Module M = makeModule(11, 26, SSA);
+
+    asmx::Assembler SerialAsm;
+    ASSERT_TRUE(tpde_tir::compileModuleA64(M, SerialAsm));
+    std::vector<u8> SerialText(SerialAsm.text().Data.begin(),
+                               SerialAsm.text().Data.end());
+    const asmx::Section &SerialROSec =
+        SerialAsm.section(asmx::SecKind::ROData);
+    std::vector<u8> SerialRO(SerialROSec.Data.begin(), SerialROSec.Data.end());
+
+    ModuleImage Ref;
+    bool HaveRef = false;
+    for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+      asmx::Assembler Out;
+      ASSERT_TRUE(tpde_tir::compileModuleA64Parallel(M, Out, Threads))
+          << "threads=" << Threads;
+      ASSERT_FALSE(Out.hasError()) << Out.errorMessage();
+      ModuleImage Img = imageOf(Out);
+      EXPECT_EQ(Img.Text, SerialText)
+          << "merged a64 .text diverged from the serial compile, threads="
+          << Threads;
+      EXPECT_EQ(Img.RO, SerialRO)
+          << "merged a64 .rodata diverged from the serial compile, threads="
+          << Threads;
+      if (!HaveRef) {
+        Ref = std::move(Img);
+        HaveRef = true;
+      } else {
+        EXPECT_EQ(Img, Ref) << "merged a64 image differs at threads="
+                            << Threads << " (SSA=" << SSA << ")";
+      }
+    }
+  }
+}
+
+/// End-to-end on the simulator: the merged a64 module must map and
+/// execute with the same results as the serial a64 compile — cross-shard
+/// call relocations and global references resolve through the merge.
+TEST(A64ParallelCorrectness, SimExecutionMatchesSerial) {
+  tir::Module M = makeSimModule(37, 12, /*WithFloat=*/true);
+
+  asmx::Assembler SerialAsm;
+  ASSERT_TRUE(tpde_tir::compileModuleA64(M, SerialAsm));
+  a64::Sim SerialSim;
+  a64::SimModule SerialMod;
+  ASSERT_TRUE(SerialMod.map(SerialAsm, SerialSim));
+  u64 SerialEntry = SerialMod.address("main_entry");
+  ASSERT_NE(SerialEntry, 0u);
+
+  asmx::Assembler ParAsm;
+  ASSERT_TRUE(tpde_tir::compileModuleA64Parallel(M, ParAsm, 4));
+  a64::Sim ParSim;
+  a64::SimModule ParMod;
+  ASSERT_TRUE(ParMod.map(ParAsm, ParSim));
+  u64 ParEntry = ParMod.address("main_entry");
+  ASSERT_NE(ParEntry, 0u);
+
+  // Identical input sequences against fresh mappings: both start from the
+  // same initial global state, so all results must agree bit for bit.
+  for (u64 I = 0; I < 6; ++I) {
+    u64 Serial = SerialSim.call(SerialEntry, {I, I * 7 + 3});
+    u64 Par = ParSim.call(ParEntry, {I, I * 7 + 3});
+    ASSERT_FALSE(SerialSim.Trapped);
+    ASSERT_FALSE(ParSim.Trapped);
+    ASSERT_EQ(Par, Serial) << "input " << I;
+  }
+}
+
+/// Cross-back-end check: the a64 simulator execution must agree with the
+/// natively JIT-executed x64 compile of the same module — the strongest
+/// available oracle for the new instruction compilers. FP is excluded:
+/// the targets' fptosi overflow results differ by architecture (see
+/// makeSimModule).
+TEST(A64ParallelCorrectness, SimExecutionMatchesX64JIT) {
+  tir::Module M = makeSimModule(53, 10, /*WithFloat=*/false);
+
+  asmx::Assembler X64Asm;
+  ASSERT_TRUE(tpde_tir::compileModuleX64(M, X64Asm));
+  asmx::JITMapper JIT;
+  ASSERT_TRUE(JIT.map(X64Asm));
+  auto *X64Fn = reinterpret_cast<u64 (*)(u64, u64)>(JIT.address("main_entry"));
+  ASSERT_NE(X64Fn, nullptr);
+
+  asmx::Assembler A64Asm;
+  ASSERT_TRUE(tpde_tir::compileModuleA64Parallel(M, A64Asm, 4));
+  a64::Sim S;
+  a64::SimModule Mod;
+  ASSERT_TRUE(Mod.map(A64Asm, S));
+  u64 Entry = Mod.address("main_entry");
+  ASSERT_NE(Entry, 0u);
+
+  for (u64 I = 0; I < 4; ++I) {
+    u64 X64Res = X64Fn(I, I * 5 + 1);
+    u64 A64Res = S.call(Entry, {I, I * 5 + 1});
+    ASSERT_FALSE(S.Trapped);
+    ASSERT_EQ(A64Res, X64Res) << "input " << I;
+  }
+}
+
+/// Steady-state a64 recompilation through a reused pipeline must not
+/// touch the heap — the allocation policy is a framework property the
+/// second back-end inherits (docs/PERF.md).
+TEST(A64ParallelReuse, SteadyStateIsAllocationFreeSingleWorker) {
+  tir::Module M = makeModule(5, 16, true);
+  tpde_tir::ParallelCompileOptions Opts;
+  Opts.NumThreads = 1;
+  tpde_tir::ParallelModuleCompilerA64 PC(M, Opts);
+  asmx::Assembler Out;
+  for (int I = 0; I < 3; ++I)
+    ASSERT_TRUE(PC.compile(Out));
+  support::AllocWatch W;
+  ASSERT_TRUE(PC.compile(Out));
+  EXPECT_EQ(W.newCalls(), 0u)
+      << "steady-state a64 parallel recompilation allocated " << W.newCalls()
+      << " times (" << W.newBytes() << " bytes)";
+}
+
+/// A failing shard must fail the whole a64 compile, mirroring the x64
+/// driver semantics (shared template, shared behavior).
+TEST(A64ParallelCorrectness, FailedShardFailsTheCompile) {
+  tir::Module M = makeModule(3, 4, true);
+  tir::Function &F = M.Funcs[1];
+  for (tir::Value &V : F.Values) {
+    if (V.Kind == tir::ValKind::Inst && V.Opcode == tir::Op::Add) {
+      V.Opcode = tir::Op::None; // no instruction compiler for None
+      break;
+    }
+  }
+  asmx::Assembler Out;
+  EXPECT_FALSE(tpde_tir::compileModuleA64Parallel(M, Out, 2));
 }
 
 /// A module whose shard boundaries split mutually-calling functions needs
