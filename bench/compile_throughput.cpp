@@ -19,12 +19,21 @@
 /// throughput itself is native either way — only execution needs the
 /// simulator on this machine).
 ///
+/// A second, large-module series ("fresh_large"/"reused_large"/
+/// "parallel_large", --funcs-large, default 10000 functions) measures the
+/// scale where any per-shard O(module) symbol work would dominate: these
+/// rows guard the on-demand symbol materialization policy (docs/PERF.md
+/// "Symbol materialization") — per-shard symbol cost is O(defined +
+/// referenced), so large-module throughput must track the small-module
+/// rows instead of collapsing quadratically.
+///
 /// Every scenario is measured --repeat times and reported with mean,
 /// stddev, and min so the CI regression gate can derive a noise threshold
 /// instead of comparing single samples (see scripts/
 /// check_bench_regression.py). Emits BENCH_compile_throughput.json.
 ///
 /// Usage: compile_throughput [--repeat=N] [--threads=1,2,4,8] [--funcs=N]
+///                           [--funcs-large=N]
 ///
 //===----------------------------------------------------------------------===//
 
@@ -133,32 +142,35 @@ Result measureFresh(Backend B, tir::Module &M, u32 NumFuncs,
 
 /// TPDE with a fresh assembler per compile, for either target's serial
 /// entry point (x64: compileModuleX64, a64: compileModuleA64).
+/// \p Scenario names the JSON row ("fresh" / "fresh_large"); \p NIters
+/// scales the per-sample loop so large-module rows stay affordable.
 template <typename CompileFn>
-Result measureFreshTpde(const char *Name, CompileFn Compile, tir::Module &M,
-                        u32 NumFuncs, unsigned Repeat) {
+Result measureFreshTpde(const char *Name, const char *Scenario,
+                        CompileFn Compile, tir::Module &M, u32 NumFuncs,
+                        unsigned Repeat, unsigned NIters) {
   {
     asmx::Assembler Asm;
     if (!Compile(M, Asm)) {
-      std::fprintf(stderr, "compilation failed (%s fresh)\n", Name);
+      std::fprintf(stderr, "compilation failed (%s %s)\n", Name, Scenario);
       std::exit(1);
     }
   }
   Result R;
   R.Backend = Name;
-  R.Scenario = "fresh";
+  R.Scenario = Scenario;
   AllocWatch W;
   u64 Funcs = 0;
   bool OK = true;
   R.FuncsPerSec = sample(Repeat, [&] {
     CpuTimer T;
     T.start();
-    for (unsigned I = 0; I < Iters; ++I) {
+    for (unsigned I = 0; I < NIters; ++I) {
       asmx::Assembler Asm;
       OK &= Compile(M, Asm);
     }
     T.stop();
-    Funcs += static_cast<u64>(NumFuncs) * Iters;
-    return static_cast<double>(NumFuncs) * Iters / (T.ms() / 1000.0);
+    Funcs += static_cast<u64>(NumFuncs) * NIters;
+    return static_cast<double>(NumFuncs) * NIters / (T.ms() / 1000.0);
   });
   if (!OK) {
     std::fprintf(stderr, "compilation failed mid-measurement (%s)\n", Name);
@@ -171,23 +183,24 @@ Result measureFreshTpde(const char *Name, CompileFn Compile, tir::Module &M,
 
 /// TPDE with full state reuse: one adapter/compiler/assembler, recompiled
 /// through the module-level symbol-batching fast path. Steady state must
-/// not touch the heap — for both targets.
+/// not touch the heap — for both targets and any module size (the
+/// "reused_large" row guards the 10k-function steady state).
 template <typename CompilerT>
-Result measureReused(const char *Name, tir::Module &M, u32 NumFuncs,
-                     unsigned Repeat) {
+Result measureReused(const char *Name, const char *Scenario, tir::Module &M,
+                     u32 NumFuncs, unsigned Repeat, unsigned NIters) {
   tpde_tir::TirAdapter Adapter(M);
   asmx::Assembler Asm;
   CompilerT Compiler(Adapter, Asm);
   // Warmup grows all scratch buffers to their high-water mark.
   for (unsigned I = 0; I < 4; ++I) {
     if (!Compiler.compileReuse()) {
-      std::fprintf(stderr, "compilation failed (%s reused)\n", Name);
+      std::fprintf(stderr, "compilation failed (%s %s)\n", Name, Scenario);
       std::exit(1);
     }
   }
   Result R;
   R.Backend = Name;
-  R.Scenario = "reused";
+  R.Scenario = Scenario;
   AllocWatch W;
   u64 Funcs = 0;
   bool OK = true; // accumulated, checked after timing: a silent failure
@@ -195,15 +208,15 @@ Result measureReused(const char *Name, tir::Module &M, u32 NumFuncs,
   R.FuncsPerSec = sample(Repeat, [&] {
     CpuTimer T;
     T.start();
-    for (unsigned I = 0; I < Iters; ++I)
+    for (unsigned I = 0; I < NIters; ++I)
       OK &= Compiler.compileReuse();
     T.stop();
-    Funcs += static_cast<u64>(NumFuncs) * Iters;
-    return static_cast<double>(NumFuncs) * Iters / (T.ms() / 1000.0);
+    Funcs += static_cast<u64>(NumFuncs) * NIters;
+    return static_cast<double>(NumFuncs) * NIters / (T.ms() / 1000.0);
   });
   if (!OK) {
-    std::fprintf(stderr, "compilation failed mid-measurement (%s reused)\n",
-                 Name);
+    std::fprintf(stderr, "compilation failed mid-measurement (%s %s)\n",
+                 Name, Scenario);
     std::exit(1);
   }
   R.NewCallsPerFunc = static_cast<double>(W.newCalls()) / Funcs;
@@ -215,21 +228,22 @@ Result measureReused(const char *Name, tir::Module &M, u32 NumFuncs,
 /// instantiation of the core driver template). Wall-clock time: the
 /// whole point is spending more CPUs to finish sooner.
 template <typename PipelineT>
-Result measureParallel(const char *Name, tir::Module &M, u32 NumFuncs,
-                       unsigned Threads, unsigned Repeat) {
+Result measureParallel(const char *Name, const char *Scenario, tir::Module &M,
+                       u32 NumFuncs, unsigned Threads, unsigned Repeat,
+                       unsigned NIters) {
   tpde_tir::ParallelCompileOptions Opts;
   Opts.NumThreads = Threads;
   PipelineT PC(M, Opts);
   asmx::Assembler Out;
   for (unsigned I = 0; I < 4; ++I) {
     if (!PC.compile(Out)) {
-      std::fprintf(stderr, "compilation failed (%s parallel)\n", Name);
+      std::fprintf(stderr, "compilation failed (%s %s)\n", Name, Scenario);
       std::exit(1);
     }
   }
   Result R;
   R.Backend = Name;
-  R.Scenario = "parallel";
+  R.Scenario = Scenario;
   R.Threads = Threads;
   R.Clock = "wall";
   AllocWatch W;
@@ -238,15 +252,15 @@ Result measureParallel(const char *Name, tir::Module &M, u32 NumFuncs,
   R.FuncsPerSec = sample(Repeat, [&] {
     Timer T;
     T.start();
-    for (unsigned I = 0; I < Iters; ++I)
+    for (unsigned I = 0; I < NIters; ++I)
       OK &= PC.compile(Out);
     T.stop();
-    Funcs += static_cast<u64>(NumFuncs) * Iters;
-    return static_cast<double>(NumFuncs) * Iters / (T.ms() / 1000.0);
+    Funcs += static_cast<u64>(NumFuncs) * NIters;
+    return static_cast<double>(NumFuncs) * NIters / (T.ms() / 1000.0);
   });
   if (!OK) {
-    std::fprintf(stderr, "compilation failed mid-measurement (%s parallel)\n",
-                 Name);
+    std::fprintf(stderr, "compilation failed mid-measurement (%s %s)\n",
+                 Name, Scenario);
     std::exit(1);
   }
   R.NewCallsPerFunc = static_cast<double>(W.newCalls()) / Funcs;
@@ -313,6 +327,7 @@ unsigned parsePositive(const char *What, const char *S, const char **End,
 int main(int argc, char **argv) {
   unsigned Repeat = 5;
   u32 NumFuncsOpt = 48;
+  u32 LargeFuncsOpt = 10000;
   std::vector<unsigned> ThreadCounts = {1, 2, 4, 8};
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
@@ -327,6 +342,12 @@ int main(int argc, char **argv) {
       NumFuncsOpt = parsePositive("--funcs", Arg + 8, &End, 100000);
       if (*End) {
         std::fprintf(stderr, "invalid --funcs value '%s'\n", Arg + 8);
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--funcs-large=", 14) == 0) {
+      LargeFuncsOpt = parsePositive("--funcs-large", Arg + 14, &End, 1000000);
+      if (*End) {
+        std::fprintf(stderr, "invalid --funcs-large value '%s'\n", Arg + 14);
         return 2;
       }
     } else if (std::strncmp(Arg, "--threads=", 10) == 0) {
@@ -346,7 +367,8 @@ int main(int argc, char **argv) {
       }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--repeat=N] [--threads=1,2,4] [--funcs=N]\n",
+                   "usage: %s [--repeat=N] [--threads=1,2,4] [--funcs=N] "
+                   "[--funcs-large=N]\n",
                    argv[0]);
       return 2;
     }
@@ -377,34 +399,79 @@ int main(int argc, char **argv) {
   workloads::genModule(ParM, ParP);
   u32 ParFuncs = static_cast<u32>(ParM.Funcs.size());
 
+  // The large-module scaling scenario (>= 10k functions by default): the
+  // module size where any per-shard O(module) symbol work dominates the
+  // compile. Small functions with call density keep generation and each
+  // sample affordable while every shard still references cross-shard
+  // symbols; throughput here is the paper-scale claim the "_large" gate
+  // rows guard — symbol cost must stay O(defined + referenced) per
+  // shard, not O(module).
+  tir::Module LargeM;
+  workloads::Profile LargeP;
+  LargeP.Seed = 29;
+  LargeP.NumFuncs = LargeFuncsOpt;
+  LargeP.RegionBudget = 3;
+  LargeP.InstsPerBlock = 5;
+  LargeP.CallPct = 12;
+  LargeP.SSAForm = true;
+  workloads::genModule(LargeM, LargeP);
+  u32 LargeFuncs = static_cast<u32>(LargeM.Funcs.size());
+  // One sample ~= one compile of the large module (vs Iters compiles of
+  // the mid-size one): scale the loop so a sample stays in the same
+  // time envelope regardless of --funcs-large.
+  unsigned LargeIters = Iters * NumFuncs > LargeFuncs
+                            ? (Iters * NumFuncs + LargeFuncs - 1) / LargeFuncs
+                            : 1;
+
   validateA64OnSimulator();
 
   std::vector<Result> Results;
   for (Backend B : {Backend::Tpde, Backend::CopyPatch, Backend::BaselineO0,
                     Backend::BaselineO1})
     Results.push_back(measureFresh(B, M, NumFuncs, Repeat));
-  Results.push_back(measureFreshTpde(
-      "TPDE-A64",
-      [](tir::Module &Mod, asmx::Assembler &Asm) {
-        return tpde_tir::compileModuleA64(Mod, Asm);
-      },
-      M, NumFuncs, Repeat));
+  auto FreshX64 = [](tir::Module &Mod, asmx::Assembler &Asm) {
+    return tpde_tir::compileModuleX64(Mod, Asm);
+  };
+  auto FreshA64 = [](tir::Module &Mod, asmx::Assembler &Asm) {
+    return tpde_tir::compileModuleA64(Mod, Asm);
+  };
   Results.push_back(
-      measureReused<tpde_tir::TirCompilerX64>("TPDE", M, NumFuncs, Repeat));
-  Results.push_back(measureReused<tpde_tir::TirCompilerA64>("TPDE-A64", M,
-                                                            NumFuncs, Repeat));
+      measureFreshTpde("TPDE-A64", "fresh", FreshA64, M, NumFuncs, Repeat,
+                       Iters));
+  Results.push_back(measureReused<tpde_tir::TirCompilerX64>(
+      "TPDE", "reused", M, NumFuncs, Repeat, Iters));
+  Results.push_back(measureReused<tpde_tir::TirCompilerA64>(
+      "TPDE-A64", "reused", M, NumFuncs, Repeat, Iters));
   for (unsigned T : ThreadCounts)
     Results.push_back(measureParallel<tpde_tir::ParallelModuleCompiler>(
-        "TPDE", ParM, ParFuncs, T, Repeat));
+        "TPDE", "parallel", ParM, ParFuncs, T, Repeat, Iters));
   for (unsigned T : ThreadCounts)
     Results.push_back(measureParallel<tpde_tir::ParallelModuleCompilerA64>(
-        "TPDE-A64", ParM, ParFuncs, T, Repeat));
+        "TPDE-A64", "parallel", ParM, ParFuncs, T, Repeat, Iters));
 
-  std::printf("%-12s %-9s %3s %5s %12s %12s %12s %10s %11s\n", "backend",
+  // Large-module series: fresh/reused/parallel for both targets on the
+  // >= 10k-function module.
+  Results.push_back(measureFreshTpde("TPDE", "fresh_large", FreshX64, LargeM,
+                                     LargeFuncs, Repeat, LargeIters));
+  Results.push_back(measureFreshTpde("TPDE-A64", "fresh_large", FreshA64,
+                                     LargeM, LargeFuncs, Repeat, LargeIters));
+  Results.push_back(measureReused<tpde_tir::TirCompilerX64>(
+      "TPDE", "reused_large", LargeM, LargeFuncs, Repeat, LargeIters));
+  Results.push_back(measureReused<tpde_tir::TirCompilerA64>(
+      "TPDE-A64", "reused_large", LargeM, LargeFuncs, Repeat, LargeIters));
+  for (unsigned T : ThreadCounts)
+    Results.push_back(measureParallel<tpde_tir::ParallelModuleCompiler>(
+        "TPDE", "parallel_large", LargeM, LargeFuncs, T, Repeat, LargeIters));
+  for (unsigned T : ThreadCounts)
+    Results.push_back(measureParallel<tpde_tir::ParallelModuleCompilerA64>(
+        "TPDE-A64", "parallel_large", LargeM, LargeFuncs, T, Repeat,
+        LargeIters));
+
+  std::printf("%-12s %-15s %3s %5s %12s %12s %12s %10s %11s\n", "backend",
               "mode", "thr", "clock", "f/s mean", "f/s stddev", "f/s min",
               "new/func", "bytes/func");
   for (const Result &R : Results)
-    std::printf("%-12s %-9s %3u %5s %12.0f %12.0f %12.0f %10.2f %11.1f\n",
+    std::printf("%-12s %-15s %3u %5s %12.0f %12.0f %12.0f %10.2f %11.1f\n",
                 R.Backend.c_str(), R.Scenario.c_str(), R.Threads, R.Clock,
                 R.FuncsPerSec.Mean, R.FuncsPerSec.Stddev, R.FuncsPerSec.Min,
                 R.NewCallsPerFunc, R.NewBytesPerFunc);
@@ -434,10 +501,11 @@ int main(int argc, char **argv) {
                "{\n  \"benchmark\": \"compile_throughput\",\n"
                "  \"module_functions\": %u,\n"
                "  \"parallel_module_functions\": %u,\n"
+               "  \"large_module_functions\": %u,\n"
                "  \"iterations\": %u,\n"
                "  \"repeat\": %u,\n  \"hardware_concurrency\": %u,\n"
                "  \"results\": [\n",
-               NumFuncs, ParFuncs, Iters, Repeat, HwThreads);
+               NumFuncs, ParFuncs, LargeFuncs, Iters, Repeat, HwThreads);
   for (size_t I = 0; I < Results.size(); ++I) {
     const Result &R = Results[I];
     std::fprintf(F,

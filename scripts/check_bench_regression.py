@@ -13,9 +13,16 @@ The stddev term adapts to how noisy the two runs actually were; the
 relative floor keeps one lucky ultra-tight pair of runs from turning
 ordinary scheduler jitter into a CI failure (shared runners easily move
 by double-digit percents between jobs). Scenarios present in only one of
-the two files are reported but never fail the gate, so adding or
-removing a backend does not require regenerating the baseline in the
-same commit.
+the two files are tolerated either way: a row only in the baseline is
+skipped (a backend was removed), and a row only in the candidate is
+WARNED about but never fails the gate — a new bench scenario can land
+in the same PR as its first baseline without a chicken-and-egg dance.
+
+Per-row thresholds can be tightened or loosened via ROW_OVERRIDES below
+(keyed by (backend, scenario, threads)); unlisted rows use the
+command-line --sigmas/--rel-floor defaults. Use it for rows with a known
+different noise profile (e.g. wall-clock parallel rows on oversubscribed
+runners) instead of widening the global floor.
 
 With --normalize, both runs are first rescaled by their own
 Baseline-O0/fresh mean before comparing. That anchor measures the
@@ -43,6 +50,19 @@ Usage:
 import json
 import math
 import sys
+
+# Per-row threshold overrides: (backend, scenario, threads) -> dict with
+# any of "sigmas" / "rel_floor". Rows not listed use the command-line
+# values. The parallel rows are wall-clock measurements, so on shared CI
+# runners they see scheduler noise the CPU-time rows do not; the
+# oversubscribed thread counts (8 threads on a 2-core runner) are the
+# worst case and get a wider floor.
+ROW_OVERRIDES = {
+    ("TPDE", "parallel", 8): {"rel_floor": 0.40},
+    ("TPDE-A64", "parallel", 8): {"rel_floor": 0.40},
+    ("TPDE", "parallel_large", 8): {"rel_floor": 0.40},
+    ("TPDE-A64", "parallel_large", 8): {"rel_floor": 0.40},
+}
 
 
 def load(path):
@@ -87,17 +107,21 @@ def main(argv):
               f"new {na['funcs_per_sec']:.0f} f/s, scale {scale:.3f}")
 
     failed = False
-    print(f"{'backend':<12} {'scenario':<9} {'thr':>3} {'base':>12} "
+    print(f"{'backend':<12} {'scenario':<15} {'thr':>3} {'base':>12} "
           f"{'new':>12} {'drop':>8} {'allowed':>8}  verdict")
     for key in sorted(base):
         if key not in new:
-            print(f"{key[0]:<12} {key[1]:<9} {key[2]:>3} -- only in baseline, skipped")
+            print(f"{key[0]:<12} {key[1]:<15} {key[2]:>3} -- only in baseline, skipped")
             continue
         b, n = base[key], new[key]
         bm, nm = b["funcs_per_sec"] * scale, n["funcs_per_sec"]
         bs = b.get("funcs_per_sec_stddev", 0.0) * scale
         ns = n.get("funcs_per_sec_stddev", 0.0)
-        allowed = max(sigmas * math.sqrt(bs * bs + ns * ns), rel_floor * bm)
+        over = ROW_OVERRIDES.get(key, {})
+        row_sigmas = over.get("sigmas", sigmas)
+        row_floor = over.get("rel_floor", rel_floor)
+        allowed = max(row_sigmas * math.sqrt(bs * bs + ns * ns),
+                      row_floor * bm)
         drop = bm - nm
         verdict = "ok"
         if key == anchor_key and scale != 1.0:
@@ -105,26 +129,50 @@ def main(argv):
         elif drop > allowed:
             verdict = "REGRESSION"
             failed = True
-        print(f"{key[0]:<12} {key[1]:<9} {key[2]:>3} {bm:>12.0f} {nm:>12.0f} "
+        print(f"{key[0]:<12} {key[1]:<15} {key[2]:>3} {bm:>12.0f} {nm:>12.0f} "
               f"{drop:>8.0f} {allowed:>8.0f}  {verdict}")
     for key in sorted(set(new) - set(base)):
-        print(f"{key[0]:<12} {key[1]:<9} {key[2]:>3} -- new scenario, no baseline")
+        print(f"WARN: {key[0]:<12} {key[1]:<15} {key[2]:>3} -- new scenario, "
+              f"no baseline yet (not gated; lands with this run as its "
+              f"first baseline)")
 
     # Allocation-policy gate: the reused scenarios must stay at zero
     # steady-state allocations (docs/PERF.md) — exact, not noise-bounded,
-    # and enforced for both targets of the shared framework. A missing
+    # and enforced for both targets of the shared framework, at both
+    # module scales: "reused_large" is the >=10k-function steady state
+    # that guards the on-demand symbol materialization policy. A missing
     # row is itself a failure: the benchmark always emits both backends,
     # so absence means the measurement silently broke.
     for backend in ("TPDE", "TPDE-A64"):
-        reused = new.get((backend, "reused", 0))
-        if not reused:
-            print(f"FAIL: {backend} reused row missing from the new run")
-            failed = True
-        elif reused.get("new_calls_per_func", 0) > 0.001:
-            print(f"FAIL: {backend} reused scenario allocates "
-                  f"{reused['new_calls_per_func']:.3f} times/function "
-                  f"(must be 0; see docs/PERF.md)")
-            failed = True
+        for scenario in ("reused", "reused_large"):
+            reused = new.get((backend, scenario, 0))
+            if not reused:
+                print(f"FAIL: {backend} {scenario} row missing from the "
+                      f"new run")
+                failed = True
+            elif reused.get("new_calls_per_func", 0) > 0.001:
+                print(f"FAIL: {backend} {scenario} scenario allocates "
+                      f"{reused['new_calls_per_func']:.3f} times/function "
+                      f"(must be 0; see docs/PERF.md)")
+                failed = True
+    # Single-worker parallel steady state must be allocation-free too —
+    # the one worker visits every shard during warmup, so unlike the
+    # multi-worker rows there is no schedule-dependent warmup tail. Like
+    # the reused rows, absence is a failure: the benchmark emits a
+    # 1-thread row by default, so a missing one means the measurement
+    # (or the CI --threads list) silently dropped the gated row.
+    for backend in ("TPDE", "TPDE-A64"):
+        for scenario in ("parallel", "parallel_large"):
+            p1 = new.get((backend, scenario, 1))
+            if not p1:
+                print(f"FAIL: {backend} {scenario}@1 row missing from the "
+                      f"new run")
+                failed = True
+            elif p1.get("new_calls_per_func", 0) > 0.001:
+                print(f"FAIL: {backend} {scenario}@1 allocates "
+                      f"{p1['new_calls_per_func']:.3f} times/function "
+                      f"(must be 0; see docs/PERF.md)")
+                failed = True
 
     if require_speedup is not None:
         hw = int(new_doc.get("hardware_concurrency", 0))

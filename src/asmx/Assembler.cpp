@@ -220,9 +220,9 @@ void Assembler::mergeFrom(const Assembler &Src) {
 }
 
 SymRef Assembler::getOrCreateSymbol(std::string_view Name) {
-  SymRef S = findSymbol(Name);
-  if (S.isValid())
-    return S;
+  // Single-probe path: createSymbol() interns once and indexes the
+  // id-keyed symbol map directly; a lookup-then-create pair would hash
+  // the name twice.
   return createSymbol(Name, Linkage::External, /*IsFunc=*/false);
 }
 

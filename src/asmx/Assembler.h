@@ -51,6 +51,44 @@ struct Label {
   bool isValid() const { return Idx != ~0u; }
 };
 
+/// Dense epoch-guarded SymRef cache for on-demand (sparse) symbol
+/// materialization. Slot I holds the symbol materialized for entity I
+/// (function index, global index) during the compile identified by the
+/// caller's epoch; one epoch bump invalidates every slot in O(1) — no
+/// per-entity clear when the assembler's symbol table restarts between
+/// shard compiles. The invalidation contract lives here, once, for
+/// every user (CompilerBase::funcSym, tpde_tir::TirGlobalSyms): slots
+/// start stamped 0 and callers' epochs start at 1, so a fresh or
+/// resized cache never yields a stale SymRef.
+class EpochSymCache {
+public:
+  /// Sizes the cache; steady-state no-op while the entity count is
+  /// stable (docs/PERF.md). Re-sizing restamps to 0 — epochs are
+  /// monotonic, so the slots read as stale.
+  void resize(size_t N) {
+    if (Syms.size() != N) {
+      Syms.resize(N);
+      Epochs.assign(N, 0);
+    }
+  }
+
+  /// The symbol of entity \p I: a plain cached read when slot I was
+  /// stamped with \p Epoch, otherwise \p Materialize() is called and
+  /// its result cached.
+  template <typename Fn>
+  SymRef sym(u32 I, u64 Epoch, Fn Materialize) {
+    if (Epochs[I] != Epoch) {
+      Syms[I] = Materialize();
+      Epochs[I] = Epoch;
+    }
+    return Syms[I];
+  }
+
+private:
+  std::vector<SymRef> Syms;
+  std::vector<u64> Epochs;
+};
+
 /// How a pending label fixup patches the instruction stream once the label
 /// is bound.
 enum class FixupKind : u8 {
@@ -180,12 +218,19 @@ public:
   Section &text() { return section(SecKind::Text); }
   const Section &text() const { return section(SecKind::Text); }
 
-  /// Creates (or merges into) the named symbol. Registering a name that
-  /// already exists returns the existing entry with linkage/kind updated —
-  /// a later *definition* conflict is diagnosed in defineSymbol().
+  /// Creates (or merges into) the named symbol: get-or-create semantics
+  /// on a single interned-name probe — the name is interned once and the
+  /// pool id indexes straight into the symbol map, no lookup-then-create
+  /// double hash. Registering a name that already exists returns the
+  /// existing entry with linkage/kind updated — a later *definition*
+  /// conflict is diagnosed in defineSymbol(). This is also the on-demand
+  /// (sparse) materialization entry point: the code generators call it
+  /// at a call target's / global's first reference, so a shard compile
+  /// only ever pays for symbols it actually touches (O(defined +
+  /// referenced), never O(module)).
   SymRef createSymbol(std::string_view Name, Linkage L, bool IsFunc);
-  /// Returns the symbol named \p Name, creating an undefined external
-  /// symbol if it does not exist yet.
+  /// Convenience form of createSymbol() for plain undefined-external
+  /// data references.
   SymRef getOrCreateSymbol(std::string_view Name);
   /// Looks up a symbol by name; returns an invalid ref if absent.
   SymRef findSymbol(std::string_view Name) const;
@@ -255,6 +300,14 @@ public:
   /// past the watermark (e.g. anonymous constant-pool entries created
   /// during function compilation) are removed entirely. Does not bump
   /// resetEpoch(), so a recompile loop stays on the fast path.
+  ///
+  /// Unlike reset(), the cost is proportional to the *current* symbol
+  /// table, never to the interned-name pool: only the name slots of the
+  /// dropped symbols are unmapped (reset() refills the whole id->symbol
+  /// map). rewindForRecompile(0) is therefore the sparse-mode per-shard
+  /// rewind — a worker whose previous shard materialized S symbols pays
+  /// O(S) to start the next shard, regardless of how many names its pool
+  /// has accumulated across the module.
   void rewindForRecompile(u32 SymbolWatermark);
 
   /// Appends \p Src's sections, symbols, and relocations to this module.
@@ -269,11 +322,14 @@ public:
   /// strong definitions surface through hasError(); weak symbols keep the
   /// first definition, so merge order decides. Anonymous symbols are
   /// appended as fresh entries. Undefined source symbols that no source
-  /// relocation references are dropped (linker semantics — keeps merging
-  /// K fragments that each declare a whole module's symbol table linear
-  /// instead of quadratic). Both assemblers must be label-finalized (no
-  /// pending fixups). Steady-state merging into a reset() assembler does
-  /// not allocate once all buffers reached their high-water mark.
+  /// relocation references are dropped (linker semantics), so a snapshot
+  /// merge carries only defined + actually-referenced records — with the
+  /// code generators materializing symbols on demand the source table is
+  /// already sparse, and merging K shard fragments stays O(defined +
+  /// referenced) instead of O(K * module). Both assemblers must be
+  /// label-finalized (no pending fixups). Steady-state merging into a
+  /// reset() assembler does not allocate once all buffers reached their
+  /// high-water mark.
   ///
   /// Cross-fragment constant-pool dedup: when the source's read-only data
   /// consists purely of anonymous defined symbols tiling the section (the

@@ -2,8 +2,10 @@
 
 #include "asmx/ElfWriter.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <tuple>
 
 using namespace tpde;
 using namespace tpde::asmx;
@@ -107,21 +109,53 @@ std::vector<u8> tpde::asmx::writeElfObject(const Assembler &A,
   static const u16 SecToShdr[NumSections] = {ShText, ShROData, ShData, ShBSS};
 
   // --- Symbol table: null, locals, then globals (ELF requirement). ------
+  //
+  // The emitted order is *canonical*: a pure function of the symbols'
+  // content, independent of the assembler's insertion order. A serial
+  // whole-module compile registers symbols in module order while the
+  // parallel driver's merge materializes them in shard/first-reference
+  // order — canonicalizing here makes the two paths' objects
+  // byte-identical (the determinism contract of core/ParallelCompiler.h).
+  // Undefined symbols no relocation references are skipped entirely:
+  // they carry no linker-visible information, and the sparse
+  // (on-demand) compile paths never create them in the first place.
   StrTab Str;
   std::vector<Elf64Sym> ElfSyms;
   ElfSyms.push_back(Elf64Sym{});
   const auto &Syms = A.symbols();
   std::vector<u32> SymMap(Syms.size(), 0);
-  auto emitSyms = [&](bool WantLocal) {
-    for (size_t I = 0; I < Syms.size(); ++I) {
+  std::vector<u8> Referenced(Syms.size(), 0);
+  for (const Reloc &R : A.relocs())
+    Referenced[R.Sym.Idx] = 1;
+  // Canonical content key; no two distinct emitted symbols compare equal
+  // (defined symbols differ in (section, offset, size, name); names are
+  // unique within one assembler for named symbols).
+  auto canonLess = [&](u32 LI, u32 RI) {
+    const Symbol &L = Syms[LI], &R = Syms[RI];
+    auto key = [](const Symbol &S) {
+      return std::tuple(!S.Defined, static_cast<u8>(S.Sec), S.Off, S.Size,
+                        S.IsFunc, static_cast<u8>(S.Link), S.Name);
+    };
+    return key(L) < key(R);
+  };
+  std::vector<u32> Order[2]; // [0] locals, [1] globals (incl. weak)
+  for (u32 I = 0; I < Syms.size(); ++I) {
+    const Symbol &S = Syms[I];
+    if (!S.Defined && !Referenced[I])
+      continue; // unreferenced declaration: linker no-op, drop
+    Order[S.Link == Linkage::Internal ? 0 : 1].push_back(I);
+  }
+  u32 FirstGlobal = 0;
+  for (unsigned Class = 0; Class < 2; ++Class) {
+    std::sort(Order[Class].begin(), Order[Class].end(), canonLess);
+    if (Class == 1)
+      FirstGlobal = static_cast<u32>(ElfSyms.size());
+    for (u32 I : Order[Class]) {
       const Symbol &S = Syms[I];
-      bool IsLocal = S.Link == Linkage::Internal;
-      if (IsLocal != WantLocal)
-        continue;
       Elf64Sym ES{};
       ES.Name = Str.add(S.Name);
-      u8 Bind = IsLocal ? STB_LOCAL
-                        : (S.Link == Linkage::Weak ? STB_WEAK : STB_GLOBAL);
+      u8 Bind = Class == 0 ? STB_LOCAL
+                           : (S.Link == Linkage::Weak ? STB_WEAK : STB_GLOBAL);
       u8 Type = S.Defined ? (S.IsFunc ? STT_FUNC : STT_OBJECT) : 0;
       ES.Info = static_cast<u8>((Bind << 4) | Type);
       ES.Shndx = S.Defined ? SecToShdr[static_cast<unsigned>(S.Sec)] : 0;
@@ -130,10 +164,7 @@ std::vector<u8> tpde::asmx::writeElfObject(const Assembler &A,
       SymMap[I] = static_cast<u32>(ElfSyms.size());
       ElfSyms.push_back(ES);
     }
-  };
-  emitSyms(/*WantLocal=*/true);
-  u32 FirstGlobal = static_cast<u32>(ElfSyms.size());
-  emitSyms(/*WantLocal=*/false);
+  }
 
   // --- Relocations, grouped by section. ---------------------------------
   std::vector<Elf64Rela> Relas[NumSections];

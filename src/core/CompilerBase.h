@@ -419,7 +419,27 @@ public:
   const AnalyzerT &analyzer() const { return An; }
   Adapter &adapter() { return A; }
   asmx::Assembler &assembler() { return Asm; }
-  asmx::SymRef funcSym(u32 FuncIdx) const { return FuncSyms[FuncIdx]; }
+
+  /// Symbol of function \p FuncIdx, materialized on demand: the dense
+  /// compile paths (compileModule/recompileModule) register every
+  /// function up front and this is a plain cached read, while the sparse
+  /// range path (compileFunctionRange) creates the symbol at first use —
+  /// a shard compile touching K call targets pays O(K), not O(module).
+  /// The cache is epoch-guarded (asmx::EpochSymCache), so invalidating
+  /// it between shard compiles is O(1).
+  asmx::SymRef funcSym(u32 FuncIdx) {
+    return FuncSyms.sym(FuncIdx, SymEpoch, [&] {
+      auto F = A.funcRef(FuncIdx);
+      return Asm.createSymbol(A.funcName(F), A.funcLinkage(F),
+                              /*IsFunc=*/true);
+    });
+  }
+
+  /// Epoch of the current module compile's symbol materialization caches
+  /// (funcSym and the derived compiler's global-symbol table). Bumped
+  /// whenever the assembler's symbol table restarts; a cache slot stamped
+  /// with an older epoch holds a stale SymRef and must be re-created.
+  u64 moduleSymEpoch() const { return SymEpoch; }
 
   /// Frame offset of stack variable index \p I.
   i32 stackVarOff(u32 I) const { return StackVarOffs[I]; }
@@ -554,12 +574,19 @@ public:
                                                /*ManageAsm=*/true);
   }
 
-  /// Shard entry point for the parallel module driver: declares every
-  /// module-level symbol (globals and all functions, so cross-shard
-  /// references relocate by name) but compiles and defines only the
-  /// functions in [Begin, End). Global *data* is not emitted — the driver
+  /// Shard entry point for the parallel module driver: compiles and
+  /// defines only the functions in [Begin, End). Runs in *sparse* symbol
+  /// mode — no module-level registration pass at all: the shard's own
+  /// function symbols, its call targets, and any referenced globals are
+  /// materialized at first use (funcSym() / the derived compiler's
+  /// global-symbol accessor), so the assembler's table — and with it the
+  /// fragment snapshot and merge cost — is O(defined + referenced) for
+  /// the shard, never O(module). Cross-shard references still relocate by
+  /// name: Assembler::mergeFrom() binds the on-demand declarations to the
+  /// defining shard's symbols. Global *data* is not emitted — the driver
   /// merges it from a compileGlobalsOnly() fragment. Manages the
-  /// assembler itself (rewind fast path or full reset).
+  /// assembler itself (sparse rewind; cost proportional to the previous
+  /// shard's table).
   bool compileFunctionRange(u32 Begin, u32 End) {
     return compileModuleImpl</*EmitData=*/false>(Begin, End,
                                                 /*ManageAsm=*/true);
@@ -572,17 +599,22 @@ public:
     return compileModuleImpl</*EmitData=*/true>(0, 0, /*ManageAsm=*/true);
   }
 
-  /// True while defineGlobals()/declareGlobals() runs on the symbol-reuse
-  /// fast path: the derived compiler's module-level symbol caches (e.g.
-  /// its global-symbol table) are still valid and must not be rebuilt.
-  bool reusingModuleSymbols() const { return ReusingModuleSyms; }
-
-  /// EmitData is a template parameter so that only the range entry points
-  /// (EmitData=false) require the derived compiler to provide
-  /// declareGlobals() — a hard compile error at the call site, not a
-  /// runtime assert — while plain compileModule() keeps working for
-  /// back-ends that have not opted into parallel range compilation yet
-  /// (both TIR targets have; see TirCompilerX64/TirCompilerA64).
+  /// EmitData selects between the two module symbol strategies:
+  ///
+  ///  * EmitData=true (compileModule/recompileModule/compileGlobalsOnly):
+  ///    the *dense* mode — global data is emitted and every module symbol
+  ///    is registered up front (once per module compile; the symbol-
+  ///    batching cache can skip even that on a recompile).
+  ///  * EmitData=false (compileFunctionRange): the *sparse* mode — no
+  ///    module-level registration pass. Symbols are materialized on
+  ///    demand (funcSym(), the derived compiler's global accessor), so a
+  ///    shard compile costs O(defined + referenced) symbol records. This
+  ///    mode requires the derived compiler to provide declareGlobals()
+  ///    (prepare the on-demand global-symbol cache, register nothing) — a
+  ///    hard compile error at the call site, not a runtime assert — while
+  ///    plain compileModule() keeps working for back-ends that have not
+  ///    opted into parallel range compilation yet (both TIR targets have;
+  ///    see TirCompilerX64/TirCompilerA64).
   template <bool EmitData>
   bool compileModuleImpl(u32 Begin, u32 End, bool ManageAsm) {
     // Optional adapter capacity hints: size the per-function scratch for
@@ -594,58 +626,77 @@ public:
       An.reserve(A.maxValueCount(), A.maxBlockCount());
     }
     u32 N = A.funcCount();
-    // Globals participate in the cache key where the derived compiler
-    // exposes a count: adding/removing a module global between recompiles
-    // must force the fallback, or reuse would index a stale GlobalSyms
-    // table. (Renaming symbols while keeping counts is not detected —
-    // the reuse contract is "same module", this guard just downgrades
-    // the common mutation from UB to a clean rebuild.)
-    u32 Globals = 0;
-    if constexpr (requires { derived()->moduleGlobalCount(); })
-      Globals = derived()->moduleGlobalCount();
-    bool Reuse = false;
-    if (ManageAsm) {
-      // Module-level symbol batching: if the assembler still carries the
-      // symbol table this compiler registered (same reset epoch, same
-      // function and global counts), rewind to it instead of rebuilding.
-      if (SymCacheValid && SymCacheEpoch == Asm.resetEpoch() &&
-          SymCacheFuncCount == N && SymCacheGlobalCount == Globals &&
-          SymCacheWatermark <= Asm.symbolCount()) {
-        Asm.rewindForRecompile(SymCacheWatermark);
-        Reuse = true;
-      } else {
-        Asm.reset();
-        SymCacheValid = false;
-      }
-    }
-    ReusingModuleSyms = Reuse;
-    if constexpr (EmitData)
-      derived()->defineGlobals();
-    else
+    if constexpr (!EmitData) {
+      // Sparse shard compile. The rewind drops the previous shard's
+      // (sparse) symbol table at a cost proportional to that table — a
+      // full reset() would refill the whole interned-name map, which for
+      // a worker that has visited many shards is O(module) again. The
+      // on-demand caches are invalidated by one epoch bump, and the
+      // dense-mode cache is disarmed: the table no longer holds any
+      // watermark-prefixed module registration.
+      assert(ManageAsm && "range compiles always manage the assembler");
+      Asm.rewindForRecompile(0);
+      SymCacheValid = false;
+      ++SymEpoch;
+      sizeSymCaches(N);
       derived()->declareGlobals();
-    if (!Reuse) {
-      FuncSyms.resize(N);
-      for (u32 I = 0; I < N; ++I) {
-        auto F = A.funcRef(I);
-        FuncSyms[I] =
-            Asm.createSymbol(A.funcName(F), A.funcLinkage(F), /*IsFunc=*/true);
+    } else {
+      // Globals participate in the cache key where the derived compiler
+      // exposes a count: adding/removing a module global between
+      // recompiles must force the fallback, or reuse would index a stale
+      // GlobalSyms table. (Renaming symbols while keeping counts is not
+      // detected — the reuse contract is "same module", this guard just
+      // downgrades the common mutation from UB to a clean rebuild.)
+      u32 Globals = 0;
+      if constexpr (requires { derived()->moduleGlobalCount(); })
+        Globals = derived()->moduleGlobalCount();
+      bool Reuse = false;
+      if (ManageAsm) {
+        // Module-level symbol batching: if the assembler still carries
+        // the symbol table this compiler registered (same reset epoch,
+        // same function and global counts), rewind to it instead of
+        // rebuilding.
+        if (SymCacheValid && SymCacheEpoch == Asm.resetEpoch() &&
+            SymCacheFuncCount == N && SymCacheGlobalCount == Globals &&
+            SymCacheWatermark <= Asm.symbolCount()) {
+          Asm.rewindForRecompile(SymCacheWatermark);
+          Reuse = true;
+        } else {
+          Asm.reset();
+          SymCacheValid = false;
+        }
       }
-      SymCacheValid = true;
-      SymCacheEpoch = Asm.resetEpoch();
-      SymCacheWatermark = Asm.symbolCount();
-      SymCacheFuncCount = N;
-      SymCacheGlobalCount = Globals;
+      if (!Reuse) {
+        // The table restarts: every cached SymRef (funcSym, the derived
+        // global table) is stale. On the reuse path the epoch is kept —
+        // the rewound table preserves the registered prefix, so the
+        // caches stay valid and the per-module createSymbol pass is
+        // skipped entirely.
+        ++SymEpoch;
+        sizeSymCaches(N);
+      }
+      derived()->defineGlobals();
+      if (!Reuse) {
+        // Dense registration pass: every slot is stale after the epoch
+        // bump above, so funcSym() materializes each in module order.
+        for (u32 I = 0; I < N; ++I)
+          funcSym(I);
+        SymCacheValid = true;
+        SymCacheEpoch = Asm.resetEpoch();
+        SymCacheWatermark = Asm.symbolCount();
+        SymCacheFuncCount = N;
+        SymCacheGlobalCount = Globals;
+      }
+      assert(Asm.symbolCount() == SymCacheWatermark &&
+             "module symbol setup must be identical on the reuse path");
     }
-    assert(Asm.symbolCount() == SymCacheWatermark &&
-           "module symbol setup must be identical on the reuse path");
-    ReusingModuleSyms = false;
     if (End > N)
       End = N;
     for (u32 I = Begin; I < End; ++I) {
       auto F = A.funcRef(I);
       if (!A.funcIsDefinition(F))
         continue;
-      if (!compileFunc(F, FuncSyms[I]))
+      if (!compileFunc(F, funcSym(I)))
         return false;
     }
     // Module-level inconsistencies (e.g. duplicate strong symbol
@@ -1096,7 +1147,8 @@ protected:
   FrameAllocator Frame;
   RegFile<Config> Regs;
   std::vector<asmx::Label> BlockLabels;
-  std::vector<asmx::SymRef> FuncSyms;
+  /// Per-function symbol cache for funcSym(); invalidated by SymEpoch.
+  asmx::EpochSymCache FuncSyms;
   std::vector<i32> StackVarOffs;
   std::vector<u32> FixedActive;
   // Scratch buffers reused across phi edges and functions; cleared, never
@@ -1110,16 +1162,25 @@ protected:
   u32 CurBlock = 0;
   /// Current function epoch for lazy Assigns invalidation (never 0).
   u32 CurEpoch = 0;
-  // Module-level symbol batching cache (recompileModule /
-  // compileFunctionRange): the assembler symbol prefix [0, Watermark)
-  // holds exactly this module's globals + function symbols, registered
-  // while the assembler was at reset epoch SymCacheEpoch.
+  // Module-level symbol batching cache (recompileModule): the assembler
+  // symbol prefix [0, Watermark) holds exactly this module's globals +
+  // function symbols, registered while the assembler was at reset epoch
+  // SymCacheEpoch. Sparse range compiles disarm it — their tables carry
+  // no module prefix.
   bool SymCacheValid = false;
-  bool ReusingModuleSyms = false;
   u64 SymCacheEpoch = 0;
   u32 SymCacheWatermark = 0;
   u32 SymCacheFuncCount = 0;
   u32 SymCacheGlobalCount = 0;
+  /// Epoch of the funcSym()/global-symbol caches; bumped whenever the
+  /// assembler's symbol table restarts (per shard compile in sparse
+  /// mode), which invalidates every slot in O(1). Starts at 0 with all
+  /// slots stamped 0 — the first compile bumps before any lookup.
+  u64 SymEpoch = 0;
+
+  /// Sizes the epoch-guarded symbol caches; steady-state no-op once the
+  /// module's function count is stable (docs/PERF.md).
+  void sizeSymCaches(u32 N) { FuncSyms.resize(N); }
 };
 
 } // namespace tpde::core

@@ -45,13 +45,19 @@
 ///     thread (module-level globals fragment first).
 ///
 /// Cross-shard references (calls, global addresses) work because the code
-/// generators only ever reference symbols through relocations: every shard
-/// declares the full module-level symbol table, and Assembler::mergeFrom()
-/// binds those declarations to the defining shard's symbols by interned
-/// name. The .text bytes of the merged module are identical to a
-/// single-assembler serial compile; the read-only data matches the serial
-/// pool as well because mergeFrom() content-deduplicates the anonymous
-/// FP-pool entries across shards.
+/// generators only ever reference symbols through relocations: a shard
+/// materializes a symbol on demand at its first reference (an undefined
+/// declaration when the definition lives elsewhere), and
+/// Assembler::mergeFrom() binds those declarations to the defining
+/// shard's symbols by interned name. No shard ever registers the whole
+/// module symbol table — per-shard symbol cost is O(defined +
+/// referenced), so a module compile carries an O(Funcs) total symbol
+/// term instead of O(Funcs^2 / FuncsPerShard). The .text bytes of the
+/// merged module are identical to a single-assembler serial compile; the
+/// read-only data matches the serial pool as well because mergeFrom()
+/// content-deduplicates the anonymous FP-pool entries across shards; and
+/// the ELF writer emits the symbol table in a canonical content order,
+/// so the serial and merged objects are byte-identical end to end.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -83,15 +83,21 @@ public:
     // which restarts per module compile (capacity retained).
     FpPool.clear();
     defineTirGlobals(this->Asm, this->A.module(), GlobalSyms,
-                     this->reusingModuleSymbols());
+                     this->moduleSymEpoch());
   }
 
-  /// Range-compile variant of defineGlobals() (shard compiles): same
-  /// symbol-table layout, no data emission — see TirGlobals.h.
+  /// Sparse-mode variant of defineGlobals() (shard compiles): registers
+  /// nothing — globalSym() materializes a global's symbol at its first
+  /// reference, so a shard only pays for globals it touches.
   void declareGlobals() {
     FpPool.clear();
-    declareTirGlobals(this->Asm, this->A.module(), GlobalSyms,
-                      this->reusingModuleSymbols());
+    GlobalSyms.prepare(this->A.module());
+  }
+
+  /// On-demand global symbol (see TirGlobals.h).
+  asmx::SymRef globalSym(u32 GI) {
+    return GlobalSyms.sym(this->Asm, this->A.module(), GI,
+                          this->moduleSymEpoch());
   }
 
   template <typename Fn> void forEachStackVar(Fn Cb) {
@@ -129,7 +135,7 @@ public:
       return;
     }
     case tir::ValKind::GlobalAddr:
-      E.leaSym(a64::ar(Dst), GlobalSyms[Val.Aux]);
+      E.leaSym(a64::ar(Dst), globalSym(static_cast<u32>(Val.Aux)));
       return;
     case tir::ValKind::StackVar:
       E.leaMem(a64::ar(Dst), a64::FP,
@@ -1199,7 +1205,7 @@ private:
     return fpPoolConstSym(this->Asm, FpPool, Bits, Size);
   }
 
-  std::vector<asmx::SymRef> GlobalSyms;
+  TirGlobalSyms GlobalSyms;
   support::DenseMap<u64, asmx::SymRef> FpPool;
   std::vector<u8> Fused;
 };

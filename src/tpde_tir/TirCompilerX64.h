@@ -71,15 +71,21 @@ public:
     // module compile (capacity retained).
     FpPool.clear();
     defineTirGlobals(this->Asm, this->A.module(), GlobalSyms,
-                     this->reusingModuleSymbols());
+                     this->moduleSymEpoch());
   }
 
-  /// Range-compile variant of defineGlobals() (shard compiles): same
-  /// symbol-table layout, no data emission — see TirGlobals.h.
+  /// Sparse-mode variant of defineGlobals() (shard compiles): registers
+  /// nothing — globalSym() materializes a global's symbol at its first
+  /// reference, so a shard only pays for globals it touches.
   void declareGlobals() {
     FpPool.clear();
-    declareTirGlobals(this->Asm, this->A.module(), GlobalSyms,
-                      this->reusingModuleSymbols());
+    GlobalSyms.prepare(this->A.module());
+  }
+
+  /// On-demand global symbol (see TirGlobals.h).
+  asmx::SymRef globalSym(u32 GI) {
+    return GlobalSyms.sym(this->Asm, this->A.module(), GI,
+                          this->moduleSymEpoch());
   }
 
   template <typename Fn> void forEachStackVar(Fn Cb) {
@@ -114,7 +120,7 @@ public:
       return;
     }
     case tir::ValKind::GlobalAddr:
-      E.leaSym(x64::ax(Dst), GlobalSyms[Val.Aux]);
+      E.leaSym(x64::ax(Dst), globalSym(static_cast<u32>(Val.Aux)));
       return;
     case tir::ValKind::StackVar:
       E.lea(x64::ax(Dst),
@@ -1211,7 +1217,7 @@ private:
     return fpPoolConstSym(this->Asm, FpPool, Bits, Size);
   }
 
-  std::vector<asmx::SymRef> GlobalSyms;
+  TirGlobalSyms GlobalSyms;
   support::DenseMap<u64, asmx::SymRef> FpPool;
   std::vector<u8> Fused;
 };

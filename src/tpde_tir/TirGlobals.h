@@ -35,25 +35,50 @@ inline asmx::Linkage tirGlobalLinkage(const tir::Global &G) {
                                              : asmx::Linkage::External);
 }
 
+/// Epoch-guarded global-symbol cache shared by the TIR targets — the
+/// global-index twin of CompilerBase::funcSym(), built on the same
+/// asmx::EpochSymCache (one place owns the invalidation contract). The
+/// dense module entry points register every global up front (the
+/// defineTirGlobals loop), while the sparse shard path
+/// (compileFunctionRange) sizes the cache only (prepare) and
+/// materializes a global's symbol at its first reference (sym) — so a
+/// shard that touches K globals pays O(K) symbol records, never
+/// O(module). The epoch is CompilerBase::moduleSymEpoch(): one bump
+/// invalidates every slot without a per-global clear, and the
+/// symbol-batching reuse path (which keeps the epoch) keeps the cache.
+class TirGlobalSyms {
+public:
+  /// Sizes the cache for sparse on-demand use; registers nothing.
+  /// Steady-state no-op once the module's global count is stable.
+  void prepare(const tir::Module &M) { Cache.resize(M.Globals.size()); }
+
+  /// The symbol of global \p GI, materialized on demand (single
+  /// interned-name probe via Assembler::createSymbol on a stale slot; a
+  /// plain cached read otherwise).
+  asmx::SymRef sym(asmx::Assembler &Asm, const tir::Module &M, u32 GI,
+                   u64 Epoch) {
+    return Cache.sym(GI, Epoch, [&] {
+      const tir::Global &G = M.Globals[GI];
+      return Asm.createSymbol(G.Name, tirGlobalLinkage(G), /*IsFunc=*/false);
+    });
+  }
+
+private:
+  asmx::EpochSymCache Cache;
+};
+
 /// Registers and defines every module global: data/rodata bytes, BSS
-/// ranges, symbol definitions. \p Reuse is the symbol-batching fast path
-/// (CompilerBase::reusingModuleSymbols()): registrations and \p GlobalSyms
-/// from the previous compile are still valid, only data emission and the
-/// definitions are redone.
+/// ranges, symbol definitions (the dense defineGlobals() hook). On the
+/// symbol-batching fast path (CompilerBase keeps moduleSymEpoch()
+/// unchanged) every cache slot still matches \p Epoch, so the
+/// registrations are skipped and only data emission and the definitions
+/// are redone — exactly the previous compile's symbol-table layout.
 inline void defineTirGlobals(asmx::Assembler &Asm, tir::Module &M,
-                             std::vector<asmx::SymRef> &GlobalSyms,
-                             bool Reuse) {
-  if (!Reuse)
-    GlobalSyms.clear();
+                             TirGlobalSyms &GlobalSyms, u64 Epoch) {
+  GlobalSyms.prepare(M);
   for (u32 GI = 0; GI < M.Globals.size(); ++GI) {
     const tir::Global &G = M.Globals[GI];
-    asmx::SymRef S;
-    if (Reuse) {
-      S = GlobalSyms[GI];
-    } else {
-      S = Asm.createSymbol(G.Name, tirGlobalLinkage(G), /*IsFunc=*/false);
-      GlobalSyms.push_back(S);
-    }
+    asmx::SymRef S = GlobalSyms.sym(Asm, M, GI, Epoch);
     if (!G.Defined)
       continue;
     if (G.Init.empty() && !G.ReadOnly) {
@@ -79,22 +104,6 @@ inline void defineTirGlobals(asmx::Assembler &Asm, tir::Module &M,
       Sec.appendZeros(G.Size - G.Init.size());
     Asm.defineSymbol(S, K, Off, G.Size);
   }
-}
-
-/// Range-compile variant of defineTirGlobals(): registers the same symbols
-/// (so the symbol-table layout — and thus the reuse watermark — matches
-/// the define path exactly) but emits no data and defines nothing. The
-/// parallel driver merges the actual data from the compileGlobals()
-/// fragment; references from shards bind by name during the merge.
-inline void declareTirGlobals(asmx::Assembler &Asm, const tir::Module &M,
-                              std::vector<asmx::SymRef> &GlobalSyms,
-                              bool Reuse) {
-  if (Reuse)
-    return;
-  GlobalSyms.clear();
-  for (const tir::Global &G : M.Globals)
-    GlobalSyms.push_back(
-        Asm.createSymbol(G.Name, tirGlobalLinkage(G), /*IsFunc=*/false));
 }
 
 /// Returns (creating on first use) the anonymous .rodata symbol holding

@@ -18,6 +18,7 @@
 
 #include <array>
 #include <span>
+#include <vector>
 
 namespace tpde::uir {
 
@@ -27,7 +28,20 @@ public:
   using BlockRef = u32;
   using ValRef = u32;
 
-  explicit UirAdapter(UModule &M) : M(M) {}
+  explicit UirAdapter(UModule &M) : M(M) {
+    for (const UFunc &F : M.Funcs) {
+      if (F.Vals.size() > MaxValues)
+        MaxValues = static_cast<u32>(F.Vals.size());
+      if (F.Blocks.size() > MaxBlocks)
+        MaxBlocks = static_cast<u32>(F.Blocks.size());
+    }
+  }
+
+  /// Capacity hints (largest function of the module): the framework uses
+  /// these to size per-function scratch once instead of growing it
+  /// piecemeal while ratcheting through the functions (docs/PERF.md).
+  u32 maxValueCount() const { return MaxValues; }
+  u32 maxBlockCount() const { return MaxBlocks; }
 
   u32 funcCount() const { return static_cast<u32>(M.Funcs.size()); }
   FuncRef funcRef(u32 I) const { return I; }
@@ -35,7 +49,27 @@ public:
   asmx::Linkage funcLinkage(FuncRef) const { return asmx::Linkage::External; }
   bool funcIsDefinition(FuncRef) const { return true; }
 
-  void switchFunc(FuncRef FR) { F = &M.Funcs[FR]; }
+  void switchFunc(FuncRef FR) {
+    F = &M.Funcs[FR];
+    // Dense per-value metadata byte (ported from TirAdapter::Meta): the
+    // value machinery queries bank and const-likeness for random values
+    // on every use; one sequential pass here turns those into
+    // single-byte reads instead of strided UInst fetches (docs/PERF.md).
+    const u32 N = static_cast<u32>(F->Vals.size());
+    Meta.reserve(MaxValues);
+    Meta.resize(N);
+    for (u32 I = 0; I < N; ++I) {
+      const UInst &V = F->Vals[I];
+      u8 B = 0;
+      if (V.Ty == UTy::F64)
+        B |= MetaFpBank;
+      if (I >= 2 && (V.Op == UOp::ConstI || V.Op == UOp::ConstF))
+        B |= MetaConstLike;
+      if (I >= 2 && V.Op == UOp::ConstI)
+        B |= MetaConstInt;
+      Meta[I] = B;
+    }
+  }
   void finalizeFunc() {}
 
   u32 valueCount() const { return static_cast<u32>(F->Vals.size()); }
@@ -57,12 +91,11 @@ public:
   u32 valPartCount(ValRef) const { return 1; }
   u32 valPartSize(ValRef, u32) const { return 8; }
   u8 valPartBank(ValRef V, u32) const {
-    return F->Vals[V].Ty == UTy::F64 ? 1 : 0;
+    return Meta[V] & MetaFpBank ? 1 : 0;
   }
-  bool isConstLike(ValRef V) const {
-    return V >= 2 && (F->Vals[V].Op == UOp::ConstI ||
-                      F->Vals[V].Op == UOp::ConstF);
-  }
+  bool isConstLike(ValRef V) const { return Meta[V] & MetaConstLike; }
+  /// Fast integer-constant test for immediate folding (no UInst fetch).
+  bool isConstInt(ValRef V) const { return Meta[V] & MetaConstInt; }
 
   std::span<const ValRef> instOperands(ValRef V) const {
     const UInst &I = F->Vals[V];
@@ -84,9 +117,17 @@ public:
   const UFunc &func() const { return *F; }
 
 private:
+  // Metadata byte layout: bit 0 FP bank, bit 1 const-like, bit 2 ConstI.
+  static constexpr u8 MetaFpBank = 0x01;
+  static constexpr u8 MetaConstLike = 0x02;
+  static constexpr u8 MetaConstInt = 0x04;
+
   UModule &M;
   UFunc *F = nullptr;
+  std::vector<u8> Meta;
   std::array<u32, 2> Args = {0, 1};
+  u32 MaxValues = 0;
+  u32 MaxBlocks = 0;
 };
 
 static_assert(core::IRAdapter<UirAdapter>);

@@ -531,9 +531,11 @@ TEST(Merge, BssRebaseHonorsOveralignedSections) {
 }
 
 TEST(Merge, UnreferencedDeclarationsAreDropped) {
-  // Shard fragments declare the whole module's symbol table; merging must
-  // keep only definitions and actually-referenced declarations (linker
-  // semantics), or merging K fragments goes quadratic in module size.
+  // Merging keeps only definitions and actually-referenced declarations
+  // (linker semantics): the sparse shard compiles never create
+  // unreferenced declarations, and any source that does (e.g. a dense
+  // globals fragment with its whole-module registration) must not make
+  // merging K fragments quadratic in module size.
   Assembler Out, Frag;
   Frag.section(SecKind::Text).appendLE<u32>(0);
   SymRef Def = Frag.createSymbol("defined_fn", Linkage::External, true);
@@ -548,4 +550,164 @@ TEST(Merge, UnreferencedDeclarationsAreDropped) {
   EXPECT_FALSE(Out.findSymbol("unused_decl").isValid())
       << "unreferenced declaration must not survive the merge";
   EXPECT_EQ(Out.symbols().size(), 2u);
+}
+
+// --- Sparse symbol materialization (on-demand mode) ------------------------
+
+TEST(Sparse, GetOrCreateUpgradesUndefinedExternalOnly) {
+  // The on-demand entry point: materializing a call target first (as an
+  // undefined external function) and the same name later with its real
+  // linkage must merge into one symbol, upgrading the placeholder — but a
+  // re-registration must never relax an already-specific linkage.
+  Assembler A;
+  SymRef Ref = A.createSymbol("callee", Linkage::External, true);
+  SymRef Again = A.createSymbol("callee", Linkage::Weak, true);
+  EXPECT_EQ(Ref.Idx, Again.Idx);
+  EXPECT_EQ(A.symbol(Ref).Link, Linkage::Weak)
+      << "undefined external placeholder adopts the stronger registration";
+  SymRef Third = A.createSymbol("callee", Linkage::External, false);
+  EXPECT_EQ(Third.Idx, Ref.Idx);
+  EXPECT_EQ(A.symbol(Ref).Link, Linkage::Weak)
+      << "a later registration must not relax the linkage back";
+  EXPECT_TRUE(A.symbol(Ref).IsFunc) << "function-ness is sticky";
+}
+
+TEST(Sparse, RewindToZeroIsTheShardRewind) {
+  // rewindForRecompile(0) drops the whole (sparse) table at a cost
+  // proportional to it — the per-shard rewind of the on-demand mode.
+  // Names must be re-creatable and, at steady state, re-creating them
+  // must not touch the heap (pool + capacity retained).
+  Assembler A;
+  auto CompileShardLike = [&A](int Shard) {
+    SymRef Own =
+        A.createSymbol(Shard ? "f_b" : "f_a", Linkage::External, true);
+    A.section(SecKind::Text).appendLE<u32>(0x90909090);
+    A.defineSymbol(Own, SecKind::Text, 0, 4);
+    SymRef Callee = A.createSymbol("f_shared", Linkage::External, true);
+    A.addReloc(SecKind::Text, 0, RelocKind::PC32, Callee, -4);
+  };
+  CompileShardLike(0);
+  u64 Epoch = A.resetEpoch();
+  A.rewindForRecompile(0);
+  EXPECT_EQ(A.resetEpoch(), Epoch) << "sparse rewind is not a reset";
+  EXPECT_EQ(A.symbolCount(), 0u);
+  EXPECT_FALSE(A.findSymbol("f_a").isValid());
+  EXPECT_FALSE(A.findSymbol("f_shared").isValid());
+  // Warm both shard shapes, then assert the steady state.
+  CompileShardLike(1);
+  A.rewindForRecompile(0);
+  CompileShardLike(0);
+  A.rewindForRecompile(0);
+  support::AllocWatch W;
+  CompileShardLike(1);
+  A.rewindForRecompile(0);
+  CompileShardLike(0);
+  EXPECT_EQ(W.newCalls(), 0u)
+      << "steady-state sparse rewind/rebuild touched the heap";
+}
+
+TEST(Sparse, SnapshotCarriesOnlyDefinedAndReferencedRecords) {
+  // A sparse worker table contains only what the shard touched; the
+  // fragment snapshot (a mergeFrom) must preserve exactly those records
+  // — and merging the fragments must resolve the on-demand declarations
+  // across shards (undefined external -> defined).
+  Assembler Worker, Frag, Out;
+  // Shard-like content: one defined function, one on-demand call target.
+  Worker.section(SecKind::Text).appendByte(0xE8);
+  Worker.section(SecKind::Text).appendLE<u32>(0);
+  Worker.section(SecKind::Text).appendByte(0xC3);
+  SymRef Own = Worker.createSymbol("shard_fn", Linkage::External, true);
+  Worker.defineSymbol(Own, SecKind::Text, 0, 6);
+  SymRef Callee = Worker.createSymbol("other_fn", Linkage::External,
+                                           true);
+  Worker.addReloc(SecKind::Text, 1, RelocKind::PC32, Callee, -4);
+  ASSERT_EQ(Worker.symbolCount(), 2u) << "sparse table: only touched syms";
+
+  Frag.mergeFrom(Worker);
+  EXPECT_EQ(Frag.symbolCount(), 2u)
+      << "snapshot carries exactly the defined + referenced records";
+
+  // The defining shard arrives later; the merge upgrades the undefined
+  // external declaration to the definition.
+  Assembler Def;
+  Def.section(SecKind::Text).appendByte(0xC3);
+  SymRef D = Def.createSymbol("other_fn", Linkage::External, true);
+  Def.defineSymbol(D, SecKind::Text, 0, 1);
+
+  Out.mergeFrom(Frag);
+  EXPECT_FALSE(Out.symbol(Out.findSymbol("other_fn")).Defined);
+  Out.mergeFrom(Def);
+  EXPECT_FALSE(Out.hasError());
+  SymRef Resolved = Out.findSymbol("other_fn");
+  ASSERT_TRUE(Resolved.isValid());
+  EXPECT_TRUE(Out.symbol(Resolved).Defined)
+      << "undefined external upgraded to the cross-shard definition";
+  ASSERT_EQ(Out.relocs().size(), 1u);
+  EXPECT_EQ(Out.relocs()[0].Sym.Idx, Resolved.Idx);
+}
+
+TEST(Sparse, DuplicateStrongDefinitionAcrossShardsStillDiagnosed) {
+  // On-demand materialization must not weaken the duplicate-strong
+  // diagnostic: two shards defining the same strong symbol surface the
+  // module error at merge time, exactly like the dense path.
+  Assembler Out, FragA, FragB;
+  for (Assembler *Frag : {&FragA, &FragB}) {
+    Frag->section(SecKind::Text).appendByte(0xC3);
+    SymRef S = Frag->createSymbol("dup_fn", Linkage::External, true);
+    Frag->defineSymbol(S, SecKind::Text, 0, 1);
+  }
+  Out.mergeFrom(FragA);
+  EXPECT_FALSE(Out.hasError());
+  Out.mergeFrom(FragB);
+  EXPECT_TRUE(Out.hasError());
+  EXPECT_NE(Out.errorMessage().find("dup_fn"), std::string_view::npos);
+}
+
+// --- Canonical ELF symbol order --------------------------------------------
+
+TEST(Elf, SymbolTableOrderIsCanonicalAcrossInsertionOrders) {
+  // The ELF writer must emit a symbol order that is a pure function of
+  // the symbols' content: a serial compile registers module-order, the
+  // parallel merge materializes first-reference-order — both must produce
+  // byte-identical objects.
+  auto Populate = [](Assembler &A, bool Reversed) {
+    Section &T = A.section(SecKind::Text);
+    for (int I = 0; I < 8; ++I)
+      T.appendByte(0xC3);
+    SymRef F1, F2;
+    if (!Reversed) {
+      F1 = A.createSymbol("alpha", Linkage::External, true);
+      F2 = A.createSymbol("beta", Linkage::Internal, true);
+    } else {
+      F2 = A.createSymbol("beta", Linkage::Internal, true);
+      F1 = A.createSymbol("alpha", Linkage::External, true);
+    }
+    A.defineSymbol(F1, SecKind::Text, 0, 4);
+    A.defineSymbol(F2, SecKind::Text, 4, 4);
+    SymRef Und = A.createSymbol("ext_ref", Linkage::External, true);
+    A.addReloc(SecKind::Text, 0, RelocKind::PC32, Und, -4);
+  };
+  Assembler A, B;
+  Populate(A, false);
+  Populate(B, true);
+  EXPECT_EQ(writeElfObject(A, ElfMachine::X86_64),
+            writeElfObject(B, ElfMachine::X86_64))
+      << "symbol insertion order leaked into the ELF image";
+}
+
+TEST(Elf, UnreferencedDeclarationsAreOmitted) {
+  // An undefined symbol no relocation references carries no
+  // linker-visible information; the dense paths register whole-module
+  // tables, the sparse paths never create such entries — omitting them
+  // makes both paths' objects identical.
+  Assembler A, B;
+  for (Assembler *X : {&A, &B}) {
+    X->section(SecKind::Text).appendByte(0xC3);
+    SymRef S = X->createSymbol("fn", Linkage::External, true);
+    X->defineSymbol(S, SecKind::Text, 0, 1);
+  }
+  A.createSymbol("never_called", Linkage::External, true);
+  EXPECT_EQ(writeElfObject(A, ElfMachine::X86_64),
+            writeElfObject(B, ElfMachine::X86_64))
+      << "unreferenced declaration leaked into the ELF image";
 }

@@ -424,3 +424,40 @@ TEST(StateReuse, SymbolBatchingInvalidatesOnGlobalCountChange) {
   EXPECT_TRUE(Asm.findSymbol("late_global").isValid())
       << "fast path must re-arm with the new global registered";
 }
+
+/// A sparse shard compile (compileRange) leaves the assembler without the
+/// dense module-symbol prefix, so it must disarm the symbol-batching fast
+/// path: a following compileReuse() has to fall back to a full rebuild
+/// instead of rewinding to a watermark that no longer describes the
+/// table (which would silently corrupt symbol identities).
+TEST(StateReuse, SparseRangeCompileDisarmsSymbolBatching) {
+  tir::Module M;
+  workloads::Profile P;
+  P.Seed = 43;
+  P.NumFuncs = 6;
+  P.SSAForm = true;
+  P.CallPct = 20;
+  workloads::genModule(M, P);
+
+  tpde_tir::TirAdapter Adapter(M);
+  asmx::Assembler Asm;
+  tpde_tir::TirCompilerX64 Compiler(Adapter, Asm);
+  ASSERT_TRUE(Compiler.compile());
+  std::vector<u8> First = textBytes(Asm);
+  u64 Epoch = Asm.resetEpoch();
+
+  // Sparse mode: materializes only the shard's symbols, no module prefix.
+  ASSERT_TRUE(Compiler.compileRange(0, 2));
+  EXPECT_EQ(Asm.resetEpoch(), Epoch) << "sparse rewind must not reset";
+
+  // The reuse entry point must detect the foreign table and rebuild.
+  ASSERT_TRUE(Compiler.compileReuse());
+  EXPECT_NE(Asm.resetEpoch(), Epoch)
+      << "stale watermark reused over a sparse table";
+  EXPECT_EQ(textBytes(Asm), First);
+  // And the fast path re-arms afterwards.
+  u64 Armed = Asm.resetEpoch();
+  ASSERT_TRUE(Compiler.compileReuse());
+  EXPECT_EQ(Asm.resetEpoch(), Armed);
+  EXPECT_EQ(textBytes(Asm), First);
+}
