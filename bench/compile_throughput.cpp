@@ -17,7 +17,10 @@
 /// "TPDE-A64" rows are AArch64 through the same driver template. The a64
 /// output is validated once on the instruction-set simulator (compile
 /// throughput itself is native either way — only execution needs the
-/// simulator on this machine).
+/// simulator on this machine). "TPDE-UIR" rows compile generated
+/// many-query database-IR modules (the §7 Umbra scenario) through the
+/// same serial and parallel entry points — the third instantiation of
+/// the driver template.
 ///
 /// A second, large-module series ("fresh_large"/"reused_large"/
 /// "parallel_large", --funcs-large, default 10000 functions) measures the
@@ -41,6 +44,7 @@
 #include "bench/BenchCommon.h"
 #include "support/AllocCounter.h"
 #include "tpde_tir/ParallelCompiler.h"
+#include "uir/ParallelCompiler.h"
 
 #include <cmath>
 #include <cstdlib>
@@ -140,13 +144,14 @@ Result measureFresh(Backend B, tir::Module &M, u32 NumFuncs,
   return R;
 }
 
-/// TPDE with a fresh assembler per compile, for either target's serial
-/// entry point (x64: compileModuleX64, a64: compileModuleA64).
+/// TPDE with a fresh assembler per compile, for any back-end's serial
+/// entry point (x64: compileModuleX64, a64: compileModuleA64, uir:
+/// compileTpdeUir — the module type follows the compile function).
 /// \p Scenario names the JSON row ("fresh" / "fresh_large"); \p NIters
 /// scales the per-sample loop so large-module rows stay affordable.
-template <typename CompileFn>
+template <typename CompileFn, typename ModuleT>
 Result measureFreshTpde(const char *Name, const char *Scenario,
-                        CompileFn Compile, tir::Module &M, u32 NumFuncs,
+                        CompileFn Compile, ModuleT &M, u32 NumFuncs,
                         unsigned Repeat, unsigned NIters) {
   {
     asmx::Assembler Asm;
@@ -224,11 +229,12 @@ Result measureReused(const char *Name, const char *Scenario, tir::Module &M,
   return R;
 }
 
-/// Sharded compilation with a persistent worker pool (either target's
-/// instantiation of the core driver template). Wall-clock time: the
-/// whole point is spending more CPUs to finish sooner.
-template <typename PipelineT>
-Result measureParallel(const char *Name, const char *Scenario, tir::Module &M,
+/// Sharded compilation with a persistent worker pool (any back-end's
+/// instantiation of the core driver template; the module type follows
+/// the pipeline). Wall-clock time: the whole point is spending more
+/// CPUs to finish sooner.
+template <typename PipelineT, typename ModuleT>
+Result measureParallel(const char *Name, const char *Scenario, ModuleT &M,
                        u32 NumFuncs, unsigned Threads, unsigned Repeat,
                        unsigned NIters) {
   tpde_tir::ParallelCompileOptions Opts;
@@ -423,6 +429,29 @@ int main(int argc, char **argv) {
                             ? (Iters * NumFuncs + LargeFuncs - 1) / LargeFuncs
                             : 1;
 
+  // UIR query modules (the §7 Umbra scenario): many small generated
+  // query functions, FP predicates mixed in (FP-pool traffic). The small
+  // module matches the parallel TIR module's function count; the large
+  // one reuses --funcs-large so both back-ends' *_large rows measure the
+  // same scale.
+  workloads::QueryProfile UirP;
+  UirP.Seed = 17;
+  UirP.NumQueries = NumFuncsOpt * 4;
+  uir::UModule UirM;
+  workloads::genQueryModule(UirM, UirP);
+  u32 UirFuncs = static_cast<u32>(UirM.Funcs.size());
+
+  workloads::QueryProfile UirLargeP;
+  UirLargeP.Seed = 43;
+  UirLargeP.NumQueries = LargeFuncsOpt;
+  uir::UModule UirLargeM;
+  workloads::genQueryModule(UirLargeM, UirLargeP);
+  u32 UirLargeFuncs = static_cast<u32>(UirLargeM.Funcs.size());
+  unsigned UirLargeIters =
+      Iters * UirFuncs > UirLargeFuncs
+          ? (Iters * UirFuncs + UirLargeFuncs - 1) / UirLargeFuncs
+          : 1;
+
   validateA64OnSimulator();
 
   std::vector<Result> Results;
@@ -449,6 +478,17 @@ int main(int argc, char **argv) {
     Results.push_back(measureParallel<tpde_tir::ParallelModuleCompilerA64>(
         "TPDE-A64", "parallel", ParM, ParFuncs, T, Repeat, Iters));
 
+  // Database-IR rows: serial (fresh assembler per compile) + parallel,
+  // on the generated many-query module.
+  auto FreshUir = [](uir::UModule &Mod, asmx::Assembler &Asm) {
+    return uir::compileTpdeUir(Mod, Asm);
+  };
+  Results.push_back(measureFreshTpde("TPDE-UIR", "fresh", FreshUir, UirM,
+                                     UirFuncs, Repeat, Iters));
+  for (unsigned T : ThreadCounts)
+    Results.push_back(measureParallel<uir::ParallelModuleCompilerUir>(
+        "TPDE-UIR", "parallel", UirM, UirFuncs, T, Repeat, Iters));
+
   // Large-module series: fresh/reused/parallel for both targets on the
   // >= 10k-function module.
   Results.push_back(measureFreshTpde("TPDE", "fresh_large", FreshX64, LargeM,
@@ -466,6 +506,13 @@ int main(int argc, char **argv) {
     Results.push_back(measureParallel<tpde_tir::ParallelModuleCompilerA64>(
         "TPDE-A64", "parallel_large", LargeM, LargeFuncs, T, Repeat,
         LargeIters));
+  Results.push_back(measureFreshTpde("TPDE-UIR", "fresh_large", FreshUir,
+                                     UirLargeM, UirLargeFuncs, Repeat,
+                                     UirLargeIters));
+  for (unsigned T : ThreadCounts)
+    Results.push_back(measureParallel<uir::ParallelModuleCompilerUir>(
+        "TPDE-UIR", "parallel_large", UirLargeM, UirLargeFuncs, T, Repeat,
+        UirLargeIters));
 
   std::printf("%-12s %-15s %3s %5s %12s %12s %12s %10s %11s\n", "backend",
               "mode", "thr", "clock", "f/s mean", "f/s stddev", "f/s min",
@@ -479,7 +526,7 @@ int main(int argc, char **argv) {
   // Parallel scaling summary per backend (the CI gate asserts this when
   // the machine has enough hardware threads; see
   // scripts/check_bench_regression.py).
-  for (const char *BE : {"TPDE", "TPDE-A64"}) {
+  for (const char *BE : {"TPDE", "TPDE-A64", "TPDE-UIR"}) {
     double Par1 = 0;
     for (const Result &R : Results)
       if (R.Backend == BE && R.Scenario == "parallel" && R.Threads == 1)
@@ -502,10 +549,13 @@ int main(int argc, char **argv) {
                "  \"module_functions\": %u,\n"
                "  \"parallel_module_functions\": %u,\n"
                "  \"large_module_functions\": %u,\n"
+               "  \"uir_module_functions\": %u,\n"
+               "  \"uir_large_module_functions\": %u,\n"
                "  \"iterations\": %u,\n"
                "  \"repeat\": %u,\n  \"hardware_concurrency\": %u,\n"
                "  \"results\": [\n",
-               NumFuncs, ParFuncs, LargeFuncs, Iters, Repeat, HwThreads);
+               NumFuncs, ParFuncs, LargeFuncs, UirFuncs, UirLargeFuncs, Iters,
+               Repeat, HwThreads);
   for (size_t I = 0; I < Results.size(); ++I) {
     const Result &R = Results[I];
     std::fprintf(F,

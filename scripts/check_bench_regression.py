@@ -60,8 +60,10 @@ import sys
 ROW_OVERRIDES = {
     ("TPDE", "parallel", 8): {"rel_floor": 0.40},
     ("TPDE-A64", "parallel", 8): {"rel_floor": 0.40},
+    ("TPDE-UIR", "parallel", 8): {"rel_floor": 0.40},
     ("TPDE", "parallel_large", 8): {"rel_floor": 0.40},
     ("TPDE-A64", "parallel_large", 8): {"rel_floor": 0.40},
+    ("TPDE-UIR", "parallel_large", 8): {"rel_floor": 0.40},
 }
 
 
@@ -160,8 +162,10 @@ def main(argv):
     # multi-worker rows there is no schedule-dependent warmup tail. Like
     # the reused rows, absence is a failure: the benchmark emits a
     # 1-thread row by default, so a missing one means the measurement
-    # (or the CI --threads list) silently dropped the gated row.
-    for backend in ("TPDE", "TPDE-A64"):
+    # (or the CI --threads list) silently dropped the gated row. The
+    # database back-end (TPDE-UIR) rides the same driver template and is
+    # held to the same policy.
+    for backend in ("TPDE", "TPDE-A64", "TPDE-UIR"):
         for scenario in ("parallel", "parallel_large"):
             p1 = new.get((backend, scenario, 1))
             if not p1:
@@ -179,9 +183,10 @@ def main(argv):
         if hw < 4:
             print(f"speedup check skipped: only {hw} hardware thread(s)")
         else:
-            # Both targets ride the same driver template; both must scale,
-            # and a missing row is a broken measurement, not a skip.
-            for backend in ("TPDE", "TPDE-A64"):
+            # Every back-end rides the same driver template; all must
+            # scale, and a missing row is a broken measurement, not a
+            # skip.
+            for backend in ("TPDE", "TPDE-A64", "TPDE-UIR"):
                 p1 = new.get((backend, "parallel", 1))
                 p4 = new.get((backend, "parallel", 4))
                 if not p1 or not p4:

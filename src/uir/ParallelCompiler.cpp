@@ -1,0 +1,14 @@
+//===- uir/ParallelCompiler.cpp - One-shot UIR parallel entry point -------===//
+
+#include "uir/ParallelCompiler.h"
+
+using namespace tpde;
+using namespace tpde::uir;
+
+bool tpde::uir::compileModuleUirParallel(UModule &M, asmx::Assembler &Out,
+                                         unsigned NumThreads) {
+  ParallelCompileOptions Opts;
+  Opts.NumThreads = NumThreads;
+  ParallelModuleCompilerUir PC(M, Opts);
+  return PC.compile(Out);
+}

@@ -12,7 +12,9 @@
 #ifndef TPDE_UIR_TPDEUIR_H
 #define TPDE_UIR_TPDEUIR_H
 
+#include "support/DenseMap.h"
 #include "tir/TIR.h"
+#include "tpde_tir/TirGlobals.h"
 #include "uir/UIR.h"
 #include "x64/CompilerX64.h"
 
@@ -98,9 +100,12 @@ public:
   bool isConstInt(ValRef V) const { return Meta[V] & MetaConstInt; }
 
   std::span<const ValRef> instOperands(ValRef V) const {
+    // UInst::Ops is a true array (static_assert in UIR.h), so this span
+    // is well-defined — it used to stride from a scalar field A into its
+    // neighbor B, which only worked by layout accident (UB).
     const UInst &I = F->Vals[V];
-    u32 N = I.A == ~0u ? 0 : (I.B == ~0u ? 1 : 2);
-    return {&I.A, N};
+    u32 N = I.Ops[0] == ~0u ? 0 : (I.Ops[1] == ~0u ? 1 : 2);
+    return {I.Ops, N};
   }
   u32 phiIncomingCount(ValRef V) const {
     const UInst &I = F->Vals[V];
@@ -141,18 +146,47 @@ public:
 
   bool compile() { return this->compileModule(); }
 
-  void defineGlobals() {}
+  /// Recompiles the module through the symbol-batching fast path
+  /// (module-level reuse; the compiler rewinds the assembler itself).
+  bool compileReuse() { return this->recompileModule(); }
+
+  /// Compiles only functions [Begin, End); sparse on-demand symbol mode.
+  /// Shard entry point used by the parallel module compiler.
+  bool compileRange(u32 Begin, u32 End) {
+    return this->compileFunctionRange(Begin, End);
+  }
+
+  /// Emits the module-level fragment only (UIR has no global data, so
+  /// this is just the function declarations the merge will drop).
+  bool compileGlobals() { return this->compileGlobalsOnly(); }
+
+  /// UIR modules carry no globals; only the per-module FP constant pool
+  /// has to restart with each compile.
+  void defineGlobals() { FpPool.clear(); }
+  /// Sparse-mode twin of defineGlobals() (shard compiles): nothing to
+  /// register — the FP pool fills on demand per shard and
+  /// Assembler::mergeFrom() content-deduplicates it across shards.
+  void declareGlobals() { FpPool.clear(); }
   template <typename Fn> void forEachStackVar(Fn) {}
 
   void materializeConstLike(u32 V, u8, core::Reg Dst) {
-    E.movRI(x64::ax(Dst), this->A.val(V).Aux);
+    const UInst &Val = this->A.val(V);
+    if (Val.Op == UOp::ConstF) {
+      // FP-bank destination: load the f64 bits through the rodata FP
+      // constant pool (same pool layout as the TIR targets, so the
+      // cross-shard merge dedup applies). The old integer movRI here
+      // emitted garbage for XMM register ids.
+      E.fpLoadSym(8, x64::ax(Dst), fpConstSym(Val.Aux));
+      return;
+    }
+    E.movRI(x64::ax(Dst), Val.Aux);
   }
 
   bool compileInst(u32 I) {
     const UInst &V = this->A.val(I);
     switch (V.Op) {
     case UOp::ColAddr: {
-      VPR Base = this->valRef(V.A, 0);
+      VPR Base = this->valRef(V.Ops[0], 0);
       core::Reg B = Base.asReg();
       VPR Res = this->resultRef(I, 0);
       E.load(8, x64::ax(Res.allocReg()),
@@ -161,8 +195,8 @@ public:
       return true;
     }
     case UOp::PtrIdx: {
-      VPR Base = this->valRef(V.A, 0);
-      VPR Idx = this->valRef(V.B, 0);
+      VPR Base = this->valRef(V.Ops[0], 0);
+      VPR Idx = this->valRef(V.Ops[1], 0);
       core::Reg B = Base.asReg(), X = Idx.asReg();
       VPR Res = this->resultRef(I, 0);
       E.lea(x64::ax(Res.allocReg()),
@@ -171,7 +205,7 @@ public:
       return true;
     }
     case UOp::Load: {
-      VPR Ptr = this->valRef(V.A, 0);
+      VPR Ptr = this->valRef(V.Ops[0], 0);
       core::Reg P = Ptr.asReg();
       VPR Res = this->resultRef(I, 0);
       E.load(8, x64::ax(Res.allocReg()), x64::Mem(x64::ax(P), 0));
@@ -183,11 +217,13 @@ public:
     case UOp::Mul:
     case UOp::And:
     case UOp::SAddTrap: {
-      const UInst &RV = this->A.val(V.B);
-      bool RhsImm = this->A.isConstLike(V.B) &&
+      const UInst &RV = this->A.val(V.Ops[1]);
+      // isConstInt, not isConstLike: a ConstF operand must never be
+      // folded as an integer immediate.
+      bool RhsImm = this->A.isConstInt(V.Ops[1]) &&
                     isInt32(static_cast<i64>(RV.Aux));
-      VPR Rhs = this->valRef(V.B, 0);
-      VPR Res = this->resultRefReuse(I, 0, this->valRef(V.A, 0));
+      VPR Rhs = this->valRef(V.Ops[1], 0);
+      VPR Res = this->resultRefReuse(I, 0, this->valRef(V.Ops[0], 0));
       if (V.Op == UOp::Mul) {
         E.imulRR(8, x64::ax(Res.curReg()), x64::ax(Rhs.asReg()));
       } else {
@@ -213,8 +249,8 @@ public:
     case UOp::CmpLe:
     case UOp::CmpEq:
     case UOp::CmpNe: {
-      VPR Lhs = this->valRef(V.A, 0);
-      VPR Rhs = this->valRef(V.B, 0);
+      VPR Lhs = this->valRef(V.Ops[0], 0);
+      VPR Rhs = this->valRef(V.Ops[1], 0);
       core::Reg L = Lhs.asReg();
       E.aluRR(x64::AluOp::Cmp, 8, x64::ax(L), x64::ax(Rhs.asReg()));
       VPR Res = this->resultRef(I, 0);
@@ -228,12 +264,43 @@ public:
       Res.setModified();
       return true;
     }
+    case UOp::I2F: {
+      VPR Src = this->valRef(V.Ops[0], 0);
+      core::Reg S = Src.asReg();
+      VPR Res = this->resultRef(I, 0);
+      E.cvtsi2fp(8, 8, x64::ax(Res.allocReg()), x64::ax(S));
+      Res.setModified();
+      return true;
+    }
+    case UOp::FAdd:
+    case UOp::FMul: {
+      VPR Rhs = this->valRef(V.Ops[1], 0);
+      VPR Res = this->resultRefReuse(I, 0, this->valRef(V.Ops[0], 0));
+      E.fpArith(V.Op == UOp::FAdd ? x64::FpOp::Add : x64::FpOp::Mul, 8,
+                x64::ax(Res.curReg()), x64::ax(Rhs.asReg()));
+      Res.setModified();
+      return true;
+    }
+    case UOp::FCmpLt: {
+      // a < b compiled as swapped b > a so NaN yields false via CF (same
+      // trick as TirCompilerX64::compileFCmp for olt).
+      VPR Lhs = this->valRef(V.Ops[1], 0);
+      VPR Rhs = this->valRef(V.Ops[0], 0);
+      core::Reg L = Lhs.asReg();
+      E.ucomis(8, x64::ax(L), x64::ax(Rhs.asReg()));
+      VPR Res = this->resultRef(I, 0);
+      core::Reg R = Res.allocReg();
+      E.setcc(x64::Cond::A, x64::ax(R));
+      E.movzxRR(1, x64::ax(R), x64::ax(R));
+      Res.setModified();
+      return true;
+    }
     case UOp::Br:
       this->generateBranch(this->A.func().Blocks[V.Block].Succs[0]);
       return true;
     case UOp::CondBr: {
       {
-        VPR C = this->valRef(V.A, 0);
+        VPR C = this->valRef(V.Ops[0], 0);
         core::Reg R = C.asReg();
         E.testRR(8, x64::ax(R), x64::ax(R));
       }
@@ -247,7 +314,7 @@ public:
       return true;
     }
     case UOp::Ret: {
-      u32 RV = V.A;
+      u32 RV = V.Ops[0];
       this->emitReturn(&RV);
       return true;
     }
@@ -255,6 +322,15 @@ public:
       return false;
     }
   }
+
+private:
+  // --- Constant pool (shared layout with the TIR targets) ---------------
+
+  asmx::SymRef fpConstSym(u64 Bits) {
+    return tpde_tir::fpPoolConstSym(this->Asm, FpPool, Bits, /*Size=*/8);
+  }
+
+  support::DenseMap<u64, asmx::SymRef> FpPool;
 };
 
 /// Compiles UIR directly with TPDE (no IR translation).

@@ -17,6 +17,7 @@
 #include "support/Common.h"
 
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace tpde::uir {
@@ -36,13 +37,21 @@ enum class UOp : u8 {
 struct UInst {
   UOp Op;
   UTy Ty = UTy::I64;
-  u32 A = ~0u, B = ~0u;   ///< Operand value ids.
-  u64 Aux = 0;            ///< Constant bits / column id / scale.
+  u32 Ops[2] = {~0u, ~0u}; ///< Operand value ids (~0 = absent).
+  u64 Aux = 0;             ///< Constant bits / column id / scale.
   u32 Block = 0;
   // Phi incomings (2 max: database loops are simple).
   u32 InBlock[2] = {~0u, ~0u};
   u32 InVal[2] = {~0u, ~0u};
 };
+
+/// UirAdapter::instOperands() hands out std::span{I.Ops, n} — the
+/// operands MUST be one true array. (They used to be two scalar fields
+/// A/B, and the span from &A into B was undefined behavior that only
+/// worked by layout accident.)
+static_assert(std::is_same_v<decltype(UInst::Ops), u32[2]>,
+              "UInst operands must be a contiguous array; "
+              "instOperands() returns a span over them");
 
 struct UBlock {
   std::vector<u32> Phis;
@@ -78,13 +87,19 @@ struct Pred {
 };
 
 /// A TPC-DS-like aggregation query: SELECT SUM(colA * colB + k)
-/// FROM t WHERE preds.
+/// FROM t WHERE preds [AND float(col) < fpK].
 struct QueryPlan {
   std::string Name;
   std::vector<Pred> Preds;
   u32 AggColA = 0, AggColB = 1;
   i64 AggK = 0;
   bool Checked = true; ///< use saddtrap for the sum (Umbra semantics)
+  /// Optional floating-point predicate: i2f(column[FpPredCol]) < FpK.
+  /// The f64 threshold is a ConstF materialized at use, so it exercises
+  /// the rematerialized-FP-constant path of the back-ends.
+  bool HasFpPred = false;
+  u32 FpPredCol = 0;
+  double FpK = 0.0;
 };
 
 /// Compiles a plan into UIR (scan loop, fused filter chain, aggregate).

@@ -4,6 +4,8 @@
 #include "tir/Builder.h"
 #include "x64/Encoder.h"
 
+#include <bit>
+
 using namespace tpde;
 using namespace tpde::uir;
 
@@ -49,57 +51,78 @@ u32 tpde::uir::compilePlan(UModule &M, const QueryPlan &P) {
   u32 Pass = konst(1, 1);
   auto loadCol = [&](u32 Col) {
     UInst CA{UOp::ColAddr, UTy::Ptr};
-    CA.A = 0;
+    CA.Ops[0] = 0;
     CA.Aux = Col;
     u32 Base = inst(1, CA);
     UInst PI{UOp::PtrIdx, UTy::Ptr};
-    PI.A = Base;
-    PI.B = IPhi;
+    PI.Ops[0] = Base;
+    PI.Ops[1] = IPhi;
     PI.Aux = 8;
     u32 Addr = inst(1, PI);
     UInst LD{UOp::Load, UTy::I64};
-    LD.A = Addr;
+    LD.Ops[0] = Addr;
     return inst(1, LD);
   };
   for (const Pred &Pr : P.Preds) {
     u32 V = loadCol(Pr.Col);
     UInst C{Pr.Cmp, UTy::I64};
-    C.A = V;
-    C.B = konst(1, Pr.K);
+    C.Ops[0] = V;
+    C.Ops[1] = konst(1, Pr.K);
     u32 CV = inst(1, C);
     UInst A{UOp::And, UTy::I64};
-    A.A = Pass;
-    A.B = CV;
+    A.Ops[0] = Pass;
+    A.Ops[1] = CV;
+    Pass = inst(1, A);
+  }
+  if (P.HasFpPred) {
+    // i2f(col) < fpK — the threshold is a ConstF that is *not* in any
+    // block's instruction list: the back-ends materialize it at use
+    // (the rematerialized-f64-constant path).
+    u32 V = loadCol(P.FpPredCol);
+    UInst Cv{UOp::I2F, UTy::F64};
+    Cv.Ops[0] = V;
+    u32 FV = inst(1, Cv);
+    UInst KF{UOp::ConstF, UTy::F64};
+    KF.Aux = std::bit_cast<u64>(P.FpK);
+    KF.Block = 1;
+    u32 KV = F.push(KF);
+    UInst C{UOp::FCmpLt, UTy::Bool};
+    C.Ops[0] = FV;
+    C.Ops[1] = KV;
+    u32 CV = inst(1, C);
+    UInst A{UOp::And, UTy::I64};
+    A.Ops[0] = Pass;
+    A.Ops[1] = CV;
     Pass = inst(1, A);
   }
   u32 ValA = loadCol(P.AggColA);
   u32 ValB = loadCol(P.AggColB);
   UInst Mul{UOp::Mul, UTy::I64};
-  Mul.A = ValA;
-  Mul.B = ValB;
+  Mul.Ops[0] = ValA;
+  Mul.Ops[1] = ValB;
   u32 Prod = inst(1, Mul);
   UInst AddK{UOp::Add, UTy::I64};
-  AddK.A = Prod;
-  AddK.B = konst(1, P.AggK);
+  AddK.Ops[0] = Prod;
+  AddK.Ops[1] = konst(1, P.AggK);
   u32 T = inst(1, AddK);
   UInst Gate{UOp::Mul, UTy::I64};
-  Gate.A = T;
-  Gate.B = Pass;
+  Gate.Ops[0] = T;
+  Gate.Ops[1] = Pass;
   u32 Contrib = inst(1, Gate);
   UInst Acc{P.Checked ? UOp::SAddTrap : UOp::Add, UTy::I64};
-  Acc.A = SumPhi;
-  Acc.B = Contrib;
+  Acc.Ops[0] = SumPhi;
+  Acc.Ops[1] = Contrib;
   u32 Sum2 = inst(1, Acc);
   UInst Inc{UOp::Add, UTy::I64};
-  Inc.A = IPhi;
-  Inc.B = konst(1, 1);
+  Inc.Ops[0] = IPhi;
+  Inc.Ops[1] = konst(1, 1);
   u32 I2 = inst(1, Inc);
   UInst Cmp{UOp::CmpLt, UTy::I64};
-  Cmp.A = I2;
-  Cmp.B = 1; // row count arg
+  Cmp.Ops[0] = I2;
+  Cmp.Ops[1] = 1; // row count arg
   u32 Cond = inst(1, Cmp);
   UInst CB{UOp::CondBr};
-  CB.A = Cond;
+  CB.Ops[0] = Cond;
   inst(1, CB);
   F.Blocks[1].Succs = {1, 2};
   // Phi incomings.
@@ -113,7 +136,7 @@ u32 tpde::uir::compilePlan(UModule &M, const QueryPlan &P) {
   F.Vals[SumPhi].InVal[1] = Sum2;
   // b2: ret sum2
   UInst Ret{UOp::Ret};
-  Ret.A = Sum2;
+  Ret.Ops[0] = Sum2;
   inst(2, Ret);
 
   M.Funcs.push_back(std::move(F));
@@ -174,6 +197,8 @@ i64 tpde::uir::evalPlan(const QueryPlan &P, const Table &T) {
                                       : V != Pr.K;
       Pass &= B ? 1 : 0;
     }
+    if (P.HasFpPred)
+      Pass &= static_cast<double>(T.Cols[P.FpPredCol][R]) < P.FpK ? 1 : 0;
     Sum += (T.Cols[P.AggColA][R] * T.Cols[P.AggColB][R] + P.AggK) * Pass;
   }
   return Sum;
@@ -197,6 +222,8 @@ bool translateToTir(const UModule &M, tir::Module &Out) {
         return Map[V];
       const UInst &I = F.Vals[V];
       assert(I.Op == UOp::ConstI || I.Op == UOp::ConstF);
+      if (I.Op == UOp::ConstF)
+        return Map[V] = B.constF64(std::bit_cast<double>(I.Aux));
       return Map[V] = B.constInt(tir::Type::I64, I.Aux);
     };
     // Phis first.
@@ -212,29 +239,43 @@ bool translateToTir(const UModule &M, tir::Module &Out) {
         switch (I.Op) {
         case UOp::ColAddr: {
           tir::ValRef P =
-              B.ptrAdd(val(I.A), tir::InvalidRef, 1,
+              B.ptrAdd(val(I.Ops[0]), tir::InvalidRef, 1,
                        static_cast<i64>(8 * I.Aux));
           Map[VI] = B.load(tir::Type::Ptr, P);
           break;
         }
         case UOp::PtrIdx:
-          Map[VI] = B.ptrAdd(val(I.A), val(I.B), I.Aux, 0);
+          Map[VI] = B.ptrAdd(val(I.Ops[0]), val(I.Ops[1]), I.Aux, 0);
           break;
         case UOp::Load:
-          Map[VI] = B.load(tir::Type::I64, val(I.A));
+          Map[VI] = B.load(tir::Type::I64, val(I.Ops[0]));
           break;
         case UOp::Add:
         case UOp::SAddTrap: // the LLVM path lowers the trap check away
-          Map[VI] = B.binop(tir::Op::Add, val(I.A), val(I.B));
+          Map[VI] = B.binop(tir::Op::Add, val(I.Ops[0]), val(I.Ops[1]));
           break;
         case UOp::Sub:
-          Map[VI] = B.binop(tir::Op::Sub, val(I.A), val(I.B));
+          Map[VI] = B.binop(tir::Op::Sub, val(I.Ops[0]), val(I.Ops[1]));
           break;
         case UOp::Mul:
-          Map[VI] = B.binop(tir::Op::Mul, val(I.A), val(I.B));
+          Map[VI] = B.binop(tir::Op::Mul, val(I.Ops[0]), val(I.Ops[1]));
           break;
         case UOp::And:
-          Map[VI] = B.binop(tir::Op::And, val(I.A), val(I.B));
+          Map[VI] = B.binop(tir::Op::And, val(I.Ops[0]), val(I.Ops[1]));
+          break;
+        case UOp::I2F:
+          Map[VI] = B.cast(tir::Op::SiToFp, tir::Type::F64, val(I.Ops[0]));
+          break;
+        case UOp::FAdd:
+          Map[VI] = B.binop(tir::Op::FAdd, val(I.Ops[0]), val(I.Ops[1]));
+          break;
+        case UOp::FMul:
+          Map[VI] = B.binop(tir::Op::FMul, val(I.Ops[0]), val(I.Ops[1]));
+          break;
+        case UOp::FCmpLt:
+          Map[VI] = B.cast(tir::Op::Zext, tir::Type::I64,
+                           B.fcmp(tir::FCmp::Olt, val(I.Ops[0]),
+                                  val(I.Ops[1])));
           break;
         case UOp::CmpLt:
         case UOp::CmpLe:
@@ -245,20 +286,20 @@ bool translateToTir(const UModule &M, tir::Module &Out) {
                         : I.Op == UOp::CmpEq ? tir::ICmp::Eq
                                              : tir::ICmp::Ne;
           Map[VI] = B.cast(tir::Op::Zext, tir::Type::I64,
-                           B.icmp(P, val(I.A), val(I.B)));
+                           B.icmp(P, val(I.Ops[0]), val(I.Ops[1])));
           break;
         }
         case UOp::Br:
           B.br(F.Blocks[Blk].Succs[0]);
           break;
         case UOp::CondBr: {
-          tir::ValRef C = B.icmp(tir::ICmp::Ne, val(I.A),
+          tir::ValRef C = B.icmp(tir::ICmp::Ne, val(I.Ops[0]),
                                  B.constInt(tir::Type::I64, 0));
           B.condBr(C, F.Blocks[Blk].Succs[0], F.Blocks[Blk].Succs[1]);
           break;
         }
         case UOp::Ret:
-          B.ret(val(I.A));
+          B.ret(val(I.Ops[0]));
           break;
         default:
           return false;
@@ -299,10 +340,9 @@ bool compileDirectEmit(const UModule &M, asmx::Assembler &Asm) {
     // Pass 1: use counts (drives register recycling in pass 2).
     std::vector<u8> Uses(F.Vals.size(), 0);
     for (const UInst &I : F.Vals) {
-      if (I.A != ~0u)
-        ++Uses[I.A];
-      if (I.B != ~0u)
-        ++Uses[I.B];
+      for (u32 Op : I.Ops)
+        if (Op != ~0u)
+          ++Uses[Op];
       for (int K = 0; K < 2; ++K)
         if (I.InVal[K] != ~0u)
           ++Uses[I.InVal[K]];
@@ -357,8 +397,8 @@ bool compileDirectEmit(const UModule &M, asmx::Assembler &Asm) {
         return R;
       };
       auto finish = [&]() {
-        release(I.A);
-        release(I.B);
+        release(I.Ops[0]);
+        release(I.Ops[1]);
       };
       switch (I.Op) {
       case UOp::ColAddr:
@@ -366,13 +406,13 @@ bool compileDirectEmit(const UModule &M, asmx::Assembler &Asm) {
         finish();
         break;
       case UOp::PtrIdx: {
-        AsmReg Base = src(I.A), Idx = src(I.B);
+        AsmReg Base = src(I.Ops[0]), Idx = src(I.Ops[1]);
         E.lea(alloc(VI), Mem(Base, Idx, static_cast<u8>(I.Aux), 0));
         finish();
         break;
       }
       case UOp::Load: {
-        AsmReg A = src(I.A);
+        AsmReg A = src(I.Ops[0]);
         E.load(8, alloc(VI), Mem(A, 0));
         finish();
         break;
@@ -382,7 +422,7 @@ bool compileDirectEmit(const UModule &M, asmx::Assembler &Asm) {
       case UOp::Sub:
       case UOp::Mul:
       case UOp::And: {
-        AsmReg L = src(I.A), R = src(I.B);
+        AsmReg L = src(I.Ops[0]), R = src(I.Ops[1]);
         AsmReg D = alloc(VI);
         E.movRR(8, D, L);
         if (I.Op == UOp::Mul)
@@ -400,9 +440,9 @@ bool compileDirectEmit(const UModule &M, asmx::Assembler &Asm) {
           Asm.bindLabel(Ok);
         }
         // Track accumulator updates: phi[1] is the sum.
-        if (I.A == F.Blocks[1].Phis[1] || I.Op == UOp::SAddTrap)
+        if (I.Ops[0] == F.Blocks[1].Phis[1] || I.Op == UOp::SAddTrap)
           SumNew = VI;
-        if (I.A == F.Blocks[1].Phis[0])
+        if (I.Ops[0] == F.Blocks[1].Phis[0])
           IdxNew = VI;
         finish();
         break;
@@ -411,7 +451,8 @@ bool compileDirectEmit(const UModule &M, asmx::Assembler &Asm) {
       case UOp::CmpLe:
       case UOp::CmpEq:
       case UOp::CmpNe: {
-        AsmReg L = src(I.A), R = I.B == 1 ? RSI : src(I.B);
+        AsmReg L = src(I.Ops[0]),
+               R = I.Ops[1] == 1 ? RSI : src(I.Ops[1]);
         AsmReg D = alloc(VI);
         E.aluRR(AluOp::Cmp, 8, L, R);
         E.setcc(I.Op == UOp::CmpLt   ? Cond::L
@@ -429,7 +470,7 @@ bool compileDirectEmit(const UModule &M, asmx::Assembler &Asm) {
           E.movRR(8, R12, Loc[SumNew]);
         if (IdxNew != ~0u)
           E.movRR(8, RBX, Loc[IdxNew]);
-        AsmReg C = Loc[I.A];
+        AsmReg C = Loc[I.Ops[0]];
         E.testRR(8, C, C);
         E.jccLabel(Cond::NE, Loop);
         E.jmpLabel(Exit);

@@ -373,6 +373,47 @@ void tpde::workloads::genModule(Module &M, const Profile &P) {
   B.finish();
 }
 
+std::vector<uir::QueryPlan>
+tpde::workloads::genQueryPlans(const QueryProfile &P) {
+  std::vector<uir::QueryPlan> Out;
+  Out.reserve(P.NumQueries);
+  Rng R(P.Seed * 0x9e3779b97f4a7c15ull + 0x7);
+  static const uir::UOp Cmps[4] = {uir::UOp::CmpLt, uir::UOp::CmpLe,
+                                   uir::UOp::CmpEq, uir::UOp::CmpNe};
+  for (u32 Q = 0; Q < P.NumQueries; ++Q) {
+    uir::QueryPlan Plan;
+    Plan.Name = "gq" + std::to_string(Q);
+    u32 NumPreds = 1 + static_cast<u32>(R.below(P.MaxPreds));
+    for (u32 I = 0; I < NumPreds; ++I) {
+      uir::Pred Pr;
+      Pr.Col = static_cast<u32>(R.below(P.NumCols));
+      Pr.Cmp = Cmps[R.below(4)];
+      Pr.K = R.range(0, P.KeyRange - 1);
+      Plan.Preds.push_back(Pr);
+    }
+    Plan.AggColA = static_cast<u32>(R.below(P.NumCols));
+    Plan.AggColB = static_cast<u32>(R.below(P.NumCols));
+    Plan.AggK = R.range(-16, 16);
+    Plan.Checked = R.chance(1, 2);
+    if (R.below(100) < P.FpPredPct) {
+      Plan.HasFpPred = true;
+      Plan.FpPredCol = static_cast<u32>(R.below(P.NumCols));
+      // A small shared threshold set: distinct queries rematerialize the
+      // *same* f64 constant, so the per-shard FP pools overlap and the
+      // merge-time content dedup has real work to do.
+      Plan.FpK = 125.0 * static_cast<double>(1 + R.below(6));
+    }
+    Out.push_back(std::move(Plan));
+  }
+  return Out;
+}
+
+void tpde::workloads::genQueryModule(uir::UModule &M,
+                                     const QueryProfile &P) {
+  for (const uir::QueryPlan &Plan : genQueryPlans(P))
+    uir::compilePlan(M, Plan);
+}
+
 std::vector<NamedProfile> tpde::workloads::specLikeProfiles(bool O0Flavor) {
   // Profiles roughly mimic the IR character of each SPECint benchmark:
   // perl/gcc/xalanc are big and branchy, mcf is memory-bound, x264/xz are

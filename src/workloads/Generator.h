@@ -22,6 +22,7 @@
 
 #include "support/Rng.h"
 #include "tir/Builder.h"
+#include "uir/UIR.h"
 
 #include <string>
 #include <vector>
@@ -64,6 +65,30 @@ struct NamedProfile {
   Profile P;
 };
 std::vector<NamedProfile> specLikeProfiles(bool O0Flavor);
+
+/// Shape of a generated many-query UIR module (the §7 Umbra scenario at
+/// scale: a database compiling hundreds to thousands of queries into one
+/// module). Deterministic in the seed.
+struct QueryProfile {
+  u64 Seed = 1;
+  u32 NumQueries = 256;
+  u32 NumCols = 8;       ///< Table width the predicates/aggregates draw from.
+  u32 MaxPreds = 4;      ///< 1..MaxPreds integer predicates per query.
+  /// Percentage (0-100) of queries carrying a floating-point predicate
+  /// (i2f(col) < k with a rematerialized f64 constant — FP-pool traffic;
+  /// the thresholds repeat across queries so cross-shard pool dedup is
+  /// exercised, not just per-shard pools).
+  u32 FpPredPct = 25;
+  i64 KeyRange = 1000;   ///< Integer predicate constants in [0, KeyRange).
+};
+
+/// Generates the plans of a query module: names gq0..gqN-1, unique per
+/// module. Returned separately so tests/benches can evaluate the
+/// interpreted reference per plan.
+std::vector<uir::QueryPlan> genQueryPlans(const QueryProfile &P);
+
+/// Compiles every generated plan into \p M (one UIR function per query).
+void genQueryModule(uir::UModule &M, const QueryProfile &P);
 
 } // namespace tpde::workloads
 

@@ -298,6 +298,43 @@ TEST(Merge, DuplicateStrongDefinitionAcrossFragmentsIsAnError) {
   EXPECT_NE(Out.errorMessage().find("twice"), std::string_view::npos);
 }
 
+TEST(Merge, DuplicateStrongDefinitionAfterDroppedDeclarationStillDiagnosed) {
+  // The shape of the UIR parallel range path (External linkage, every
+  // function a definition): the module-level globals fragment declares
+  // the query (undefined, unreferenced — the merge drops that record),
+  // then two shard fragments each *define* the same strong name.
+  // Dropping the declaration must not launder the duplicate — the second
+  // definition is still a module error — and a later fragment's
+  // reference binds to the first definition.
+  Assembler Out, Globals, FragA, FragB, FragC;
+  Globals.createSymbol("q_dup", Linkage::External, true); // declaration only
+  for (Assembler *Frag : {&FragA, &FragB}) {
+    Frag->section(SecKind::Text).appendByte(0xC3);
+    SymRef S = Frag->createSymbol("q_dup", Linkage::External, true);
+    Frag->defineSymbol(S, SecKind::Text, 0, 1);
+  }
+  FragC.section(SecKind::Text).appendLE<u32>(0);
+  SymRef Ref = FragC.createSymbol("q_dup", Linkage::External, true);
+  FragC.addReloc(SecKind::Text, 0, RelocKind::PC32, Ref, -4);
+
+  Out.mergeFrom(Globals);
+  EXPECT_FALSE(Out.findSymbol("q_dup").isValid())
+      << "unreferenced declaration should have been dropped";
+  Out.mergeFrom(FragA);
+  EXPECT_FALSE(Out.hasError());
+  Out.mergeFrom(FragB);
+  EXPECT_TRUE(Out.hasError());
+  EXPECT_NE(Out.errorMessage().find("q_dup"), std::string_view::npos);
+  Out.mergeFrom(FragC);
+  SymRef S = Out.findSymbol("q_dup");
+  ASSERT_TRUE(S.isValid());
+  EXPECT_TRUE(Out.symbol(S).Defined);
+  EXPECT_EQ(Out.symbol(S).Off, 0u)
+      << "references must bind to the first definition";
+  ASSERT_EQ(Out.relocs().size(), 1u);
+  EXPECT_EQ(Out.relocs()[0].Sym.Idx, S.Idx);
+}
+
 TEST(Merge, WeakKeepsFirstDefinitionInMergeOrder) {
   Assembler Out, FragA, FragB;
   for (Assembler *Frag : {&FragA, &FragB}) {

@@ -108,3 +108,60 @@ INSTANTIATE_TEST_SUITE_P(All, UirQueries, ::testing::Range(0, 20),
                          [](const ::testing::TestParamInfo<int> &I) {
                            return std::string("q") + std::to_string(I.param);
                          });
+
+/// Regression (UirCompilerX64::materializeConstLike): ConstF is marked
+/// const-like with an FP-bank metadata byte, so the framework
+/// materializes it straight into an XMM register — the old code
+/// unconditionally emitted an integer movRI, producing garbage encodings
+/// for FP-bank destinations. The plan's f64 threshold is NOT in any
+/// block's instruction list: it exists only as a rematerialized
+/// constant, so every execution goes through the fixed path (via the
+/// rodata FP pool).
+TEST(UirFpConst, RematerializedF64ConstantExecutesCorrectly) {
+  uir::QueryPlan P;
+  P.Name = "fp_pred_query";
+  P.Preds = {{1, uir::UOp::CmpLt, 700}};
+  P.AggColA = 0;
+  P.AggColB = 3;
+  P.AggK = 7;
+  P.HasFpPred = true;
+  P.FpPredCol = 2;
+  P.FpK = 421.5;
+
+  uir::Table T(6, 20000, /*Seed=*/9);
+  i64 Expected = uir::evalPlan(P, T);
+
+  // Sanity: the FP predicate must actually filter, or a broken compare
+  // that always passes would go unnoticed.
+  {
+    uir::QueryPlan NoFp = P;
+    NoFp.HasFpPred = false;
+    ASSERT_NE(Expected, uir::evalPlan(NoFp, T));
+  }
+
+  auto check = [&](const char *Name, auto Compile) {
+    uir::UModule U;
+    uir::compilePlan(U, P);
+    asmx::Assembler Asm;
+    ASSERT_TRUE(Compile(U, Asm)) << Name;
+    asmx::JITMapper JIT;
+    ASSERT_TRUE(JIT.map(Asm));
+    auto *Q = reinterpret_cast<i64 (*)(const i64 *const *, i64)>(
+        JIT.address(P.Name));
+    EXPECT_EQ(Q(T.ColPtrs.data(), static_cast<i64>(T.Rows)), Expected)
+        << Name;
+  };
+  check("tpde-uir", [](uir::UModule &U, asmx::Assembler &A) {
+    return uir::compileTpdeUir(U, A);
+  });
+  // The translation path must agree (ConstF/I2F/FCmpLt coverage in
+  // translateToTir — the old val() rebuilt ConstF as an integer const).
+  check("uir-to-tir+tpde", [](uir::UModule &U, asmx::Assembler &A) {
+    tir::Module M;
+    if (!uir::translateToTir(U, M))
+      return false;
+    std::string Err;
+    EXPECT_TRUE(tir::verifyModule(M, Err)) << Err;
+    return tpde_tir::compileModuleX64(M, A);
+  });
+}

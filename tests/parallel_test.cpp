@@ -19,6 +19,7 @@
 #include "support/AllocCounter.h"
 #include "support/WorkQueue.h"
 #include "tpde_tir/ParallelCompiler.h"
+#include "uir/ParallelCompiler.h"
 #include "workloads/Generator.h"
 
 #include <gtest/gtest.h>
@@ -648,4 +649,163 @@ TEST(LargeModuleDeterminism, ElfIdenticalToSerialA64) {
         << "merged a64 ELF object diverged from the serial compile, "
            "threads=" << Threads;
   }
+}
+
+// --- UIR: the database back-end through the same driver --------------------
+
+namespace {
+
+/// A generated many-query UIR module (the §7 Umbra scenario at scale),
+/// with FP predicates mixed in so shard compiles populate FP pools that
+/// must content-dedup across the merge.
+uir::UModule makeQueryModule(u64 Seed, u32 NumQueries,
+                             std::vector<uir::QueryPlan> *PlansOut =
+                                 nullptr) {
+  workloads::QueryProfile P;
+  P.Seed = Seed;
+  P.NumQueries = NumQueries;
+  uir::UModule M;
+  workloads::genQueryModule(M, P); // the production/bench path
+  if (PlansOut)
+    *PlansOut = workloads::genQueryPlans(P); // deterministic in the seed
+  return M;
+}
+
+} // namespace
+
+/// The tentpole property for the UIR instantiation: a many-query module
+/// compiled with 1, 2, 4, and 8 threads produces a byte-identical
+/// relocatable ELF object — sections, symbol table, relocations — equal
+/// to the serial compileTpdeUir() output (full-object comparison, per
+/// the LargeModuleDeterminism pattern).
+TEST(UirParallelDeterminism, ElfIdenticalToSerialAcrossThreadCounts) {
+  uir::UModule M = makeQueryModule(51, 400);
+
+  asmx::Assembler SerialAsm;
+  ASSERT_TRUE(uir::compileTpdeUir(M, SerialAsm));
+  const asmx::Section &SerialRO = SerialAsm.section(asmx::SecKind::ROData);
+  ASSERT_GT(SerialRO.size(), 0u)
+      << "query set generated no FP constants — the pool dedup is untested";
+  std::vector<u8> SerialObj =
+      asmx::writeElfObject(SerialAsm, asmx::ElfMachine::X86_64);
+
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    asmx::Assembler Out;
+    ASSERT_TRUE(uir::compileModuleUirParallel(M, Out, Threads))
+        << "threads=" << Threads;
+    ASSERT_FALSE(Out.hasError()) << Out.errorMessage();
+    EXPECT_TRUE(Out.text().Data.size() == SerialAsm.text().Data.size() &&
+                std::equal(Out.text().Data.begin(), Out.text().Data.end(),
+                           SerialAsm.text().Data.begin()))
+        << "merged UIR .text diverged from the serial compile, threads="
+        << Threads;
+    std::vector<u8> Obj = asmx::writeElfObject(Out, asmx::ElfMachine::X86_64);
+    EXPECT_EQ(Obj, SerialObj)
+        << "merged UIR ELF object (sections/symtab/relocs) diverged from "
+           "the serial compile, threads=" << Threads;
+  }
+}
+
+/// End-to-end: every query of a parallel-compiled module must execute
+/// with the same result as the serial compile AND the UIR interpreter —
+/// queries land in different shards, so this exercises the merged
+/// module's symbol/reloc integrity and the FP-predicate path
+/// (rematerialized f64 constants) under sharding.
+TEST(UirParallelCorrectness, JITExecutionMatchesSerialAndInterpreter) {
+  std::vector<uir::QueryPlan> Plans;
+  uir::UModule M = makeQueryModule(63, 48, &Plans);
+  uir::Table T(8, 4000, /*Seed=*/5);
+
+  asmx::Assembler SerialAsm;
+  ASSERT_TRUE(uir::compileTpdeUir(M, SerialAsm));
+  asmx::JITMapper SerialJIT;
+  ASSERT_TRUE(SerialJIT.map(SerialAsm));
+
+  asmx::Assembler ParAsm;
+  ASSERT_TRUE(uir::compileModuleUirParallel(M, ParAsm, 4));
+  asmx::JITMapper ParJIT;
+  ASSERT_TRUE(ParJIT.map(ParAsm));
+
+  for (const uir::QueryPlan &P : Plans) {
+    auto *SerialQ = reinterpret_cast<i64 (*)(const i64 *const *, i64)>(
+        SerialJIT.address(P.Name));
+    auto *ParQ = reinterpret_cast<i64 (*)(const i64 *const *, i64)>(
+        ParJIT.address(P.Name));
+    ASSERT_NE(SerialQ, nullptr) << P.Name;
+    ASSERT_NE(ParQ, nullptr) << P.Name;
+    i64 Expected = uir::evalPlan(P, T);
+    i64 Serial = SerialQ(T.ColPtrs.data(), static_cast<i64>(T.Rows));
+    i64 Par = ParQ(T.ColPtrs.data(), static_cast<i64>(T.Rows));
+    EXPECT_EQ(Serial, Expected) << P.Name << " (serial vs interpreter)";
+    EXPECT_EQ(Par, Expected) << P.Name << " (parallel vs interpreter)";
+  }
+}
+
+/// Steady-state UIR recompilation through a reused pipeline must not
+/// touch the heap — the allocation policy is a framework property the
+/// database back-end inherits (docs/PERF.md).
+TEST(UirParallelReuse, SteadyStateIsAllocationFreeSingleWorker) {
+  uir::UModule M = makeQueryModule(5, 40);
+  uir::ParallelCompileOptions Opts;
+  Opts.NumThreads = 1;
+  uir::ParallelModuleCompilerUir PC(M, Opts);
+  asmx::Assembler Out;
+  for (int I = 0; I < 3; ++I)
+    ASSERT_TRUE(PC.compile(Out));
+  support::AllocWatch W;
+  ASSERT_TRUE(PC.compile(Out));
+  EXPECT_EQ(W.newCalls(), 0u)
+      << "steady-state UIR parallel recompilation allocated " << W.newCalls()
+      << " times (" << W.newBytes() << " bytes)";
+}
+
+/// The serial reuse path (module-level symbol batching) holds for the
+/// database back-end too: recompiling a query module through one
+/// compiler is byte-identical and allocation-free once warm.
+TEST(UirParallelReuse, SerialRecompileIsByteIdenticalAndAllocationFree) {
+  uir::UModule M = makeQueryModule(7, 24);
+  uir::UirAdapter A(M);
+  asmx::Assembler Asm;
+  uir::UirCompilerX64 C(A, Asm);
+  ASSERT_TRUE(C.compileReuse());
+  std::vector<u8> First(Asm.text().Data.begin(), Asm.text().Data.end());
+  for (int I = 0; I < 2; ++I)
+    ASSERT_TRUE(C.compileReuse());
+  support::AllocWatch W;
+  ASSERT_TRUE(C.compileReuse());
+  EXPECT_EQ(W.newCalls(), 0u)
+      << "steady-state UIR recompile allocated " << W.newCalls() << " times";
+  EXPECT_TRUE(Asm.text().Data.size() == First.size() &&
+              std::equal(Asm.text().Data.begin(), Asm.text().Data.end(),
+                         First.begin()))
+      << "recompiled .text diverged from the first compile";
+}
+
+/// UirAdapter reports External linkage with every function a definition,
+/// so two queries sharing a name are duplicate strong definitions. The
+/// sharded path must diagnose that (duplicate-strong error at merge),
+/// never silently merge the queries — and the serial path must agree.
+TEST(UirParallelCorrectness, DuplicateQueryNamesAreDiagnosed) {
+  uir::QueryPlan P;
+  P.Name = "dup_query";
+  P.Preds = {{0, uir::UOp::CmpLt, 10}};
+  uir::UModule M;
+  uir::compilePlan(M, P);
+  P.Preds[0].K = 99; // different body, same strong name
+  uir::compilePlan(M, P);
+
+  asmx::Assembler SerialAsm;
+  EXPECT_FALSE(uir::compileTpdeUir(M, SerialAsm))
+      << "serial compile silently merged duplicate query names";
+
+  uir::ParallelCompileOptions Opts;
+  Opts.NumThreads = 2;
+  Opts.FuncsPerShard = 1; // force the definitions into different shards
+  uir::ParallelModuleCompilerUir PC(M, Opts);
+  asmx::Assembler Out;
+  EXPECT_FALSE(PC.compile(Out))
+      << "parallel compile silently merged duplicate query names";
+  EXPECT_TRUE(Out.hasError());
+  EXPECT_NE(Out.errorMessage().find("dup_query"), std::string_view::npos)
+      << "error does not name the duplicate symbol: " << Out.errorMessage();
 }
