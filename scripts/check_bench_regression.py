@@ -94,6 +94,21 @@ def main(argv):
     base_doc, base = load(args[0])
     new_doc, new = load(args[1])
 
+    # Fault-injection hygiene: the default build must carry the hooks
+    # compiled out (docs/ROBUSTNESS.md). A candidate measured with
+    # TPDE_FAULT_INJECTION=ON is not a valid throughput sample — fail
+    # fast instead of letting instrumented numbers pass the gate or get
+    # committed as a baseline. (Older baselines without the field are
+    # treated as uninstrumented.)
+    if new_doc.get("fault_injection", False):
+        print("FAIL: candidate run was built with TPDE_FAULT_INJECTION=ON; "
+              "throughput must be measured with the hooks compiled out")
+        return 1
+    if base_doc.get("fault_injection", False):
+        print("FAIL: committed baseline was built with "
+              "TPDE_FAULT_INJECTION=ON; re-record it from a default build")
+        return 1
+
     # Cross-machine normalization: rescale the baseline into the new
     # machine's terms using the Baseline-O0/fresh anchor of each run.
     anchor_key = ("Baseline-O0", "fresh", 0)

@@ -2,6 +2,8 @@
 
 #include "asmx/Assembler.h"
 
+#include "support/FaultInjector.h"
+
 #include <algorithm>
 #include <cstring>
 
@@ -21,6 +23,11 @@ u64 roContentHash(const u8 *Bytes, u64 Size) {
 } // namespace
 
 SymRef Assembler::createSymbol(std::string_view Name, Linkage L, bool IsFunc) {
+  // Fault site: record the error but still create the symbol so table
+  // invariants hold; the module driver picks the error up at the boundary.
+  if (support::faultPoint(support::FaultSite::SymbolCreate))
+    setError(support::CompileErr::FaultInjected,
+             "fault injected: symbol-create");
   if (!Name.empty()) {
     support::StringPool::StrId Id = Names.intern(Name);
     if (SymOfName.size() < Names.count())
@@ -104,6 +111,13 @@ bool Assembler::roDedupEligible(const Assembler &Src) {
 
 void Assembler::mergeFrom(const Assembler &Src) {
   assert(&Src != this && "cannot merge an assembler into itself");
+  // Fault site: refuse the merge outright — the destination stays in a
+  // consistent (pre-merge) state and carries the structured error.
+  if (support::faultPoint(support::FaultSite::SectionMerge)) {
+    setError(support::CompileErr::FaultInjected,
+             "fault injected: section-merge");
+    return;
+  }
 #ifndef NDEBUG
   // Label fixups patch text in place once the label is bound; an unbound
   // label with pending fixups means half-finished code that must not be
@@ -215,8 +229,8 @@ void Assembler::mergeFrom(const Assembler &Src) {
                            R.Kind, SymRef{MergeSymMap[R.Sym.Idx]}, R.Addend});
   }
 
-  if (!Src.Err.empty())
-    setError(std::string(Src.Err));
+  if (Src.hasError())
+    setError(Src.ErrCode, std::string(Src.Err));
 }
 
 SymRef Assembler::getOrCreateSymbol(std::string_view Name) {
@@ -288,6 +302,16 @@ void Assembler::addFixup(Label L, FixupKind K, u64 Off) {
 
 void Assembler::applyFixup(u64 Off, FixupKind K, u64 Target) {
   Section &T = text();
+  // Every fixup kind patches exactly 4 bytes. An out-of-range offset is an
+  // assertion failure in debug builds; release builds take the checked
+  // error path instead of writing out of bounds (see hasError()).
+  if (Off + 4 > T.size()) {
+    assert(false && "fixup patch out of bounds");
+    setError(support::CompileErr::AssemblerError,
+             "fixup patch out of bounds: offset " + std::to_string(Off) +
+                 " + 4 > text size " + std::to_string(T.size()));
+    return;
+  }
   switch (K) {
   case FixupKind::Rel32: {
     i64 Rel = static_cast<i64>(Target) - static_cast<i64>(Off + 4);

@@ -23,6 +23,7 @@
 #include "support/ByteBuffer.h"
 #include "support/Common.h"
 #include "support/DenseMap.h"
+#include "support/Diag.h"
 #include "support/StringPool.h"
 
 #include <string>
@@ -250,8 +251,11 @@ public:
   /// True once any module-level inconsistency (e.g. a duplicate strong
   /// symbol definition) was recorded. Checked by callers at module
   /// boundaries; emission continues so all errors surface at once.
-  bool hasError() const { return !Err.empty(); }
+  bool hasError() const { return ErrCode != support::CompileErr::Ok; }
   std::string_view errorMessage() const { return Err; }
+  /// Structured code of the first recorded error (Ok when clean). Module
+  /// drivers lift this into their CompileStatus.
+  support::CompileErr errorCode() const { return ErrCode; }
 
   void addReloc(SecKind Sec, u64 Off, RelocKind K, SymRef S, i64 Addend) {
     Relocs.push_back(Reloc{Sec, Off, K, S, Addend});
@@ -358,6 +362,7 @@ private:
     Labels.clear();
     Fixups.clear();
     Err.clear();
+    ErrCode = support::CompileErr::Ok;
     RoDedupSyms.clear();
   }
 
@@ -373,9 +378,16 @@ private:
   };
 
   void applyFixup(u64 Off, FixupKind K, u64 Target);
-  void setError(std::string Msg) {
-    if (Err.empty())
+  /// First error wins: later errors are dropped so the reported diagnostic
+  /// is the earliest one in emission order.
+  void setError(support::CompileErr Code, std::string Msg) {
+    if (ErrCode == support::CompileErr::Ok) {
+      ErrCode = Code;
       Err = std::move(Msg);
+    }
+  }
+  void setError(std::string Msg) {
+    setError(support::CompileErr::AssemblerError, std::move(Msg));
   }
 
   Section Secs[NumSections];
@@ -388,6 +400,7 @@ private:
   std::vector<LabelInfo> Labels;
   std::vector<FixupInfo> Fixups;
   std::string Err;
+  support::CompileErr ErrCode = support::CompileErr::Ok;
   /// True if \p Src's rodata is eligible for the symbol-by-symbol dedup
   /// merge (see mergeFrom); fills MergeRoOrder with the defined rodata
   /// symbol indices in offset order.

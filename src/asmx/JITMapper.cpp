@@ -2,6 +2,7 @@
 
 #include "asmx/JITMapper.h"
 #include "support/DenseMap.h"
+#include "support/FaultInjector.h"
 
 #include <cstring>
 #include <sys/mman.h>
@@ -28,12 +29,25 @@ JITMapper &JITMapper::operator=(JITMapper &&O) noexcept {
   O.MapBase = nullptr;
   O.MapSize = 0;
   O.Asm = nullptr;
+  Status = std::move(O.Status);
   return *this;
 }
 
 bool JITMapper::map(const Assembler &A, const Resolver &Resolve,
                     StubArch Arch) {
   Asm = &A;
+  Status.clear();
+  auto fail = [&](support::CompileErr E, std::string_view Sym,
+                  std::string Msg) {
+    Status.Err = E;
+    Status.Symbol.assign(Sym);
+    Status.Message = std::move(Msg);
+    return false;
+  };
+  // Fault site: mapping refused before any system resources are taken.
+  if (support::faultPoint(support::FaultSite::JitMap))
+    return fail(support::CompileErr::FaultInjected, {},
+                "fault injected: jit-map");
   const u64 Page = static_cast<u64>(::sysconf(_SC_PAGESIZE));
 
   // Host symbols can be farther than +-2 GiB from the JIT mapping, which a
@@ -68,7 +82,8 @@ bool JITMapper::map(const Assembler &A, const Resolver &Resolve,
                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
   if (Mem == MAP_FAILED) {
     MapBase = nullptr;
-    return false;
+    return fail(support::CompileErr::JitMapFailed, {},
+                "mmap of JIT image failed");
   }
   MapBase = static_cast<u8 *>(Mem);
   for (unsigned I = 0; I < NumSections; ++I) {
@@ -116,7 +131,9 @@ bool JITMapper::map(const Assembler &A, const Resolver &Resolve,
   for (const Reloc &R : A.relocs()) {
     u8 *S = symAddr(R.Sym);
     if (!S)
-      return false;
+      return fail(support::CompileErr::JitMapFailed, A.symbol(R.Sym).Name,
+                  "unresolved symbol '" + std::string(A.symbol(R.Sym).Name) +
+                      "'");
     u8 *P = SecBase[static_cast<unsigned>(R.Sec)] + R.Off;
     switch (R.Kind) {
     case RelocKind::Abs64: {
@@ -132,7 +149,9 @@ bool JITMapper::map(const Assembler &A, const Resolver &Resolve,
         V = reinterpret_cast<i64>(S) + R.Addend - reinterpret_cast<i64>(P);
       }
       if (!isInt32(V))
-        return false;
+        return fail(support::CompileErr::JitMapFailed, A.symbol(R.Sym).Name,
+                    "PC32 relocation overflow against '" +
+                        std::string(A.symbol(R.Sym).Name) + "'");
       i32 V32 = static_cast<i32>(V);
       std::memcpy(P, &V32, 4);
       break;
@@ -147,7 +166,9 @@ bool JITMapper::map(const Assembler &A, const Resolver &Resolve,
       }
       i64 Words = Rel >> 2;
       if ((Rel & 3) != 0 || Words < -(1 << 25) || Words >= (1 << 25))
-        return false;
+        return fail(support::CompileErr::JitMapFailed, A.symbol(R.Sym).Name,
+                    "A64 call relocation overflow against '" +
+                        std::string(A.symbol(R.Sym).Name) + "'");
       u32 Inst;
       std::memcpy(&Inst, P, 4);
       Inst = (Inst & ~0x03FFFFFFu) | (static_cast<u32>(Words) & 0x03FFFFFFu);
@@ -159,7 +180,9 @@ bool JITMapper::map(const Assembler &A, const Resolver &Resolve,
       i64 PPage = reinterpret_cast<i64>(P) & ~0xFFF;
       i64 Delta = (SPage - PPage) >> 12;
       if (Delta < -(1 << 20) || Delta >= (1 << 20))
-        return false;
+        return fail(support::CompileErr::JitMapFailed, A.symbol(R.Sym).Name,
+                    "A64 page relocation overflow against '" +
+                        std::string(A.symbol(R.Sym).Name) + "'");
       u32 Inst;
       std::memcpy(&Inst, P, 4);
       u32 ImmLo = static_cast<u32>(Delta) & 3;

@@ -11,6 +11,7 @@
 #define TPDE_ASMX_JITMAPPER_H
 
 #include "asmx/Assembler.h"
+#include "support/Diag.h"
 
 #include <functional>
 #include <string_view>
@@ -50,6 +51,10 @@ public:
   bool map(const Assembler &A, const Resolver &Resolve = nullptr,
            StubArch Arch = StubArch::X64);
 
+  /// Structured reason for the last map() failure (Ok after success).
+  /// Symbol carries the unresolved/overflowing symbol name when known.
+  const support::CompileStatus &status() const { return Status; }
+
   /// Address of a defined symbol; nullptr for unknown/undefined names.
   void *address(std::string_view Name) const;
   /// Address of a symbol handle (defined symbols only).
@@ -66,6 +71,7 @@ private:
   u8 *MapBase = nullptr;
   u64 MapSize = 0;
   u8 *SecBase[NumSections] = {};
+  support::CompileStatus Status;
 };
 
 } // namespace tpde::asmx

@@ -37,6 +37,7 @@
 #include "core/Analyzer.h"
 #include "core/Assignment.h"
 #include "core/RegFile.h"
+#include "support/Diag.h"
 #include "support/SmallVector.h"
 
 #include <array>
@@ -599,6 +600,12 @@ public:
     return compileModuleImpl</*EmitData=*/true>(0, 0, /*ManageAsm=*/true);
   }
 
+  /// Structured diagnostic of the last failed compile (Ok after success).
+  /// Func is the module-order function index; Shard is filled in by the
+  /// parallel driver, not here. The status (and its strings) is reused
+  /// across compiles, keeping the clean-compile path allocation-free.
+  const support::CompileStatus &status() const { return Status; }
+
   /// EmitData selects between the two module symbol strategies:
   ///
   ///  * EmitData=true (compileModule/recompileModule/compileGlobalsOnly):
@@ -617,6 +624,7 @@ public:
   ///    see TirCompilerX64/TirCompilerA64).
   template <bool EmitData>
   bool compileModuleImpl(u32 Begin, u32 End, bool ManageAsm) {
+    Status.clear();
     // Optional adapter capacity hints: size the per-function scratch for
     // the module's largest function up front so the compile loop never
     // grows it incrementally (docs/PERF.md).
@@ -696,12 +704,27 @@ public:
       auto F = A.funcRef(I);
       if (!A.funcIsDefinition(F))
         continue;
-      if (!compileFunc(F, funcSym(I)))
+      if (!compileFunc(F, funcSym(I))) {
+        // Built from the module-order function index and name only, so a
+        // serial compile and any parallel shard compile of the same bad
+        // function produce the identical diagnostic.
+        Status.Err = support::CompileErr::UnsupportedInst;
+        Status.Func = I;
+        Status.Symbol.assign(A.funcName(F));
+        Status.Message.assign("unsupported instruction in function '");
+        Status.Message.append(A.funcName(F));
+        Status.Message.push_back('\'');
         return false;
+      }
     }
     // Module-level inconsistencies (e.g. duplicate strong symbol
     // definitions) are collected, not aborted on — fail the compile here.
-    return !Asm.hasError();
+    if (Asm.hasError()) {
+      Status.Err = Asm.errorCode();
+      Status.Message.assign(Asm.errorMessage());
+      return false;
+    }
+    return true;
   }
 
   bool compileFunc(typename Adapter::FuncRef F, asmx::SymRef Sym) {
@@ -1149,6 +1172,8 @@ protected:
   std::vector<asmx::Label> BlockLabels;
   /// Per-function symbol cache for funcSym(); invalidated by SymEpoch.
   asmx::EpochSymCache FuncSyms;
+  /// Diagnostic of the last failed module/range compile (see status()).
+  support::CompileStatus Status;
   std::vector<i32> StackVarOffs;
   std::vector<u32> FixedActive;
   // Scratch buffers reused across phi edges and functions; cleared, never

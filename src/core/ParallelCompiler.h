@@ -23,6 +23,10 @@
 ///     static u32 funcCount(const ModuleT &M);
 ///     static u32 funcWeight(const ModuleT &M, u32 I); // size proxy for
 ///                                          // shard balancing (e.g. value count)
+///     const support::CompileStatus &status() const; // last failure's
+///                                          // structured diagnostic
+///     // optional: enables the ParallelCompileOptions::Verify pre-pass
+///     static bool verifyModule(const ModuleT &M, std::string &Errors);
 ///   };
 ///
 /// compileRange()/compileGlobals() are thin wrappers over the
@@ -65,15 +69,18 @@
 #define TPDE_CORE_PARALLELCOMPILER_H
 
 #include "asmx/Assembler.h"
+#include "support/Diag.h"
+#include "support/FaultInjector.h"
 #include "support/WorkQueue.h"
 
-#include <atomic>
 #include <concepts>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace tpde::core {
@@ -89,6 +96,10 @@ concept ParallelCompileWorker =
       { Wk.compileRange(I, I) } -> std::convertible_to<bool>;
       { W::funcCount(CM) } -> std::convertible_to<u32>;
       { W::funcWeight(CM, I) } -> std::convertible_to<u32>;
+      /// Structured diagnostic of the worker's last failed compile; the
+      /// driver lifts it into the per-shard status slot.
+      { std::as_const(Wk).status() }
+          -> std::convertible_to<const support::CompileStatus &>;
     };
 
 struct ParallelCompileOptions {
@@ -107,6 +118,11 @@ struct ParallelCompileOptions {
   /// giant functions balance across workers. Still a pure function of the
   /// module — output is independent of the thread count either way.
   bool SizeWeightedShards = true;
+  /// Run the worker's verifier (WorkerT::verifyModule, when provided)
+  /// before sharding; a malformed module is rejected with a VerifyFailed
+  /// status and never reaches codegen. Off by default on the production
+  /// path, on in the tests.
+  bool Verify = false;
 };
 
 /// Reusable parallel compilation pipeline for one module. Construction
@@ -153,12 +169,30 @@ public:
 
   /// Compiles the module into \p Out (which is reset first). Returns
   /// false if any function failed to compile or the merged module is
-  /// inconsistent (Out.hasError() has the details).
+  /// inconsistent; status()/diagnostics() carry the structured errors.
+  ///
+  /// Failure semantics (graceful degradation): a failed shard's fragment
+  /// is discarded and the shard is recompiled function-by-function on the
+  /// calling thread with fresh worker state — good functions land in the
+  /// output, each bad function is quarantined with one precise diagnostic.
+  /// A module with K bad functions therefore compiles everything else
+  /// (byte-identical to a serial compile of the good subset) and reports
+  /// exactly K diagnostics, ordered by shard then function index —
+  /// independent of thread count and schedule (first-error-wins keyed by
+  /// shard order, never thread arrival).
   bool compile(asmx::Assembler &Out) {
+    FirstStatus.clear();
+    Diags.clear();
+    if (Opts.Verify && !verifyGate()) {
+      Out.reset();
+      return false;
+    }
     computeShardBounds();
     while (Frags.size() < NumShards)
       Frags.push_back(std::make_unique<asmx::Assembler>());
-    Failed.store(false, std::memory_order_relaxed);
+    ShardFailed.assign(NumShards, 0);
+    if (ShardStatus.size() < NumShards)
+      ShardStatus.resize(NumShards);
     Queue.reset(NumShards, threadCount());
 
     // Publish the job. The mutex orders the shard/fragment setup above
@@ -172,12 +206,7 @@ public:
 
     // The calling thread produces the module-level fragment (global data +
     // declarations) and then joins shard compilation as worker 0.
-    Worker &W0 = *Workers[0];
-    bool GlobalsOK = W0.W.compileGlobals();
-    GlobalsFrag.reset();
-    GlobalsFrag.mergeFrom(W0.W.assembler());
-    if (!GlobalsOK)
-      Failed.store(true, std::memory_order_relaxed);
+    bool GlobalsFailed = !compileGlobalsFrag();
     drainQueue(0);
 
     {
@@ -185,13 +214,65 @@ public:
       DoneCV.wait(L, [this] { return Pending == 0; });
     }
 
-    // Deterministic merge: globals fragment first, then every shard in
-    // shard-index order — independent of which worker compiled what.
-    Out.reset();
-    Out.mergeFrom(GlobalsFrag);
+    // Recovery pass, single-threaded on the calling thread (every worker
+    // is idle past the barrier, so the per-shard slots are safe to read).
+    // Shard order makes the diagnostics list deterministic.
+    if (GlobalsFailed && !compileGlobalsFrag())
+      recordGlobalsFailure();
     for (u32 S = 0; S < NumShards; ++S)
-      Out.mergeFrom(*Frags[S]);
-    return !Failed.load(std::memory_order_relaxed) && !Out.hasError();
+      if (ShardFailed[S])
+        retryShard(S);
+
+    // Deterministic merge: globals fragment first, then every shard in
+    // shard-index order — independent of which worker compiled what. The
+    // destination's interned-name pool is arena-backed, so a merge can
+    // throw bad_alloc — turn that into a module-level diagnostic instead
+    // of unwinding out of compile().
+    Out.reset();
+    try {
+      Out.mergeFrom(GlobalsFrag);
+      for (u32 S = 0; S < NumShards; ++S) {
+        bool PrevErr = Out.hasError();
+        Out.mergeFrom(*Frags[S]);
+        if (!PrevErr && Out.hasError() && Diags.empty()) {
+          // A merge-stage inconsistency with no earlier diagnostic:
+          // attribute it to the shard whose merge surfaced it.
+          support::CompileStatus D;
+          D.Err = Out.errorCode() == support::CompileErr::FaultInjected
+                      ? support::CompileErr::FaultInjected
+                      : support::CompileErr::MergeError;
+          D.Shard = S;
+          D.Message.assign(Out.errorMessage());
+          Diags.push_back(std::move(D));
+        }
+      }
+    } catch (...) {
+      support::CompileStatus D;
+      D.Err = support::CompileErr::OutOfMemory;
+      D.Message = "allocation failed merging the module";
+      Diags.push_back(std::move(D));
+    }
+    if (Out.hasError() && Diags.empty()) {
+      support::CompileStatus D;
+      D.Err = support::CompileErr::MergeError;
+      D.Message.assign(Out.errorMessage());
+      Diags.push_back(std::move(D));
+    }
+    if (!Diags.empty()) {
+      FirstStatus = Diags.front();
+      return false;
+    }
+    return !Out.hasError();
+  }
+
+  /// First diagnostic of the last compile() — deterministically the one
+  /// with the lowest shard index, then lowest function index (Ok after a
+  /// fully clean compile).
+  const support::CompileStatus &status() const { return FirstStatus; }
+  /// All diagnostics of the last compile(), ordered by shard then
+  /// function index. One entry per quarantined function.
+  std::span<const support::CompileStatus> diagnostics() const {
+    return Diags;
   }
 
   unsigned threadCount() const {
@@ -201,6 +282,13 @@ public:
   /// Shard S covers functions [shardBounds()[S], shardBounds()[S+1]);
   /// NumShards+1 entries, valid after the first compile().
   std::span<const u32> shardBounds() const { return ShardBounds; }
+  /// Pre-recovery status slot of shard \p S from the last compile()
+  /// (Ok if the shard compiled cleanly on the parallel pass). The
+  /// recovery pass may still have compiled the shard's functions
+  /// afterwards — diagnostics() has the final per-function picture.
+  const support::CompileStatus &shardStatus(u32 S) const {
+    return ShardStatus[S];
+  }
 
 private:
   struct Worker {
@@ -284,18 +372,201 @@ private:
     Worker &W = *Workers[Id];
     u32 Begin = ShardBounds[Shard];
     u32 End = ShardBounds[Shard + 1];
+    asmx::Assembler &Frag = *Frags[Shard];
+    // The queue hands each shard to exactly one worker, so this thread is
+    // the only writer of the shard's slot/fragment; the Pending barrier
+    // publishes the writes to the calling thread.
+    support::CompileStatus &St = ShardStatus[Shard];
+    St.clear();
+    St.Shard = Shard;
+    auto failShard = [&](support::CompileErr E, std::string_view Msg) {
+      Frag.reset(); // never leave a poisoned fragment behind
+      St.Err = E;
+      St.Message.assign(Msg);
+      ShardFailed[Shard] = 1;
+    };
+    if (support::faultPoint(support::FaultSite::ShardCompile)) {
+      failShard(support::CompileErr::FaultInjected,
+                "fault injected: shard-compile");
+      return;
+    }
     // compileRange rewinds (or resets) the worker's assembler itself; after
     // the first compile this hits the symbol-batching fast path and the
-    // whole shard compile is allocation-free.
-    bool OK = W.W.compileRange(Begin, End);
-    asmx::Assembler &Frag = *Frags[Shard];
-    Frag.reset();
-    if (OK) {
-      Frag.mergeFrom(W.W.assembler());
-    } else {
+    // whole shard compile is allocation-free. A throwing compile (e.g. an
+    // injected arena-growth failure) poisons only this shard: the worker's
+    // state is rewound wholesale at its next compileRange.
+    bool OK = false;
+    try {
+      OK = W.W.compileRange(Begin, End);
+    } catch (...) {
+      failShard(support::CompileErr::OutOfMemory,
+                "allocation failed during shard compile");
+      return;
+    }
+    if (!OK) {
       // A failed shard may hold half-emitted code with unbound labels; drop
-      // it (the compile reports failure) instead of merging garbage.
-      Failed.store(true, std::memory_order_relaxed);
+      // it and let the recovery pass isolate the bad function.
+      const support::CompileStatus &WS = W.W.status();
+      failShard(WS.Err, WS.Message);
+      St.Func = WS.Func;
+      St.Symbol = WS.Symbol;
+      return;
+    }
+    Frag.reset();
+    try {
+      Frag.mergeFrom(W.W.assembler());
+    } catch (...) { // arena-backed name interning in the snapshot merge
+      failShard(support::CompileErr::OutOfMemory,
+                "allocation failed snapshotting shard");
+      return;
+    }
+    if (Frag.hasError())
+      failShard(Frag.errorCode(), Frag.errorMessage());
+  }
+
+  /// (Re)builds the module-level fragment on the calling thread. Returns
+  /// false when the compile or the snapshot merge failed; the fragment is
+  /// left reset in that case.
+  bool compileGlobalsFrag() {
+    Worker &W0 = *Workers[0];
+    GlobalsFrag.reset();
+    bool OK = false;
+    try {
+      OK = W0.W.compileGlobals();
+      if (OK)
+        GlobalsFrag.mergeFrom(W0.W.assembler());
+    } catch (...) {
+      GlobalsFrag.reset();
+      return false;
+    }
+    if (!OK)
+      return false;
+    if (GlobalsFrag.hasError()) {
+      GlobalsFrag.reset();
+      return false;
+    }
+    return true;
+  }
+
+  /// Records the module-level diagnostic after the globals fragment failed
+  /// twice (initial + retry). Shard/Func stay ~0u: the failure is not
+  /// attributable to a function.
+  void recordGlobalsFailure() {
+    Worker &W0 = *Workers[0];
+    support::CompileStatus D;
+    const support::CompileStatus &WS = W0.W.status();
+    if (!WS.ok()) {
+      D.Err = WS.Err;
+      D.Message = WS.Message;
+    } else {
+      D.Err = support::CompileErr::AssemblerError;
+      D.Message = "module-level fragment compile failed";
+    }
+    Diags.push_back(std::move(D));
+  }
+
+  /// Recovery for one failed shard: recompiles its functions one at a time
+  /// on the calling thread with fresh worker state, merging each success
+  /// into the shard fragment and quarantining each failure with a precise
+  /// diagnostic. Per-function fragments merged in function order reproduce
+  /// the range compile byte for byte (16-byte function alignment, by-name
+  /// relocations, content-deduped constant pool), so the good subset stays
+  /// identical to a serial compile of that subset.
+  void retryShard(u32 S) {
+    Worker &W0 = *Workers[0];
+    asmx::Assembler &Frag = *Frags[S];
+    Frag.reset();
+    for (u32 F = ShardBounds[S]; F < ShardBounds[S + 1]; ++F) {
+      bool OK = false;
+      bool Threw = false;
+      try {
+        OK = W0.W.compileRange(F, F + 1);
+      } catch (...) {
+        Threw = true;
+      }
+      if (OK) {
+        bool MergeThrew = false;
+        try {
+          Frag.mergeFrom(W0.W.assembler());
+        } catch (...) { // arena-backed name interning in the merge
+          MergeThrew = true;
+        }
+        if (!MergeThrew && !Frag.hasError())
+          continue;
+        // The merge itself failed; quarantine this function and rebuild
+        // the fragment so earlier good functions are not lost.
+        support::CompileStatus D;
+        if (MergeThrew) {
+          D.Err = support::CompileErr::OutOfMemory;
+          D.Message = "allocation failed merging function";
+        } else {
+          D.Err = Frag.errorCode() == support::CompileErr::FaultInjected
+                      ? support::CompileErr::FaultInjected
+                      : support::CompileErr::MergeError;
+          D.Message.assign(Frag.errorMessage());
+        }
+        D.Shard = S;
+        D.Func = F;
+        Diags.push_back(std::move(D));
+        rebuildShardFragment(S, F);
+        continue;
+      }
+      support::CompileStatus D;
+      if (Threw) {
+        D.Err = support::CompileErr::OutOfMemory;
+        D.Message = "allocation failed compiling function";
+      } else {
+        const support::CompileStatus &WS = W0.W.status();
+        D.Err = WS.Err;
+        D.Symbol = WS.Symbol;
+        D.Message = WS.Message;
+      }
+      D.Shard = S;
+      D.Func = F;
+      Diags.push_back(std::move(D));
+    }
+  }
+
+  /// Rebuilds shard \p S's fragment from scratch up to (excluding) the
+  /// quarantined function \p Skip after a poisoned merge. Rare (an
+  /// injected merge fault); correctness over speed.
+  void rebuildShardFragment(u32 S, u32 Skip) {
+    Worker &W0 = *Workers[0];
+    asmx::Assembler &Frag = *Frags[S];
+    Frag.reset();
+    for (u32 F = ShardBounds[S]; F < Skip; ++F) {
+      bool OK = false;
+      try {
+        OK = W0.W.compileRange(F, F + 1);
+        // These functions compiled and merged cleanly moments ago; a
+        // repeat failure (compile or merge) means a second independent
+        // fault — give up on the function silently (its diagnostic would
+        // duplicate the merge one).
+        if (OK)
+          Frag.mergeFrom(W0.W.assembler());
+      } catch (...) {
+      }
+    }
+  }
+
+  /// Verifier gate: rejects a malformed module with a structured
+  /// diagnostic before any codegen. Only instantiated for workers that
+  /// expose a static verifyModule(const ModuleT &, std::string &).
+  bool verifyGate() {
+    if constexpr (requires(const ModuleT &CM, std::string &E) {
+                    { WorkerT::verifyModule(CM, E) } -> std::convertible_to<bool>;
+                  }) {
+      VerifyErrors.clear();
+      if (WorkerT::verifyModule(std::as_const(M), VerifyErrors))
+        return true;
+      support::CompileStatus D;
+      D.Err = support::CompileErr::VerifyFailed;
+      D.Message = VerifyErrors;
+      Diags.push_back(std::move(D));
+      FirstStatus = Diags.front();
+      return false;
+    } else {
+      return true;
     }
   }
 
@@ -311,7 +582,20 @@ private:
   /// retained across compiles (docs/PERF.md).
   std::vector<u32> ShardBounds;
   u32 NumShards = 0;
-  std::atomic<bool> Failed{false};
+  /// Per-shard failure flag + status slot. Each shard has exactly one
+  /// writer (the queue's exactly-once pop) and the Pending==0 barrier
+  /// publishes the slots to the calling thread, so no atomics are needed
+  /// and the reported first error is keyed by shard index, never by
+  /// thread arrival. Capacity is retained across compiles (docs/PERF.md);
+  /// only the flags are re-zeroed per compile.
+  std::vector<u8> ShardFailed;
+  std::vector<support::CompileStatus> ShardStatus;
+  /// Diagnostics of the last compile, ordered by (shard, function); built
+  /// single-threaded in the recovery pass. FirstStatus mirrors the front.
+  std::vector<support::CompileStatus> Diags;
+  support::CompileStatus FirstStatus;
+  /// Scratch for the verifier gate (reused; docs/PERF.md).
+  std::string VerifyErrors;
 
   std::mutex Mtx;
   std::condition_variable JobCV, DoneCV;

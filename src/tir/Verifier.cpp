@@ -3,6 +3,8 @@
 #include "tir/Verifier.h"
 
 #include <algorithm>
+#include <string_view>
+#include <unordered_set>
 
 using namespace tpde;
 using namespace tpde::tir;
@@ -253,6 +255,19 @@ bool tpde::tir::verifyFunction(const Module &M, const Function &F,
 
 bool tpde::tir::verifyModule(const Module &M, std::string &Errors) {
   bool OK = true;
+  // Module-level: duplicate function names. Two strong definitions of one
+  // name would only surface as an assembler error mid-emission; reject
+  // them up front. (Declarations may repeat — they collapse to one
+  // symbol — and duplicate weak definitions resolve by first-wins.)
+  std::unordered_set<std::string_view> Defined;
+  for (const Function &F : M.Funcs) {
+    if (F.IsDeclaration || F.Link == Linkage::Weak)
+      continue;
+    if (!Defined.insert(F.Name).second) {
+      Errors += "duplicate definition of function '" + F.Name + "'\n";
+      OK = false;
+    }
+  }
   for (const Function &F : M.Funcs)
     OK &= verifyFunction(M, F, Errors);
   return OK;

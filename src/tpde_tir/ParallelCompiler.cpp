@@ -5,20 +5,35 @@
 using namespace tpde;
 using namespace tpde::tpde_tir;
 
-bool tpde::tpde_tir::compileModuleX64Parallel(tir::Module &M,
-                                              asmx::Assembler &Out,
-                                              unsigned NumThreads) {
+namespace {
+
+template <typename PC>
+bool compileOneShot(tir::Module &M, asmx::Assembler &Out, unsigned NumThreads,
+                    bool Verify, support::CompileStatus *StatusOut) {
   ParallelCompileOptions Opts;
   Opts.NumThreads = NumThreads;
-  ParallelModuleCompiler PC(M, Opts);
-  return PC.compile(Out);
+  Opts.Verify = Verify;
+  PC C(M, Opts);
+  bool OK = C.compile(Out);
+  if (StatusOut)
+    *StatusOut = C.status();
+  return OK;
+}
+
+} // namespace
+
+bool tpde::tpde_tir::compileModuleX64Parallel(tir::Module &M,
+                                              asmx::Assembler &Out,
+                                              unsigned NumThreads, bool Verify,
+                                              support::CompileStatus *StatusOut) {
+  return compileOneShot<ParallelModuleCompiler>(M, Out, NumThreads, Verify,
+                                                StatusOut);
 }
 
 bool tpde::tpde_tir::compileModuleA64Parallel(tir::Module &M,
                                               asmx::Assembler &Out,
-                                              unsigned NumThreads) {
-  ParallelCompileOptions Opts;
-  Opts.NumThreads = NumThreads;
-  ParallelModuleCompilerA64 PC(M, Opts);
-  return PC.compile(Out);
+                                              unsigned NumThreads, bool Verify,
+                                              support::CompileStatus *StatusOut) {
+  return compileOneShot<ParallelModuleCompilerA64>(M, Out, NumThreads, Verify,
+                                                   StatusOut);
 }

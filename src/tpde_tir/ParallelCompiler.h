@@ -14,6 +14,7 @@
 #define TPDE_TPDE_TIR_PARALLELCOMPILER_H
 
 #include "core/ParallelCompiler.h"
+#include "tir/Verifier.h"
 #include "tpde_tir/TirCompilerA64.h"
 #include "tpde_tir/TirCompilerX64.h"
 
@@ -36,6 +37,7 @@ struct TirParallelWorker {
   bool compileRange(u32 Begin, u32 End) {
     return Compiler.compileRange(Begin, End);
   }
+  const support::CompileStatus &status() const { return Compiler.status(); }
 
   static u32 funcCount(const tir::Module &M) {
     return static_cast<u32>(M.Funcs.size());
@@ -44,6 +46,10 @@ struct TirParallelWorker {
   /// front and tracks compile cost closely (single pass over values).
   static u32 funcWeight(const tir::Module &M, u32 I) {
     return static_cast<u32>(M.Funcs[I].Values.size());
+  }
+  /// Enables the driver's ParallelCompileOptions::Verify pre-pass.
+  static bool verifyModule(const tir::Module &M, std::string &Errors) {
+    return tir::verifyModule(M, Errors);
   }
 
   TirAdapter Adapter;
@@ -61,13 +67,18 @@ using ParallelModuleCompilerA64 =
 
 /// One-shot convenience entry points mirroring compileModuleX64() /
 /// compileModuleA64(): compile \p M into \p Out with \p NumThreads
-/// workers (0 = hardware concurrency). For repeated compiles keep a
+/// workers (0 = hardware concurrency). With \p Verify the module runs
+/// through tir::verifyModule first and malformed IR never reaches
+/// codegen; \p StatusOut (optional) receives the structured first
+/// diagnostic on failure. For repeated compiles keep a
 /// ParallelModuleCompiler[A64] around instead — these construct and tear
 /// down the pool per call.
 bool compileModuleX64Parallel(tir::Module &M, asmx::Assembler &Out,
-                              unsigned NumThreads = 0);
+                              unsigned NumThreads = 0, bool Verify = false,
+                              support::CompileStatus *StatusOut = nullptr);
 bool compileModuleA64Parallel(tir::Module &M, asmx::Assembler &Out,
-                              unsigned NumThreads = 0);
+                              unsigned NumThreads = 0, bool Verify = false,
+                              support::CompileStatus *StatusOut = nullptr);
 
 } // namespace tpde::tpde_tir
 

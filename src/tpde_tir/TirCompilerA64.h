@@ -1212,12 +1212,43 @@ private:
 
 } // namespace tpde::tpde_tir
 
+#include "tir/Verifier.h"
+
 /// Convenience entry point: compiles \p M into \p Asm with TPDE/AArch64.
+/// With \p Verify the module is validated first (tir::verifyModule) so
+/// malformed IR never reaches the emitter; \p StatusOut (optional)
+/// receives the structured diagnostic on failure.
 namespace tpde::tpde_tir {
-inline bool compileModuleA64(tir::Module &M, asmx::Assembler &Asm) {
+inline bool compileModuleA64(tir::Module &M, asmx::Assembler &Asm,
+                             bool Verify = false,
+                             support::CompileStatus *StatusOut = nullptr) {
+  if (StatusOut)
+    StatusOut->clear();
+  if (Verify) {
+    std::string Errors;
+    if (!tir::verifyModule(M, Errors)) {
+      if (StatusOut) {
+        StatusOut->Err = support::CompileErr::VerifyFailed;
+        StatusOut->Message = std::move(Errors);
+      }
+      return false;
+    }
+  }
   TirAdapter Adapter(M);
   TirCompilerA64 Compiler(Adapter, Asm);
-  return Compiler.compile();
+  bool OK = false;
+  try {
+    OK = Compiler.compile();
+  } catch (...) { // arena growth (interned names) can throw bad_alloc
+    if (StatusOut) {
+      StatusOut->Err = support::CompileErr::OutOfMemory;
+      StatusOut->Message = "allocation failed during module compile";
+    }
+    return false;
+  }
+  if (!OK && StatusOut)
+    *StatusOut = Compiler.status();
+  return OK;
 }
 } // namespace tpde::tpde_tir
 

@@ -6,9 +6,14 @@ using namespace tpde;
 using namespace tpde::uir;
 
 bool tpde::uir::compileModuleUirParallel(UModule &M, asmx::Assembler &Out,
-                                         unsigned NumThreads) {
+                                         unsigned NumThreads, bool Verify,
+                                         support::CompileStatus *StatusOut) {
   ParallelCompileOptions Opts;
   Opts.NumThreads = NumThreads;
+  Opts.Verify = Verify;
   ParallelModuleCompilerUir PC(M, Opts);
-  return PC.compile(Out);
+  bool OK = PC.compile(Out);
+  if (StatusOut)
+    *StatusOut = PC.status();
+  return OK;
 }

@@ -38,6 +38,7 @@ struct UirParallelWorker {
   bool compileRange(u32 Begin, u32 End) {
     return Compiler.compileRange(Begin, End);
   }
+  const support::CompileStatus &status() const { return Compiler.status(); }
 
   static u32 funcCount(const UModule &M) {
     return static_cast<u32>(M.Funcs.size());
@@ -46,6 +47,10 @@ struct UirParallelWorker {
   /// front and tracks compile cost closely (single pass over values).
   static u32 funcWeight(const UModule &M, u32 I) {
     return static_cast<u32>(M.Funcs[I].Vals.size());
+  }
+  /// Enables the driver's ParallelCompileOptions::Verify pre-pass.
+  static bool verifyModule(const UModule &M, std::string &Errors) {
+    return uir::verifyModule(M, Errors);
   }
 
   UirAdapter Adapter;
@@ -61,10 +66,14 @@ using ParallelModuleCompilerUir =
 
 /// One-shot convenience entry point mirroring compileTpdeUir(): compile
 /// \p M into \p Out with \p NumThreads workers (0 = hardware
-/// concurrency). For repeated compiles keep a ParallelModuleCompilerUir
+/// concurrency). With \p Verify the module runs through
+/// uir::verifyModule first and malformed query IR never reaches codegen;
+/// \p StatusOut (optional) receives the structured first diagnostic on
+/// failure. For repeated compiles keep a ParallelModuleCompilerUir
 /// around instead — this constructs and tears down the pool per call.
 bool compileModuleUirParallel(UModule &M, asmx::Assembler &Out,
-                              unsigned NumThreads = 0);
+                              unsigned NumThreads = 0, bool Verify = false,
+                              support::CompileStatus *StatusOut = nullptr);
 
 } // namespace tpde::uir
 

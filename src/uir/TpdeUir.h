@@ -16,6 +16,7 @@
 #include "tir/TIR.h"
 #include "tpde_tir/TirGlobals.h"
 #include "uir/UIR.h"
+#include "uir/Verifier.h"
 #include "x64/CompilerX64.h"
 
 #include <array>
@@ -333,11 +334,40 @@ private:
   support::DenseMap<u64, asmx::SymRef> FpPool;
 };
 
-/// Compiles UIR directly with TPDE (no IR translation).
-inline bool compileTpdeUir(UModule &M, asmx::Assembler &Asm) {
+/// Compiles UIR directly with TPDE (no IR translation). With \p Verify
+/// the module is validated first (uir::verifyModule) so malformed query
+/// IR never reaches the emitter; \p StatusOut (optional) receives the
+/// structured diagnostic on failure.
+inline bool compileTpdeUir(UModule &M, asmx::Assembler &Asm,
+                           bool Verify = false,
+                           support::CompileStatus *StatusOut = nullptr) {
+  if (StatusOut)
+    StatusOut->clear();
+  if (Verify) {
+    std::string Errors;
+    if (!verifyModule(M, Errors)) {
+      if (StatusOut) {
+        StatusOut->Err = support::CompileErr::VerifyFailed;
+        StatusOut->Message = std::move(Errors);
+      }
+      return false;
+    }
+  }
   UirAdapter A(M);
   UirCompilerX64 C(A, Asm);
-  return C.compile();
+  bool OK = false;
+  try {
+    OK = C.compile();
+  } catch (...) { // arena growth (interned names) can throw bad_alloc
+    if (StatusOut) {
+      StatusOut->Err = support::CompileErr::OutOfMemory;
+      StatusOut->Message = "allocation failed during module compile";
+    }
+    return false;
+  }
+  if (!OK && StatusOut)
+    *StatusOut = C.status();
+  return OK;
 }
 
 bool translateToTir(const UModule &M, tir::Module &Out);

@@ -1,0 +1,31 @@
+//===- uir/Verifier.h - Structural validation for UIR -----------*- C++ -*-===//
+///
+/// \file
+/// Validates UIR functions before codegen: block structure and terminator
+/// placement, per-op operand arity and id ranges, phi/predecessor
+/// agreement, and module-level name uniqueness. The counterpart of
+/// tir/Verifier.h for the database IR — the verifier-gated compile entry
+/// points (compileTpdeUir, compileModuleUirParallel) run it so malformed
+/// query IR is rejected with a diagnostic instead of reaching the emitter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_UIR_VERIFIER_H
+#define TPDE_UIR_VERIFIER_H
+
+#include "uir/UIR.h"
+
+#include <string>
+
+namespace tpde::uir {
+
+/// Verifies one function; appends problems to \p Errors. Returns true if
+/// the function is well-formed.
+bool verifyFunction(const UFunc &F, std::string &Errors);
+
+/// Verifies every function plus module-level invariants (unique names).
+bool verifyModule(const UModule &M, std::string &Errors);
+
+} // namespace tpde::uir
+
+#endif // TPDE_UIR_VERIFIER_H

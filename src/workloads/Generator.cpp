@@ -447,3 +447,94 @@ std::vector<NamedProfile> tpde::workloads::specLikeProfiles(bool O0Flavor) {
       Mk("657.xz", 657, 16, 12, 11, 3, 35, 0, 2, 20, 35),
   };
 }
+
+// --- Adversarial generation ------------------------------------------------
+
+const char *tpde::workloads::malformKindName(MalformKind K) {
+  switch (K) {
+  case MalformKind::DanglingOperand: return "dangling_operand";
+  case MalformKind::PhiPredMismatch: return "phi_pred_mismatch";
+  case MalformKind::NonDominatingUse: return "non_dominating_use";
+  case MalformKind::BadTerminator: return "bad_terminator";
+  case MalformKind::DuplicateName: return "duplicate_name";
+  }
+  return "unknown";
+}
+
+u32 tpde::workloads::genMalformed(Module &M, MalformKind K) {
+  std::string Name = std::string("bad_") + malformKindName(K);
+  switch (K) {
+  case MalformKind::DanglingOperand: {
+    // x = add(a0, a1); ret x — then point the add's first operand past
+    // the value table.
+    FunctionBuilder B(M, Name, Type::I64, {Type::I64, Type::I64});
+    B.setInsertPoint(B.addBlock("entry"));
+    ValRef X = B.binop(Op::Add, B.arg(0), B.arg(1));
+    B.ret(X);
+    B.finish();
+    Function &F = B.func();
+    F.OperandPool[F.val(X).OpBegin] = F.valueCount() + 7;
+    return B.funcIndex();
+  }
+  case MalformKind::PhiPredMismatch: {
+    // Diamond whose join phi only lists one of its two predecessors.
+    FunctionBuilder B(M, Name, Type::I64, {Type::I64, Type::I64});
+    BlockRef E = B.addBlock("entry"), B1 = B.addBlock("then"),
+             B2 = B.addBlock("else"), B3 = B.addBlock("join");
+    B.setInsertPoint(E);
+    B.condBr(B.icmp(ICmp::Slt, B.arg(0), B.arg(1)), B1, B2);
+    B.setInsertPoint(B1);
+    ValRef X = B.binop(Op::Add, B.arg(0), B.arg(1));
+    B.br(B3);
+    B.setInsertPoint(B2);
+    B.br(B3);
+    B.setInsertPoint(B3);
+    ValRef P = B.phi(Type::I64);
+    B.addPhiIncoming(P, B1, X); // missing the B2 incoming
+    B.ret(P);
+    B.finish();
+    return B.funcIndex();
+  }
+  case MalformKind::NonDominatingUse: {
+    // Diamond where one arm's definition is used at the join (the other
+    // arm reaches the join without defining it).
+    FunctionBuilder B(M, Name, Type::I64, {Type::I64, Type::I64});
+    BlockRef E = B.addBlock("entry"), B1 = B.addBlock("then"),
+             B2 = B.addBlock("else"), B3 = B.addBlock("join");
+    B.setInsertPoint(E);
+    B.condBr(B.icmp(ICmp::Slt, B.arg(0), B.arg(1)), B1, B2);
+    B.setInsertPoint(B1);
+    ValRef X = B.binop(Op::Add, B.arg(0), B.arg(1));
+    B.br(B3);
+    B.setInsertPoint(B2);
+    B.br(B3);
+    B.setInsertPoint(B3);
+    B.ret(X); // 'then' does not dominate 'join'
+    B.finish();
+    return B.funcIndex();
+  }
+  case MalformKind::BadTerminator: {
+    // Instruction appended after the block terminator.
+    FunctionBuilder B(M, Name, Type::I64, {Type::I64, Type::I64});
+    B.setInsertPoint(B.addBlock("entry"));
+    B.ret(B.arg(0));
+    B.binop(Op::Add, B.arg(0), B.arg(1));
+    B.finish();
+    return B.funcIndex();
+  }
+  case MalformKind::DuplicateName: {
+    // Two strong definitions of the same symbol; each body is valid, so
+    // only the module-level check can catch this.
+    u32 Idx = 0;
+    for (int I = 0; I < 2; ++I) {
+      FunctionBuilder B(M, Name, Type::I64, {Type::I64, Type::I64});
+      B.setInsertPoint(B.addBlock("entry"));
+      B.ret(B.binop(I == 0 ? Op::Add : Op::Sub, B.arg(0), B.arg(1)));
+      B.finish();
+      Idx = B.funcIndex();
+    }
+    return Idx;
+  }
+  }
+  TPDE_UNREACHABLE("bad MalformKind");
+}

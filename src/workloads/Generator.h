@@ -90,6 +90,28 @@ std::vector<uir::QueryPlan> genQueryPlans(const QueryProfile &P);
 /// Compiles every generated plan into \p M (one UIR function per query).
 void genQueryModule(uir::UModule &M, const QueryProfile &P);
 
+// --- Adversarial generation (robustness testing) --------------------------
+
+/// One mutation class of deliberately malformed TIR. Each produces a
+/// small function that is guaranteed to exhibit exactly that defect, for
+/// testing that the verifier pre-pass rejects it before codegen
+/// (docs/ROBUSTNESS.md).
+enum class MalformKind : u8 {
+  DanglingOperand,  ///< Operand index past the value table.
+  PhiPredMismatch,  ///< Phi incomings disagree with the block's preds.
+  NonDominatingUse, ///< A use the definition does not dominate.
+  BadTerminator,    ///< Instruction after the block terminator.
+  DuplicateName,    ///< Two strong definitions of the same name.
+};
+inline constexpr u32 NumMalformKinds = 5;
+const char *malformKindName(MalformKind K);
+
+/// Appends function(s) exhibiting exactly the defect \p K to \p M (any
+/// existing valid functions are untouched, so a mixed good/bad module can
+/// be built). Returns the index of the malformed function.
+/// tir::verifyModule must reject the resulting module.
+u32 genMalformed(tir::Module &M, MalformKind K);
+
 } // namespace tpde::workloads
 
 #endif // TPDE_WORKLOADS_GENERATOR_H

@@ -158,6 +158,27 @@ TEST(Assembler, A64Branch26Fixup) {
   EXPECT_EQ(T.readLE<u32>(Off), 0x14000002u);
 }
 
+#ifdef NDEBUG
+/// An out-of-bounds fixup offset asserts in debug builds; release builds
+/// must take the checked error path (first-error-wins on the assembler)
+/// instead of patching out of bounds — and reset() must clear it.
+TEST(Assembler, OutOfBoundsFixupPatchIsACheckedError) {
+  Assembler A;
+  Section &T = A.text();
+  T.appendByte(0x90);
+  Label L = A.makeLabel();
+  A.bindLabel(L);
+  A.addFixup(L, FixupKind::Rel32, /*Off=*/64); // far past the 1-byte text
+  EXPECT_EQ(T.size(), 1u) << "OOB patch wrote into the text section";
+  ASSERT_TRUE(A.hasError());
+  EXPECT_EQ(A.errorCode(), support::CompileErr::AssemblerError);
+  EXPECT_NE(A.errorMessage().find("out of bounds"), std::string_view::npos)
+      << A.errorMessage();
+  A.reset();
+  EXPECT_FALSE(A.hasError());
+}
+#endif // NDEBUG
+
 TEST(ElfWriter, HeaderAndSymbols) {
   Assembler A;
   SymRef F = A.createSymbol("myfunc", Linkage::External, true);
