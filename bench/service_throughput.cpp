@@ -1,0 +1,206 @@
+//===- bench/service_throughput.cpp - Compile-service bench ---------------===//
+///
+/// Open-loop workload against the UIR compile service (docs/SERVICE.md):
+/// a fixed pool of distinct single-query modules is submitted repeatedly
+/// at a configurable arrival rate, without waiting for results between
+/// submissions — queueing delay is part of the measured latency, exactly
+/// as a serving system experiences it. First touch of each pool entry is
+/// a compulsory miss; every revisit must hit the content-addressed cache.
+///
+/// Reports hit ratio, sustained jobs/sec, hit and miss latency p50/p99
+/// (from the service's allocation-free histograms), and the p50 hit
+/// speedup (miss p50 / hit p50). Emits BENCH_service_throughput.json for
+/// scripts/check_bench_regression.py, which gates:
+///   * hit_ratio >= 0.9            (absolute),
+///   * hit_speedup_p50 >= 10       (absolute — a hit must amortize),
+///   * miss/hit p99 vs the committed baseline (generous relative floor),
+///   * fault_injection == false    (hooks compiled out in default builds).
+///
+/// Flags: --jobs=N --distinct=D --workers=W --rate=R (jobs/sec, 0 = no
+/// pacing) --budget-mb=B.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+#include "support/Timer.h"
+#include "uir/Service.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace tpde;
+
+namespace {
+
+/// Distinct single-query modules: variant-dependent plan constants give
+/// each pool entry its own fingerprint and its own exported symbol.
+uir::UModule makePoolModule(u32 I) {
+  uir::QueryPlan P;
+  P.Name = "svc_q" + std::to_string(I);
+  P.Preds = {{1, uir::UOp::CmpLt, 100 + static_cast<i64>(I) * 7},
+             {2 + I % 3, uir::UOp::CmpNe, 13 + static_cast<i64>(I)}};
+  P.AggColA = I % 4;
+  P.AggColB = 4 + I % 2;
+  P.AggK = static_cast<i64>(I);
+  uir::UModule M;
+  uir::compilePlan(M, P);
+  return M;
+}
+
+struct Options {
+  unsigned Jobs = 640;
+  unsigned Distinct = 32;
+  unsigned Workers = 2;
+  double Rate = 0.0; // jobs/sec arrival pacing; 0 = submit back-to-back
+  u64 BudgetMb = 64;
+};
+
+unsigned parseU(const char *S, const char *What) {
+  char *End = nullptr;
+  unsigned long V = std::strtoul(S, &End, 10);
+  if (!End || *End || V == 0) {
+    std::fprintf(stderr, "invalid %s value '%s'\n", What, S);
+    std::exit(2);
+  }
+  return static_cast<unsigned>(V);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options O;
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (!std::strncmp(Arg, "--jobs=", 7))
+      O.Jobs = parseU(Arg + 7, "--jobs");
+    else if (!std::strncmp(Arg, "--distinct=", 11))
+      O.Distinct = parseU(Arg + 11, "--distinct");
+    else if (!std::strncmp(Arg, "--workers=", 10))
+      O.Workers = parseU(Arg + 10, "--workers");
+    else if (!std::strncmp(Arg, "--rate=", 7))
+      O.Rate = std::atof(Arg + 7);
+    else if (!std::strncmp(Arg, "--budget-mb=", 12))
+      O.BudgetMb = parseU(Arg + 12, "--budget-mb");
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--jobs=N] [--distinct=D] [--workers=W] "
+                   "[--rate=R] [--budget-mb=B]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (O.Distinct > O.Jobs)
+    O.Distinct = O.Jobs;
+
+  service::ServiceOptions SO;
+  SO.NumWorkers = O.Workers;
+  SO.CacheBudgetBytes = O.BudgetMb * 1024 * 1024;
+  uir::UirCompileService Svc(SO);
+
+  // Deterministic interleaved arrival order: walk the pool with an
+  // odd stride so distinct fingerprints mix instead of arriving in
+  // D-sized runs (closer to a real query mix, and it exercises the
+  // cache under interleaving rather than phased warmup).
+  std::vector<service::ResultPtr> Results;
+  Results.reserve(O.Jobs);
+  const u64 PeriodNs =
+      O.Rate > 0 ? static_cast<u64>(1e9 / O.Rate) : 0;
+  const u64 StartNs = nowNs();
+  u64 NextDue = StartNs;
+  for (unsigned I = 0; I < O.Jobs; ++I) {
+    if (PeriodNs) {
+      // Open loop: arrivals are scheduled on the wall clock, never
+      // delayed by a slow service (a late tick fires immediately).
+      while (nowNs() < NextDue)
+        std::this_thread::yield();
+      NextDue += PeriodNs;
+    }
+    u32 Pick = static_cast<u32>((I * 7) % O.Distinct);
+    Results.push_back(Svc.submit(makePoolModule(Pick)));
+  }
+  for (auto &R : Results)
+    R->wait();
+  const u64 ElapsedNs = nowNs() - StartNs;
+  Svc.shutdown();
+
+  unsigned Failed = 0;
+  for (auto &R : Results)
+    if (!R->ok())
+      ++Failed;
+  if (Failed) {
+    std::fprintf(stderr, "%u job(s) failed; first: %s\n", Failed,
+                 Results[0]->status().Message.c_str());
+    return 1;
+  }
+
+  service::ServiceStatsSnapshot S = Svc.stats();
+  const double Served = static_cast<double>(S.Hits + S.Misses + S.Coalesced);
+  const double HitRatio =
+      Served > 0 ? static_cast<double>(S.Hits + S.Coalesced) / Served : 0;
+  const double JobsPerSec =
+      static_cast<double>(O.Jobs) * 1e9 / static_cast<double>(ElapsedNs);
+  const double HitSpeedup =
+      S.HitP50Ns > 0 ? static_cast<double>(S.MissP50Ns) /
+                           static_cast<double>(S.HitP50Ns)
+                     : 0;
+
+  std::printf("service_throughput: %u jobs over %u distinct modules, "
+              "%u worker(s), rate %s\n",
+              O.Jobs, O.Distinct, O.Workers,
+              O.Rate > 0 ? (std::to_string(O.Rate) + "/s").c_str()
+                         : "unpaced");
+  std::printf("  hits %llu  misses %llu  coalesced %llu  evictions %llu  "
+              "cached %llu entries / %llu bytes\n",
+              (unsigned long long)S.Hits, (unsigned long long)S.Misses,
+              (unsigned long long)S.Coalesced,
+              (unsigned long long)S.Evictions,
+              (unsigned long long)S.CachedEntries,
+              (unsigned long long)S.CachedBytes);
+  std::printf("  hit ratio %.3f  jobs/sec %.0f\n", HitRatio, JobsPerSec);
+  std::printf("  hit  latency p50 %8llu ns   p99 %8llu ns\n",
+              (unsigned long long)S.HitP50Ns, (unsigned long long)S.HitP99Ns);
+  std::printf("  miss latency p50 %8llu ns   p99 %8llu ns\n",
+              (unsigned long long)S.MissP50Ns,
+              (unsigned long long)S.MissP99Ns);
+  std::printf("  hit speedup (miss p50 / hit p50): %.1fx\n", HitSpeedup);
+
+  FILE *F = std::fopen("BENCH_service_throughput.json", "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write BENCH_service_throughput.json\n");
+    return 1;
+  }
+  std::fprintf(F,
+               "{\n"
+               "  \"bench\": \"service_throughput\",\n"
+               "  \"jobs\": %u,\n  \"distinct_modules\": %u,\n"
+               "  \"workers\": %u,\n  \"rate_jobs_per_sec\": %.1f,\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"fault_injection\": %s,\n"
+               "  \"service\": {\n"
+               "    \"hit_ratio\": %.4f,\n"
+               "    \"hits\": %llu,\n    \"misses\": %llu,\n"
+               "    \"coalesced\": %llu,\n    \"evictions\": %llu,\n"
+               "    \"failed\": %llu,\n"
+               "    \"jobs_per_sec\": %.1f,\n"
+               "    \"hit_p50_ns\": %llu,\n    \"hit_p99_ns\": %llu,\n"
+               "    \"miss_p50_ns\": %llu,\n    \"miss_p99_ns\": %llu,\n"
+               "    \"hit_speedup_p50\": %.2f\n"
+               "  }\n}\n",
+               O.Jobs, O.Distinct, O.Workers, O.Rate,
+               std::thread::hardware_concurrency(),
+               support::faultInjectionEnabled() ? "true" : "false", HitRatio,
+               (unsigned long long)S.Hits, (unsigned long long)S.Misses,
+               (unsigned long long)S.Coalesced,
+               (unsigned long long)S.Evictions,
+               (unsigned long long)S.Failed, JobsPerSec,
+               (unsigned long long)S.HitP50Ns, (unsigned long long)S.HitP99Ns,
+               (unsigned long long)S.MissP50Ns,
+               (unsigned long long)S.MissP99Ns, HitSpeedup);
+  std::fclose(F);
+  std::printf("wrote BENCH_service_throughput.json\n");
+  return 0;
+}

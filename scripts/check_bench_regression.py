@@ -41,10 +41,29 @@ checked only when the measuring machine reported >= 4 hardware threads —
 on smaller machines a 4-thread speedup is not reachable and the check is
 skipped with a notice.
 
+Service mode (--service) gates BENCH_service_throughput.json instead —
+the compile-service bench (docs/SERVICE.md). Its acceptance criteria are
+mostly *absolute*, so they hold on any hardware without a baseline:
+
+    hit_ratio       >= --min-hit-ratio   (default 0.90)
+    hit_speedup_p50 >= --min-hit-speedup (default 10.0)
+    failed          == 0
+    fault_injection == false             (same hygiene rule as above)
+
+plus a relative p99-latency check against the committed baseline: the
+hit and miss p99s may grow to at most (1 + --latency-floor) x baseline
+(default floor 2.0, i.e. 3x). The floor is deliberately generous —
+latency tails on shared runners move far more than throughput means, and
+the absolute hit-speedup gate already catches a hit path that stopped
+being cheap; the relative check only guards against order-of-magnitude
+cliffs (a lock added on the hit path, a histogram unit bug).
+
 Usage:
     check_bench_regression.py BASELINE.json NEW.json
         [--sigmas=4] [--rel-floor=0.30] [--normalize]
         [--require-speedup=1.5]
+    check_bench_regression.py --service BASELINE_SERVICE.json NEW_SERVICE.json
+        [--min-hit-ratio=0.9] [--min-hit-speedup=10] [--latency-floor=2.0]
 """
 
 import json
@@ -77,6 +96,67 @@ def load(path):
     return data, out
 
 
+def service_gate(base_path, new_path, opts):
+    with open(base_path) as f:
+        base_doc = json.load(f)
+    with open(new_path) as f:
+        new_doc = json.load(f)
+    min_ratio = float(opts.get("min-hit-ratio", 0.90))
+    min_speedup = float(opts.get("min-hit-speedup", 10.0))
+    latency_floor = float(opts.get("latency-floor", 2.0))
+
+    failed = False
+    if new_doc.get("fault_injection", False):
+        print("FAIL: candidate service run was built with "
+              "TPDE_FAULT_INJECTION=ON")
+        failed = True
+    if base_doc.get("fault_injection", False):
+        print("FAIL: committed service baseline was built with "
+              "TPDE_FAULT_INJECTION=ON; re-record it from a default build")
+        failed = True
+
+    s = new_doc.get("service", {})
+    ratio = float(s.get("hit_ratio", 0.0))
+    speedup = float(s.get("hit_speedup_p50", 0.0))
+    njobs_failed = int(s.get("failed", -1))
+    print(f"hit_ratio       {ratio:.3f}  (>= {min_ratio:.2f} required)")
+    print(f"hit_speedup_p50 {speedup:.1f}x (>= {min_speedup:.1f}x required)")
+    print(f"failed jobs     {njobs_failed}")
+    if ratio < min_ratio:
+        print("FAIL: hit ratio below requirement — the content-addressed "
+              "cache is not memoizing repeated submissions")
+        failed = True
+    if speedup < min_speedup:
+        print("FAIL: hit speedup below requirement — a cache hit must be "
+              "at least an order of magnitude cheaper than a fresh compile")
+        failed = True
+    if njobs_failed != 0:
+        print("FAIL: the service failed jobs (or the 'failed' counter is "
+              "missing from the json)")
+        failed = True
+
+    bs = base_doc.get("service", {})
+    for row in ("hit_p99_ns", "miss_p99_ns"):
+        b, n = float(bs.get(row, 0)), float(s.get(row, 0))
+        if b <= 0 or n <= 0:
+            print(f"WARN: {row} missing from baseline or candidate; "
+                  f"latency check skipped")
+            continue
+        allowed = b * (1.0 + latency_floor)
+        verdict = "ok"
+        if n > allowed:
+            verdict = "REGRESSION"
+            failed = True
+        print(f"{row:<12} base {b:>10.0f}  new {n:>10.0f}  "
+              f"allowed {allowed:>10.0f}  {verdict}")
+
+    if failed:
+        print("service benchmark gate: FAILED")
+        return 1
+    print("service benchmark gate: passed")
+    return 0
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     opts = {}
@@ -87,6 +167,8 @@ def main(argv):
     if len(args) != 2:
         print(__doc__)
         return 2
+    if "service" in opts:
+        return service_gate(args[0], args[1], opts)
     sigmas = float(opts.get("sigmas", 4.0))
     rel_floor = float(opts.get("rel-floor", 0.30))
     require_speedup = float(opts["require-speedup"]) if "require-speedup" in opts else None

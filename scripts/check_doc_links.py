@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Markdown link check: every relative link and inline `path` reference
+in docs/*.md and README.md must resolve inside the repo.
+
+Checked:
+  * markdown links  [text](target)  — relative targets only (http(s):
+    and mailto: are skipped; anchors are stripped before resolving);
+  * backtick path spans that look like repo files, e.g. `src/uir/UIR.h`
+    or `scripts/check_bench_regression.py` — docs cite sources heavily,
+    and a renamed file silently rots those citations.
+
+Targets resolve relative to the referencing file's directory first, then
+the repo root (docs conventionally cite root-relative paths). Exits 1
+listing every dangling reference.
+
+Usage: check_doc_links.py [repo_root]
+"""
+
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# `path/like.this` with a slash and an extension — not code spans.
+PATH_RE = re.compile(r"`([A-Za-z0-9_.\-]+(?:/[A-Za-z0-9_.\-]+)+\.[A-Za-z0-9]{1,4})`")
+
+
+def main(argv):
+    root = pathlib.Path(argv[1] if len(argv) > 1 else ".").resolve()
+    files = sorted((root / "docs").glob("*.md")) + [root / "README.md"]
+    bad = []
+    for md in files:
+        text = md.read_text(encoding="utf-8")
+        refs = [m.group(1) for m in LINK_RE.finditer(text)]
+        refs += [m.group(1) for m in PATH_RE.finditer(text)]
+        for ref in refs:
+            if ref.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = ref.split("#", 1)[0]
+            if not target:
+                continue
+            if not ((md.parent / target).exists() or (root / target).exists()):
+                bad.append(f"{md.relative_to(root)}: dangling reference '{ref}'")
+    for b in bad:
+        print(b)
+    if bad:
+        print(f"doc link check: FAILED ({len(bad)} dangling reference(s))")
+        return 1
+    print(f"doc link check: passed ({len(files)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

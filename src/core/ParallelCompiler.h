@@ -63,6 +63,21 @@
 /// the ELF writer emits the symbol table in a canonical content order,
 /// so the serial and merged objects are byte-identical end to end.
 ///
+/// Job-aligned batching (compileJobs): the serving layer concatenates
+/// several independent modules into one batch and needs each job's
+/// output *separately* — byte-identical to compiling that job alone,
+/// because the output is the value of a content-addressed cache entry
+/// (docs/SERVICE.md). compileJobs() extends the determinism contract to
+/// that shape: each job's function range is subdivided with the same
+/// weighted rule a solo compile of that range would use (so no shard
+/// ever straddles a job boundary), the shards run through the one
+/// work-stealing pass, and every job's assembler is then rebuilt from
+/// the shared module-level globals fragment plus exactly its own shards,
+/// merged in shard order. Per-job failure isolation follows the same
+/// rules as graceful degradation: a failing function fails its job with
+/// a structured diagnostic; batch neighbors are unaffected
+/// (tests/service_test.cpp).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TPDE_CORE_PARALLELCOMPILER_H
@@ -73,6 +88,7 @@
 #include "support/FaultInjector.h"
 #include "support/WorkQueue.h"
 
+#include <algorithm>
 #include <concepts>
 #include <condition_variable>
 #include <memory>
@@ -188,40 +204,7 @@ public:
       return false;
     }
     computeShardBounds();
-    while (Frags.size() < NumShards)
-      Frags.push_back(std::make_unique<asmx::Assembler>());
-    ShardFailed.assign(NumShards, 0);
-    if (ShardStatus.size() < NumShards)
-      ShardStatus.resize(NumShards);
-    Queue.reset(NumShards, threadCount());
-
-    // Publish the job. The mutex orders the shard/fragment setup above
-    // before any worker starts draining.
-    {
-      std::lock_guard<std::mutex> L(Mtx);
-      ++JobSeq;
-      Pending = threadCount() - 1;
-    }
-    JobCV.notify_all();
-
-    // The calling thread produces the module-level fragment (global data +
-    // declarations) and then joins shard compilation as worker 0.
-    bool GlobalsFailed = !compileGlobalsFrag();
-    drainQueue(0);
-
-    {
-      std::unique_lock<std::mutex> L(Mtx);
-      DoneCV.wait(L, [this] { return Pending == 0; });
-    }
-
-    // Recovery pass, single-threaded on the calling thread (every worker
-    // is idle past the barrier, so the per-shard slots are safe to read).
-    // Shard order makes the diagnostics list deterministic.
-    if (GlobalsFailed && !compileGlobalsFrag())
-      recordGlobalsFailure();
-    for (u32 S = 0; S < NumShards; ++S)
-      if (ShardFailed[S])
-        retryShard(S);
+    runParallelPass();
 
     // Deterministic merge: globals fragment first, then every shard in
     // shard-index order — independent of which worker compiled what. The
@@ -265,6 +248,114 @@ public:
     return !Out.hasError();
   }
 
+  /// Compiles a batch of K independent jobs that the caller concatenated
+  /// into the module: job J is the function range
+  /// [JobBounds[J], JobBounds[J+1]) (JobBounds has K+1 entries,
+  /// JobBounds[0] == 0, back() == funcCount), and job J's output is
+  /// merged into *Outs[J] (reset first).
+  ///
+  /// Shard bounds are **job-aligned**: each job's range is subdivided
+  /// independently with the same weighted rule a solo compile of those
+  /// functions would use, so every shard belongs to exactly one job and
+  /// job J's output is rebuilt from whole fragments — the globals
+  /// fragment first, then the job's shards in index order, the exact
+  /// walk compile() does for a whole module. Outs[J]'s section bytes are
+  /// therefore identical to compiling job J's functions as their own
+  /// module (batch neighbors change only which *declarations* the
+  /// module-level fragment carries, and declarations contribute no
+  /// section bytes). The compile service's content-addressed cache
+  /// depends on this: a batched compile and a solo compile of the same
+  /// job must be byte-identical (tests/service_test.cpp asserts it).
+  ///
+  /// JobStatus[J] receives job J's first diagnostic (Ok when clean); a
+  /// module-level failure (verify gate, globals fragment) fails every
+  /// job. Failed functions inside one job degrade gracefully exactly as
+  /// in compile() — other jobs, and the failing job's good functions,
+  /// still produce output. Returns true iff every job compiled cleanly.
+  bool compileJobs(std::span<const u32> JobBounds,
+                   std::span<asmx::Assembler *const> Outs,
+                   std::span<support::CompileStatus> JobStatus) {
+    assert(!JobBounds.empty() && JobBounds.front() == 0 &&
+           JobBounds.back() == WorkerT::funcCount(M) &&
+           Outs.size() == JobBounds.size() - 1 &&
+           JobStatus.size() == Outs.size() && "malformed job batch");
+    const size_t K = Outs.size();
+    FirstStatus.clear();
+    Diags.clear();
+    for (auto &St : JobStatus)
+      St.clear();
+    if (Opts.Verify && !verifyGate()) {
+      for (size_t J = 0; J < K; ++J) {
+        Outs[J]->reset();
+        JobStatus[J] = FirstStatus;
+      }
+      return false;
+    }
+    computeShardBoundsForJobs(JobBounds);
+    runParallelPass();
+
+    // Distribute the recovery diagnostics: one with a function index
+    // belongs to the job whose range contains it (first-error-wins per
+    // job — Diags is already (shard, func)-ordered); one without
+    // (globals-fragment failure) is module-level and fails every job.
+    const support::CompileStatus *ModDiag = nullptr;
+    for (const support::CompileStatus &D : Diags) {
+      if (D.Func == ~0u) {
+        if (!ModDiag)
+          ModDiag = &D;
+        continue;
+      }
+      size_t J = static_cast<size_t>(
+          std::upper_bound(JobBounds.begin() + 1, JobBounds.end(), D.Func) -
+          (JobBounds.begin() + 1));
+      if (JobStatus[J].ok())
+        JobStatus[J] = D;
+    }
+
+    // Per-job ordered merges.
+    for (size_t J = 0; J < K; ++J) {
+      asmx::Assembler &Out = *Outs[J];
+      Out.reset();
+      if (ModDiag && JobStatus[J].ok())
+        JobStatus[J] = *ModDiag;
+      try {
+        Out.mergeFrom(GlobalsFrag);
+        for (u32 S = JobShardBegin[J]; S < JobShardBegin[J + 1]; ++S)
+          Out.mergeFrom(*Frags[S]);
+      } catch (...) {
+        if (JobStatus[J].ok()) {
+          JobStatus[J].Err = support::CompileErr::OutOfMemory;
+          JobStatus[J].Message = "allocation failed merging job";
+        }
+        continue;
+      }
+      if (Out.hasError() && JobStatus[J].ok()) {
+        JobStatus[J].Err =
+            Out.errorCode() == support::CompileErr::FaultInjected
+                ? support::CompileErr::FaultInjected
+                : support::CompileErr::MergeError;
+        JobStatus[J].Message.assign(Out.errorMessage());
+      }
+    }
+
+    bool AllOK = true;
+    for (size_t J = 0; J < K; ++J)
+      if (!JobStatus[J].ok())
+        AllOK = false;
+    if (!FirstStatus.ok()) {
+      // verify gate already reported
+    } else if (!Diags.empty()) {
+      FirstStatus = Diags.front();
+    } else if (!AllOK) {
+      for (size_t J = 0; J < K; ++J)
+        if (!JobStatus[J].ok()) {
+          FirstStatus = JobStatus[J];
+          break;
+        }
+    }
+    return AllOK;
+  }
+
   /// First diagnostic of the last compile() — deterministically the one
   /// with the lowest shard index, then lowest function index (Ok after a
   /// fully clean compile).
@@ -297,6 +388,48 @@ private:
     std::thread Thread; ///< Unjoinable for worker 0 (the calling thread).
   };
 
+  /// Shared middle of compile()/compileJobs(): fragment setup, the
+  /// parallel shard pass over the current ShardBounds/NumShards, and the
+  /// single-threaded recovery pass. On return every shard fragment is
+  /// final and Diags holds the recovery diagnostics, ordered by shard
+  /// then function.
+  void runParallelPass() {
+    while (Frags.size() < NumShards)
+      Frags.push_back(std::make_unique<asmx::Assembler>());
+    ShardFailed.assign(NumShards, 0);
+    if (ShardStatus.size() < NumShards)
+      ShardStatus.resize(NumShards);
+    Queue.reset(NumShards, threadCount());
+
+    // Publish the job. The mutex orders the shard/fragment setup above
+    // before any worker starts draining.
+    {
+      std::lock_guard<std::mutex> L(Mtx);
+      ++JobSeq;
+      Pending = threadCount() - 1;
+    }
+    JobCV.notify_all();
+
+    // The calling thread produces the module-level fragment (global data +
+    // declarations) and then joins shard compilation as worker 0.
+    bool GlobalsFailed = !compileGlobalsFrag();
+    drainQueue(0);
+
+    {
+      std::unique_lock<std::mutex> L(Mtx);
+      DoneCV.wait(L, [this] { return Pending == 0; });
+    }
+
+    // Recovery pass, single-threaded on the calling thread (every worker
+    // is idle past the barrier, so the per-shard slots are safe to read).
+    // Shard order makes the diagnostics list deterministic.
+    if (GlobalsFailed && !compileGlobalsFrag())
+      recordGlobalsFailure();
+    for (u32 S = 0; S < NumShards; ++S)
+      if (ShardFailed[S])
+        retryShard(S);
+  }
+
   /// Deterministic shard decomposition. The shard count is
   /// ceil(Funcs / FuncsPerShard) as in the unweighted scheme; with
   /// SizeWeightedShards each boundary is placed where the accumulated
@@ -310,32 +443,64 @@ private:
     ShardBounds.push_back(0);
     if (NumShards == 0)
       return;
-    if (!Opts.SizeWeightedShards || NumShards == 1) {
-      for (u32 S = 1; S < NumShards; ++S)
-        ShardBounds.push_back(S * Opts.FuncsPerShard);
-      ShardBounds.push_back(NumFuncs);
+    appendWeightedBounds(0, NumFuncs, NumShards);
+    assert(ShardBounds.size() == NumShards + 1 && "bad shard decomposition");
+  }
+
+  /// Job-aligned shard decomposition for compileJobs(): every job's
+  /// range is subdivided on its own — shard count
+  /// ceil(JobFuncs / FuncsPerShard), weighted boundaries within the job
+  /// — so no shard straddles a job boundary and the bounds inside a job
+  /// depend only on that job's functions, never on its batch neighbors.
+  /// JobShardBegin[J] is the index of job J's first shard (K+1 entries).
+  void computeShardBoundsForJobs(std::span<const u32> JobBounds) {
+    ShardBounds.clear();
+    ShardBounds.push_back(0);
+    JobShardBegin.clear();
+    JobShardBegin.push_back(0);
+    NumShards = 0;
+    for (size_t J = 0; J + 1 < JobBounds.size(); ++J) {
+      u32 Begin = JobBounds[J], End = JobBounds[J + 1];
+      u32 Shards = (End - Begin + Opts.FuncsPerShard - 1) / Opts.FuncsPerShard;
+      if (Shards)
+        appendWeightedBounds(Begin, End, Shards);
+      NumShards += Shards;
+      JobShardBegin.push_back(NumShards);
+    }
+    assert(ShardBounds.size() == NumShards + 1 && "bad shard decomposition");
+  }
+
+  /// Appends the boundaries subdividing [Begin, End) into \p Shards
+  /// shards to ShardBounds (whose back() must already equal Begin). The
+  /// rule is shared by the whole-module and the per-job decomposition —
+  /// a pure function of the range's weights and FuncsPerShard.
+  void appendWeightedBounds(u32 Begin, u32 End, u32 Shards) {
+    assert(ShardBounds.back() == Begin && Shards > 0);
+    if (!Opts.SizeWeightedShards || Shards == 1) {
+      for (u32 S = 1; S < Shards; ++S)
+        ShardBounds.push_back(Begin + S * Opts.FuncsPerShard);
+      ShardBounds.push_back(End);
       return;
     }
     u64 Total = 0;
-    for (u32 F = 0; F < NumFuncs; ++F)
+    for (u32 F = Begin; F < End; ++F)
       Total += weightOf(F);
     u64 Acc = 0;
     u32 S = 1; // next boundary to place
-    for (u32 F = 0; F < NumFuncs && S < NumShards; ++F) {
+    for (u32 F = Begin; F < End && S < Shards; ++F) {
       Acc += weightOf(F);
-      u32 Remaining = NumFuncs - (F + 1);
-      u32 ShardsLeft = NumShards - S;
+      u32 Remaining = End - (F + 1);
+      u32 ShardsLeft = Shards - S;
       // Close the current shard when its weight slice is full — or when
       // the remaining shards need every remaining function to stay
       // non-empty. At most one boundary per function keeps shards
       // non-empty on the other side.
-      if (Acc * NumShards >= Total * S || Remaining == ShardsLeft) {
+      if (Acc * Shards >= Total * S || Remaining == ShardsLeft) {
         ShardBounds.push_back(F + 1);
         ++S;
       }
     }
-    ShardBounds.push_back(NumFuncs);
-    assert(ShardBounds.size() == NumShards + 1 && "bad shard decomposition");
+    ShardBounds.push_back(End);
   }
 
   u64 weightOf(u32 F) const {
@@ -581,6 +746,9 @@ private:
   /// Shard S = functions [ShardBounds[S], ShardBounds[S+1]); capacity is
   /// retained across compiles (docs/PERF.md).
   std::vector<u32> ShardBounds;
+  /// compileJobs() only: job J owns shards
+  /// [JobShardBegin[J], JobShardBegin[J+1]); K+1 entries.
+  std::vector<u32> JobShardBegin;
   u32 NumShards = 0;
   /// Per-shard failure flag + status slot. Each shard has exactly one
   /// writer (the queue's exactly-once pop) and the Pending==0 barrier

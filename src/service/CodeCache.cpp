@@ -1,0 +1,92 @@
+//===- service/CodeCache.cpp - Content-addressed code cache ---------------===//
+
+#include "service/CodeCache.h"
+
+namespace tpde::service {
+
+CodeCache::Claim CodeCache::claim(const support::Fp128 &Fp,
+                                  const ResultPtr &Res,
+                                  std::shared_ptr<CachedCode> &HitCode) {
+  std::lock_guard<std::mutex> L(Mtx);
+  auto [It, Inserted] = Map.try_emplace(Fp);
+  Entry &E = It->second;
+  E.LastUse = ++Clock;
+  if (Inserted) {
+    Stats.Misses.fetch_add(1, std::memory_order_relaxed);
+    return Claim::Owner;
+  }
+  if (E.St == State::Ready) {
+    Stats.Hits.fetch_add(1, std::memory_order_relaxed);
+    HitCode = E.Code;
+    return Claim::Hit;
+  }
+  Stats.Coalesced.fetch_add(1, std::memory_order_relaxed);
+  E.Waiters.push_back(Res);
+  return Claim::Waiter;
+}
+
+void CodeCache::publish(const support::Fp128 &Fp,
+                        std::shared_ptr<CachedCode> Code,
+                        std::vector<ResultPtr> &Waiters) {
+  std::lock_guard<std::mutex> L(Mtx);
+  auto It = Map.find(Fp);
+  assert(It != Map.end() && It->second.St == State::Building &&
+         "publish without a prior Owner claim");
+  Entry &E = It->second;
+  E.St = State::Ready;
+  E.Code = std::move(Code);
+  E.LastUse = ++Clock;
+  Waiters = std::move(E.Waiters);
+  E.Waiters.clear();
+  Stats.CachedBytes.fetch_add(E.Code->bytes(), std::memory_order_relaxed);
+  Stats.CachedEntries.fetch_add(1, std::memory_order_relaxed);
+  evictLocked(Fp);
+}
+
+void CodeCache::fail(const support::Fp128 &Fp,
+                     std::vector<ResultPtr> &Waiters) {
+  std::lock_guard<std::mutex> L(Mtx);
+  auto It = Map.find(Fp);
+  assert(It != Map.end() && It->second.St == State::Building &&
+         "fail without a prior Owner claim");
+  Waiters = std::move(It->second.Waiters);
+  Map.erase(It);
+}
+
+void CodeCache::evictLocked(const support::Fp128 &Keep) {
+  while (Stats.CachedBytes.load(std::memory_order_relaxed) > Budget) {
+    auto Victim = Map.end();
+    for (auto It = Map.begin(); It != Map.end(); ++It) {
+      if (It->second.St != State::Ready || It->first == Keep)
+        continue;
+      if (Victim == Map.end() || It->second.LastUse < Victim->second.LastUse)
+        Victim = It;
+    }
+    if (Victim == Map.end())
+      return; // nothing evictable: a single entry may exceed the budget
+    Stats.CachedBytes.fetch_sub(Victim->second.Code->bytes(),
+                                std::memory_order_relaxed);
+    Stats.CachedEntries.fetch_sub(1, std::memory_order_relaxed);
+    Stats.Evictions.fetch_add(1, std::memory_order_relaxed);
+    Map.erase(Victim);
+  }
+}
+
+ServiceStatsSnapshot CodeCache::snapshot() const {
+  ServiceStatsSnapshot S;
+  S.Hits = Stats.Hits.load(std::memory_order_relaxed);
+  S.Misses = Stats.Misses.load(std::memory_order_relaxed);
+  S.Coalesced = Stats.Coalesced.load(std::memory_order_relaxed);
+  S.Evictions = Stats.Evictions.load(std::memory_order_relaxed);
+  S.Failed = Stats.Failed.load(std::memory_order_relaxed);
+  S.VerifyRejected = Stats.VerifyRejected.load(std::memory_order_relaxed);
+  S.CachedBytes = Stats.CachedBytes.load(std::memory_order_relaxed);
+  S.CachedEntries = Stats.CachedEntries.load(std::memory_order_relaxed);
+  S.HitP50Ns = Stats.HitNs.quantileNs(0.50);
+  S.HitP99Ns = Stats.HitNs.quantileNs(0.99);
+  S.MissP50Ns = Stats.MissNs.quantileNs(0.50);
+  S.MissP99Ns = Stats.MissNs.quantileNs(0.99);
+  return S;
+}
+
+} // namespace tpde::service

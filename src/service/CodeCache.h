@@ -1,0 +1,213 @@
+//===- service/CodeCache.h - Content-addressed code cache -------*- C++ -*-===//
+///
+/// \file
+/// The compile service's content-addressed code cache: a map from IR
+/// fingerprint (support::Fp128 over a canonical module serialization) to
+/// mapped, executable code. Soundness rests on the framework's
+/// determinism contract (core/ParallelCompiler.h, docs/PERF.md): compiled
+/// output is a pure function of the module, so two modules with equal
+/// canonical serializations produce byte-identical code — a fingerprint
+/// hit may serve the cached mapping in place of a fresh compile. The full
+/// argument lives in docs/SERVICE.md.
+///
+/// The cache is also the service's **single-flight** point: the first
+/// submitter of a fingerprint becomes the owner (and compiles), while
+/// concurrent submitters of the same fingerprint attach to the in-flight
+/// entry as waiters and are completed by the owner's publish — the same
+/// module is never compiled twice concurrently.
+///
+/// Eviction is epoch-LRU under a byte budget: every claim/publish bumps a
+/// logical clock and stamps the entry; publish evicts the stalest Ready
+/// entries until the mapped-byte total fits the budget. Evicted code is
+/// only unmapped when the last client shared_ptr drops, so eviction never
+/// invalidates code a caller is still executing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_SERVICE_CODECACHE_H
+#define TPDE_SERVICE_CODECACHE_H
+
+#include "asmx/Assembler.h"
+#include "asmx/JITMapper.h"
+#include "support/Diag.h"
+#include "support/Hash.h"
+#include "support/Histogram.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tpde::service {
+
+/// One cached compile result: the merged assembler output and its
+/// executable mapping. The Assembler must outlive the JITMapper (the
+/// mapper resolves address() lookups through it), which is why both live
+/// in one immutable object handed out by shared_ptr.
+struct CachedCode {
+  support::Fp128 Fp;
+  asmx::Assembler Asm;
+  asmx::JITMapper JIT;
+
+  /// Entry-point lookup in the mapped code.
+  void *address(std::string_view Name) const { return JIT.address(Name); }
+  /// The mapped text bytes — what the byte-identity tests compare.
+  std::span<const u8> textBytes() const {
+    return {JIT.sectionBase(asmx::SecKind::Text),
+            static_cast<size_t>(Asm.text().size())};
+  }
+  /// Budget-relevant footprint: the executable mapping's size.
+  u64 bytes() const { return JIT.mappedSize(); }
+};
+
+/// A waitable per-job completion handle. submit() returns one
+/// immediately; wait() blocks until a service worker (or the submit fast
+/// path, on a cache hit) completes it.
+class ServiceResult {
+public:
+  /// Blocks until the job completed (served, failed, or rejected).
+  void wait() const {
+    std::unique_lock<std::mutex> L(Mtx);
+    CV.wait(L, [&] { return Done; });
+  }
+  bool done() const {
+    std::lock_guard<std::mutex> L(Mtx);
+    return Done;
+  }
+  /// Valid after wait(): success, served-from-cache flag, diagnostic,
+  /// code handle, and end-to-end latency (completion - submit).
+  bool ok() const { return St.ok(); }
+  bool hit() const { return Hit; }
+  const support::CompileStatus &status() const { return St; }
+  const std::shared_ptr<CachedCode> &code() const { return Code; }
+  u64 latencyNs() const { return LatNs; }
+  void *address(std::string_view Name) const {
+    return Code ? Code->address(Name) : nullptr;
+  }
+
+  /// Completion (service-internal). NowNs is the completing thread's
+  /// clock reading; latency is derived from the recorded submit time.
+  void complete(std::shared_ptr<CachedCode> C, const support::CompileStatus &S,
+                bool WasHit, u64 NowNs) {
+    {
+      std::lock_guard<std::mutex> L(Mtx);
+      Code = std::move(C);
+      St = S;
+      Hit = WasHit;
+      LatNs = NowNs >= SubmitNs ? NowNs - SubmitNs : 0;
+      Done = true;
+    }
+    CV.notify_all();
+  }
+
+  u64 SubmitNs = 0; ///< Set once by submit() before the handle is shared.
+
+private:
+  mutable std::mutex Mtx;
+  mutable std::condition_variable CV;
+  bool Done = false;
+  bool Hit = false;
+  support::CompileStatus St;
+  std::shared_ptr<CachedCode> Code;
+  u64 LatNs = 0;
+};
+
+using ResultPtr = std::shared_ptr<ServiceResult>;
+
+/// Monotonically increasing counters + latency histograms. Counter
+/// writes are relaxed atomics (allocation- and lock-free); reads are a
+/// snapshot, not a consistent cut.
+struct ServiceStats {
+  std::atomic<u64> Hits{0};       ///< Served from cache at submit.
+  std::atomic<u64> Misses{0};     ///< Entered compilation (single-flight owners).
+  std::atomic<u64> Coalesced{0};  ///< Attached to an in-flight compile.
+  std::atomic<u64> Evictions{0};  ///< Entries evicted under the byte budget.
+  std::atomic<u64> Failed{0};     ///< Jobs completed with a diagnostic.
+  std::atomic<u64> VerifyRejected{0}; ///< Rejected by the admission verifier.
+  std::atomic<u64> CachedBytes{0};
+  std::atomic<u64> CachedEntries{0};
+  support::LatencyHistogram HitNs;  ///< End-to-end latency of cache hits.
+  support::LatencyHistogram MissNs; ///< End-to-end latency of compiles
+                                    ///< (owners and coalesced waiters).
+};
+
+/// Plain-value snapshot of ServiceStats for reporting.
+struct ServiceStatsSnapshot {
+  u64 Hits = 0, Misses = 0, Coalesced = 0, Evictions = 0, Failed = 0,
+      VerifyRejected = 0, CachedBytes = 0, CachedEntries = 0;
+  u64 HitP50Ns = 0, HitP99Ns = 0, MissP50Ns = 0, MissP99Ns = 0;
+};
+
+/// Fingerprint -> mapped code, with single-flight claim semantics.
+/// Thread-safe; all state behind one mutex (operations are O(1) map
+/// probes except the eviction scan, see evictLocked()). Waiter
+/// completion always happens *outside* the lock: publish()/fail() hand
+/// the waiter list back to the caller.
+class CodeCache {
+public:
+  explicit CodeCache(u64 BudgetBytes) : Budget(BudgetBytes) {}
+
+  CodeCache(const CodeCache &) = delete;
+  CodeCache &operator=(const CodeCache &) = delete;
+
+  enum class Claim : u8 {
+    Hit,    ///< Ready entry found; HitCode is set, stats bumped.
+    Owner,  ///< Caller claimed the fingerprint and must compile + publish
+            ///< (or fail) it.
+    Waiter, ///< A compile is in flight; Res was attached and will be
+            ///< completed by the owner.
+  };
+
+  /// Single-flight admission for \p Fp on behalf of result handle \p Res.
+  Claim claim(const support::Fp128 &Fp, const ResultPtr &Res,
+              std::shared_ptr<CachedCode> &HitCode);
+
+  /// Publishes the owner's compiled code for \p Fp, evicts down to the
+  /// byte budget, and moves the entry's waiters into \p Waiters for the
+  /// caller to complete outside the lock.
+  void publish(const support::Fp128 &Fp, std::shared_ptr<CachedCode> Code,
+               std::vector<ResultPtr> &Waiters);
+
+  /// Removes the in-flight entry for \p Fp after a failed compile — the
+  /// cache is never poisoned by failures; a later submit of the same
+  /// fingerprint compiles again. Waiters are handed back as in publish().
+  void fail(const support::Fp128 &Fp, std::vector<ResultPtr> &Waiters);
+
+  ServiceStats &stats() { return Stats; }
+  ServiceStatsSnapshot snapshot() const;
+
+  u64 budgetBytes() const { return Budget; }
+  size_t entryCount() const {
+    std::lock_guard<std::mutex> L(Mtx);
+    return Map.size();
+  }
+
+private:
+  enum class State : u8 { Building, Ready };
+  struct Entry {
+    State St = State::Building;
+    std::shared_ptr<CachedCode> Code;
+    u64 LastUse = 0;
+    std::vector<ResultPtr> Waiters;
+  };
+
+  /// Evicts the lowest-LastUse Ready entries (never the one named by
+  /// \p Keep, never Building entries) until CachedBytes <= Budget or
+  /// nothing evictable remains. O(entries) scan per eviction — fine at
+  /// cache sizes where eviction is rare; called with Mtx held.
+  void evictLocked(const support::Fp128 &Keep);
+
+  const u64 Budget;
+  mutable std::mutex Mtx;
+  std::unordered_map<support::Fp128, Entry, support::Fp128Hash> Map;
+  u64 Clock = 0; ///< Epoch counter: bumped per touch, stamps LastUse.
+  ServiceStats Stats;
+};
+
+} // namespace tpde::service
+
+#endif // TPDE_SERVICE_CODECACHE_H

@@ -1,0 +1,349 @@
+//===- service/CompileService.h - Multi-tenant compile service --*- C++ -*-===//
+///
+/// \file
+/// A multi-tenant JIT compile service: clients submit() IR modules from
+/// any thread and get back a waitable ServiceResult; service workers pop
+/// jobs from a bounded MPMC queue (support/MpmcQueue.h), batch small
+/// jobs into one module, compile the batch through the existing parallel
+/// driver's job-aligned entry point
+/// (core::ParallelModuleCompiler::compileJobs), map each job's output
+/// executable, and memoize it in the content-addressed CodeCache. This
+/// is ROADMAP open item 1: the determinism work of PRs 2-4 turned into a
+/// serving feature (see docs/SERVICE.md and docs/ARCHITECTURE.md).
+///
+/// The pipeline per job:
+///
+///   submit()  --verify gate--> fingerprint --> cache.claim()
+///      Hit:    complete immediately with the cached mapping
+///      Waiter: another submit of the same fingerprint is compiling;
+///              attach and wait (single-flight, no duplicate compile)
+///      Owner:  enqueue; a worker batches it with up to MaxBatchJobs-1
+///              queued jobs, compiles the batch in one parallel pass,
+///              maps per-job code, publishes it, completes all waiters
+///
+/// Admission reuses the PR 6 robustness plumbing: the verifier gate runs
+/// on the *client* thread before the job can touch the queue or cache,
+/// so a malformed module costs its submitter a structured VerifyFailed
+/// diagnostic and nobody else anything. A job that fails mid-batch
+/// (graceful-degradation path of the parallel driver) gets a precise
+/// per-job diagnostic while the other jobs of the batch are served
+/// normally — and the failed fingerprint is removed, never cached.
+///
+/// The service is a template over a Traits type binding it to an IR:
+///
+///   struct MyTraits {
+///     using WorkerT = ...;   // satisfies core::ParallelCompileWorker
+///     // ModuleT = WorkerT::ModuleT, default-constructible + movable
+///     static support::Fp128 fingerprint(const ModuleT &M);
+///     // Appends Job's functions/globals to Batch; false on a symbol
+///     // conflict with what Batch already holds (Batch unusable for Job).
+///     static bool appendTo(ModuleT &Batch, const ModuleT &Job);
+///     static void clearModule(ModuleT &Batch);
+///     static bool verify(const ModuleT &M, std::string &Err);
+///     static constexpr asmx::JITMapper::StubArch Stub = ...;
+///   };
+///
+/// Allocation discipline: the per-function compile loop inside the batch
+/// compile stays allocation-free per docs/PERF.md (worker state is
+/// reused). Per-*job* work — queue transfer, the CachedCode allocation,
+/// the mapping syscalls — allocates; that is once per distinct module,
+/// amortized away by the cache for every hit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_SERVICE_COMPILESERVICE_H
+#define TPDE_SERVICE_COMPILESERVICE_H
+
+#include "core/ParallelCompiler.h"
+#include "service/CodeCache.h"
+#include "support/MpmcQueue.h"
+#include "support/Timer.h"
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tpde::service {
+
+struct ServiceOptions {
+  /// Service worker threads popping and compiling batches.
+  unsigned NumWorkers = 1;
+  /// Threads inside each worker's parallel batch compile (1 = the worker
+  /// thread compiles its batch alone; >1 shards across a private pool).
+  unsigned CompileThreads = 1;
+  /// Admission queue depth; full queue back-pressures submitters.
+  size_t QueueCapacity = 256;
+  /// Max jobs coalesced into one batch compile.
+  u32 MaxBatchJobs = 8;
+  /// Shard granularity handed to the parallel driver.
+  u32 FuncsPerShard = 4;
+  /// Code cache byte budget (mapped sizes); epoch-LRU eviction above it.
+  u64 CacheBudgetBytes = u64{64} << 20;
+  /// Run the Traits verifier on the client thread before admission.
+  bool Verify = true;
+  /// Workers stay parked until resume() — lets tests queue a known set
+  /// of jobs and get deterministic batch composition.
+  bool StartPaused = false;
+  /// External symbol resolver for mapping (host functions the jobs call).
+  asmx::JITMapper::Resolver Resolver;
+};
+
+template <typename Traits> class CompileService {
+public:
+  using WorkerT = typename Traits::WorkerT;
+  using ModuleT = typename WorkerT::ModuleT;
+
+  explicit CompileService(ServiceOptions O = {})
+      : Opts(sanitize(std::move(O))), Cache(Opts.CacheBudgetBytes),
+        Queue(Opts.QueueCapacity), Paused(Opts.StartPaused) {
+    Workers.reserve(Opts.NumWorkers);
+    for (unsigned I = 0; I < Opts.NumWorkers; ++I)
+      Workers.push_back(std::make_unique<WorkerState>(Opts));
+    for (auto &WS : Workers)
+      WS->Thread = std::thread([this, W = WS.get()] { workerMain(*W); });
+  }
+
+  ~CompileService() { shutdown(); }
+
+  CompileService(const CompileService &) = delete;
+  CompileService &operator=(const CompileService &) = delete;
+
+  /// Submits one module as a job. Never blocks on compilation; blocks
+  /// only when the admission queue is full (back-pressure). The returned
+  /// handle completes on a cache hit before submit() even returns.
+  ResultPtr submit(ModuleT Mod) {
+    auto Res = std::make_shared<ServiceResult>();
+    Res->SubmitNs = tpde::nowNs();
+    if (Opts.Verify) {
+      std::string Err; // admission path, not the compile hot loop
+      if (!Traits::verify(Mod, Err)) {
+        Cache.stats().VerifyRejected.fetch_add(1, std::memory_order_relaxed);
+        Cache.stats().Failed.fetch_add(1, std::memory_order_relaxed);
+        support::CompileStatus St;
+        St.Err = support::CompileErr::VerifyFailed;
+        St.Message = std::move(Err);
+        Res->complete(nullptr, St, false, tpde::nowNs());
+        return Res;
+      }
+    }
+    const support::Fp128 Fp = Traits::fingerprint(Mod);
+    std::shared_ptr<CachedCode> HitCode;
+    switch (Cache.claim(Fp, Res, HitCode)) {
+    case CodeCache::Claim::Hit: {
+      support::CompileStatus Ok;
+      u64 Now = tpde::nowNs();
+      Res->complete(std::move(HitCode), Ok, /*WasHit=*/true, Now);
+      Cache.stats().HitNs.record(Res->latencyNs());
+      return Res;
+    }
+    case CodeCache::Claim::Waiter:
+      return Res; // the in-flight owner completes it
+    case CodeCache::Claim::Owner:
+      break;
+    }
+    PendingJob Job;
+    Job.Mod = std::move(Mod);
+    Job.Fp = Fp;
+    Job.Res = Res;
+    if (!Queue.push(std::move(Job))) {
+      // Shut down: release the claim and report instead of hanging.
+      failJob(Fp, Res, support::CompileErr::AssemblerError,
+              "compile service is shut down");
+    }
+    return Res;
+  }
+
+  /// Releases workers parked by ServiceOptions::StartPaused.
+  void resume() {
+    {
+      std::lock_guard<std::mutex> L(PauseMtx);
+      Paused = false;
+    }
+    PauseCV.notify_all();
+  }
+
+  /// Stops admission, drains queued jobs, joins workers. Idempotent;
+  /// called by the destructor.
+  void shutdown() {
+    Queue.close();
+    resume();
+    for (auto &WS : Workers)
+      if (WS->Thread.joinable())
+        WS->Thread.join();
+  }
+
+  CodeCache &cache() { return Cache; }
+  ServiceStatsSnapshot stats() const { return Cache.snapshot(); }
+
+private:
+  struct PendingJob {
+    ModuleT Mod;
+    support::Fp128 Fp;
+    ResultPtr Res;
+  };
+
+  /// Per-worker compile state: a persistent batch module with a parallel
+  /// driver bound to it (worker construction is the expensive part —
+  /// adapters/assemblers/compilers are reused across batches, so the
+  /// steady-state batch compile hits the reuse fast paths).
+  struct WorkerState {
+    explicit WorkerState(const ServiceOptions &O)
+        : PC(BatchMod, {.NumThreads = O.CompileThreads,
+                        .FuncsPerShard = O.FuncsPerShard}) {}
+    ModuleT BatchMod;
+    core::ParallelModuleCompiler<WorkerT> PC;
+    // Batch scratch, reused across batches.
+    std::vector<PendingJob> Batch;
+    std::vector<u32> JobBounds;
+    std::vector<std::shared_ptr<CachedCode>> Codes;
+    std::vector<asmx::Assembler *> Outs;
+    std::vector<support::CompileStatus> JobStatus;
+    std::vector<ResultPtr> Waiters;
+    bool HasCarry = false;
+    PendingJob Carry; ///< Job deferred to the next batch (name conflict).
+    std::thread Thread;
+  };
+
+  static ServiceOptions sanitize(ServiceOptions O) {
+    if (O.NumWorkers == 0)
+      O.NumWorkers = 1;
+    if (O.CompileThreads == 0)
+      O.CompileThreads = 1;
+    if (O.MaxBatchJobs == 0)
+      O.MaxBatchJobs = 1;
+    return O;
+  }
+
+  void workerMain(WorkerState &WS) {
+    {
+      std::unique_lock<std::mutex> L(PauseMtx);
+      PauseCV.wait(L, [&] { return !Paused; });
+    }
+    for (;;) {
+      PendingJob First;
+      if (WS.HasCarry) {
+        First = std::move(WS.Carry);
+        WS.HasCarry = false;
+      } else if (!Queue.pop(First)) {
+        return; // closed and drained
+      }
+      WS.Batch.clear();
+      WS.Batch.push_back(std::move(First));
+      while (WS.Batch.size() < Opts.MaxBatchJobs) {
+        PendingJob More;
+        if (!Queue.tryPop(More))
+          break;
+        WS.Batch.push_back(std::move(More));
+      }
+      compileBatch(WS);
+    }
+  }
+
+  void compileBatch(WorkerState &WS) {
+    // Concatenate the jobs into the batch module. A job whose symbols
+    // conflict with the batch built so far is carried into the next
+    // batch (it will compile alone or with different neighbors); a job
+    // that conflicts with an *empty* batch is self-conflicting and fails.
+    Traits::clearModule(WS.BatchMod);
+    WS.JobBounds.clear();
+    WS.JobBounds.push_back(0);
+    size_t Admitted = 0;
+    for (size_t J = 0; J < WS.Batch.size(); ++J) {
+      if (!Traits::appendTo(WS.BatchMod, WS.Batch[J].Mod)) {
+        if (Admitted == 0) {
+          failJob(WS.Batch[J].Fp, WS.Batch[J].Res,
+                  support::CompileErr::AssemblerError,
+                  "job defines conflicting symbols");
+          continue;
+        }
+        WS.Carry = std::move(WS.Batch[J]);
+        WS.HasCarry = true;
+        // Re-queue what we popped beyond the conflicting job so carry
+        // stays a single slot; tryPush never blocks the worker.
+        for (size_t K = J + 1; K < WS.Batch.size(); ++K) {
+          support::Fp128 Fp = WS.Batch[K].Fp;
+          ResultPtr Res = WS.Batch[K].Res;
+          if (!Queue.tryPush(std::move(WS.Batch[K])))
+            failJob(Fp, Res, support::CompileErr::AssemblerError,
+                    "admission queue full re-queuing deferred job");
+        }
+        WS.Batch.resize(J);
+        break;
+      }
+      if (Admitted != J)
+        WS.Batch[Admitted] = std::move(WS.Batch[J]);
+      ++Admitted;
+      WS.JobBounds.push_back(WorkerT::funcCount(WS.BatchMod));
+    }
+    WS.Batch.resize(Admitted);
+    if (Admitted == 0)
+      return;
+
+    WS.Codes.clear();
+    WS.Outs.clear();
+    for (size_t J = 0; J < Admitted; ++J) {
+      WS.Codes.push_back(std::make_shared<CachedCode>());
+      WS.Codes.back()->Fp = WS.Batch[J].Fp;
+      WS.Outs.push_back(&WS.Codes.back()->Asm);
+    }
+    WS.JobStatus.resize(Admitted);
+
+    WS.PC.compileJobs(WS.JobBounds, WS.Outs,
+                      std::span(WS.JobStatus.data(), Admitted));
+
+    for (size_t J = 0; J < Admitted; ++J) {
+      PendingJob &Job = WS.Batch[J];
+      std::shared_ptr<CachedCode> &CC = WS.Codes[J];
+      if (WS.JobStatus[J].ok() &&
+          !CC->JIT.map(CC->Asm, Opts.Resolver, Traits::Stub))
+        WS.JobStatus[J] = CC->JIT.status();
+      if (!WS.JobStatus[J].ok()) {
+        failJobStatus(Job.Fp, Job.Res, WS.JobStatus[J]);
+        continue;
+      }
+      WS.Waiters.clear();
+      Cache.publish(Job.Fp, CC, WS.Waiters);
+      u64 Now = tpde::nowNs();
+      support::CompileStatus Ok;
+      Job.Res->complete(CC, Ok, /*WasHit=*/false, Now);
+      Cache.stats().MissNs.record(Job.Res->latencyNs());
+      for (ResultPtr &W : WS.Waiters) {
+        W->complete(CC, Ok, /*WasHit=*/false, Now);
+        Cache.stats().MissNs.record(W->latencyNs());
+      }
+    }
+  }
+
+  void failJob(const support::Fp128 &Fp, const ResultPtr &Res,
+               support::CompileErr E, std::string_view Msg) {
+    support::CompileStatus St;
+    St.Err = E;
+    St.Message.assign(Msg);
+    failJobStatus(Fp, Res, St);
+  }
+
+  void failJobStatus(const support::Fp128 &Fp, const ResultPtr &Res,
+                     const support::CompileStatus &St) {
+    std::vector<ResultPtr> Waiters;
+    Cache.fail(Fp, Waiters);
+    u64 Now = tpde::nowNs();
+    Cache.stats().Failed.fetch_add(1 + Waiters.size(),
+                                   std::memory_order_relaxed);
+    Res->complete(nullptr, St, false, Now);
+    for (ResultPtr &W : Waiters)
+      W->complete(nullptr, St, false, Now);
+  }
+
+  ServiceOptions Opts;
+  CodeCache Cache;
+  support::BoundedMpmcQueue<PendingJob> Queue;
+  std::vector<std::unique_ptr<WorkerState>> Workers;
+  std::mutex PauseMtx;
+  std::condition_variable PauseCV;
+  bool Paused = false;
+};
+
+} // namespace tpde::service
+
+#endif // TPDE_SERVICE_COMPILESERVICE_H

@@ -8,6 +8,14 @@
 /// the determinism guarantees (serial and parallel compiles of the same
 /// bad module report the same first error).
 ///
+/// The compile service extends the status's reach to clients: a
+/// CompileStatus is the failure half of every ServiceResult — verifier
+/// rejections at admission, per-job failures inside a batch
+/// (core::ParallelModuleCompiler::compileJobs assigns each diagnostic to
+/// the job owning its function, first error wins), and mapping failures
+/// all surface through the same struct, so a serving client switches on
+/// CompileErr exactly like an embedding caller does (docs/SERVICE.md).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TPDE_SUPPORT_DIAG_H

@@ -13,6 +13,13 @@
 /// and the registry never allocates, keeping armed-but-idle sweeps
 /// compatible with the zero-steady-state-allocation policy (docs/PERF.md).
 ///
+/// The sites are deliberately shared across drivers: the compile service
+/// reuses ShardCompile (and the rest) through the parallel driver it
+/// batches onto, so the robustness sweep in tests/robustness_test.cpp and
+/// the service-path recovery test (tests/service_test.cpp,
+/// ShardFaultMidBatchRecoversAllJobs) exercise the same registry — add a
+/// new site only when a failure domain is reachable from neither.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TPDE_SUPPORT_FAULTINJECTOR_H

@@ -1,0 +1,117 @@
+//===- support/Hash.h - Content fingerprinting ------------------*- C++ -*-===//
+///
+/// \file
+/// Streaming 128-bit content hashing for the compile service's
+/// content-addressed code cache (src/service/, docs/SERVICE.md). The
+/// soundness of fingerprint memoization rests on the determinism
+/// contract (core/ParallelCompiler.h): compiled output is a pure
+/// function of the module, so equal canonical serializations imply
+/// byte-identical code. The hash only has to make *accidental*
+/// collisions negligible — it is not cryptographic and must not be used
+/// against adversarial inputs. Two independent 64-bit lanes (FNV-1a and
+/// an xxhash-style rotate-multiply accumulator) with a splitmix64
+/// finalizer give a 128-bit digest, putting the birthday bound near
+/// 2^64 distinct modules.
+///
+/// Hashing is allocation-free and streaming: callers feed the module's
+/// dense arrays in index order (a canonical serialization — see
+/// uir::fingerprintModule / tpde_tir::fingerprintModule), tagging
+/// variable-length runs with their length so distinct structures cannot
+/// collide by concatenation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_SUPPORT_HASH_H
+#define TPDE_SUPPORT_HASH_H
+
+#include "support/Common.h"
+
+#include <cstring>
+#include <string_view>
+
+namespace tpde::support {
+
+/// A 128-bit content fingerprint. Value type; usable as a hash-map key
+/// through Fp128Hash.
+struct Fp128 {
+  u64 Hi = 0;
+  u64 Lo = 0;
+
+  bool operator==(const Fp128 &O) const { return Hi == O.Hi && Lo == O.Lo; }
+  bool operator!=(const Fp128 &O) const { return !(*this == O); }
+};
+
+/// Map-key hash for Fp128: the fingerprint is already uniformly mixed,
+/// so folding the halves is enough.
+struct Fp128Hash {
+  size_t operator()(const Fp128 &F) const {
+    return static_cast<size_t>(F.Lo ^ (F.Hi * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// splitmix64 finalizer: full-avalanche mixing of one 64-bit word.
+inline u64 avalanche64(u64 X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ull;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebull;
+  X ^= X >> 31;
+  return X;
+}
+
+/// Streaming two-lane hasher producing an Fp128. Feed content through
+/// the typed helpers; call digest() at the end (the hasher stays usable
+/// for further updates — digest() is a pure read of the running state).
+class Hasher128 {
+public:
+  /// Mixes \p N raw bytes into both lanes.
+  void bytes(const void *P, size_t N) {
+    const u8 *B = static_cast<const u8 *>(P);
+    for (size_t I = 0; I < N; ++I) {
+      // Lane A: FNV-1a.
+      A = (A ^ B[I]) * 0x100000001b3ull;
+      // Lane B: xxhash-style round — structurally independent of lane A
+      // so a lane-A collision does not imply a lane-B collision.
+      Bl = rotl(Bl + B[I] * 0xc2b2ae3d27d4eb4full, 31) * 0x9e3779b185ebca87ull;
+    }
+    Len += N;
+  }
+
+  void u8v(u8 V) { bytes(&V, 1); }
+  void u32v(u32 V) { bytes(&V, 4); }
+  void u64v(u64 V) { bytes(&V, 8); }
+  void i64v(i64 V) { u64v(static_cast<u64>(V)); }
+  void f64v(double V) {
+    // Hash the bit pattern: -0.0 vs 0.0 and NaN payloads are distinct IR
+    // constants and must fingerprint distinctly.
+    u64 Bits;
+    std::memcpy(&Bits, &V, 8);
+    u64v(Bits);
+  }
+  /// Length-prefixed string: "ab" + "c" cannot collide with "a" + "bc".
+  void str(std::string_view S) {
+    u64v(S.size());
+    bytes(S.data(), S.size());
+  }
+  /// Length tag for a variable-length run the caller is about to feed.
+  void len(size_t N) { u64v(static_cast<u64>(N)); }
+
+  /// The 128-bit digest of everything fed so far.
+  Fp128 digest() const {
+    Fp128 F;
+    F.Hi = avalanche64(A ^ (Len * 0xff51afd7ed558ccdull));
+    F.Lo = avalanche64(Bl + Len);
+    return F;
+  }
+
+private:
+  static u64 rotl(u64 X, unsigned R) { return (X << R) | (X >> (64 - R)); }
+
+  u64 A = 0xcbf29ce484222325ull;  ///< FNV-1a offset basis.
+  u64 Bl = 0x27d4eb2f165667c5ull; ///< xxhash PRIME64_5 seed.
+  u64 Len = 0;
+};
+
+} // namespace tpde::support
+
+#endif // TPDE_SUPPORT_HASH_H

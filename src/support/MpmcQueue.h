@@ -1,0 +1,144 @@
+//===- support/MpmcQueue.h - Bounded MPMC job queue -------------*- C++ -*-===//
+///
+/// \file
+/// A bounded multi-producer/multi-consumer FIFO used as the admission
+/// queue of the compile service (src/service/CompileService.h). Clients
+/// push compile jobs from arbitrary threads; service workers pop them,
+/// batch them, and feed the parallel driver.
+///
+/// Design choice: a mutex + two condition variables over a fixed ring,
+/// not a lock-free queue. Compile jobs cost microseconds to milliseconds
+/// each, so queue transfer is never the bottleneck — what matters is
+/// bounded memory (back-pressure on producers instead of unbounded
+/// growth), correct blocking semantics (workers sleep when idle), and a
+/// clean shutdown story. This is deliberately *not* subject to the
+/// zero-steady-state-allocation policy's lock-free requirement: that
+/// policy governs the per-function compile loop (docs/PERF.md), and the
+/// service queue sits in front of it, once per job. The ring storage is
+/// allocated once at construction and never grows.
+///
+/// Shutdown: close() wakes everyone; pop() drains remaining items and
+/// then returns false; push() on a closed queue returns false and drops
+/// the item.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_SUPPORT_MPMC_QUEUE_H
+#define TPDE_SUPPORT_MPMC_QUEUE_H
+
+#include "support/Common.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace tpde::support {
+
+template <typename T> class BoundedMpmcQueue {
+public:
+  explicit BoundedMpmcQueue(size_t Capacity)
+      : Slots(Capacity ? Capacity : 1) {}
+
+  BoundedMpmcQueue(const BoundedMpmcQueue &) = delete;
+  BoundedMpmcQueue &operator=(const BoundedMpmcQueue &) = delete;
+
+  size_t capacity() const { return Slots.size(); }
+
+  /// Blocks until space is available or the queue is closed. Returns
+  /// false (item dropped) iff the queue was closed.
+  bool push(T Item) {
+    std::unique_lock<std::mutex> L(Mtx);
+    NotFull.wait(L, [&] { return Count < Slots.size() || Closed; });
+    if (Closed)
+      return false;
+    enqueueLocked(std::move(Item));
+    L.unlock();
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. Returns false if full or closed.
+  bool tryPush(T Item) {
+    {
+      std::lock_guard<std::mutex> L(Mtx);
+      if (Closed || Count == Slots.size())
+        return false;
+      enqueueLocked(std::move(Item));
+    }
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and*
+  /// drained. Returns false only on closed-and-empty.
+  bool pop(T &Out) {
+    std::unique_lock<std::mutex> L(Mtx);
+    NotEmpty.wait(L, [&] { return Count > 0 || Closed; });
+    if (Count == 0)
+      return false;
+    dequeueLocked(Out);
+    L.unlock();
+    NotFull.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop. Returns false if empty (even when more items may
+  /// arrive later).
+  bool tryPop(T &Out) {
+    {
+      std::lock_guard<std::mutex> L(Mtx);
+      if (Count == 0)
+        return false;
+      dequeueLocked(Out);
+    }
+    NotFull.notify_one();
+    return true;
+  }
+
+  /// Rejects future pushes and wakes all waiters. Items already queued
+  /// remain poppable until drained. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> L(Mtx);
+      Closed = true;
+    }
+    NotEmpty.notify_all();
+    NotFull.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> L(Mtx);
+    return Closed;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> L(Mtx);
+    return Count;
+  }
+
+private:
+  void enqueueLocked(T Item) {
+    Slots[Tail] = std::move(Item);
+    Tail = (Tail + 1) % Slots.size();
+    ++Count;
+  }
+  void dequeueLocked(T &Out) {
+    Out = std::move(Slots[Head]);
+    Head = (Head + 1) % Slots.size();
+    --Count;
+  }
+
+  mutable std::mutex Mtx;
+  std::condition_variable NotFull;
+  std::condition_variable NotEmpty;
+  std::vector<T> Slots;
+  size_t Head = 0;
+  size_t Tail = 0;
+  size_t Count = 0;
+  bool Closed = false;
+};
+
+} // namespace tpde::support
+
+#endif // TPDE_SUPPORT_MPMC_QUEUE_H

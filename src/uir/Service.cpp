@@ -1,0 +1,59 @@
+//===- uir/Service.cpp - UIR compile-service binding ----------------------===//
+
+#include "uir/Service.h"
+
+namespace tpde::uir {
+
+support::Fp128 fingerprintModule(const UModule &M) {
+  support::Hasher128 H;
+  H.len(M.Funcs.size());
+  for (const UFunc &F : M.Funcs) {
+    H.str(F.Name);
+    H.u32v(F.NumArgs);
+    H.len(F.Vals.size());
+    for (const UInst &I : F.Vals) {
+      H.u8v(static_cast<u8>(I.Op));
+      H.u8v(static_cast<u8>(I.Ty));
+      H.u32v(I.Ops[0]);
+      H.u32v(I.Ops[1]);
+      H.u64v(I.Aux);
+      H.u32v(I.Block);
+      H.u32v(I.InBlock[0]);
+      H.u32v(I.InBlock[1]);
+      H.u32v(I.InVal[0]);
+      H.u32v(I.InVal[1]);
+    }
+    H.len(F.Blocks.size());
+    for (const UBlock &B : F.Blocks) {
+      // UBlock::Aux is adapter scratch — mutated by compilation, not part
+      // of the module's content.
+      H.len(B.Phis.size());
+      for (u32 V : B.Phis)
+        H.u32v(V);
+      H.len(B.Insts.size());
+      for (u32 V : B.Insts)
+        H.u32v(V);
+      H.len(B.Succs.size());
+      for (u32 S : B.Succs)
+        H.u32v(S);
+    }
+  }
+  return H.digest();
+}
+
+bool UirServiceTraits::appendTo(UModule &Batch, const UModule &Job) {
+  // Check first, mutate after: a rejected job must leave the batch usable.
+  for (size_t J = 0; J < Job.Funcs.size(); ++J) {
+    for (const UFunc &BF : Batch.Funcs)
+      if (BF.Name == Job.Funcs[J].Name)
+        return false;
+    for (size_t K = J + 1; K < Job.Funcs.size(); ++K)
+      if (Job.Funcs[J].Name == Job.Funcs[K].Name)
+        return false;
+  }
+  for (const UFunc &F : Job.Funcs)
+    Batch.Funcs.push_back(F);
+  return true;
+}
+
+} // namespace tpde::uir

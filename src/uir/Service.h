@@ -1,0 +1,61 @@
+//===- uir/Service.h - UIR compile-service binding --------------*- C++ -*-===//
+///
+/// \file
+/// Binds the database IR to the multi-tenant compile service
+/// (service/CompileService.h): canonical fingerprinting of UModules for
+/// the content-addressed code cache, and batch concatenation of query
+/// modules for the job-aligned parallel compile. This is the serving
+/// shape of the paper's §7 scenario — many sessions submitting query
+/// plans concurrently instead of one client compiling one plan at a
+/// time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_UIR_SERVICE_H
+#define TPDE_UIR_SERVICE_H
+
+#include "service/CompileService.h"
+#include "uir/ParallelCompiler.h"
+
+namespace tpde::uir {
+
+/// Canonical content fingerprint of a query module. Covers everything
+/// codegen reads — function names, arities, every UInst field, block
+/// phi/inst/successor lists — and nothing it doesn't: UBlock::Aux is the
+/// adapter's per-compile scratch slot and is deliberately excluded, so a
+/// module fingerprints identically before and after being compiled.
+support::Fp128 fingerprintModule(const UModule &M);
+
+/// Service traits: see service/CompileService.h for the contract.
+struct UirServiceTraits {
+  using WorkerT = UirParallelWorker;
+
+  static support::Fp128 fingerprint(const UModule &M) {
+    return fingerprintModule(M);
+  }
+
+  /// Appends \p Job's queries to \p Batch. Transactional: on a function
+  /// name conflict (with the batch or within the job) Batch is left
+  /// untouched and the job is deferred to another batch. UIR has no
+  /// module-level globals, so the batch's module fragment contributes
+  /// only declarations to each job's merged output — which keeps a
+  /// batched job's bytes identical to a solo compile.
+  static bool appendTo(UModule &Batch, const UModule &Job);
+
+  static void clearModule(UModule &M) { M.Funcs.clear(); }
+
+  static bool verify(const UModule &M, std::string &Err) {
+    return verifyModule(M, Err);
+  }
+
+  static constexpr asmx::JITMapper::StubArch Stub =
+      asmx::JITMapper::StubArch::X64;
+};
+
+/// The database-IR compile service: submit query UModules, get mapped
+/// code handles, memoized by content. See docs/SERVICE.md.
+using UirCompileService = service::CompileService<UirServiceTraits>;
+
+} // namespace tpde::uir
+
+#endif // TPDE_UIR_SERVICE_H
