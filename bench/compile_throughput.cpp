@@ -11,7 +11,12 @@
 ///  * parallel: the sharded parallel module compiler with a reused worker
 ///              pool, one row per --threads entry. Measured on wall-clock
 ///              time (the other scenarios use process-CPU time, which by
-///              construction cannot show a parallel speedup).
+///              construction cannot show a parallel speedup). Each
+///              parallel row also records the driver's per-phase
+///              merge-cost breakdown (compile / reserve / place / stitch
+///              mean ns per compile, stitch reloc count, bytes placed in
+///              parallel) so the O(relocs)-stitch claim of docs/PERF.md
+///              "Two-pass emission" is visible in the trajectory.
 ///
 /// The TPDE scenarios run for BOTH targets: "TPDE" rows are x86-64,
 /// "TPDE-A64" rows are AArch64 through the same driver template. The a64
@@ -94,6 +99,14 @@ struct Result {
   Dispersion FuncsPerSec;
   double NewCallsPerFunc = 0;
   double NewBytesPerFunc = 0;
+  /// Per-phase merge-cost breakdown (parallel rows only): mean
+  /// nanoseconds per compile from the driver's EmitStats, plus the
+  /// stitch volume — the O(relocs)-not-O(bytes) claim of docs/PERF.md
+  /// "Two-pass emission" made visible in the committed baseline.
+  bool HasEmit = false;
+  const char *EmitMode = "copy";
+  double CompileNs = 0, ReserveNs = 0, PlaceNs = 0, StitchNs = 0;
+  double StitchRelocs = 0, PlacedBytes = 0;
 };
 
 /// Runs \p Measure (returning funcs/sec for one sample) Repeat times and
@@ -254,14 +267,26 @@ Result measureParallel(const char *Name, const char *Scenario, ModuleT &M,
   R.Clock = "wall";
   AllocWatch W;
   u64 Funcs = 0;
+  u64 NumCompiles = 0;
+  core::EmitStats Acc;
   bool OK = true;
   R.FuncsPerSec = sample(Repeat, [&] {
     Timer T;
     T.start();
-    for (unsigned I = 0; I < NIters; ++I)
+    for (unsigned I = 0; I < NIters; ++I) {
       OK &= PC.compile(Out);
+      const core::EmitStats &ES = PC.emitStats();
+      Acc.CompileNs += ES.CompileNs;
+      Acc.ReserveNs += ES.ReserveNs;
+      Acc.PlaceNs += ES.PlaceNs;
+      Acc.StitchNs += ES.StitchNs;
+      Acc.StitchRelocs += ES.StitchRelocs;
+      Acc.PlacedBytes += ES.PlacedBytes;
+      Acc.InPlace = ES.InPlace;
+    }
     T.stop();
     Funcs += static_cast<u64>(NumFuncs) * NIters;
+    NumCompiles += NIters;
     return static_cast<double>(NumFuncs) * NIters / (T.ms() / 1000.0);
   });
   if (!OK) {
@@ -271,6 +296,15 @@ Result measureParallel(const char *Name, const char *Scenario, ModuleT &M,
   }
   R.NewCallsPerFunc = static_cast<double>(W.newCalls()) / Funcs;
   R.NewBytesPerFunc = static_cast<double>(W.newBytes()) / Funcs;
+  R.HasEmit = true;
+  R.EmitMode = Acc.InPlace ? "in_place" : "copy";
+  double N = static_cast<double>(NumCompiles);
+  R.CompileNs = static_cast<double>(Acc.CompileNs) / N;
+  R.ReserveNs = static_cast<double>(Acc.ReserveNs) / N;
+  R.PlaceNs = static_cast<double>(Acc.PlaceNs) / N;
+  R.StitchNs = static_cast<double>(Acc.StitchNs) / N;
+  R.StitchRelocs = static_cast<double>(Acc.StitchRelocs) / N;
+  R.PlacedBytes = static_cast<double>(Acc.PlacedBytes) / N;
   return R;
 }
 
@@ -539,6 +573,22 @@ int main(int argc, char **argv) {
                       BE, R.Threads, R.FuncsPerSec.Mean / Par1, HwThreads);
   }
 
+  // Merge-cost breakdown per compile: with in-place emission the serial
+  // part of producing the output is reserve + stitch, and the stitch
+  // scales with the relocation count, never the section bytes (the bytes
+  // move in the parallel place phase).
+  std::printf("\n%-12s %-15s %3s %-9s %10s %10s %10s %10s %12s %12s\n",
+              "backend", "mode", "thr", "emit", "compile_us", "reserve_us",
+              "place_us", "stitch_us", "stitch_reloc", "placed_bytes");
+  for (const Result &R : Results)
+    if (R.HasEmit)
+      std::printf("%-12s %-15s %3u %-9s %10.1f %10.1f %10.1f %10.1f %12.0f "
+                  "%12.0f\n",
+                  R.Backend.c_str(), R.Scenario.c_str(), R.Threads,
+                  R.EmitMode, R.CompileNs / 1e3, R.ReserveNs / 1e3,
+                  R.PlaceNs / 1e3, R.StitchNs / 1e3, R.StitchRelocs,
+                  R.PlacedBytes);
+
   FILE *F = std::fopen("BENCH_compile_throughput.json", "w");
   if (!F) {
     std::fprintf(stderr, "cannot write BENCH_compile_throughput.json\n");
@@ -566,11 +616,19 @@ int main(int argc, char **argv) {
                  "\"funcs_per_sec\": %.1f, \"funcs_per_sec_stddev\": %.1f, "
                  "\"funcs_per_sec_min\": %.1f, "
                  "\"new_calls_per_func\": %.3f, "
-                 "\"new_bytes_per_func\": %.1f}%s\n",
+                 "\"new_bytes_per_func\": %.1f",
                  R.Backend.c_str(), R.Scenario.c_str(), R.Threads, R.Clock,
                  R.FuncsPerSec.Mean, R.FuncsPerSec.Stddev, R.FuncsPerSec.Min,
-                 R.NewCallsPerFunc, R.NewBytesPerFunc,
-                 I + 1 < Results.size() ? "," : "");
+                 R.NewCallsPerFunc, R.NewBytesPerFunc);
+    if (R.HasEmit)
+      std::fprintf(F,
+                   ", \"emit_mode\": \"%s\", \"compile_ns\": %.0f, "
+                   "\"reserve_ns\": %.0f, \"place_ns\": %.0f, "
+                   "\"stitch_ns\": %.0f, \"stitch_relocs\": %.0f, "
+                   "\"placed_bytes\": %.0f",
+                   R.EmitMode, R.CompileNs, R.ReserveNs, R.PlaceNs,
+                   R.StitchNs, R.StitchRelocs, R.PlacedBytes);
+    std::fprintf(F, "}%s\n", I + 1 < Results.size() ? "," : "");
   }
   std::fprintf(F, "  ]\n}\n");
   std::fclose(F);

@@ -41,6 +41,14 @@ checked only when the measuring machine reported >= 4 hardware threads —
 on smaller machines a 4-thread speedup is not reachable and the check is
 skipped with a notice.
 
+Two further always-on checks guard the zero-merge (two-pass) emission
+path: every parallel@1 row must report emit_mode "in_place" in addition
+to zero steady-state allocations (a run silently measured on the
+copy-merge fallback is not a valid sample of the production path), and
+on machines with >= 4 hardware threads parallel_large@4 must be at least
+as fast as fresh_large per backend — the serial remainder of the merge
+(reserve + stitch) must never eat the scaling win.
+
 Service mode (--service) gates BENCH_service_throughput.json instead —
 the compile-service bench (docs/SERVICE.md). Its acceptance criteria are
 mostly *absolute*, so they hold on any hardware without a baseline:
@@ -83,6 +91,14 @@ ROW_OVERRIDES = {
     ("TPDE", "parallel_large", 8): {"rel_floor": 0.40},
     ("TPDE-A64", "parallel_large", 8): {"rel_floor": 0.40},
     ("TPDE-UIR", "parallel_large", 8): {"rel_floor": 0.40},
+    # In-place (two-pass) emission rows: with the serial byte-copy merge
+    # gone, the 4-thread wall-clock rows are dominated by the parallel
+    # phases and pick up more scheduler noise relative to their (now
+    # faster) means — same reasoning as the oversubscribed @8 rows, a
+    # notch tighter.
+    ("TPDE", "parallel_large", 4): {"rel_floor": 0.35},
+    ("TPDE-A64", "parallel_large", 4): {"rel_floor": 0.35},
+    ("TPDE-UIR", "parallel_large", 4): {"rel_floor": 0.35},
 }
 
 
@@ -269,10 +285,22 @@ def main(argv):
                 print(f"FAIL: {backend} {scenario}@1 row missing from the "
                       f"new run")
                 failed = True
-            elif p1.get("new_calls_per_func", 0) > 0.001:
+                continue
+            if p1.get("new_calls_per_func", 0) > 0.001:
                 print(f"FAIL: {backend} {scenario}@1 allocates "
                       f"{p1['new_calls_per_func']:.3f} times/function "
                       f"(must be 0; see docs/PERF.md)")
+                failed = True
+            # The zero-alloc guarantee must hold on the path production
+            # runs: two-pass in-place emission. A row silently measured on
+            # the copy-merge fallback (emit_mode "copy") would pass the
+            # alloc gate while the in-place scratch (plans, routing,
+            # failure flags) regressed unobserved.
+            mode = p1.get("emit_mode")
+            if mode != "in_place":
+                print(f"FAIL: {backend} {scenario}@1 reports emit_mode "
+                      f"{mode!r}; the parallel rows must measure the "
+                      f"in-place (two-pass) emission path")
                 failed = True
 
     if require_speedup is not None:
@@ -309,6 +337,38 @@ def main(argv):
                     print(f"FAIL: {backend} parallel speedup below "
                           f"requirement")
                     failed = True
+
+    # Zero-merge acceptance: on a machine with >= 4 hardware threads, the
+    # 10k-function parallel compile at 4 threads must beat the serial
+    # fresh compile of the same module — the whole point of reserving
+    # slices and placing bytes in parallel is that the serial remainder
+    # (reserve + stitch) is too small to eat the scaling win. Compared
+    # with the same sigma-scaled noise slack as the drop checks (the
+    # rows use different clocks — wall vs cpu — which is exactly the
+    # comparison a user cares about: time to finish).
+    hw = int(new_doc.get("hardware_concurrency", 0))
+    if hw < 4:
+        print(f"parallel-vs-serial check skipped: only {hw} hardware "
+              f"thread(s)")
+    else:
+        for backend in ("TPDE", "TPDE-A64", "TPDE-UIR"):
+            serial = new.get((backend, "fresh_large", 0))
+            par4 = new.get((backend, "parallel_large", 4))
+            if not serial or not par4:
+                print(f"FAIL: {backend} fresh_large/parallel_large@4 rows "
+                      f"needed for the parallel-vs-serial check are missing")
+                failed = True
+                continue
+            ms, mp = serial["funcs_per_sec"], par4["funcs_per_sec"]
+            ss = serial.get("funcs_per_sec_stddev", 0.0)
+            sp = par4.get("funcs_per_sec_stddev", 0.0)
+            slack = sigmas * math.sqrt(ss * ss + sp * sp)
+            verdict = "ok"
+            if mp + slack < ms:
+                verdict = "REGRESSION"
+                failed = True
+            print(f"{backend} parallel_large@4 {mp:.0f} f/s vs fresh_large "
+                  f"{ms:.0f} f/s (slack {slack:.0f}, hw {hw})  {verdict}")
 
     if failed:
         print("benchmark regression gate: FAILED")

@@ -110,7 +110,6 @@ bool Assembler::roDedupEligible(const Assembler &Src) {
 }
 
 void Assembler::mergeFrom(const Assembler &Src) {
-  assert(&Src != this && "cannot merge an assembler into itself");
   // Fault site: refuse the merge outright — the destination stays in a
   // consistent (pre-merge) state and carries the structured error.
   if (support::faultPoint(support::FaultSite::SectionMerge)) {
@@ -118,6 +117,23 @@ void Assembler::mergeFrom(const Assembler &Src) {
              "fault injected: section-merge");
     return;
   }
+  // The copy merge is the two-pass merge with no concurrency: reserve the
+  // slice, fill it immediately, stitch. One implementation — the in-place
+  // driver path cannot drift from this one.
+  MergePlan Plan;
+  reserveFrom(Src, Plan);
+  if (!placeFrom(Src, Plan)) {
+    // The serial path has no deferred-retry stage: zero the slice so the
+    // (failed) module carries no uninitialized bytes and record the error.
+    zeroSlice(Plan);
+    setError(support::CompileErr::FaultInjected,
+             "fault injected: section-place");
+  }
+  stitchFrom(Src, Plan);
+}
+
+void Assembler::reserveFrom(const Assembler &Src, MergePlan &Plan) {
+  assert(&Src != this && "cannot merge an assembler into itself");
 #ifndef NDEBUG
   // Label fixups patch text in place once the label is bound; an unbound
   // label with pending fixups means half-finished code that must not be
@@ -126,37 +142,91 @@ void Assembler::mergeFrom(const Assembler &Src) {
     assert((L.Bound || L.FirstFixup == ~0u) &&
            "mergeFrom source has pending label fixups");
 #endif
-  const bool RoPiecewise = roDedupEligible(Src);
   // Lay the source sections behind the destination's, padded to the
   // source's alignment so intra-section offsets keep their alignment
   // guarantees (e.g. the 16-byte function starts in .text). Empty source
   // sections contribute nothing — not even padding — so a module's merged
   // image depends only on the fragments' content, never on how many empty
-  // fragments took part. An eligible rodata section is merged
-  // symbol-by-symbol below instead (constant-pool dedup).
-  u64 Base[NumSections];
+  // fragments took part. Read-only data is skipped entirely: stitchFrom()
+  // merges it (wholesale or symbol-by-symbol constant-pool dedup) because
+  // the dedup outcome — and therefore every later fragment's rodata base —
+  // depends on the bytes earlier merges appended.
   for (unsigned I = 0; I < NumSections; ++I) {
     Section &D = Secs[I];
     const Section &S = Src.Secs[I];
+    Plan.Bytes[I] = 0;
     if (static_cast<SecKind>(I) == SecKind::BSS) {
-      Base[I] = 0;
+      Plan.Base[I] = 0;
       if (S.BssSize) {
         D.BssSize = alignTo(D.BssSize, S.Align);
-        Base[I] = D.BssSize;
+        Plan.Base[I] = D.BssSize;
         D.BssSize += S.BssSize;
+        Plan.Bytes[I] = S.BssSize;
         if (S.Align > D.Align)
           D.Align = S.Align;
       }
       continue;
     }
-    Base[I] = D.size();
-    if (S.Data.empty())
-      continue;
-    if (static_cast<SecKind>(I) == SecKind::ROData && RoPiecewise)
+    Plan.Base[I] = D.size();
+    if (S.Data.empty() || static_cast<SecKind>(I) == SecKind::ROData)
       continue;
     D.alignToBoundary(S.Align);
-    Base[I] = D.size();
-    D.append(S.Data.data(), S.Data.size());
+    Plan.Base[I] = D.size();
+    Plan.Bytes[I] = S.Data.size();
+    D.Data.extendUninit(S.Data.size());
+  }
+}
+
+bool Assembler::placeFrom(const Assembler &Src, const MergePlan &Plan) {
+  if (support::faultPoint(support::FaultSite::SectionPlace))
+    return false;
+  for (unsigned I = 0; I < NumSections; ++I) {
+    SecKind K = static_cast<SecKind>(I);
+    if (K == SecKind::BSS || K == SecKind::ROData)
+      continue;
+    const Section &S = Src.Secs[I];
+    if (S.Data.empty())
+      continue;
+    assert(Plan.Bytes[I] == S.Data.size() &&
+           "fragment changed between reserveFrom and placeFrom");
+    assert(Plan.Base[I] + Plan.Bytes[I] <= Secs[I].size() &&
+           "placement slice out of bounds");
+    std::memcpy(Secs[I].Data.data() + Plan.Base[I], S.Data.data(),
+                S.Data.size());
+  }
+  return true;
+}
+
+void Assembler::zeroSlice(const MergePlan &Plan) {
+  for (unsigned I = 0; I < NumSections; ++I) {
+    SecKind K = static_cast<SecKind>(I);
+    if (K == SecKind::BSS || K == SecKind::ROData || !Plan.Bytes[I])
+      continue;
+    assert(Plan.Base[I] + Plan.Bytes[I] <= Secs[I].size() &&
+           "placement slice out of bounds");
+    std::memset(Secs[I].Data.data() + Plan.Base[I], 0, Plan.Bytes[I]);
+  }
+}
+
+void Assembler::stitchFrom(const Assembler &Src, const MergePlan &Plan) {
+  u64 Base[NumSections];
+  for (unsigned I = 0; I < NumSections; ++I)
+    Base[I] = Plan.Base[I];
+
+  // Read-only data was deferred by reserveFrom(); merge it now. An
+  // eligible section is merged symbol-by-symbol below instead
+  // (constant-pool dedup).
+  const bool RoPiecewise = roDedupEligible(Src);
+  {
+    const unsigned RoI = static_cast<unsigned>(SecKind::ROData);
+    Section &D = Secs[RoI];
+    const Section &S = Src.Secs[RoI];
+    Base[RoI] = D.size();
+    if (!S.Data.empty() && !RoPiecewise) {
+      D.alignToBoundary(S.Align);
+      Base[RoI] = D.size();
+      D.append(S.Data.data(), S.Data.size());
+    }
   }
 
   // Constant-pool dedup: append each anonymous rodata entry individually

@@ -209,6 +209,19 @@ struct Reloc {
   i64 Addend;
 };
 
+/// Byte-placement plan for one fragment, produced by
+/// Assembler::reserveFrom(): the destination base offset and reserved
+/// byte count per section. Text, data, and BSS are pre-reserved so the
+/// fragment's bytes can later be placed in parallel (placeFrom) and the
+/// serial merge tail (stitchFrom) touches only symbols and relocations.
+/// Read-only data is deferred entirely to stitchFrom — the constant-pool
+/// dedup decision depends on what *earlier* merges appended, so its base
+/// cannot be planned ahead; Base[ROData] here is meaningless.
+struct MergePlan {
+  u64 Base[NumSections] = {};
+  u64 Bytes[NumSections] = {};
+};
+
 /// Owns all emitted machine code and metadata for one module.
 class Assembler {
 public:
@@ -348,6 +361,48 @@ public:
   /// uncovered rodata bytes (e.g. the globals fragment) fall back to the
   /// wholesale section copy above.
   void mergeFrom(const Assembler &Src);
+
+  // --- Two-pass (in-place) merge --------------------------------------
+  //
+  // mergeFrom(Src) == reserveFrom(Src, P) + placeFrom(Src, P) +
+  // stitchFrom(Src, P), byte for byte. The split exists so a parallel
+  // driver can reserve every fragment's slice serially (cheap: O(1) in
+  // section bytes), place all fragments' text/data bytes concurrently,
+  // and keep only the O(symbols + relocs) stitch on the serial path —
+  // the zero-merge emission scheme of docs/PERF.md ("Two-pass
+  // emission"). The copy-merge above remains as the one-fragment and
+  // fallback path and shares these primitives, so the two paths cannot
+  // drift.
+
+  /// Pass 1: extends this module's text, data, and BSS exactly as
+  /// mergeFrom(\p Src) would — alignment padding zero-filled, the
+  /// fragment's own byte range *uninitialized* — and records the slice
+  /// in \p Plan. Serial per destination (it moves the section ends).
+  /// Read-only data is not reserved (see MergePlan).
+  void reserveFrom(const Assembler &Src, MergePlan &Plan);
+
+  /// Pass 2: copies \p Src's text and data bytes into the slice
+  /// reserved by reserveFrom(). Safe to run concurrently for *distinct
+  /// plans* of the same destination: it writes only this plan's
+  /// disjoint byte ranges and touches no shared assembler state —
+  /// which is also why it reports failure by return value instead of
+  /// setError(). Returns false iff the section-place fault site fired;
+  /// the call may simply be repeated.
+  bool placeFrom(const Assembler &Src, const MergePlan &Plan);
+
+  /// Zero-fills the byte ranges reserved for \p Plan — the graceful-
+  /// degradation escape hatch when a placement failed terminally: the
+  /// module is already failed, but neighboring slices and the
+  /// no-uninitialized-bytes guarantee stay intact.
+  void zeroSlice(const MergePlan &Plan);
+
+  /// Pass 3 (serial, in fragment order): everything mergeFrom() does
+  /// except the text/data/BSS byte copy — read-only data (wholesale
+  /// append or constant-pool dedup), symbol resolution, relocation
+  /// rebase, and error propagation. Cost is O(symbols + relocs) of
+  /// \p Src, never O(section bytes); the only bytes it appends are
+  /// rodata pool entries (each ≤ 16 bytes, one per symbol).
+  void stitchFrom(const Assembler &Src, const MergePlan &Plan);
 
 private:
   /// Shared tail of reset() and rewindForRecompile(): drops everything

@@ -186,8 +186,26 @@ std::vector<u8> tpde::asmx::writeElfObject(const Assembler &A,
       NRelaData = ShStr.add(".rela.data"), NSymTab = ShStr.add(".symtab"),
       NStrTab = ShStr.add(".strtab"), NShStrTab = ShStr.add(".shstrtab");
 
+  const Section &Text = A.section(SecKind::Text);
+  const Section &RO = A.section(SecKind::ROData);
+  const Section &Data = A.section(SecKind::Data);
+  const Section &BSS = A.section(SecKind::BSS);
+
   // --- Layout: header, section contents, section headers. ---------------
-  std::vector<u8> Out(sizeof(Elf64Ehdr), 0);
+  //
+  // Reserve the whole object up front (content + headers + worst-case
+  // alignment pad per placed section) so a 10k-function module's image is
+  // one allocation instead of a doubling ladder that briefly holds two
+  // copies of .text.
+  u64 Reserve = sizeof(Elf64Ehdr) + sizeof(Elf64Shdr) * ShCount +
+                Text.Data.size() + RO.Data.size() + Data.Data.size() +
+                Str.Bytes.size() + ShStr.Bytes.size() +
+                ElfSyms.size() * sizeof(Elf64Sym) + 16 * ShCount + 8;
+  for (const auto &V : Relas)
+    Reserve += V.size() * sizeof(Elf64Rela);
+  std::vector<u8> Out;
+  Out.reserve(Reserve);
+  Out.resize(sizeof(Elf64Ehdr), 0);
   auto alignOut = [&Out](u64 Align) {
     while (Out.size() % Align)
       Out.push_back(0);
@@ -215,11 +233,6 @@ std::vector<u8> tpde::asmx::writeElfObject(const Assembler &A,
     if (Content && Type != SHT_NOBITS)
       appendBytes(Content, Size);
   };
-
-  const Section &Text = A.section(SecKind::Text);
-  const Section &RO = A.section(SecKind::ROData);
-  const Section &Data = A.section(SecKind::Data);
-  const Section &BSS = A.section(SecKind::BSS);
 
   placeSection(ShText, NText, SHT_PROGBITS, SHF_ALLOC | SHF_EXECINSTR,
                Text.Data.data(), Text.Data.size(), 16, 0, 0, 0);

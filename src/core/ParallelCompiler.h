@@ -48,6 +48,21 @@
 ///  3. The final merge walks fragments in shard-index order on the calling
 ///     thread (module-level globals fragment first).
 ///
+/// Two-pass (zero-merge) emission: with ParallelCompileOptions::
+/// InPlaceEmission (the default) the driver does not serially *copy* any
+/// fragment's text/data bytes into the output. The compile pass doubles
+/// as an exact pre-measure — every fragment's final section sizes are
+/// known once the shard pass (plus recovery) finishes — so the driver
+/// reserves each fragment's slice of the output sections in shard order
+/// (Assembler::reserveFrom, O(1) per shard in section bytes), lets the
+/// worker pool memcpy all fragments into their disjoint slices
+/// concurrently (Assembler::placeFrom), and keeps only the
+/// O(symbols + relocs) stitch (Assembler::stitchFrom) on the serial
+/// path. Output is byte-identical to the copy-merge fallback and to a
+/// serial compile — the three primitives *are* mergeFrom, resequenced —
+/// and emitStats() exposes the per-phase cost breakdown the bench rows
+/// record (docs/PERF.md "Two-pass emission").
+///
 /// Cross-shard references (calls, global addresses) work because the code
 /// generators only ever reference symbols through relocations: a shard
 /// materializes a symbol on demand at its first reference (an undefined
@@ -86,6 +101,7 @@
 #include "asmx/Assembler.h"
 #include "support/Diag.h"
 #include "support/FaultInjector.h"
+#include "support/Timer.h"
 #include "support/WorkQueue.h"
 
 #include <algorithm>
@@ -116,6 +132,11 @@ concept ParallelCompileWorker =
       /// driver lifts it into the per-shard status slot.
       { std::as_const(Wk).status() }
           -> std::convertible_to<const support::CompileStatus &>;
+      // optional: static u64 shardTextBound(const ModuleT &, u32 Begin,
+      // u32 End) — an upper-bound text-size estimate for a shard, used
+      // to pre-size the shard's fragment buffer so early compiles skip
+      // the geometric-growth ladder. A *hint* only: correctness and
+      // byte-identity never depend on it.
     };
 
 struct ParallelCompileOptions {
@@ -139,6 +160,26 @@ struct ParallelCompileOptions {
   /// status and never reaches codegen. Off by default on the production
   /// path, on in the tests.
   bool Verify = false;
+  /// Two-pass zero-merge emission (see the file comment): reserve every
+  /// shard's output slice serially, place all text/data bytes in
+  /// parallel, stitch only symbols/relocations serially. Byte-identical
+  /// to the copy-merge fallback (false) for any thread count; the
+  /// fallback exists for A/B measurement and debugging.
+  bool InPlaceEmission = true;
+};
+
+/// Per-phase cost breakdown of the last compile()/compileJobs(), for the
+/// bench rows (bench/compile_throughput.cpp) and the O(relocs)-stitch
+/// claim in docs/PERF.md. Wall-clock nanoseconds via tpde::nowNs().
+struct EmitStats {
+  u64 CompileNs = 0; ///< Parallel shard pass incl. snapshots + recovery.
+  u64 ReserveNs = 0; ///< Serial slice reservation (in-place mode only).
+  u64 PlaceNs = 0;   ///< Parallel in-place byte placement (pass 2).
+  u64 StitchNs = 0;  ///< Serial merge tail: rodata dedup, symbols, relocs
+                     ///< (in copy-merge mode: the whole byte-copy merge).
+  u64 StitchRelocs = 0; ///< Relocations rebased by the serial stitch.
+  u64 PlacedBytes = 0;  ///< Text+data bytes written by parallel placement.
+  bool InPlace = false; ///< Which emission path the last compile used.
 };
 
 /// Reusable parallel compilation pipeline for one module. Construction
@@ -199,12 +240,15 @@ public:
   bool compile(asmx::Assembler &Out) {
     FirstStatus.clear();
     Diags.clear();
+    Stats = EmitStats{};
     if (Opts.Verify && !verifyGate()) {
       Out.reset();
       return false;
     }
     computeShardBounds();
+    u64 T0 = nowNs();
     runParallelPass();
+    Stats.CompileNs += nowNs() - T0;
 
     // Deterministic merge: globals fragment first, then every shard in
     // shard-index order — independent of which worker compiled what. The
@@ -214,21 +258,10 @@ public:
     Out.reset();
     try {
       Out.mergeFrom(GlobalsFrag);
-      for (u32 S = 0; S < NumShards; ++S) {
-        bool PrevErr = Out.hasError();
-        Out.mergeFrom(*Frags[S]);
-        if (!PrevErr && Out.hasError() && Diags.empty()) {
-          // A merge-stage inconsistency with no earlier diagnostic:
-          // attribute it to the shard whose merge surfaced it.
-          support::CompileStatus D;
-          D.Err = Out.errorCode() == support::CompileErr::FaultInjected
-                      ? support::CompileErr::FaultInjected
-                      : support::CompileErr::MergeError;
-          D.Shard = S;
-          D.Message.assign(Out.errorMessage());
-          Diags.push_back(std::move(D));
-        }
-      }
+      if (Opts.InPlaceEmission)
+        emitShardsInPlace(Out);
+      else
+        mergeShardsByCopy(Out);
     } catch (...) {
       support::CompileStatus D;
       D.Err = support::CompileErr::OutOfMemory;
@@ -282,6 +315,7 @@ public:
     const size_t K = Outs.size();
     FirstStatus.clear();
     Diags.clear();
+    Stats = EmitStats{};
     for (auto &St : JobStatus)
       St.clear();
     if (Opts.Verify && !verifyGate()) {
@@ -292,7 +326,9 @@ public:
       return false;
     }
     computeShardBoundsForJobs(JobBounds);
+    u64 T0 = nowNs();
     runParallelPass();
+    Stats.CompileNs += nowNs() - T0;
 
     // Distribute the recovery diagnostics: one with a function index
     // belongs to the job whose range contains it (first-error-wins per
@@ -312,30 +348,102 @@ public:
         JobStatus[J] = D;
     }
 
-    // Per-job ordered merges.
-    for (size_t J = 0; J < K; ++J) {
-      asmx::Assembler &Out = *Outs[J];
-      Out.reset();
-      if (ModDiag && JobStatus[J].ok())
-        JobStatus[J] = *ModDiag;
-      try {
-        Out.mergeFrom(GlobalsFrag);
-        for (u32 S = JobShardBegin[J]; S < JobShardBegin[J + 1]; ++S)
-          Out.mergeFrom(*Frags[S]);
-      } catch (...) {
-        if (JobStatus[J].ok()) {
-          JobStatus[J].Err = support::CompileErr::OutOfMemory;
-          JobStatus[J].Message = "allocation failed merging job";
+    // Per-job ordered rebuilds. In-place mode shares one placement pass
+    // across the whole batch: every job's slices are reserved first (the
+    // job's own assembler is the destination), then the worker pool
+    // places all jobs' shards concurrently, then each job is stitched in
+    // shard order — each job's bytes identical to its solo compile.
+    if (Opts.InPlaceEmission) {
+      Stats.InPlace = true;
+      preparePlans();
+      u64 T = nowNs();
+      for (size_t J = 0; J < K; ++J) {
+        asmx::Assembler &Out = *Outs[J];
+        Out.reset();
+        if (ModDiag && JobStatus[J].ok())
+          JobStatus[J] = *ModDiag;
+        try {
+          Out.mergeFrom(GlobalsFrag);
+          for (u32 S = JobShardBegin[J]; S < JobShardBegin[J + 1]; ++S)
+            reserveShard(Out, S);
+        } catch (...) {
+          // Shards not yet reserved stay unplanned (PlaceOut == null):
+          // the placement and stitch passes skip them.
+          if (JobStatus[J].ok()) {
+            JobStatus[J].Err = support::CompileErr::OutOfMemory;
+            JobStatus[J].Message = "allocation failed merging job";
+          }
         }
-        continue;
       }
-      if (Out.hasError() && JobStatus[J].ok()) {
-        JobStatus[J].Err =
-            Out.errorCode() == support::CompileErr::FaultInjected
-                ? support::CompileErr::FaultInjected
-                : support::CompileErr::MergeError;
-        JobStatus[J].Message.assign(Out.errorMessage());
+      Stats.ReserveNs += nowNs() - T;
+      runPlacementPass();
+      for (u32 S = 0; S < NumShards; ++S) {
+        if (!PlaceFailed[S])
+          continue;
+        size_t J = static_cast<size_t>(
+            std::upper_bound(JobShardBegin.begin() + 1, JobShardBegin.end(),
+                             S) -
+            (JobShardBegin.begin() + 1));
+        if (JobStatus[J].ok()) {
+          JobStatus[J].Err = support::CompileErr::FaultInjected;
+          JobStatus[J].Message = "fault injected: section-place";
+        }
       }
+      T = nowNs();
+      for (size_t J = 0; J < K; ++J) {
+        asmx::Assembler &Out = *Outs[J];
+        try {
+          for (u32 S = JobShardBegin[J]; S < JobShardBegin[J + 1]; ++S) {
+            if (!PlaceOut[S])
+              continue;
+            Stats.StitchRelocs += Frags[S]->relocs().size();
+            Out.stitchFrom(*Frags[S], Plans[S]);
+          }
+        } catch (...) {
+          if (JobStatus[J].ok()) {
+            JobStatus[J].Err = support::CompileErr::OutOfMemory;
+            JobStatus[J].Message = "allocation failed merging job";
+          }
+          continue;
+        }
+        if (Out.hasError() && JobStatus[J].ok()) {
+          JobStatus[J].Err =
+              Out.errorCode() == support::CompileErr::FaultInjected
+                  ? support::CompileErr::FaultInjected
+                  : support::CompileErr::MergeError;
+          JobStatus[J].Message.assign(Out.errorMessage());
+        }
+      }
+      Stats.StitchNs += nowNs() - T;
+    } else {
+      u64 T = nowNs();
+      for (size_t J = 0; J < K; ++J) {
+        asmx::Assembler &Out = *Outs[J];
+        Out.reset();
+        if (ModDiag && JobStatus[J].ok())
+          JobStatus[J] = *ModDiag;
+        try {
+          Out.mergeFrom(GlobalsFrag);
+          for (u32 S = JobShardBegin[J]; S < JobShardBegin[J + 1]; ++S) {
+            Stats.StitchRelocs += Frags[S]->relocs().size();
+            Out.mergeFrom(*Frags[S]);
+          }
+        } catch (...) {
+          if (JobStatus[J].ok()) {
+            JobStatus[J].Err = support::CompileErr::OutOfMemory;
+            JobStatus[J].Message = "allocation failed merging job";
+          }
+          continue;
+        }
+        if (Out.hasError() && JobStatus[J].ok()) {
+          JobStatus[J].Err =
+              Out.errorCode() == support::CompileErr::FaultInjected
+                  ? support::CompileErr::FaultInjected
+                  : support::CompileErr::MergeError;
+          JobStatus[J].Message.assign(Out.errorMessage());
+        }
+      }
+      Stats.StitchNs += nowNs() - T;
     }
 
     bool AllOK = true;
@@ -380,6 +488,9 @@ public:
   const support::CompileStatus &shardStatus(u32 S) const {
     return ShardStatus[S];
   }
+  /// Per-phase cost breakdown of the last compile()/compileJobs() —
+  /// which emission path ran and where the wall-clock went.
+  const EmitStats &emitStats() const { return Stats; }
 
 private:
   struct Worker {
@@ -387,6 +498,11 @@ private:
     WorkerT W;
     std::thread Thread; ///< Unjoinable for worker 0 (the calling thread).
   };
+
+  /// What a published job asks the pool to do with each popped shard
+  /// index: compile it into its fragment, or place its fragment's bytes
+  /// into the pre-reserved output slice.
+  enum class PassKind : u8 { Compile, Place };
 
   /// Shared middle of compile()/compileJobs(): fragment setup, the
   /// parallel shard pass over the current ShardBounds/NumShards, and the
@@ -405,6 +521,7 @@ private:
     // before any worker starts draining.
     {
       std::lock_guard<std::mutex> L(Mtx);
+      Phase = PassKind::Compile;
       ++JobSeq;
       Pending = threadCount() - 1;
     }
@@ -413,7 +530,7 @@ private:
     // The calling thread produces the module-level fragment (global data +
     // declarations) and then joins shard compilation as worker 0.
     bool GlobalsFailed = !compileGlobalsFrag();
-    drainQueue(0);
+    drainQueue(0, PassKind::Compile);
 
     {
       std::unique_lock<std::mutex> L(Mtx);
@@ -422,12 +539,130 @@ private:
 
     // Recovery pass, single-threaded on the calling thread (every worker
     // is idle past the barrier, so the per-shard slots are safe to read).
-    // Shard order makes the diagnostics list deterministic.
+    // Shard order makes the diagnostics list deterministic. Recovery runs
+    // *before* any output planning, so the slices reserved later always
+    // describe the fragments' final (post-quarantine) sizes — a failed
+    // shard never owns output bytes it cannot fill.
     if (GlobalsFailed && !compileGlobalsFrag())
       recordGlobalsFailure();
     for (u32 S = 0; S < NumShards; ++S)
       if (ShardFailed[S])
         retryShard(S);
+  }
+
+  /// Copy-merge fallback for compile(): the pre-PR serial byte-copy walk.
+  void mergeShardsByCopy(asmx::Assembler &Out) {
+    u64 T = nowNs();
+    for (u32 S = 0; S < NumShards; ++S) {
+      bool PrevErr = Out.hasError();
+      Stats.StitchRelocs += Frags[S]->relocs().size();
+      Out.mergeFrom(*Frags[S]);
+      noteMergeError(Out, S, PrevErr);
+    }
+    Stats.StitchNs += nowNs() - T;
+  }
+
+  /// Two-pass emission for compile(): reserve every shard's slice of
+  /// \p Out in shard order, place all bytes on the worker pool, stitch
+  /// symbols/relocations serially. Byte-identical to mergeShardsByCopy.
+  void emitShardsInPlace(asmx::Assembler &Out) {
+    Stats.InPlace = true;
+    preparePlans();
+    u64 T = nowNs();
+    for (u32 S = 0; S < NumShards; ++S)
+      reserveShard(Out, S);
+    Stats.ReserveNs += nowNs() - T;
+    runPlacementPass();
+    for (u32 S = 0; S < NumShards; ++S) {
+      if (!PlaceFailed[S])
+        continue;
+      // Terminal placement failure: the slice was zero-filled by
+      // runPlacementPass; fail the compile with a shard-attributed
+      // diagnostic (the only source of a placement failure is the
+      // section-place fault site).
+      support::CompileStatus D;
+      D.Err = support::CompileErr::FaultInjected;
+      D.Shard = S;
+      D.Message = "fault injected: section-place";
+      Diags.push_back(std::move(D));
+    }
+    T = nowNs();
+    for (u32 S = 0; S < NumShards; ++S) {
+      bool PrevErr = Out.hasError();
+      Stats.StitchRelocs += Frags[S]->relocs().size();
+      Out.stitchFrom(*Frags[S], Plans[S]);
+      noteMergeError(Out, S, PrevErr);
+    }
+    Stats.StitchNs += nowNs() - T;
+  }
+
+  /// Sizes/clears the per-shard placement scratch (capacity retained
+  /// across compiles, docs/PERF.md).
+  void preparePlans() {
+    if (Plans.size() < NumShards)
+      Plans.resize(NumShards);
+    PlaceOut.assign(NumShards, nullptr);
+    PlaceFailed.assign(NumShards, 0);
+  }
+
+  /// Reserves shard \p S's slice of \p Out and routes the placement pass
+  /// to it. PlaceOut is set only on success, so a throwing reservation
+  /// leaves the shard unplanned (skipped by placement and stitch).
+  void reserveShard(asmx::Assembler &Out, u32 S) {
+    Out.reserveFrom(*Frags[S], Plans[S]);
+    constexpr unsigned TextI = static_cast<unsigned>(asmx::SecKind::Text);
+    constexpr unsigned DataI = static_cast<unsigned>(asmx::SecKind::Data);
+    Stats.PlacedBytes += Plans[S].Bytes[TextI] + Plans[S].Bytes[DataI];
+    PlaceOut[S] = &Out;
+  }
+
+  /// Pass 2: the worker pool memcpys every planned shard's text/data
+  /// into its pre-reserved slice. Slices are disjoint byte ranges, so
+  /// the pass needs no synchronization beyond the job barrier. A
+  /// placement fault is retried once on the calling thread (the fault
+  /// site fires exactly once per arm); a terminal failure zero-fills
+  /// the slice so neighboring shards' bytes stay intact, and leaves
+  /// PlaceFailed[S] set for the caller to diagnose.
+  void runPlacementPass() {
+    u64 T = nowNs();
+    Queue.reset(NumShards, threadCount());
+    {
+      std::lock_guard<std::mutex> L(Mtx);
+      Phase = PassKind::Place;
+      ++JobSeq;
+      Pending = threadCount() - 1;
+    }
+    JobCV.notify_all();
+    drainQueue(0, PassKind::Place);
+    {
+      std::unique_lock<std::mutex> L(Mtx);
+      DoneCV.wait(L, [this] { return Pending == 0; });
+      Phase = PassKind::Compile;
+    }
+    for (u32 S = 0; S < NumShards; ++S) {
+      if (!PlaceFailed[S])
+        continue;
+      if (PlaceOut[S]->placeFrom(*Frags[S], Plans[S])) {
+        PlaceFailed[S] = 0;
+        continue;
+      }
+      PlaceOut[S]->zeroSlice(Plans[S]);
+    }
+    Stats.PlaceNs += nowNs() - T;
+  }
+
+  /// Attributes a merge/stitch-stage inconsistency with no earlier
+  /// diagnostic to the shard whose merge surfaced it.
+  void noteMergeError(asmx::Assembler &Out, u32 S, bool PrevErr) {
+    if (!PrevErr && Out.hasError() && Diags.empty()) {
+      support::CompileStatus D;
+      D.Err = Out.errorCode() == support::CompileErr::FaultInjected
+                  ? support::CompileErr::FaultInjected
+                  : support::CompileErr::MergeError;
+      D.Shard = S;
+      D.Message.assign(Out.errorMessage());
+      Diags.push_back(std::move(D));
+    }
   }
 
   /// Deterministic shard decomposition. The shard count is
@@ -511,14 +746,16 @@ private:
   void workerMain(unsigned Id) {
     u64 Seen = 0;
     for (;;) {
+      PassKind P;
       {
         std::unique_lock<std::mutex> L(Mtx);
         JobCV.wait(L, [&] { return Stop || JobSeq > Seen; });
         if (Stop)
           return;
         Seen = JobSeq;
+        P = Phase;
       }
-      drainQueue(Id);
+      drainQueue(Id, P);
       {
         std::lock_guard<std::mutex> L(Mtx);
         if (--Pending == 0)
@@ -527,10 +764,28 @@ private:
     }
   }
 
-  void drainQueue(unsigned Id) {
+  void drainQueue(unsigned Id, PassKind P) {
     u32 Shard;
-    while (Queue.pop(Id, Shard))
-      compileShard(Id, Shard);
+    while (Queue.pop(Id, Shard)) {
+      if (P == PassKind::Compile)
+        compileShard(Id, Shard);
+      else
+        placeShard(Shard);
+    }
+  }
+
+  /// Pass-2 unit of work: memcpy one planned shard into its slice. The
+  /// queue hands each shard to exactly one worker and the slices are
+  /// disjoint, so no two threads ever write the same output byte;
+  /// PlaceOut/Plans were published by the mutex before the job woke the
+  /// pool. placeFrom never touches shared assembler state (not even the
+  /// error slot), so failure is a per-shard flag handled after the
+  /// barrier.
+  void placeShard(u32 Shard) {
+    if (!PlaceOut[Shard])
+      return; // reservation failed; nothing owns bytes here
+    if (!PlaceOut[Shard]->placeFrom(*Frags[Shard], Plans[Shard]))
+      PlaceFailed[Shard] = 1;
   }
 
   void compileShard(unsigned Id, u32 Shard) {
@@ -544,6 +799,16 @@ private:
     support::CompileStatus &St = ShardStatus[Shard];
     St.clear();
     St.Shard = Shard;
+    // Pre-size the fragment's text buffer from the worker's size bound
+    // (when it provides one) so the snapshot merge of a first-time-large
+    // shard skips the geometric growth ladder. Purely a capacity hint.
+    Frag.reset();
+    if constexpr (requires(const ModuleT &CM, u32 A) {
+                    { WorkerT::shardTextBound(CM, A, A) }
+                        -> std::convertible_to<u64>;
+                  })
+      Frag.text().ensureSpace(static_cast<size_t>(
+          WorkerT::shardTextBound(std::as_const(M), Begin, End)));
     auto failShard = [&](support::CompileErr E, std::string_view Msg) {
       Frag.reset(); // never leave a poisoned fragment behind
       St.Err = E;
@@ -577,7 +842,6 @@ private:
       St.Symbol = WS.Symbol;
       return;
     }
-    Frag.reset();
     try {
       Frag.mergeFrom(W.W.assembler());
     } catch (...) { // arena-backed name interning in the snapshot merge
@@ -758,6 +1022,16 @@ private:
   /// only the flags are re-zeroed per compile.
   std::vector<u8> ShardFailed;
   std::vector<support::CompileStatus> ShardStatus;
+  /// In-place emission scratch, all capacity-retained across compiles
+  /// (docs/PERF.md): shard S's slice plan, its destination assembler
+  /// (null = unplanned, skip placement/stitch; compileJobs points
+  /// different shards at different job outputs), and the pass-2 failure
+  /// flags (same single-writer-then-barrier discipline as ShardFailed).
+  std::vector<asmx::MergePlan> Plans;
+  std::vector<asmx::Assembler *> PlaceOut;
+  std::vector<u8> PlaceFailed;
+  /// Per-phase breakdown of the last compile (emitStats()).
+  EmitStats Stats;
   /// Diagnostics of the last compile, ordered by (shard, function); built
   /// single-threaded in the recovery pass. FirstStatus mirrors the front.
   std::vector<support::CompileStatus> Diags;
@@ -767,8 +1041,12 @@ private:
 
   std::mutex Mtx;
   std::condition_variable JobCV, DoneCV;
-  u64 JobSeq = 0;       ///< Bumped per compile(); workers wait for it.
+  u64 JobSeq = 0;       ///< Bumped per published job; workers wait for it.
   unsigned Pending = 0; ///< Spawned workers still draining the current job.
+  /// Which pass the current job runs; written under Mtx before the
+  /// JobSeq bump that wakes the pool, read by workers under the same
+  /// mutex on wake.
+  PassKind Phase = PassKind::Compile;
   bool Stop = false;
 };
 

@@ -121,6 +121,17 @@ public:
       Sz = N;
   }
 
+  /// Appends \p N *uninitialized* bytes and returns a pointer to them:
+  /// the reserve half of a reserve-then-fill protocol (the in-place
+  /// section merge in asmx::Assembler::reserveFrom). The caller promises
+  /// to fill — or explicitly zero — the bytes before anything reads them.
+  u8 *extendUninit(size_t N) {
+    ensure(N);
+    u8 *P = Ptr + Sz;
+    Sz += N;
+    return P;
+  }
+
   // --- Write cursor: unchecked appends into pre-reserved space ---------
   /// Returns the current end of the buffer as a raw write pointer; the
   /// caller must have ensure()d enough space and finish with setEnd().

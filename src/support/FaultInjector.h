@@ -40,10 +40,12 @@ enum class FaultSite : u8 {
   ShardCompile, ///< core::ParallelModuleCompiler::compileShard — shard fails.
   SymbolCreate, ///< asmx::Assembler::createSymbol — assembler error.
   SectionMerge, ///< asmx::Assembler::mergeFrom — merge refused.
+  SectionPlace, ///< asmx::Assembler::placeFrom — in-place byte placement
+                ///< fails (pass 2 of the two-pass emission; docs/PERF.md).
   JitMap,       ///< asmx::JITMapper::map — mapping fails.
 };
 
-inline constexpr u32 NumFaultSites = 5;
+inline constexpr u32 NumFaultSites = 6;
 
 inline const char *faultSiteName(FaultSite S) {
   switch (S) {
@@ -51,6 +53,7 @@ inline const char *faultSiteName(FaultSite S) {
   case FaultSite::ShardCompile: return "shard-compile";
   case FaultSite::SymbolCreate: return "symbol-create";
   case FaultSite::SectionMerge: return "section-merge";
+  case FaultSite::SectionPlace: return "section-place";
   case FaultSite::JitMap: return "jit-map";
   }
   return "unknown";

@@ -47,6 +47,18 @@ struct TirParallelWorker {
   static u32 funcWeight(const tir::Module &M, u32 I) {
     return static_cast<u32>(M.Funcs[I].Values.size());
   }
+  /// Capacity hint for the driver's fragment buffers (two-pass emission):
+  /// an upper-bound-ish text size for functions [Begin, End). TIR values
+  /// lower to a handful of instructions each (≤ ~16 bytes on either
+  /// target); the per-function constant covers prologue/epilogue and the
+  /// 16-byte function alignment. Only a hint — under-estimates merely
+  /// fall back to geometric buffer growth.
+  static u64 shardTextBound(const tir::Module &M, u32 Begin, u32 End) {
+    u64 Bytes = 0;
+    for (u32 I = Begin; I < End; ++I)
+      Bytes = Bytes + 16 * static_cast<u64>(M.Funcs[I].Values.size()) + 64;
+    return Bytes;
+  }
   /// Enables the driver's ParallelCompileOptions::Verify pre-pass.
   static bool verifyModule(const tir::Module &M, std::string &Errors) {
     return tir::verifyModule(M, Errors);

@@ -48,6 +48,15 @@ struct UirParallelWorker {
   static u32 funcWeight(const UModule &M, u32 I) {
     return static_cast<u32>(M.Funcs[I].Vals.size());
   }
+  /// Capacity hint for the driver's fragment buffers (two-pass emission);
+  /// see TirParallelWorker::shardTextBound — same shape, query values
+  /// lower to a few instructions each.
+  static u64 shardTextBound(const UModule &M, u32 Begin, u32 End) {
+    u64 Bytes = 0;
+    for (u32 I = Begin; I < End; ++I)
+      Bytes = Bytes + 16 * static_cast<u64>(M.Funcs[I].Vals.size()) + 64;
+    return Bytes;
+  }
   /// Enables the driver's ParallelCompileOptions::Verify pre-pass.
   static bool verifyModule(const UModule &M, std::string &Errors) {
     return uir::verifyModule(M, Errors);

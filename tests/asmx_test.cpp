@@ -537,6 +537,139 @@ TEST(Merge, SteadyStateMergeIsAllocationFree) {
   EXPECT_EQ(W.newCalls(), 0u) << "steady-state merge touched the heap";
 }
 
+// --- Two-pass emission primitives (reserve / place / stitch) ---------------
+
+namespace {
+
+/// One fragment exercising every section at once: text defining \p FnName
+/// plus a pool reference, an anonymous (dedup-eligible) rodata entry
+/// holding \p PoolConst, mutable data, and BSS. Odd \p TextBytes sizes
+/// force alignment padding between reserved slices.
+void buildEmissionFragment(Assembler &Frag, const char *FnName,
+                           u64 PoolConst, unsigned TextBytes) {
+  Section &T = Frag.section(SecKind::Text);
+  for (unsigned I = 0; I < TextBytes; ++I)
+    T.appendByte(0x90);
+  SymRef F = Frag.createSymbol(FnName, Linkage::External, true);
+  Frag.defineSymbol(F, SecKind::Text, 0, TextBytes);
+  Frag.section(SecKind::ROData).appendLE<u64>(PoolConst);
+  SymRef K = Frag.createSymbol("", Linkage::Internal, false);
+  Frag.defineSymbol(K, SecKind::ROData, 0, 8);
+  u64 Off = T.size();
+  T.appendLE<u32>(0);
+  Frag.addReloc(SecKind::Text, Off, RelocKind::PC32, K, -4);
+  Frag.section(SecKind::Data).appendLE<u64>(PoolConst ^ 0xAA55AA55ull);
+  Frag.section(SecKind::BSS).BssSize = 8;
+}
+
+} // namespace
+
+/// The tentpole contract at the primitive level: reserveFrom + placeFrom
+/// + stitchFrom IS mergeFrom, resequenced. Reservations happen up front
+/// in fragment order, placement runs in ANY order (the driver hands it
+/// to a worker pool), stitching is the only ordered stage — and the
+/// result is byte-identical to the serial mergeFrom walk down to the
+/// full relocatable ELF, covering cross-fragment binding, FP-pool
+/// dedup, named (wholesale) rodata, data, and BSS rebasing.
+TEST(TwoPassEmission, ReservePlaceStitchMatchesMergeFrom) {
+  Assembler FragA, FragB, FragC;
+  buildEmissionFragment(FragA, "f_a", 0x3FF0000000000000ull, 5);
+  buildEmissionFragment(FragB, "f_b", 0x3FF0000000000000ull, 7); // dedups
+  // FragB also calls f_a — an undefined reference bound at stitch time.
+  u64 CallOff = FragB.section(SecKind::Text).size();
+  FragB.section(SecKind::Text).appendLE<u32>(0);
+  SymRef ADecl = FragB.createSymbol("f_a", Linkage::External, true);
+  FragB.addReloc(SecKind::Text, CallOff, RelocKind::PC32, ADecl, -4);
+  // FragC carries *named* rodata — the wholesale (non-dedup) merge path.
+  FragC.section(SecKind::Text).appendByte(0xC3);
+  SymRef FC = FragC.createSymbol("f_c", Linkage::External, true);
+  FragC.defineSymbol(FC, SecKind::Text, 0, 1);
+  FragC.section(SecKind::ROData).appendLE<u64>(0x1122334455667788ull);
+  SymRef RC = FragC.createSymbol("ro_c", Linkage::Internal, false);
+  FragC.defineSymbol(RC, SecKind::ROData, 0, 8);
+
+  Assembler Ref;
+  Ref.mergeFrom(FragA);
+  Ref.mergeFrom(FragB);
+  Ref.mergeFrom(FragC);
+  ASSERT_FALSE(Ref.hasError());
+
+  Assembler Out;
+  MergePlan PA, PB, PC;
+  Out.reserveFrom(FragA, PA);
+  Out.reserveFrom(FragB, PB);
+  Out.reserveFrom(FragC, PC);
+  ASSERT_TRUE(Out.placeFrom(FragC, PC)); // any order: disjoint slices
+  ASSERT_TRUE(Out.placeFrom(FragA, PA));
+  ASSERT_TRUE(Out.placeFrom(FragB, PB));
+  Out.stitchFrom(FragA, PA);
+  Out.stitchFrom(FragB, PB);
+  Out.stitchFrom(FragC, PC);
+  ASSERT_FALSE(Out.hasError()) << Out.errorMessage();
+
+  EXPECT_EQ(writeElfObject(Out, ElfMachine::X86_64),
+            writeElfObject(Ref, ElfMachine::X86_64))
+      << "split reserve/place/stitch diverged from mergeFrom";
+}
+
+/// A terminal placement failure zero-fills exactly its own slice: the
+/// graceful-degradation contract that lets one quarantined shard fail
+/// without corrupting the neighbors already placed around it.
+TEST(TwoPassEmission, ZeroSliceLeavesNeighborsIntact) {
+  Assembler Frags[3], Out;
+  const u8 Fill[3] = {0xAA, 0xBB, 0xCC};
+  MergePlan Plans[3];
+  for (int I = 0; I < 3; ++I) {
+    for (int B = 0; B < 24; ++B)
+      Frags[I].section(SecKind::Text).appendByte(Fill[I]);
+    SymRef S = Frags[I].createSymbol(I == 0   ? "z_a"
+                                     : I == 1 ? "z_b"
+                                              : "z_c",
+                                     Linkage::External, true);
+    Frags[I].defineSymbol(S, SecKind::Text, 0, 24);
+    Out.reserveFrom(Frags[I], Plans[I]);
+  }
+  for (int I = 0; I < 3; ++I)
+    ASSERT_TRUE(Out.placeFrom(Frags[I], Plans[I]));
+  Out.zeroSlice(Plans[1]); // the middle shard is quarantined
+
+  constexpr unsigned TextI = static_cast<unsigned>(SecKind::Text);
+  const Section &T = Out.section(SecKind::Text);
+  for (int I = 0; I < 3; ++I)
+    for (u64 B = 0; B < Plans[I].Bytes[TextI]; ++B)
+      ASSERT_EQ(T.Data[Plans[I].Base[TextI] + B], I == 1 ? 0 : Fill[I])
+          << "slice " << I << " byte " << B;
+}
+
+/// The split path shares mergeFrom's scratch (symbol maps, dedup pool
+/// index) and adds only the caller-owned plans — steady-state
+/// reserve/place/stitch cycles must be allocation-free once warm,
+/// exactly like the serial merge (docs/PERF.md).
+TEST(TwoPassEmission, SteadyStateSplitEmissionIsAllocationFree) {
+  Assembler FragA, FragB;
+  buildEmissionFragment(FragA, "fn_a", 0x4000000000000000ull, 96);
+  buildEmissionFragment(FragB, "fn_b", 0x4000000000000000ull, 64);
+  Assembler Out;
+  MergePlan PA, PB;
+  auto Emit = [&] {
+    Out.reset();
+    Out.reserveFrom(FragA, PA);
+    Out.reserveFrom(FragB, PB);
+    ASSERT_TRUE(Out.placeFrom(FragA, PA));
+    ASSERT_TRUE(Out.placeFrom(FragB, PB));
+    Out.stitchFrom(FragA, PA);
+    Out.stitchFrom(FragB, PB);
+    ASSERT_FALSE(Out.hasError());
+  };
+  for (int Warm = 0; Warm < 2; ++Warm)
+    Emit();
+  support::AllocWatch W;
+  Emit();
+  EXPECT_EQ(W.newCalls(), 0u)
+      << "steady-state split emission touched the heap (" << W.newBytes()
+      << " bytes)";
+}
+
 // --- rewindForRecompile (module-level symbol batching) ---------------------
 
 TEST(Rewind, KeepsDeclarationsDropsDefinitionsAndAnonymous) {

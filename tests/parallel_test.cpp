@@ -651,6 +651,41 @@ TEST(LargeModuleDeterminism, ElfIdenticalToSerialA64) {
   }
 }
 
+/// The copy-merge fallback (InPlaceEmission=false) and the default
+/// two-pass in-place path are the same merge resequenced — both must
+/// reproduce the serial module's full ELF object, and emitStats() must
+/// report which path ran plus a plausible cost breakdown (bytes placed
+/// never exceed the merged text+data, stitch visits every shard reloc).
+TEST(LargeModuleDeterminism, CopyMergeFallbackMatchesInPlace) {
+  tir::Module M = makeModule(13, 40, true);
+  asmx::Assembler SerialAsm;
+  ASSERT_TRUE(tpde_tir::compileModuleX64(M, SerialAsm));
+  std::vector<u8> SerialObj =
+      asmx::writeElfObject(SerialAsm, asmx::ElfMachine::X86_64);
+
+  for (bool InPlace : {true, false}) {
+    tpde_tir::ParallelCompileOptions Opts;
+    Opts.NumThreads = 4;
+    Opts.InPlaceEmission = InPlace;
+    tpde_tir::ParallelModuleCompiler PC(M, Opts);
+    asmx::Assembler Out;
+    ASSERT_TRUE(PC.compile(Out)) << "in_place=" << InPlace;
+    const core::EmitStats &St = PC.emitStats();
+    EXPECT_EQ(St.InPlace, InPlace);
+    if (InPlace) {
+      EXPECT_GT(St.PlacedBytes, 0u);
+      EXPECT_LE(St.PlacedBytes,
+                Out.text().Data.size() +
+                    Out.section(asmx::SecKind::Data).Data.size())
+          << "placed more bytes than the merged output holds";
+    }
+    EXPECT_GT(St.StitchRelocs, 0u) << "shard relocs went unstitched";
+    EXPECT_EQ(asmx::writeElfObject(Out, asmx::ElfMachine::X86_64), SerialObj)
+        << "in_place=" << InPlace
+        << ": emission path diverged from the serial compile";
+  }
+}
+
 // --- UIR: the database back-end through the same driver --------------------
 
 namespace {
@@ -703,6 +738,31 @@ TEST(UirParallelDeterminism, ElfIdenticalToSerialAcrossThreadCounts) {
     EXPECT_EQ(Obj, SerialObj)
         << "merged UIR ELF object (sections/symtab/relocs) diverged from "
            "the serial compile, threads=" << Threads;
+  }
+}
+
+/// The 10k-function acceptance bar for the database back-end too: a
+/// 10k-query module (the §7 many-query Umbra shape at scale) through
+/// the default in-place emission path produces a byte-identical full
+/// ELF object for thread counts {1,2,4,8} — the same contract the TIR
+/// back-ends meet in LargeModuleDeterminism.
+TEST(UirParallelDeterminism, LargeQueryModuleElfIdenticalToSerial) {
+  uir::UModule M = makeQueryModule(77, LargeFuncs);
+  ASSERT_GE(M.Funcs.size(), 10000u);
+
+  asmx::Assembler SerialAsm;
+  ASSERT_TRUE(uir::compileTpdeUir(M, SerialAsm));
+  std::vector<u8> SerialObj =
+      asmx::writeElfObject(SerialAsm, asmx::ElfMachine::X86_64);
+
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    asmx::Assembler Out;
+    ASSERT_TRUE(uir::compileModuleUirParallel(M, Out, Threads))
+        << "threads=" << Threads;
+    ASSERT_FALSE(Out.hasError()) << Out.errorMessage();
+    EXPECT_EQ(asmx::writeElfObject(Out, asmx::ElfMachine::X86_64), SerialObj)
+        << "merged 10k-query UIR ELF object diverged from the serial "
+           "compile, threads=" << Threads;
   }
 }
 
