@@ -9,12 +9,23 @@
 ///
 /// Reports hit ratio, sustained jobs/sec, hit and miss latency p50/p99
 /// (from the service's allocation-free histograms), and the p50 hit
-/// speedup (miss p50 / hit p50). Emits BENCH_service_throughput.json for
+/// speedup (miss p50 / hit p50).
+///
+/// A second phase drives a *deliberately overloaded* service: a fresh
+/// instance with a small admission ring receives all-distinct jobs (no
+/// hits) at twice its estimated compile capacity, each with a deadline,
+/// via trySubmit. The phase measures the overload-control contract
+/// (docs/SERVICE.md, "Overload control"): every job must complete — with
+/// code or a *labelled* Overloaded/DeadlineExceeded error — nothing may
+/// hang, and load must actually be shed.
+///
+/// Emits BENCH_service_throughput.json for
 /// scripts/check_bench_regression.py, which gates:
 ///   * hit_ratio >= 0.9            (absolute),
 ///   * hit_speedup_p50 >= 10       (absolute — a hit must amortize),
 ///   * miss/hit p99 vs the committed baseline (generous relative floor),
-///   * fault_injection == false    (hooks compiled out in default builds).
+///   * fault_injection == false    (hooks compiled out in default builds),
+///   * overload: hung == 0, other_failed == 0, shed_rate > 0.
 ///
 /// Flags: --jobs=N --distinct=D --workers=W --rate=R (jobs/sec, 0 = no
 /// pacing) --budget-mb=B.
@@ -25,6 +36,7 @@
 #include "support/Timer.h"
 #include "uir/Service.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -168,6 +180,97 @@ int main(int argc, char **argv) {
               (unsigned long long)S.MissP99Ns);
   std::printf("  hit speedup (miss p50 / hit p50): %.1fx\n", HitSpeedup);
 
+  // --- overload phase ------------------------------------------------------
+  // A fresh service with a small admission ring, fed all-distinct jobs
+  // (forced misses) at ~2x its compile capacity. Capacity is calibrated
+  // from solo compile+map cost — the service's end-to-end miss latency
+  // would overestimate it, because it includes queueing delay.
+  u64 CalibNs;
+  {
+    const u64 T0 = nowNs();
+    for (u32 I = 0; I < 8; ++I) {
+      uir::UModule M = makePoolModule(2'000'000 + I);
+      asmx::Assembler Asm;
+      if (!uir::compileTpdeUir(M, Asm))
+        return 1;
+      asmx::JITMapper JIT;
+      if (!JIT.map(Asm))
+        return 1;
+    }
+    CalibNs = (nowNs() - T0) / 8;
+    if (CalibNs < 1'000)
+      CalibNs = 1'000;
+  }
+  const double CapacityJps =
+      static_cast<double>(O.Workers) * 1e9 / static_cast<double>(CalibNs);
+  const double ArrivalJps = 2.0 * CapacityJps;
+  const unsigned OverJobs = O.Jobs;
+  const u64 OverPeriodNs = static_cast<u64>(1e9 / ArrivalJps);
+  const u64 OverDeadlineSpanNs = 50 * CalibNs;
+
+  service::ServiceOptions OSO;
+  OSO.NumWorkers = O.Workers;
+  OSO.QueueCapacity = 64;
+  OSO.CacheBudgetBytes = O.BudgetMb * 1024 * 1024;
+  unsigned Hung = 0, OverServed = 0, ShedOverloaded = 0, ShedDeadline = 0,
+           OtherFailed = 0;
+  service::ServiceStatsSnapshot OS;
+  {
+    uir::UirCompileService OverSvc(OSO);
+    std::vector<service::ResultPtr> OverResults;
+    OverResults.reserve(OverJobs);
+    u64 Due = nowNs();
+    u64 LastDeadline = 0;
+    for (unsigned I = 0; I < OverJobs; ++I) {
+      while (nowNs() < Due)
+        std::this_thread::yield();
+      Due += OverPeriodNs;
+      u64 Deadline = nowNs() + OverDeadlineSpanNs;
+      LastDeadline = Deadline;
+      // Pool offset past phase 1's modules: every job is a distinct
+      // fingerprint, so nothing hides behind the cache.
+      OverResults.push_back(OverSvc.trySubmit(
+          makePoolModule(1'000'000 + I),
+          {.Tenant = 1 + I % 4, .DeadlineNs = Deadline}));
+    }
+    // Hang detection: after the last deadline plus generous slack, every
+    // job must have been completed by the service itself (shed, failed,
+    // or served) — without any client calling wait().
+    const u64 FailsafeNs = LastDeadline + 2'000'000'000;
+    for (auto &R : OverResults) {
+      while (!R->done() && nowNs() < FailsafeNs)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (!R->done()) {
+        ++Hung;
+        R->wait(); // deadline self-timeout resolves it; still counted hung
+      }
+      if (R->ok()) {
+        ++OverServed;
+      } else if (R->status().Err == support::CompileErr::Overloaded) {
+        ++ShedOverloaded;
+      } else if (R->status().Err == support::CompileErr::DeadlineExceeded) {
+        ++ShedDeadline;
+      } else {
+        ++OtherFailed;
+      }
+    }
+    OS = OverSvc.stats();
+  }
+  const double ShedRate =
+      static_cast<double>(ShedOverloaded + ShedDeadline) / OverJobs;
+
+  std::printf("overload phase: %u all-distinct jobs at %.0f/s "
+              "(~2x capacity %.0f/s), ring 64, deadline %llu ns\n",
+              OverJobs, ArrivalJps, CapacityJps,
+              (unsigned long long)OverDeadlineSpanNs);
+  std::printf("  served %u  shed(overloaded) %u  shed(deadline) %u  "
+              "other-failed %u  hung %u  shed rate %.3f\n",
+              OverServed, ShedOverloaded, ShedDeadline, OtherFailed, Hung,
+              ShedRate);
+  std::printf("  queue wait p50 %8llu ns   p99 %8llu ns\n",
+              (unsigned long long)OS.QueueWaitP50Ns,
+              (unsigned long long)OS.QueueWaitP99Ns);
+
   FILE *F = std::fopen("BENCH_service_throughput.json", "w");
   if (!F) {
     std::fprintf(stderr, "cannot write BENCH_service_throughput.json\n");
@@ -189,6 +292,19 @@ int main(int argc, char **argv) {
                "    \"hit_p50_ns\": %llu,\n    \"hit_p99_ns\": %llu,\n"
                "    \"miss_p50_ns\": %llu,\n    \"miss_p99_ns\": %llu,\n"
                "    \"hit_speedup_p50\": %.2f\n"
+               "  },\n"
+               "  \"overload\": {\n"
+               "    \"jobs\": %u,\n"
+               "    \"arrival_jobs_per_sec\": %.1f,\n"
+               "    \"capacity_est_jobs_per_sec\": %.1f,\n"
+               "    \"served\": %u,\n"
+               "    \"shed_overloaded\": %u,\n"
+               "    \"shed_deadline\": %u,\n"
+               "    \"other_failed\": %u,\n"
+               "    \"hung\": %u,\n"
+               "    \"shed_rate\": %.4f,\n"
+               "    \"queue_wait_p50_ns\": %llu,\n"
+               "    \"queue_wait_p99_ns\": %llu\n"
                "  }\n}\n",
                O.Jobs, O.Distinct, O.Workers, O.Rate,
                std::thread::hardware_concurrency(),
@@ -199,7 +315,11 @@ int main(int argc, char **argv) {
                (unsigned long long)S.Failed, JobsPerSec,
                (unsigned long long)S.HitP50Ns, (unsigned long long)S.HitP99Ns,
                (unsigned long long)S.MissP50Ns,
-               (unsigned long long)S.MissP99Ns, HitSpeedup);
+               (unsigned long long)S.MissP99Ns, HitSpeedup, OverJobs,
+               ArrivalJps, CapacityJps, OverServed, ShedOverloaded,
+               ShedDeadline, OtherFailed, Hung, ShedRate,
+               (unsigned long long)OS.QueueWaitP50Ns,
+               (unsigned long long)OS.QueueWaitP99Ns);
   std::fclose(F);
   std::printf("wrote BENCH_service_throughput.json\n");
   return 0;

@@ -66,6 +66,19 @@ the absolute hit-speedup gate already catches a hit path that stopped
 being cheap; the relative check only guards against order-of-magnitude
 cliffs (a lock added on the hit path, a histogram unit bug).
 
+The candidate's "overload" section (the bench's 2x-capacity phase, see
+bench/service_throughput.cpp) is gated absolutely:
+
+    hung         == 0   (every job completed without a client wait)
+    other_failed == 0   (every shed is labelled Overloaded or
+                         DeadlineExceeded — nothing fails ad hoc)
+    shed_rate    >  0   (a 2x-overloaded service that sheds nothing is
+                         not applying back-pressure; its queue lies)
+
+A candidate without the section is tolerated with a WARN while older
+bench binaries are still in circulation; the committed baseline carries
+it, so the WARN disappears once the candidate is rebuilt.
+
 Usage:
     check_bench_regression.py BASELINE.json NEW.json
         [--sigmas=4] [--rel-floor=0.30] [--normalize]
@@ -150,6 +163,39 @@ def service_gate(base_path, new_path, opts):
         print("FAIL: the service failed jobs (or the 'failed' counter is "
               "missing from the json)")
         failed = True
+
+    ov = new_doc.get("overload")
+    if ov is None:
+        print("WARN: candidate has no 'overload' section; overload gate "
+              "skipped (rebuild the bench to measure it)")
+    else:
+        hung = int(ov.get("hung", -1))
+        other = int(ov.get("other_failed", -1))
+        shed_rate = float(ov.get("shed_rate", 0.0))
+        served = int(ov.get("served", 0))
+        print(f"overload: served {served}  "
+              f"shed {int(ov.get('shed_overloaded', 0))}+"
+              f"{int(ov.get('shed_deadline', 0))}  "
+              f"hung {hung}  other_failed {other}  "
+              f"shed_rate {shed_rate:.3f}  "
+              f"queue_wait_p99 {int(ov.get('queue_wait_p99_ns', 0))} ns")
+        if hung != 0:
+            print("FAIL: overloaded service left jobs hanging (or the "
+                  "'hung' counter is missing) — liveness is broken")
+            failed = True
+        if other != 0:
+            print("FAIL: overload sheds must be labelled Overloaded or "
+                  "DeadlineExceeded; other error codes (or a missing "
+                  "counter) mean unstructured failure under load")
+            failed = True
+        if shed_rate <= 0.0:
+            print("FAIL: a 2x-overloaded service shed nothing — admission "
+                  "control is not applying back-pressure")
+            failed = True
+        if served <= 0:
+            print("FAIL: the overloaded service served nothing — shedding "
+                  "must not become starvation")
+            failed = True
 
     bs = base_doc.get("service", {})
     for row in ("hit_p99_ns", "miss_p99_ns"):

@@ -32,8 +32,10 @@
 #include "support/Diag.h"
 #include "support/Hash.h"
 #include "support/Histogram.h"
+#include "support/Timer.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -64,15 +66,71 @@ struct CachedCode {
   u64 bytes() const { return JIT.mappedSize(); }
 };
 
+/// Monotonically increasing counters + latency histograms. Counter
+/// writes are relaxed atomics (allocation- and lock-free); reads are a
+/// snapshot, not a consistent cut.
+struct ServiceStats {
+  std::atomic<u64> Hits{0};       ///< Served from cache at submit.
+  std::atomic<u64> Misses{0};     ///< Entered compilation (single-flight owners).
+  std::atomic<u64> Coalesced{0};  ///< Attached to an in-flight compile.
+  std::atomic<u64> Evictions{0};  ///< Entries evicted under the byte budget.
+  std::atomic<u64> Failed{0};     ///< Jobs completed with a diagnostic.
+  std::atomic<u64> VerifyRejected{0}; ///< Rejected by the admission verifier.
+  std::atomic<u64> Overloaded{0}; ///< Admission rejections: queue full past
+                                  ///< the bounded wait, or quota exhausted.
+  std::atomic<u64> Shed{0};       ///< Jobs whose deadline expired in the
+                                  ///< queue; shed at dequeue, never compiled.
+  std::atomic<u64> DeadlineTimedOut{0}; ///< Waiters that timed out on an
+                                        ///< in-flight fingerprint.
+  std::atomic<u64> Retried{0};    ///< Transient-failure recompiles scheduled.
+  std::atomic<u64> StuckFailovers{0}; ///< Claims failed over by the worker
+                                      ///< watchdog (hung-batch detector).
+  std::atomic<u64> CachedBytes{0};
+  std::atomic<u64> CachedEntries{0};
+  support::LatencyHistogram HitNs;  ///< End-to-end latency of cache hits.
+  support::LatencyHistogram MissNs; ///< End-to-end latency of compiles
+                                    ///< (owners and coalesced waiters).
+  support::LatencyHistogram QueueWaitNs; ///< Admission-queue residency per
+                                         ///< dequeue (enqueue -> worker pop).
+};
+
+/// Plain-value snapshot of ServiceStats for reporting.
+struct ServiceStatsSnapshot {
+  u64 Hits = 0, Misses = 0, Coalesced = 0, Evictions = 0, Failed = 0,
+      VerifyRejected = 0, Overloaded = 0, Shed = 0, DeadlineTimedOut = 0,
+      Retried = 0, StuckFailovers = 0, CachedBytes = 0, CachedEntries = 0;
+  u64 HitP50Ns = 0, HitP99Ns = 0, MissP50Ns = 0, MissP99Ns = 0;
+  u64 QueueWaitP50Ns = 0, QueueWaitP99Ns = 0;
+};
+
 /// A waitable per-job completion handle. submit() returns one
 /// immediately; wait() blocks until a service worker (or the submit fast
-/// path, on a cache hit) completes it.
+/// path, on a cache hit) completes it — or, for jobs submitted with a
+/// deadline, until the deadline passes, at which point the handle
+/// self-completes with DeadlineExceeded. Completion is first-wins: a
+/// handle the waiter timed out stays timed out even if the owner later
+/// publishes the code (the publish still lands in the cache for future
+/// submits).
 class ServiceResult {
 public:
-  /// Blocks until the job completed (served, failed, or rejected).
-  void wait() const {
+  /// Blocks until the job completed (served, failed, or rejected). If
+  /// the job carries a deadline and it expires first, completes the
+  /// handle with DeadlineExceeded — a waiter attached to an in-flight
+  /// fingerprint therefore times out independently of the owner.
+  void wait() {
     std::unique_lock<std::mutex> L(Mtx);
-    CV.wait(L, [&] { return Done; });
+    if (DeadlineNs == 0) {
+      CV.wait(L, [&] { return Done; });
+      return;
+    }
+    while (!Done) {
+      u64 Now = tpde::nowNs();
+      if (Now >= DeadlineNs) {
+        completeTimeoutLocked(Now);
+        break;
+      }
+      CV.wait_for(L, std::chrono::nanoseconds(DeadlineNs - Now));
+    }
   }
   bool done() const {
     std::lock_guard<std::mutex> L(Mtx);
@@ -91,10 +149,15 @@ public:
 
   /// Completion (service-internal). NowNs is the completing thread's
   /// clock reading; latency is derived from the recorded submit time.
-  void complete(std::shared_ptr<CachedCode> C, const support::CompileStatus &S,
+  /// First-wins: returns false — and changes nothing — when the handle
+  /// already completed (e.g. the waiter timed out on its deadline), so
+  /// callers must not record latency for a false return.
+  bool complete(std::shared_ptr<CachedCode> C, const support::CompileStatus &S,
                 bool WasHit, u64 NowNs) {
     {
       std::lock_guard<std::mutex> L(Mtx);
+      if (Done)
+        return false;
       Code = std::move(C);
       St = S;
       Hit = WasHit;
@@ -102,11 +165,31 @@ public:
       Done = true;
     }
     CV.notify_all();
+    return true;
   }
 
-  u64 SubmitNs = 0; ///< Set once by submit() before the handle is shared.
+  u64 SubmitNs = 0;   ///< Set once by submit() before the handle is shared.
+  u64 DeadlineNs = 0; ///< Absolute nowNs() deadline; 0 = none. Set once by
+                      ///< submit() before the handle is shared.
+  /// Stats sink for the self-timeout path. A shared_ptr (not a raw
+  /// pointer into the service) so a client blocked in wait() past the
+  /// service's destruction still has somewhere safe to count.
+  std::shared_ptr<ServiceStats> Stats;
 
 private:
+  void completeTimeoutLocked(u64 NowNs) {
+    St.clear();
+    St.Err = support::CompileErr::DeadlineExceeded;
+    St.Message = "deadline expired waiting for in-flight compile";
+    Code = nullptr;
+    Hit = false;
+    LatNs = NowNs >= SubmitNs ? NowNs - SubmitNs : 0;
+    Done = true;
+    if (Stats)
+      Stats->DeadlineTimedOut.fetch_add(1, std::memory_order_relaxed);
+    CV.notify_all();
+  }
+
   mutable std::mutex Mtx;
   mutable std::condition_variable CV;
   bool Done = false;
@@ -118,30 +201,6 @@ private:
 
 using ResultPtr = std::shared_ptr<ServiceResult>;
 
-/// Monotonically increasing counters + latency histograms. Counter
-/// writes are relaxed atomics (allocation- and lock-free); reads are a
-/// snapshot, not a consistent cut.
-struct ServiceStats {
-  std::atomic<u64> Hits{0};       ///< Served from cache at submit.
-  std::atomic<u64> Misses{0};     ///< Entered compilation (single-flight owners).
-  std::atomic<u64> Coalesced{0};  ///< Attached to an in-flight compile.
-  std::atomic<u64> Evictions{0};  ///< Entries evicted under the byte budget.
-  std::atomic<u64> Failed{0};     ///< Jobs completed with a diagnostic.
-  std::atomic<u64> VerifyRejected{0}; ///< Rejected by the admission verifier.
-  std::atomic<u64> CachedBytes{0};
-  std::atomic<u64> CachedEntries{0};
-  support::LatencyHistogram HitNs;  ///< End-to-end latency of cache hits.
-  support::LatencyHistogram MissNs; ///< End-to-end latency of compiles
-                                    ///< (owners and coalesced waiters).
-};
-
-/// Plain-value snapshot of ServiceStats for reporting.
-struct ServiceStatsSnapshot {
-  u64 Hits = 0, Misses = 0, Coalesced = 0, Evictions = 0, Failed = 0,
-      VerifyRejected = 0, CachedBytes = 0, CachedEntries = 0;
-  u64 HitP50Ns = 0, HitP99Ns = 0, MissP50Ns = 0, MissP99Ns = 0;
-};
-
 /// Fingerprint -> mapped code, with single-flight claim semantics.
 /// Thread-safe; all state behind one mutex (operations are O(1) map
 /// probes except the eviction scan, see evictLocked()). Waiter
@@ -149,7 +208,8 @@ struct ServiceStatsSnapshot {
 /// the waiter list back to the caller.
 class CodeCache {
 public:
-  explicit CodeCache(u64 BudgetBytes) : Budget(BudgetBytes) {}
+  explicit CodeCache(u64 BudgetBytes)
+      : Budget(BudgetBytes), StatsP(std::make_shared<ServiceStats>()) {}
 
   CodeCache(const CodeCache &) = delete;
   CodeCache &operator=(const CodeCache &) = delete;
@@ -163,21 +223,36 @@ public:
   };
 
   /// Single-flight admission for \p Fp on behalf of result handle \p Res.
+  /// An Owner claim hands back an ownership token in \p OwnerToken; the
+  /// matching publish()/fail() must present it. The token lets the
+  /// watchdog fail over a hung owner's claim: the stale owner's eventual
+  /// publish/fail then misses (returns false) instead of clobbering a
+  /// re-claimed entry.
   Claim claim(const support::Fp128 &Fp, const ResultPtr &Res,
-              std::shared_ptr<CachedCode> &HitCode);
+              std::shared_ptr<CachedCode> &HitCode, u64 &OwnerToken);
 
   /// Publishes the owner's compiled code for \p Fp, evicts down to the
   /// byte budget, and moves the entry's waiters into \p Waiters for the
-  /// caller to complete outside the lock.
-  void publish(const support::Fp128 &Fp, std::shared_ptr<CachedCode> Code,
+  /// caller to complete outside the lock. Returns false — with nothing
+  /// changed — when the claim was failed over (token mismatch or entry
+  /// gone); the caller's result handle was already completed then.
+  bool publish(const support::Fp128 &Fp, u64 OwnerToken,
+               std::shared_ptr<CachedCode> Code,
                std::vector<ResultPtr> &Waiters);
 
   /// Removes the in-flight entry for \p Fp after a failed compile — the
   /// cache is never poisoned by failures; a later submit of the same
   /// fingerprint compiles again. Waiters are handed back as in publish().
-  void fail(const support::Fp128 &Fp, std::vector<ResultPtr> &Waiters);
+  /// Token-guarded like publish(). When \p OwnerRes is non-null the
+  /// entry's owner handle is moved out too (the watchdog fail-over path
+  /// completes the hung owner's submitter as well as the waiters).
+  bool fail(const support::Fp128 &Fp, u64 OwnerToken,
+            std::vector<ResultPtr> &Waiters, ResultPtr *OwnerRes = nullptr);
 
-  ServiceStats &stats() { return Stats; }
+  ServiceStats &stats() { return *StatsP; }
+  /// The stats sink as a shared handle — outlives the cache, so result
+  /// handles can count self-timeouts after service teardown.
+  std::shared_ptr<ServiceStats> statsPtr() const { return StatsP; }
   ServiceStatsSnapshot snapshot() const;
 
   u64 budgetBytes() const { return Budget; }
@@ -192,6 +267,8 @@ private:
     State St = State::Building;
     std::shared_ptr<CachedCode> Code;
     u64 LastUse = 0;
+    u64 Token = 0;      ///< Owner token while Building.
+    ResultPtr OwnerRes; ///< The owner's handle while Building (fail-over).
     std::vector<ResultPtr> Waiters;
   };
 
@@ -204,8 +281,9 @@ private:
   const u64 Budget;
   mutable std::mutex Mtx;
   std::unordered_map<support::Fp128, Entry, support::Fp128Hash> Map;
-  u64 Clock = 0; ///< Epoch counter: bumped per touch, stamps LastUse.
-  ServiceStats Stats;
+  u64 Clock = 0;     ///< Epoch counter: bumped per touch, stamps LastUse.
+  u64 NextToken = 0; ///< Owner-token source; bumped per Owner claim.
+  std::shared_ptr<ServiceStats> StatsP;
 };
 
 } // namespace tpde::service

@@ -3,9 +3,9 @@
 /// \file
 /// A multi-tenant JIT compile service: clients submit() IR modules from
 /// any thread and get back a waitable ServiceResult; service workers pop
-/// jobs from a bounded MPMC queue (support/MpmcQueue.h), batch small
-/// jobs into one module, compile the batch through the existing parallel
-/// driver's job-aligned entry point
+/// jobs from a tenant-fair admission queue (service/Admission.h), batch
+/// small jobs into one module, compile the batch through the existing
+/// parallel driver's job-aligned entry point
 /// (core::ParallelModuleCompiler::compileJobs), map each job's output
 /// executable, and memoize it in the content-addressed CodeCache. This
 /// is ROADMAP open item 1: the determinism work of PRs 2-4 turned into a
@@ -20,6 +20,33 @@
 ///      Owner:  enqueue; a worker batches it with up to MaxBatchJobs-1
 ///              queued jobs, compiles the batch in one parallel pass,
 ///              maps per-job code, publishes it, completes all waiters
+///
+/// On top of that sits the overload-control layer (docs/SERVICE.md,
+/// "Overload control"):
+///
+///  * **Admission control.** Every submit names a tenant; per-tenant
+///    token buckets and weighted-fair dequeue (AdmissionQueue) keep a
+///    flooding tenant from starving the others. submit() waits at most
+///    AdmitMaxWaitNs for ring space before failing with Overloaded;
+///    trySubmit() never waits. A closed service reports ServiceShutdown,
+///    never an ad-hoc assembler error.
+///
+///  * **Deadlines.** A job may carry an absolute deadline: expired jobs
+///    are shed at dequeue (never compiled), and a waiter attached to an
+///    in-flight fingerprint times out on its own deadline independently
+///    of the owner (ServiceResult::wait self-completes, first-wins).
+///
+///  * **Transient-failure retry.** Jobs failing with a transient code
+///    (support::compileErrTransient) are recompiled up to MaxRetries
+///    times with decorrelated-jitter backoff on the queue's retry lane
+///    before their waiters are failed. The single-flight claim is held
+///    across retries, so waiters keep waiting instead of re-compiling.
+///
+///  * **Worker watchdog.** Each worker heartbeats per batch stage; a
+///    watchdog thread fails over the ownership claims of a worker stuck
+///    past StuckBatchTimeoutNs, completing its submitter and waiters
+///    with a structured error. Ownership tokens (CodeCache) make the
+///    hung worker's eventual publish a harmless no-op.
 ///
 /// Admission reuses the PR 6 robustness plumbing: the verifier gate runs
 /// on the *client* thread before the job can touch the queue or cache,
@@ -55,13 +82,17 @@
 #define TPDE_SERVICE_COMPILESERVICE_H
 
 #include "core/ParallelCompiler.h"
+#include "service/Admission.h"
 #include "service/CodeCache.h"
-#include "support/MpmcQueue.h"
+#include "support/FaultInjector.h"
+#include "support/Rng.h"
 #include "support/Timer.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace tpde::service {
@@ -72,7 +103,8 @@ struct ServiceOptions {
   /// Threads inside each worker's parallel batch compile (1 = the worker
   /// thread compiles its batch alone; >1 shards across a private pool).
   unsigned CompileThreads = 1;
-  /// Admission queue depth; full queue back-pressures submitters.
+  /// Admission queue depth; a full queue back-pressures submit() for at
+  /// most AdmitMaxWaitNs and rejects trySubmit() immediately.
   size_t QueueCapacity = 256;
   /// Max jobs coalesced into one batch compile.
   u32 MaxBatchJobs = 8;
@@ -87,6 +119,41 @@ struct ServiceOptions {
   bool StartPaused = false;
   /// External symbol resolver for mapping (host functions the jobs call).
   asmx::JITMapper::Resolver Resolver;
+
+  // -- Overload control -------------------------------------------------
+  /// Longest a blocking submit() waits for ring space before failing the
+  /// job with Overloaded. 0 makes submit() behave like trySubmit().
+  u64 AdmitMaxWaitNs = 200'000'000; // 200ms
+  /// Admission policy for tenants without an explicit setTenantConfig().
+  /// The default is unmetered, weight 1.
+  TenantConfig DefaultTenant;
+  /// Max recompiles of a job whose failure is transient
+  /// (support::compileErrTransient) before its waiters are failed.
+  u32 MaxRetries = 2;
+  /// Decorrelated-jitter backoff between retries:
+  /// next = clamp(uniform(Base, 3 * prev), Base, Cap).
+  u64 RetryBackoffBaseNs = 200'000;    // 200us
+  u64 RetryBackoffCapNs = 50'000'000;  // 50ms
+  /// A worker whose heartbeat is older than this while inside a batch is
+  /// failed over by the watchdog (its claims complete with a structured
+  /// error; its eventual publish is a no-op). 0 disables the watchdog.
+  u64 StuckBatchTimeoutNs = 30'000'000'000; // 30s
+  /// Watchdog scan period (also its detection latency).
+  u64 WatchdogPeriodNs = 100'000'000; // 100ms
+  /// Test-only: runs on the worker thread after it registered its batch
+  /// claims, before compiling. Lets tests stall a worker deterministically
+  /// to exercise the watchdog.
+  std::function<void()> TestHookPreBatch;
+};
+
+/// Per-submit parameters. Defaults preserve the pre-overload behavior:
+/// the anonymous tenant, no deadline.
+struct SubmitOptions {
+  /// Tenant charged for this job's admission (quota + fair share).
+  TenantId Tenant = 0;
+  /// Absolute tpde::nowNs() deadline; 0 = none. Expired queued jobs are
+  /// shed un-compiled; expired waiters self-complete in wait().
+  u64 DeadlineNs = 0;
 };
 
 template <typename Traits> class CompileService {
@@ -96,12 +163,14 @@ public:
 
   explicit CompileService(ServiceOptions O = {})
       : Opts(sanitize(std::move(O))), Cache(Opts.CacheBudgetBytes),
-        Queue(Opts.QueueCapacity), Paused(Opts.StartPaused) {
+        Queue(Opts.QueueCapacity, Opts.DefaultTenant), Paused(Opts.StartPaused) {
     Workers.reserve(Opts.NumWorkers);
     for (unsigned I = 0; I < Opts.NumWorkers; ++I)
-      Workers.push_back(std::make_unique<WorkerState>(Opts));
+      Workers.push_back(std::make_unique<WorkerState>(Opts, I));
     for (auto &WS : Workers)
       WS->Thread = std::thread([this, W = WS.get()] { workerMain(*W); });
+    if (Opts.StuckBatchTimeoutNs > 0)
+      Watchdog = std::thread([this] { watchdogMain(); });
   }
 
   ~CompileService() { shutdown(); }
@@ -109,49 +178,25 @@ public:
   CompileService(const CompileService &) = delete;
   CompileService &operator=(const CompileService &) = delete;
 
-  /// Submits one module as a job. Never blocks on compilation; blocks
-  /// only when the admission queue is full (back-pressure). The returned
-  /// handle completes on a cache hit before submit() even returns.
-  ResultPtr submit(ModuleT Mod) {
-    auto Res = std::make_shared<ServiceResult>();
-    Res->SubmitNs = tpde::nowNs();
-    if (Opts.Verify) {
-      std::string Err; // admission path, not the compile hot loop
-      if (!Traits::verify(Mod, Err)) {
-        Cache.stats().VerifyRejected.fetch_add(1, std::memory_order_relaxed);
-        Cache.stats().Failed.fetch_add(1, std::memory_order_relaxed);
-        support::CompileStatus St;
-        St.Err = support::CompileErr::VerifyFailed;
-        St.Message = std::move(Err);
-        Res->complete(nullptr, St, false, tpde::nowNs());
-        return Res;
-      }
-    }
-    const support::Fp128 Fp = Traits::fingerprint(Mod);
-    std::shared_ptr<CachedCode> HitCode;
-    switch (Cache.claim(Fp, Res, HitCode)) {
-    case CodeCache::Claim::Hit: {
-      support::CompileStatus Ok;
-      u64 Now = tpde::nowNs();
-      Res->complete(std::move(HitCode), Ok, /*WasHit=*/true, Now);
-      Cache.stats().HitNs.record(Res->latencyNs());
-      return Res;
-    }
-    case CodeCache::Claim::Waiter:
-      return Res; // the in-flight owner completes it
-    case CodeCache::Claim::Owner:
-      break;
-    }
-    PendingJob Job;
-    Job.Mod = std::move(Mod);
-    Job.Fp = Fp;
-    Job.Res = Res;
-    if (!Queue.push(std::move(Job))) {
-      // Shut down: release the claim and report instead of hanging.
-      failJob(Fp, Res, support::CompileErr::AssemblerError,
-              "compile service is shut down");
-    }
-    return Res;
+  /// Installs an admission policy for \p Tid (quota, weight, queue cap),
+  /// overriding ServiceOptions::DefaultTenant for that tenant.
+  void setTenantConfig(TenantId Tid, const TenantConfig &Cfg) {
+    Queue.setTenantConfig(Tid, Cfg);
+  }
+
+  /// Submits one module as a job. Never blocks on compilation; blocks at
+  /// most ServiceOptions::AdmitMaxWaitNs when the admission queue is full
+  /// (bounded back-pressure), then fails the job with Overloaded. The
+  /// returned handle completes on a cache hit before submit() even
+  /// returns.
+  ResultPtr submit(ModuleT Mod, SubmitOptions SO = {}) {
+    return admit(std::move(Mod), SO, /*NonBlocking=*/false);
+  }
+
+  /// Non-blocking submit: a full queue (or exhausted quota) fails the
+  /// job with Overloaded immediately instead of waiting for space.
+  ResultPtr trySubmit(ModuleT Mod, SubmitOptions SO = {}) {
+    return admit(std::move(Mod), SO, /*NonBlocking=*/true);
   }
 
   /// Releases workers parked by ServiceOptions::StartPaused.
@@ -166,6 +211,13 @@ public:
   /// Stops admission, drains queued jobs, joins workers. Idempotent;
   /// called by the destructor.
   void shutdown() {
+    {
+      std::lock_guard<std::mutex> L(WatchdogMtx);
+      WatchdogStop = true;
+    }
+    WatchdogCV.notify_all();
+    if (Watchdog.joinable())
+      Watchdog.join();
     Queue.close();
     resume();
     for (auto &WS : Workers)
@@ -181,6 +233,13 @@ private:
     ModuleT Mod;
     support::Fp128 Fp;
     ResultPtr Res;
+    u64 Token = 0;     ///< Ownership token from the cache claim.
+    TenantId Tenant = 0;
+    u64 DeadlineNs = 0;
+    u64 EnqueueNs = 0; ///< Last enqueue time (reset per retry); the
+                       ///< queue-wait histogram records pop - enqueue.
+    u32 Attempt = 0;   ///< Completed compile attempts (retry counter).
+    u64 PrevBackoffNs = 0; ///< Last backoff (decorrelated-jitter state).
   };
 
   /// Per-worker compile state: a persistent batch module with a parallel
@@ -188,9 +247,10 @@ private:
   /// adapters/assemblers/compilers are reused across batches, so the
   /// steady-state batch compile hits the reuse fast paths).
   struct WorkerState {
-    explicit WorkerState(const ServiceOptions &O)
+    explicit WorkerState(const ServiceOptions &O, unsigned Index)
         : PC(BatchMod, {.NumThreads = O.CompileThreads,
-                        .FuncsPerShard = O.FuncsPerShard}) {}
+                        .FuncsPerShard = O.FuncsPerShard}),
+          BackoffRng(0x7065646eull ^ (u64{Index} << 32)) {}
     ModuleT BatchMod;
     core::ParallelModuleCompiler<WorkerT> PC;
     // Batch scratch, reused across batches.
@@ -200,9 +260,24 @@ private:
     std::vector<asmx::Assembler *> Outs;
     std::vector<support::CompileStatus> JobStatus;
     std::vector<ResultPtr> Waiters;
-    bool HasCarry = false;
-    PendingJob Carry; ///< Job deferred to the next batch (name conflict).
+    /// Jobs deferred to the worker's next batch: a job whose symbols
+    /// conflict with the batch built so far, plus the popped tail behind
+    /// it (kept here instead of re-queued, so a full ring can never fail
+    /// an already-admitted job). Leads the next batch; never exceeds
+    /// MaxBatchJobs - 1 entries.
+    std::vector<PendingJob> CarryJobs;
+    /// Deterministic per-worker jitter source for retry backoff.
+    tpde::Rng BackoffRng;
     std::thread Thread;
+
+    // -- Watchdog interface (see watchdogMain) --------------------------
+    std::atomic<u64> HeartbeatNs{0}; ///< Last sign of life (nowNs).
+    std::atomic<bool> InBatch{false};
+    /// The batch's (fingerprint, ownership-token) claims. Guarded by
+    /// ClaimsMtx; never touched while holding the cache mutex (lock
+    /// order: ClaimsMtx strictly before Cache.Mtx).
+    std::mutex ClaimsMtx;
+    std::vector<std::pair<support::Fp128, u64>> Claims;
   };
 
   static ServiceOptions sanitize(ServiceOptions O) {
@@ -212,7 +287,97 @@ private:
       O.CompileThreads = 1;
     if (O.MaxBatchJobs == 0)
       O.MaxBatchJobs = 1;
+    if (O.RetryBackoffBaseNs == 0)
+      O.RetryBackoffBaseNs = 1;
+    if (O.RetryBackoffCapNs < O.RetryBackoffBaseNs)
+      O.RetryBackoffCapNs = O.RetryBackoffBaseNs;
+    if (O.StuckBatchTimeoutNs > 0 && O.WatchdogPeriodNs == 0)
+      O.WatchdogPeriodNs = 1'000'000;
     return O;
+  }
+
+  /// The shared submit/trySubmit path: verify, fingerprint, claim, and
+  /// admission with the caller's blocking policy.
+  ResultPtr admit(ModuleT Mod, const SubmitOptions &SO, bool NonBlocking) {
+    auto Res = std::make_shared<ServiceResult>();
+    Res->SubmitNs = tpde::nowNs();
+    Res->DeadlineNs = SO.DeadlineNs;
+    Res->Stats = Cache.statsPtr();
+    if (Opts.Verify) {
+      std::string Err; // admission path, not the compile hot loop
+      if (!Traits::verify(Mod, Err)) {
+        Cache.stats().VerifyRejected.fetch_add(1, std::memory_order_relaxed);
+        Cache.stats().Failed.fetch_add(1, std::memory_order_relaxed);
+        support::CompileStatus St;
+        St.Err = support::CompileErr::VerifyFailed;
+        St.Message = std::move(Err);
+        Res->complete(nullptr, St, false, tpde::nowNs());
+        return Res;
+      }
+    }
+    if (support::faultPoint(support::FaultSite::ServiceAdmit)) {
+      Cache.stats().Failed.fetch_add(1, std::memory_order_relaxed);
+      support::CompileStatus St;
+      St.Err = support::CompileErr::FaultInjected;
+      St.Message = "injected admission failure";
+      Res->complete(nullptr, St, false, tpde::nowNs());
+      return Res;
+    }
+    const support::Fp128 Fp = Traits::fingerprint(Mod);
+    std::shared_ptr<CachedCode> HitCode;
+    u64 Token = 0;
+    switch (Cache.claim(Fp, Res, HitCode, Token)) {
+    case CodeCache::Claim::Hit: {
+      // A hit beats an expired deadline: the code is already here.
+      support::CompileStatus Ok;
+      u64 Now = tpde::nowNs();
+      Res->complete(std::move(HitCode), Ok, /*WasHit=*/true, Now);
+      Cache.stats().HitNs.record(Res->latencyNs());
+      return Res;
+    }
+    case CodeCache::Claim::Waiter:
+      return Res; // the in-flight owner completes it (or wait() times out)
+    case CodeCache::Claim::Owner:
+      break;
+    }
+    u64 Now = tpde::nowNs();
+    if (SO.DeadlineNs != 0 && Now >= SO.DeadlineNs) {
+      Cache.stats().Shed.fetch_add(1, std::memory_order_relaxed);
+      failJob(Fp, Token, Res, support::CompileErr::DeadlineExceeded,
+              "deadline expired before admission");
+      return Res;
+    }
+    PendingJob Job;
+    Job.Mod = std::move(Mod);
+    Job.Fp = Fp;
+    Job.Res = Res;
+    Job.Token = Token;
+    Job.Tenant = SO.Tenant;
+    Job.DeadlineNs = SO.DeadlineNs;
+    Job.EnqueueNs = Now;
+    Admit A = NonBlocking
+                  ? Queue.tryPush(std::move(Job), SO.Tenant, Now)
+                  : Queue.pushWait(std::move(Job), SO.Tenant, Now,
+                                   Opts.AdmitMaxWaitNs);
+    switch (A) {
+    case Admit::Ok:
+      break;
+    case Admit::Closed:
+      failJob(Fp, Token, Res, support::CompileErr::ServiceShutdown,
+              "compile service is shut down");
+      break;
+    case Admit::Overloaded:
+      Cache.stats().Overloaded.fetch_add(1, std::memory_order_relaxed);
+      failJob(Fp, Token, Res, support::CompileErr::Overloaded,
+              "admission queue full");
+      break;
+    case Admit::QuotaExceeded:
+      Cache.stats().Overloaded.fetch_add(1, std::memory_order_relaxed);
+      failJob(Fp, Token, Res, support::CompileErr::Overloaded,
+              "tenant quota exhausted");
+      break;
+    }
+    return Res;
   }
 
   void workerMain(WorkerState &WS) {
@@ -221,19 +386,25 @@ private:
       PauseCV.wait(L, [&] { return !Paused; });
     }
     for (;;) {
-      PendingJob First;
-      if (WS.HasCarry) {
-        First = std::move(WS.Carry);
-        WS.HasCarry = false;
-      } else if (!Queue.pop(First)) {
-        return; // closed and drained
-      }
+      WS.HeartbeatNs.store(tpde::nowNs(), std::memory_order_relaxed);
       WS.Batch.clear();
-      WS.Batch.push_back(std::move(First));
+      if (!WS.CarryJobs.empty()) {
+        // Carried jobs lead the next batch (they were admitted first).
+        for (PendingJob &J : WS.CarryJobs)
+          WS.Batch.push_back(std::move(J));
+        WS.CarryJobs.clear();
+      } else {
+        PendingJob First;
+        if (!Queue.pop(First))
+          return; // closed and drained
+        Cache.stats().QueueWaitNs.record(tpde::nowNs() - First.EnqueueNs);
+        WS.Batch.push_back(std::move(First));
+      }
       while (WS.Batch.size() < Opts.MaxBatchJobs) {
         PendingJob More;
         if (!Queue.tryPop(More))
           break;
+        Cache.stats().QueueWaitNs.record(tpde::nowNs() - More.EnqueueNs);
         WS.Batch.push_back(std::move(More));
       }
       compileBatch(WS);
@@ -241,34 +412,37 @@ private:
   }
 
   void compileBatch(WorkerState &WS) {
-    // Concatenate the jobs into the batch module. A job whose symbols
-    // conflict with the batch built so far is carried into the next
-    // batch (it will compile alone or with different neighbors); a job
-    // that conflicts with an *empty* batch is self-conflicting and fails.
+    WS.InBatch.store(true, std::memory_order_release);
+    WS.HeartbeatNs.store(tpde::nowNs(), std::memory_order_relaxed);
+    // Concatenate the jobs into the batch module. Expired jobs are shed
+    // here — at dequeue, before any compilation. A job whose symbols
+    // conflict with the batch built so far is carried (with the rest of
+    // the popped tail) into this worker's next batch, where it leads and
+    // so compiles alone or with different neighbors; a job conflicting
+    // with an *empty* batch is self-conflicting and fails.
     Traits::clearModule(WS.BatchMod);
     WS.JobBounds.clear();
     WS.JobBounds.push_back(0);
     size_t Admitted = 0;
+    const u64 ShedNow = tpde::nowNs();
     for (size_t J = 0; J < WS.Batch.size(); ++J) {
-      if (!Traits::appendTo(WS.BatchMod, WS.Batch[J].Mod)) {
+      PendingJob &Job = WS.Batch[J];
+      if (Job.DeadlineNs != 0 && ShedNow >= Job.DeadlineNs) {
+        Cache.stats().Shed.fetch_add(1, std::memory_order_relaxed);
+        failJob(Job.Fp, Job.Token, Job.Res,
+                support::CompileErr::DeadlineExceeded,
+                "deadline expired before compile");
+        continue;
+      }
+      if (!Traits::appendTo(WS.BatchMod, Job.Mod)) {
         if (Admitted == 0) {
-          failJob(WS.Batch[J].Fp, WS.Batch[J].Res,
+          failJob(Job.Fp, Job.Token, Job.Res,
                   support::CompileErr::AssemblerError,
                   "job defines conflicting symbols");
           continue;
         }
-        WS.Carry = std::move(WS.Batch[J]);
-        WS.HasCarry = true;
-        // Re-queue what we popped beyond the conflicting job so carry
-        // stays a single slot; tryPush never blocks the worker.
-        for (size_t K = J + 1; K < WS.Batch.size(); ++K) {
-          support::Fp128 Fp = WS.Batch[K].Fp;
-          ResultPtr Res = WS.Batch[K].Res;
-          if (!Queue.tryPush(std::move(WS.Batch[K])))
-            failJob(Fp, Res, support::CompileErr::AssemblerError,
-                    "admission queue full re-queuing deferred job");
-        }
-        WS.Batch.resize(J);
+        for (size_t K = J; K < WS.Batch.size(); ++K)
+          WS.CarryJobs.push_back(std::move(WS.Batch[K]));
         break;
       }
       if (Admitted != J)
@@ -277,8 +451,22 @@ private:
       WS.JobBounds.push_back(WorkerT::funcCount(WS.BatchMod));
     }
     WS.Batch.resize(Admitted);
-    if (Admitted == 0)
+    if (Admitted == 0) {
+      WS.InBatch.store(false, std::memory_order_release);
       return;
+    }
+
+    // Register the batch's claims for the watchdog before the (possibly
+    // hanging) compile, then heartbeat and go.
+    {
+      std::lock_guard<std::mutex> L(WS.ClaimsMtx);
+      WS.Claims.clear();
+      for (size_t J = 0; J < Admitted; ++J)
+        WS.Claims.emplace_back(WS.Batch[J].Fp, WS.Batch[J].Token);
+    }
+    WS.HeartbeatNs.store(tpde::nowNs(), std::memory_order_relaxed);
+    if (Opts.TestHookPreBatch)
+      Opts.TestHookPreBatch();
 
     WS.Codes.clear();
     WS.Outs.clear();
@@ -293,55 +481,158 @@ private:
                       std::span(WS.JobStatus.data(), Admitted));
 
     for (size_t J = 0; J < Admitted; ++J) {
+      WS.HeartbeatNs.store(tpde::nowNs(), std::memory_order_relaxed);
       PendingJob &Job = WS.Batch[J];
       std::shared_ptr<CachedCode> &CC = WS.Codes[J];
       if (WS.JobStatus[J].ok() &&
           !CC->JIT.map(CC->Asm, Opts.Resolver, Traits::Stub))
         WS.JobStatus[J] = CC->JIT.status();
       if (!WS.JobStatus[J].ok()) {
-        failJobStatus(Job.Fp, Job.Res, WS.JobStatus[J]);
+        if (maybeRetry(WS, Job, WS.JobStatus[J]))
+          continue;
+        failJobStatus(Job.Fp, Job.Token, Job.Res, WS.JobStatus[J]);
         continue;
       }
       WS.Waiters.clear();
-      Cache.publish(Job.Fp, CC, WS.Waiters);
+      if (!Cache.publish(Job.Fp, Job.Token, CC, WS.Waiters))
+        continue; // failed over by the watchdog; everyone was completed
       u64 Now = tpde::nowNs();
       support::CompileStatus Ok;
-      Job.Res->complete(CC, Ok, /*WasHit=*/false, Now);
-      Cache.stats().MissNs.record(Job.Res->latencyNs());
-      for (ResultPtr &W : WS.Waiters) {
-        W->complete(CC, Ok, /*WasHit=*/false, Now);
-        Cache.stats().MissNs.record(W->latencyNs());
+      if (Job.Res->complete(CC, Ok, /*WasHit=*/false, Now))
+        Cache.stats().MissNs.record(Job.Res->latencyNs());
+      for (ResultPtr &W : WS.Waiters)
+        if (W->complete(CC, Ok, /*WasHit=*/false, Now))
+          Cache.stats().MissNs.record(W->latencyNs());
+    }
+
+    {
+      std::lock_guard<std::mutex> L(WS.ClaimsMtx);
+      WS.Claims.clear();
+    }
+    WS.InBatch.store(false, std::memory_order_release);
+  }
+
+  /// Re-admits \p Job on the retry lane when its failure is transient,
+  /// the retry budget allows, and the backoff still fits the deadline.
+  /// The cache claim is kept across the retry — waiters keep waiting on
+  /// the same entry. Returns false when the job must fail instead.
+  bool maybeRetry(WorkerState &WS, PendingJob &Job,
+                  const support::CompileStatus &St) {
+    if (!support::compileErrTransient(St.Err) || Job.Attempt >= Opts.MaxRetries)
+      return false;
+    // Decorrelated jitter: next in [Base, 3 * prev], clamped to Cap.
+    u64 Prev = Job.PrevBackoffNs ? Job.PrevBackoffNs : Opts.RetryBackoffBaseNs;
+    u64 Lo = Opts.RetryBackoffBaseNs;
+    u64 Hi = Prev * 3;
+    if (Hi <= Lo)
+      Hi = Lo + 1;
+    u64 Backoff = Lo + WS.BackoffRng.below(Hi - Lo);
+    if (Backoff > Opts.RetryBackoffCapNs)
+      Backoff = Opts.RetryBackoffCapNs;
+    u64 Now = tpde::nowNs();
+    if (Job.DeadlineNs != 0 && Now + Backoff >= Job.DeadlineNs)
+      return false; // the retry could not finish in time anyway
+    if (support::faultPoint(support::FaultSite::ServiceRetry)) {
+      support::CompileStatus FS;
+      FS.Err = support::CompileErr::FaultInjected;
+      FS.Message = "injected retry-scheduling failure";
+      failJobStatus(Job.Fp, Job.Token, Job.Res, FS);
+      return true; // handled (failed), caller must not double-fail
+    }
+    Job.Attempt += 1;
+    Job.PrevBackoffNs = Backoff;
+    Job.EnqueueNs = Now;
+    Cache.stats().Retried.fetch_add(1, std::memory_order_relaxed);
+    Queue.pushRetry(std::move(Job), Now + Backoff);
+    return true;
+  }
+
+  void watchdogMain() {
+    std::unique_lock<std::mutex> L(WatchdogMtx);
+    while (!WatchdogStop) {
+      WatchdogCV.wait_for(
+          L, std::chrono::nanoseconds(Opts.WatchdogPeriodNs));
+      if (WatchdogStop)
+        break;
+      L.unlock();
+      const u64 Now = tpde::nowNs();
+      for (auto &WSP : Workers) {
+        WorkerState &WS = *WSP;
+        if (!WS.InBatch.load(std::memory_order_acquire))
+          continue;
+        u64 Hb = WS.HeartbeatNs.load(std::memory_order_relaxed);
+        if (Hb == 0 || Now <= Hb || Now - Hb < Opts.StuckBatchTimeoutNs)
+          continue;
+        failOverWorker(WS);
       }
+      L.lock();
     }
   }
 
-  void failJob(const support::Fp128 &Fp, const ResultPtr &Res,
+  /// Fails over every claim a hung worker registered for its current
+  /// batch: the claims are removed from the cache (token-guarded, so the
+  /// worker's eventual publish/fail is a no-op) and the owner handle plus
+  /// all waiters complete with a structured error. The worker thread
+  /// itself is left alone — if it ever returns it finds its claims gone.
+  void failOverWorker(WorkerState &WS) {
+    std::vector<std::pair<support::Fp128, u64>> Claims;
+    {
+      std::lock_guard<std::mutex> L(WS.ClaimsMtx);
+      Claims.swap(WS.Claims);
+    }
+    support::CompileStatus St;
+    St.Err = support::CompileErr::DeadlineExceeded;
+    St.Message = "stuck-batch watchdog failed over a hung worker";
+    for (auto &[Fp, Token] : Claims) {
+      std::vector<ResultPtr> Waiters;
+      ResultPtr OwnerRes;
+      if (!Cache.fail(Fp, Token, Waiters, &OwnerRes))
+        continue; // the worker finished this one after all
+      Cache.stats().StuckFailovers.fetch_add(1, std::memory_order_relaxed);
+      u64 Now = tpde::nowNs();
+      u64 Completed = 0;
+      if (OwnerRes && OwnerRes->complete(nullptr, St, false, Now))
+        ++Completed;
+      for (ResultPtr &W : Waiters)
+        if (W->complete(nullptr, St, false, Now))
+          ++Completed;
+      Cache.stats().Failed.fetch_add(Completed, std::memory_order_relaxed);
+    }
+  }
+
+  void failJob(const support::Fp128 &Fp, u64 Token, const ResultPtr &Res,
                support::CompileErr E, std::string_view Msg) {
     support::CompileStatus St;
     St.Err = E;
     St.Message.assign(Msg);
-    failJobStatus(Fp, Res, St);
+    failJobStatus(Fp, Token, Res, St);
   }
 
-  void failJobStatus(const support::Fp128 &Fp, const ResultPtr &Res,
+  void failJobStatus(const support::Fp128 &Fp, u64 Token, const ResultPtr &Res,
                      const support::CompileStatus &St) {
     std::vector<ResultPtr> Waiters;
-    Cache.fail(Fp, Waiters);
+    Cache.fail(Fp, Token, Waiters);
     u64 Now = tpde::nowNs();
-    Cache.stats().Failed.fetch_add(1 + Waiters.size(),
-                                   std::memory_order_relaxed);
-    Res->complete(nullptr, St, false, Now);
+    u64 Completed = 0;
+    if (Res->complete(nullptr, St, false, Now))
+      ++Completed;
     for (ResultPtr &W : Waiters)
-      W->complete(nullptr, St, false, Now);
+      if (W->complete(nullptr, St, false, Now))
+        ++Completed;
+    Cache.stats().Failed.fetch_add(Completed, std::memory_order_relaxed);
   }
 
   ServiceOptions Opts;
   CodeCache Cache;
-  support::BoundedMpmcQueue<PendingJob> Queue;
+  AdmissionQueue<PendingJob> Queue;
   std::vector<std::unique_ptr<WorkerState>> Workers;
   std::mutex PauseMtx;
   std::condition_variable PauseCV;
   bool Paused = false;
+  std::thread Watchdog;
+  std::mutex WatchdogMtx;
+  std::condition_variable WatchdogCV;
+  bool WatchdogStop = false;
 };
 
 } // namespace tpde::service

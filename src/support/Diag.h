@@ -45,6 +45,14 @@ enum class CompileErr : u8 {
   JitMapFailed,
   /// An allocation failed (or a fault-injected arena growth threw).
   OutOfMemory,
+  /// The compile service refused admission: queue full past the bounded
+  /// wait, or the tenant's token-bucket quota is exhausted.
+  Overloaded,
+  /// The job's deadline expired: shed at dequeue before compilation, or
+  /// the waiter timed out on an in-flight fingerprint.
+  DeadlineExceeded,
+  /// The compile service is shut down; the job was never compiled.
+  ServiceShutdown,
 };
 
 inline const char *compileErrName(CompileErr E) {
@@ -57,8 +65,23 @@ inline const char *compileErrName(CompileErr E) {
   case CompileErr::MergeError: return "merge-error";
   case CompileErr::JitMapFailed: return "jit-map-failed";
   case CompileErr::OutOfMemory: return "out-of-memory";
+  case CompileErr::Overloaded: return "overloaded";
+  case CompileErr::DeadlineExceeded: return "deadline-exceeded";
+  case CompileErr::ServiceShutdown: return "service-shutdown";
   }
   return "unknown";
+}
+
+/// True for failures a retry can plausibly clear: injected faults,
+/// allocation pressure, and mapping syscalls. The compile service
+/// recompiles such jobs up to ServiceOptions::MaxRetries times with
+/// decorrelated backoff before failing their waiters (docs/SERVICE.md,
+/// "Overload control"). Semantic failures (VerifyFailed,
+/// UnsupportedInst, AssemblerError, ...) are deterministic properties of
+/// the module and never retried.
+inline bool compileErrTransient(CompileErr E) {
+  return E == CompileErr::FaultInjected || E == CompileErr::OutOfMemory ||
+         E == CompileErr::JitMapFailed;
 }
 
 /// One diagnostic. Shard/Func are ~0u when not applicable (serial compile,

@@ -18,7 +18,11 @@
 /// batches onto, so the robustness sweep in tests/robustness_test.cpp and
 /// the service-path recovery test (tests/service_test.cpp,
 /// ShardFaultMidBatchRecoversAllJobs) exercise the same registry — add a
-/// new site only when a failure domain is reachable from neither.
+/// new site only when a failure domain is reachable from neither. The
+/// ServiceAdmit/ServiceRetry sites are such a case: they live in the
+/// serving layer's admission and retry-scheduling paths, above the
+/// parallel driver, and are swept by tests/service_test.cpp
+/// (ServiceFaultSweep.*).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,9 +47,13 @@ enum class FaultSite : u8 {
   SectionPlace, ///< asmx::Assembler::placeFrom — in-place byte placement
                 ///< fails (pass 2 of the two-pass emission; docs/PERF.md).
   JitMap,       ///< asmx::JITMapper::map — mapping fails.
+  ServiceAdmit, ///< service::CompileService admission — the submit path
+                ///< fails before the job reaches the queue.
+  ServiceRetry, ///< service::CompileService retry scheduling — a
+                ///< transient-failure retry cannot be enqueued.
 };
 
-inline constexpr u32 NumFaultSites = 6;
+inline constexpr u32 NumFaultSites = 8;
 
 inline const char *faultSiteName(FaultSite S) {
   switch (S) {
@@ -55,6 +63,8 @@ inline const char *faultSiteName(FaultSite S) {
   case FaultSite::SectionMerge: return "section-merge";
   case FaultSite::SectionPlace: return "section-place";
   case FaultSite::JitMap: return "jit-map";
+  case FaultSite::ServiceAdmit: return "service-admit";
+  case FaultSite::ServiceRetry: return "service-retry";
   }
   return "unknown";
 }

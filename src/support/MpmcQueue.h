@@ -1,10 +1,12 @@
 //===- support/MpmcQueue.h - Bounded MPMC job queue -------------*- C++ -*-===//
 ///
 /// \file
-/// A bounded multi-producer/multi-consumer FIFO used as the admission
-/// queue of the compile service (src/service/CompileService.h). Clients
-/// push compile jobs from arbitrary threads; service workers pop them,
-/// batch them, and feed the parallel driver.
+/// A bounded multi-producer/multi-consumer FIFO. It was the compile
+/// service's admission queue until the overload-control work replaced it
+/// there with the tenant-aware service/Admission.h (per-tenant quotas,
+/// weighted-fair dequeue, a retry lane — policies a plain FIFO cannot
+/// express); it remains the general-purpose bounded job queue for
+/// everything that doesn't need tenancy.
 ///
 /// Design choice: a mutex + two condition variables over a fixed ring,
 /// not a lock-free queue. Compile jobs cost microseconds to milliseconds

@@ -18,6 +18,11 @@
 /// simply deferred to their own batch; the common serving case (many
 /// queries over one schema's shared scratch globals) batches freely.
 ///
+/// The overload-control layer (tenant quotas, deadlines, transient-fault
+/// retry — docs/SERVICE.md "Overload control") is IR-agnostic and needs
+/// nothing from this binding: SubmitOptions{Tenant, DeadlineNs} applies
+/// to TIR submissions unchanged.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TPDE_TPDE_TIR_SERVICE_H

@@ -7,7 +7,11 @@
 /// modules for the job-aligned parallel compile. This is the serving
 /// shape of the paper's §7 scenario — many sessions submitting query
 /// plans concurrently instead of one client compiling one plan at a
-/// time.
+/// time. Sessions map naturally onto service tenants: give each session
+/// (or session class) a TenantId and a quota/weight via
+/// setTenantConfig(), and pass per-query deadlines in SubmitOptions so
+/// an abandoned query is shed instead of compiled (docs/SERVICE.md,
+/// "Overload control").
 ///
 //===----------------------------------------------------------------------===//
 
