@@ -96,11 +96,11 @@ inline Measurement measure(Backend B, tir::Module &M, unsigned CompileIters,
     volatile u64 Sink = 0;
     // Warmup.
     for (unsigned I = 0; I < RunIters / 10 + 1; ++I)
-      Sink ^= F(I, I * 3 + 1);
+      Sink = Sink ^ F(I, I * 3 + 1);
     Timer T;
     T.start();
     for (unsigned I = 0; I < RunIters; ++I)
-      Sink ^= F(I, I * 3 + 1);
+      Sink = Sink ^ F(I, I * 3 + 1);
     T.stop();
     (void)Sink;
     Out.RunMs = T.ms();

@@ -115,7 +115,7 @@ int main() {
       TR.start();
       volatile i64 Sink = 0;
       for (int R = 0; R < 5; ++R)
-        Sink ^= Q(T.ColPtrs.data(), static_cast<i64>(T.Rows));
+        Sink = Sink ^ Q(T.ColPtrs.data(), static_cast<i64>(T.Rows));
       TR.stop();
       (void)Sink;
       RunMs += TR.ms() / 5;

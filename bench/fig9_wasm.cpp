@@ -79,7 +79,7 @@ Result measure(WBackend B, const WModule &W, unsigned RunIters) {
   TR.start();
   volatile u64 Sink = 0;
   for (unsigned I = 0; I < RunIters; ++I)
-    Sink ^= Kernel(0, 0);
+    Sink = Sink ^ Kernel(0, 0);
   TR.stop();
   (void)Sink;
   Out.RunMs = TR.ms();

@@ -106,7 +106,7 @@ std::vector<u8> tpde::asmx::writeElfObject(const Assembler &A,
     ShShStrTab,
     ShCount
   };
-  static const u16 SecToShdr[NumSections] = {ShText, ShROData, ShData, ShBSS};
+  static constexpr u16 SecToShdr[NumSections] = {ShText, ShROData, ShData, ShBSS};
 
   // --- Symbol table: null, locals, then globals (ELF requirement). ------
   //

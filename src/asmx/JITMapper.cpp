@@ -114,12 +114,12 @@ bool JITMapper::map(const Assembler &A, const Resolver &Resolve,
     StubArea += 16;
     if (Arch == StubArch::X64) {
       // jmp [rip+2]; 8-byte target address follows.
-      static const u8 JmpIndirect[] = {0xFF, 0x25, 0x02, 0x00, 0x00, 0x00,
+      static constexpr u8 JmpIndirect[] = {0xFF, 0x25, 0x02, 0x00, 0x00, 0x00,
                                        0x90, 0x90};
       std::memcpy(Stub, JmpIndirect, sizeof(JmpIndirect));
     } else {
       // ldr x16, <pc+8>; br x16; 8-byte target address follows.
-      static const u32 A64Stub[] = {0x58000050u, 0xD61F0200u};
+      static constexpr u32 A64Stub[] = {0x58000050u, 0xD61F0200u};
       std::memcpy(Stub, A64Stub, sizeof(A64Stub));
     }
     u64 T = reinterpret_cast<u64>(Target);

@@ -377,7 +377,7 @@ public:
     liveness();
     buildIntervals();
     assign();
-    if (getenv("TPDE_LS_VERIFY"))
+    if (getenv("TPDE_LS_VERIFY")) // NOLINT(concurrency-mt-unsafe) read pre-threads
       verifyAssignment();
     rewrite();
   }
@@ -515,7 +515,7 @@ private:
           extend(V, BlockEnd[B]);
       }
     }
-    bool AllCross = getenv("TPDE_LS_ALL_CROSS") != nullptr;
+    bool AllCross = getenv("TPDE_LS_ALL_CROSS") != nullptr; // NOLINT(concurrency-mt-unsafe)
     for (auto &Iv : Ivs) {
       if (Iv.Start == ~0u)
         continue;
@@ -543,7 +543,7 @@ private:
 
   void assign() {
     Out.PhysReg.assign(F.NumVRegs, 0xFF);
-    if (getenv("TPDE_LS_SPILL_ALL")) { Out.NumSpilled = F.NumVRegs; return; }
+    if (getenv("TPDE_LS_SPILL_ALL")) { Out.NumSpilled = F.NumVRegs; return; } // NOLINT(concurrency-mt-unsafe)
     std::vector<Interval *> Order;
     for (auto &Iv : Ivs)
       if (Iv.Start != ~0u)
@@ -618,9 +618,9 @@ private:
         OpDesc D = describe(MI);
         // Reserved temps for spilled operands.
         u8 NextGP = 0;                 // rax, then rdx
-        static const u8 GPTmp[2] = {0, 2};
+        static constexpr u8 GPTmp[2] = {0, 2};
         u8 NextFP = 0;
-        static const u8 FPTmp[2] = {16 + 14, 16 + 15};
+        static constexpr u8 FPTmp[2] = {16 + 14, 16 + 15};
         auto tempFor = [&](u8 Bank) -> u8 {
           return Bank == 0 ? GPTmp[NextGP++] : FPTmp[NextFP++];
         };

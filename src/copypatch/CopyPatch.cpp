@@ -40,7 +40,7 @@ template <typename Fn> Template buildTemplate(Fn Emit) {
   Emit(E);
   Template T;
   T.Bytes.assign(A.text().Data.begin(), A.text().Data.end());
-  static const std::pair<i32, HoleKind> Marks[] = {
+  static constexpr std::pair<i32, HoleKind> Marks[] = {
       {HoleA, HoleKind::A},   {HoleA2, HoleKind::A2}, {HoleB, HoleKind::B},
       {HoleB2, HoleKind::B2}, {HoleC, HoleKind::C},   {HoleC2, HoleKind::C2},
       {HoleR, HoleKind::R},   {HoleR2, HoleKind::R2}, {HoleImm, HoleKind::Imm}};
@@ -241,7 +241,7 @@ private:
     // Arguments into their slots.
     u32 GPUsed = 0, FPUsed = 0;
     i32 StackArgOff = 16;
-    static const AsmReg GPArg[6] = {RDI, RSI, RDX, RCX, R8, R9};
+    static constexpr AsmReg GPArg[6] = {RDI, RSI, RDX, RCX, R8, R9};
     for (ValRef AV : Fn.Args) {
       const Value &V = Fn.val(AV);
       u32 Parts = partCount(V.Ty);
@@ -587,7 +587,7 @@ bool Compiler::compileInst(ValRef I, u32 B) {
           E.load(8, RAX, mA());
           E.load(8, RCX, mB());
           E.aluRR(AluOp::Cmp, static_cast<u8>(OW), RAX, RCX);
-          static const Cond CCs[] = {Cond::E,  Cond::NE, Cond::B,  Cond::BE,
+          static constexpr Cond CCs[] = {Cond::E,  Cond::NE, Cond::B,  Cond::BE,
                                      Cond::A,  Cond::AE, Cond::L,  Cond::LE,
                                      Cond::G,  Cond::GE};
           E.setcc(CCs[static_cast<u8>(P)], RAX);
@@ -874,7 +874,7 @@ bool Compiler::compileInst(ValRef I, u32 B) {
   case Op::Call: {
     const Function &Callee = M.Funcs[V.Aux];
     // Register arguments straight from slots.
-    static const AsmReg GPArg[6] = {RDI, RSI, RDX, RCX, R8, R9};
+    static constexpr AsmReg GPArg[6] = {RDI, RSI, RDX, RCX, R8, R9};
     u32 GPUsed = 0, FPUsed = 0;
     u32 StackBytes = 0;
     struct StackArg {

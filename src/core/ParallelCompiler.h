@@ -101,17 +101,15 @@
 #include "asmx/Assembler.h"
 #include "support/Diag.h"
 #include "support/FaultInjector.h"
+#include "support/Sync.h"
 #include "support/Timer.h"
 #include "support/WorkQueue.h"
 
 #include <algorithm>
 #include <concepts>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
@@ -141,7 +139,7 @@ concept ParallelCompileWorker =
 
 struct ParallelCompileOptions {
   /// Worker threads including the calling thread; 0 means
-  /// std::thread::hardware_concurrency().
+  /// tpde::hardwareConcurrency().
   unsigned NumThreads = 0;
   /// Shard granularity in functions. Part of the determinism contract:
   /// the same module always decomposes into the same shards, whatever the
@@ -195,11 +193,8 @@ public:
   explicit ParallelModuleCompiler(ModuleT &M, ParallelCompileOptions Opts = {})
       : M(M), Opts(Opts) {
     unsigned N = Opts.NumThreads;
-    if (N == 0) {
-      N = std::thread::hardware_concurrency();
-      if (N == 0)
-        N = 1;
-    }
+    if (N == 0)
+      N = tpde::hardwareConcurrency();
     if (this->Opts.FuncsPerShard == 0)
       this->Opts.FuncsPerShard = 1;
     Workers.reserve(N);
@@ -207,12 +202,12 @@ public:
       Workers.push_back(std::make_unique<Worker>(M));
     // Worker 0 is the calling thread; only 1..N-1 get their own thread.
     for (unsigned I = 1; I < N; ++I)
-      Workers[I]->Thread = std::thread([this, I] { workerMain(I); });
+      Workers[I]->Thread = tpde::Thread([this, I] { workerMain(I); });
   }
 
   ~ParallelModuleCompiler() {
     {
-      std::lock_guard<std::mutex> L(Mtx);
+      LockGuard L(Mtx);
       Stop = true;
     }
     JobCV.notify_all();
@@ -496,7 +491,7 @@ private:
   struct Worker {
     explicit Worker(ModuleT &M) : W(M) {}
     WorkerT W;
-    std::thread Thread; ///< Unjoinable for worker 0 (the calling thread).
+    tpde::Thread Thread; ///< Unjoinable for worker 0 (the calling thread).
   };
 
   /// What a published job asks the pool to do with each popped shard
@@ -520,7 +515,7 @@ private:
     // Publish the job. The mutex orders the shard/fragment setup above
     // before any worker starts draining.
     {
-      std::lock_guard<std::mutex> L(Mtx);
+      LockGuard L(Mtx);
       Phase = PassKind::Compile;
       ++JobSeq;
       Pending = threadCount() - 1;
@@ -533,8 +528,9 @@ private:
     drainQueue(0, PassKind::Compile);
 
     {
-      std::unique_lock<std::mutex> L(Mtx);
-      DoneCV.wait(L, [this] { return Pending == 0; });
+      LockGuard L(Mtx);
+      while (Pending != 0)
+        DoneCV.wait(Mtx);
     }
 
     // Recovery pass, single-threaded on the calling thread (every worker
@@ -627,7 +623,7 @@ private:
     u64 T = nowNs();
     Queue.reset(NumShards, threadCount());
     {
-      std::lock_guard<std::mutex> L(Mtx);
+      LockGuard L(Mtx);
       Phase = PassKind::Place;
       ++JobSeq;
       Pending = threadCount() - 1;
@@ -635,8 +631,9 @@ private:
     JobCV.notify_all();
     drainQueue(0, PassKind::Place);
     {
-      std::unique_lock<std::mutex> L(Mtx);
-      DoneCV.wait(L, [this] { return Pending == 0; });
+      LockGuard L(Mtx);
+      while (Pending != 0)
+        DoneCV.wait(Mtx);
       Phase = PassKind::Compile;
     }
     for (u32 S = 0; S < NumShards; ++S) {
@@ -748,8 +745,9 @@ private:
     for (;;) {
       PassKind P;
       {
-        std::unique_lock<std::mutex> L(Mtx);
-        JobCV.wait(L, [&] { return Stop || JobSeq > Seen; });
+        LockGuard L(Mtx);
+        while (!Stop && JobSeq <= Seen)
+          JobCV.wait(Mtx);
         if (Stop)
           return;
         Seen = JobSeq;
@@ -757,7 +755,7 @@ private:
       }
       drainQueue(Id, P);
       {
-        std::lock_guard<std::mutex> L(Mtx);
+        LockGuard L(Mtx);
         if (--Pending == 0)
           DoneCV.notify_one();
       }
@@ -1039,15 +1037,25 @@ private:
   /// Scratch for the verifier gate (reused; docs/PERF.md).
   std::string VerifyErrors;
 
-  std::mutex Mtx;
-  std::condition_variable JobCV, DoneCV;
-  u64 JobSeq = 0;       ///< Bumped per published job; workers wait for it.
-  unsigned Pending = 0; ///< Spawned workers still draining the current job.
+  /// The one-mutex job handshake. Everything below is GUARDED_BY(Mtx);
+  /// the per-shard result slots (ShardStatus, ShardFailed, Frags,
+  /// PlaceOut, Plans, PlaceFailed) deliberately are NOT: they are
+  /// published to workers by the JobSeq bump under Mtx and read back by
+  /// the caller only after the Pending==0 barrier, so each slot is
+  /// exclusively owned by one shard's worker between those two fences.
+  /// The annotations cannot express that transfer-of-ownership protocol;
+  /// TSan verifies it (CI runs the full suite under TSan).
+  Mutex Mtx;
+  CondVar JobCV, DoneCV;
+  /// Bumped per published job; workers wait for it.
+  u64 JobSeq TPDE_GUARDED_BY(Mtx) = 0;
+  /// Spawned workers still draining the current job.
+  unsigned Pending TPDE_GUARDED_BY(Mtx) = 0;
   /// Which pass the current job runs; written under Mtx before the
   /// JobSeq bump that wakes the pool, read by workers under the same
   /// mutex on wake.
-  PassKind Phase = PassKind::Compile;
-  bool Stop = false;
+  PassKind Phase TPDE_GUARDED_BY(Mtx) = PassKind::Compile;
+  bool Stop TPDE_GUARDED_BY(Mtx) = false;
 };
 
 } // namespace tpde::core

@@ -49,13 +49,11 @@
 #define TPDE_SERVICE_ADMISSION_H
 
 #include "support/Common.h"
+#include "support/Sync.h"
 #include "support/Timer.h"
 
-#include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <limits>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -111,8 +109,9 @@ public:
   /// Installs a per-tenant policy (overriding the constructor default
   /// for that tenant). Safe to call while producers run; an existing
   /// bucket is re-capped to the new burst.
-  void setTenantConfig(TenantId Tid, const TenantConfig &Cfg) {
-    std::lock_guard<std::mutex> L(Mtx);
+  void setTenantConfig(TenantId Tid, const TenantConfig &Cfg)
+      TPDE_EXCLUDES(Mtx) {
+    LockGuard L(Mtx);
     TenantState &Tn = tenantLocked(Tid);
     Tn.Cfg = Cfg;
     if (Tn.Tokens > Cfg.burst())
@@ -121,11 +120,12 @@ public:
 
   /// Non-blocking admission of \p Item for \p Tid. \p NowNs drives the
   /// token-bucket refill. On any non-Ok verdict the item is dropped.
-  Admit tryPush(T Item, TenantId Tid, u64 NowNs) {
+  Admit tryPush(T Item, TenantId Tid, u64 NowNs) TPDE_EXCLUDES(Mtx) {
     Admit A;
     {
-      std::lock_guard<std::mutex> L(Mtx);
-      A = admitLocked(std::move(Item), Tid, NowNs);
+      LockGuard L(Mtx);
+      bool RingFull = false;
+      A = admitLocked(std::move(Item), Tid, NowNs, RingFull);
     }
     if (A == Admit::Ok)
       NotEmpty.notify_one();
@@ -136,20 +136,26 @@ public:
   /// for ring space when the queue is full. Quota exhaustion and the
   /// per-tenant cap still reject immediately — only the shared ring is
   /// worth waiting on. Returns Overloaded when the wait expires.
-  Admit pushWait(T Item, TenantId Tid, u64 NowNs, u64 MaxWaitNs) {
+  Admit pushWait(T Item, TenantId Tid, u64 NowNs, u64 MaxWaitNs)
+      TPDE_EXCLUDES(Mtx) {
     Admit A;
     {
-      std::unique_lock<std::mutex> L(Mtx);
-      A = admitLocked(std::move(Item), Tid, NowNs);
-      if (A == Admit::Overloaded && MaxWaitNs > 0) {
+      LockGuard L(Mtx);
+      bool RingFull = false;
+      A = admitLocked(std::move(Item), Tid, NowNs, RingFull);
+      // Wait only while the *shared ring* is the obstacle. A per-tenant
+      // MaxQueued rejection also reports Overloaded but must bounce
+      // immediately: the tenant's own backlog clears only through its
+      // weighted-fair share, so waiting here would let one tenant park
+      // producers on a limit that exists to contain exactly that tenant.
+      while (A == Admit::Overloaded && RingFull && MaxWaitNs > 0) {
         const u64 GiveUpNs = NowNs + MaxWaitNs;
-        while (A == Admit::Overloaded) {
-          u64 Now = tpde::nowNs();
-          if (Now >= GiveUpNs)
-            break;
-          NotFull.wait_for(L, std::chrono::nanoseconds(GiveUpNs - Now));
-          A = admitLocked(std::move(Item), Tid, tpde::nowNs());
-        }
+        u64 Now = tpde::nowNs();
+        if (Now >= GiveUpNs)
+          break;
+        NotFull.waitFor(Mtx, GiveUpNs - Now);
+        RingFull = false;
+        A = admitLocked(std::move(Item), Tid, tpde::nowNs(), RingFull);
       }
     }
     if (A == Admit::Ok)
@@ -161,9 +167,9 @@ public:
   /// \p DueNs. Bypasses quota and capacity; never fails (post-close
   /// retries are accepted and drained immediately — the pushing worker
   /// is still popping, so nothing is stranded).
-  void pushRetry(T Item, u64 DueNs) {
+  void pushRetry(T Item, u64 DueNs) TPDE_EXCLUDES(Mtx) {
     {
-      std::lock_guard<std::mutex> L(Mtx);
+      LockGuard L(Mtx);
       Retries.push_back({std::move(Item), DueNs});
     }
     NotEmpty.notify_all();
@@ -173,35 +179,40 @@ public:
   /// or the queue is closed *and* fully drained; returns false only on
   /// closed-and-drained. Due retries win over queued jobs (they are the
   /// oldest admitted work); queued jobs are picked weighted-fair.
-  bool pop(T &Out) {
-    std::unique_lock<std::mutex> L(Mtx);
-    for (;;) {
-      if (popLocked(Out, tpde::nowNs())) {
-        L.unlock();
-        NotFull.notify_one();
-        return true;
-      }
-      if (Closed && Count == 0 && Retries.empty())
-        return false;
-      if (!Retries.empty() && Count == 0 && !Closed) {
-        // Only undue retries remain: sleep until the earliest due time
-        // (or a new arrival / close wakes us).
-        u64 Due = earliestDueLocked();
-        u64 Now = tpde::nowNs();
-        if (Due > Now)
-          NotEmpty.wait_for(L, std::chrono::nanoseconds(Due - Now));
-      } else {
-        NotEmpty.wait(L);
+  bool pop(T &Out) TPDE_EXCLUDES(Mtx) {
+    bool Got = false;
+    {
+      LockGuard L(Mtx);
+      for (;;) {
+        if (popLocked(Out, tpde::nowNs())) {
+          Got = true;
+          break;
+        }
+        if (Closed && Count == 0 && Retries.empty())
+          break;
+        if (!Retries.empty() && Count == 0 && !Closed) {
+          // Only undue retries remain: sleep until the earliest due time
+          // (or a new arrival / close wakes us).
+          u64 Due = earliestDueLocked();
+          u64 Now = tpde::nowNs();
+          if (Due > Now)
+            NotEmpty.waitFor(Mtx, Due - Now);
+        } else {
+          NotEmpty.wait(Mtx);
+        }
       }
     }
+    if (Got)
+      NotFull.notify_one();
+    return Got;
   }
 
   /// Non-blocking pop (batch fill). Returns false when nothing is
   /// currently poppable — even if undue retries are pending.
-  bool tryPop(T &Out) {
+  bool tryPop(T &Out) TPDE_EXCLUDES(Mtx) {
     bool Got;
     {
-      std::lock_guard<std::mutex> L(Mtx);
+      LockGuard L(Mtx);
       Got = popLocked(Out, tpde::nowNs());
     }
     if (Got)
@@ -212,28 +223,28 @@ public:
   /// Rejects future admission and wakes all waiters. Queued jobs and
   /// retries remain poppable until drained (retries regardless of due
   /// time). Idempotent.
-  void close() {
+  void close() TPDE_EXCLUDES(Mtx) {
     {
-      std::lock_guard<std::mutex> L(Mtx);
+      LockGuard L(Mtx);
       Closed = true;
     }
     NotEmpty.notify_all();
     NotFull.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> L(Mtx);
+  bool closed() const TPDE_EXCLUDES(Mtx) {
+    LockGuard L(Mtx);
     return Closed;
   }
 
   /// Queued jobs (excluding pending retries).
-  size_t size() const {
-    std::lock_guard<std::mutex> L(Mtx);
+  size_t size() const TPDE_EXCLUDES(Mtx) {
+    LockGuard L(Mtx);
     return Count;
   }
 
-  size_t retryCount() const {
-    std::lock_guard<std::mutex> L(Mtx);
+  size_t retryCount() const TPDE_EXCLUDES(Mtx) {
+    LockGuard L(Mtx);
     return Retries.size();
   }
 
@@ -263,14 +274,17 @@ private:
     u64 DueNs;
   };
 
-  TenantState &tenantLocked(TenantId Tid) {
+  TenantState &tenantLocked(TenantId Tid) TPDE_REQUIRES(Mtx) {
     auto [It, Inserted] = Tenants.try_emplace(Tid);
     if (Inserted)
       It->second.Cfg = Default;
     return It->second;
   }
 
-  Admit admitLocked(T &&Item, TenantId Tid, u64 NowNs) {
+  /// \p RingFull is set (only) when the verdict is Overloaded because the
+  /// shared ring is at capacity — the one cause a bounded wait can cure.
+  Admit admitLocked(T &&Item, TenantId Tid, u64 NowNs, bool &RingFull)
+      TPDE_REQUIRES(Mtx) {
     if (Closed)
       return Admit::Closed;
     TenantState &Tn = tenantLocked(Tid);
@@ -291,8 +305,10 @@ private:
     }
     if (Tn.Cfg.MaxQueued && Tn.Q.size() >= Tn.Cfg.MaxQueued)
       return Admit::Overloaded;
-    if (Count >= Cap)
+    if (Count >= Cap) {
+      RingFull = true;
       return Admit::Overloaded;
+    }
     if (Tn.Cfg.metered())
       Tn.Tokens -= 1.0;
     Tagged Tg;
@@ -306,7 +322,7 @@ private:
     return Admit::Ok;
   }
 
-  u64 earliestDueLocked() const {
+  u64 earliestDueLocked() const TPDE_REQUIRES(Mtx) {
     u64 Due = std::numeric_limits<u64>::max();
     for (const Retry &R : Retries)
       if (R.DueNs < Due)
@@ -314,7 +330,7 @@ private:
     return Due;
   }
 
-  bool popLocked(T &Out, u64 NowNs) {
+  bool popLocked(T &Out, u64 NowNs) TPDE_REQUIRES(Mtx) {
     // Due retries first (oldest admitted work; after close, everything
     // on the lane counts as due so the drain never stalls).
     for (size_t I = 0; I < Retries.size(); ++I) {
@@ -350,14 +366,16 @@ private:
 
   const size_t Cap;
   const TenantConfig Default;
-  mutable std::mutex Mtx;
-  std::condition_variable NotEmpty;
-  std::condition_variable NotFull;
-  std::unordered_map<TenantId, TenantState> Tenants;
-  std::vector<Retry> Retries;
-  size_t Count = 0; ///< Queued jobs across tenants (retries excluded).
-  u64 VClock = 0;   ///< Global virtual time (start time of last dequeue).
-  bool Closed = false;
+  mutable Mutex Mtx;
+  CondVar NotEmpty;
+  CondVar NotFull;
+  std::unordered_map<TenantId, TenantState> Tenants TPDE_GUARDED_BY(Mtx);
+  std::vector<Retry> Retries TPDE_GUARDED_BY(Mtx);
+  /// Queued jobs across tenants (retries excluded).
+  size_t Count TPDE_GUARDED_BY(Mtx) = 0;
+  /// Global virtual time (start time of last dequeue).
+  u64 VClock TPDE_GUARDED_BY(Mtx) = 0;
+  bool Closed TPDE_GUARDED_BY(Mtx) = false;
 };
 
 } // namespace tpde::service

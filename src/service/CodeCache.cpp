@@ -8,7 +8,7 @@ CodeCache::Claim CodeCache::claim(const support::Fp128 &Fp,
                                   const ResultPtr &Res,
                                   std::shared_ptr<CachedCode> &HitCode,
                                   u64 &OwnerToken) {
-  std::lock_guard<std::mutex> L(Mtx);
+  LockGuard L(Mtx);
   auto [It, Inserted] = Map.try_emplace(Fp);
   Entry &E = It->second;
   E.LastUse = ++Clock;
@@ -31,7 +31,7 @@ CodeCache::Claim CodeCache::claim(const support::Fp128 &Fp,
 bool CodeCache::publish(const support::Fp128 &Fp, u64 OwnerToken,
                         std::shared_ptr<CachedCode> Code,
                         std::vector<ResultPtr> &Waiters) {
-  std::lock_guard<std::mutex> L(Mtx);
+  LockGuard L(Mtx);
   auto It = Map.find(Fp);
   if (It == Map.end() || It->second.St != State::Building ||
       It->second.Token != OwnerToken)
@@ -51,7 +51,7 @@ bool CodeCache::publish(const support::Fp128 &Fp, u64 OwnerToken,
 
 bool CodeCache::fail(const support::Fp128 &Fp, u64 OwnerToken,
                      std::vector<ResultPtr> &Waiters, ResultPtr *OwnerRes) {
-  std::lock_guard<std::mutex> L(Mtx);
+  LockGuard L(Mtx);
   auto It = Map.find(Fp);
   if (It == Map.end() || It->second.St != State::Building ||
       It->second.Token != OwnerToken)

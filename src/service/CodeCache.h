@@ -32,13 +32,11 @@
 #include "support/Diag.h"
 #include "support/Hash.h"
 #include "support/Histogram.h"
+#include "support/Sync.h"
 #include "support/Timer.h"
 
 #include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string_view>
 #include <unordered_map>
@@ -117,10 +115,11 @@ public:
   /// the job carries a deadline and it expires first, completes the
   /// handle with DeadlineExceeded — a waiter attached to an in-flight
   /// fingerprint therefore times out independently of the owner.
-  void wait() {
-    std::unique_lock<std::mutex> L(Mtx);
+  void wait() TPDE_EXCLUDES(Mtx) {
+    LockGuard L(Mtx);
     if (DeadlineNs == 0) {
-      CV.wait(L, [&] { return Done; });
+      while (!Done)
+        CV.wait(Mtx);
       return;
     }
     while (!Done) {
@@ -129,20 +128,30 @@ public:
         completeTimeoutLocked(Now);
         break;
       }
-      CV.wait_for(L, std::chrono::nanoseconds(DeadlineNs - Now));
+      CV.waitFor(Mtx, DeadlineNs - Now);
     }
   }
-  bool done() const {
-    std::lock_guard<std::mutex> L(Mtx);
+  bool done() const TPDE_EXCLUDES(Mtx) {
+    LockGuard L(Mtx);
     return Done;
   }
   /// Valid after wait(): success, served-from-cache flag, diagnostic,
   /// code handle, and end-to-end latency (completion - submit).
-  bool ok() const { return St.ok(); }
-  bool hit() const { return Hit; }
-  const support::CompileStatus &status() const { return St; }
-  const std::shared_ptr<CachedCode> &code() const { return Code; }
-  u64 latencyNs() const { return LatNs; }
+  ///
+  /// These read guarded fields without the lock, which is safe by the
+  /// handle's protocol: wait()'s lock release happens-before the caller's
+  /// read, and a completed handle's fields never change again
+  /// (first-wins). The reference-returning getters could not lock anyway.
+  bool ok() const TPDE_NO_THREAD_SAFETY_ANALYSIS { return St.ok(); }
+  bool hit() const TPDE_NO_THREAD_SAFETY_ANALYSIS { return Hit; }
+  const support::CompileStatus &status() const TPDE_NO_THREAD_SAFETY_ANALYSIS {
+    return St;
+  }
+  const std::shared_ptr<CachedCode> &code() const
+      TPDE_NO_THREAD_SAFETY_ANALYSIS {
+    return Code;
+  }
+  u64 latencyNs() const TPDE_NO_THREAD_SAFETY_ANALYSIS { return LatNs; }
   void *address(std::string_view Name) const {
     return Code ? Code->address(Name) : nullptr;
   }
@@ -153,9 +162,9 @@ public:
   /// already completed (e.g. the waiter timed out on its deadline), so
   /// callers must not record latency for a false return.
   bool complete(std::shared_ptr<CachedCode> C, const support::CompileStatus &S,
-                bool WasHit, u64 NowNs) {
+                bool WasHit, u64 NowNs) TPDE_EXCLUDES(Mtx) {
     {
-      std::lock_guard<std::mutex> L(Mtx);
+      LockGuard L(Mtx);
       if (Done)
         return false;
       Code = std::move(C);
@@ -177,7 +186,7 @@ public:
   std::shared_ptr<ServiceStats> Stats;
 
 private:
-  void completeTimeoutLocked(u64 NowNs) {
+  void completeTimeoutLocked(u64 NowNs) TPDE_REQUIRES(Mtx) {
     St.clear();
     St.Err = support::CompileErr::DeadlineExceeded;
     St.Message = "deadline expired waiting for in-flight compile";
@@ -190,13 +199,13 @@ private:
     CV.notify_all();
   }
 
-  mutable std::mutex Mtx;
-  mutable std::condition_variable CV;
-  bool Done = false;
-  bool Hit = false;
-  support::CompileStatus St;
-  std::shared_ptr<CachedCode> Code;
-  u64 LatNs = 0;
+  mutable Mutex Mtx;
+  mutable CondVar CV;
+  bool Done TPDE_GUARDED_BY(Mtx) = false;
+  bool Hit TPDE_GUARDED_BY(Mtx) = false;
+  support::CompileStatus St TPDE_GUARDED_BY(Mtx);
+  std::shared_ptr<CachedCode> Code TPDE_GUARDED_BY(Mtx);
+  u64 LatNs TPDE_GUARDED_BY(Mtx) = 0;
 };
 
 using ResultPtr = std::shared_ptr<ServiceResult>;
@@ -229,7 +238,8 @@ public:
   /// publish/fail then misses (returns false) instead of clobbering a
   /// re-claimed entry.
   Claim claim(const support::Fp128 &Fp, const ResultPtr &Res,
-              std::shared_ptr<CachedCode> &HitCode, u64 &OwnerToken);
+              std::shared_ptr<CachedCode> &HitCode, u64 &OwnerToken)
+      TPDE_EXCLUDES(Mtx);
 
   /// Publishes the owner's compiled code for \p Fp, evicts down to the
   /// byte budget, and moves the entry's waiters into \p Waiters for the
@@ -238,7 +248,7 @@ public:
   /// gone); the caller's result handle was already completed then.
   bool publish(const support::Fp128 &Fp, u64 OwnerToken,
                std::shared_ptr<CachedCode> Code,
-               std::vector<ResultPtr> &Waiters);
+               std::vector<ResultPtr> &Waiters) TPDE_EXCLUDES(Mtx);
 
   /// Removes the in-flight entry for \p Fp after a failed compile — the
   /// cache is never poisoned by failures; a later submit of the same
@@ -247,7 +257,8 @@ public:
   /// entry's owner handle is moved out too (the watchdog fail-over path
   /// completes the hung owner's submitter as well as the waiters).
   bool fail(const support::Fp128 &Fp, u64 OwnerToken,
-            std::vector<ResultPtr> &Waiters, ResultPtr *OwnerRes = nullptr);
+            std::vector<ResultPtr> &Waiters, ResultPtr *OwnerRes = nullptr)
+      TPDE_EXCLUDES(Mtx);
 
   ServiceStats &stats() { return *StatsP; }
   /// The stats sink as a shared handle — outlives the cache, so result
@@ -256,8 +267,8 @@ public:
   ServiceStatsSnapshot snapshot() const;
 
   u64 budgetBytes() const { return Budget; }
-  size_t entryCount() const {
-    std::lock_guard<std::mutex> L(Mtx);
+  size_t entryCount() const TPDE_EXCLUDES(Mtx) {
+    LockGuard L(Mtx);
     return Map.size();
   }
 
@@ -276,13 +287,20 @@ private:
   /// \p Keep, never Building entries) until CachedBytes <= Budget or
   /// nothing evictable remains. O(entries) scan per eviction — fine at
   /// cache sizes where eviction is rare; called with Mtx held.
-  void evictLocked(const support::Fp128 &Keep);
+  void evictLocked(const support::Fp128 &Keep) TPDE_REQUIRES(Mtx);
 
   const u64 Budget;
-  mutable std::mutex Mtx;
-  std::unordered_map<support::Fp128, Entry, support::Fp128Hash> Map;
-  u64 Clock = 0;     ///< Epoch counter: bumped per touch, stamps LastUse.
-  u64 NextToken = 0; ///< Owner-token source; bumped per Owner claim.
+  /// Innermost service-layer lock. The documented acquisition order is
+  /// CompileService's per-worker ClaimsMtx strictly before this; the rank
+  /// makes Debug builds assert that order dynamically (the static side
+  /// lives in CompileService's ClaimsMtx declaration).
+  mutable Mutex Mtx{LockRank::ServiceCache};
+  std::unordered_map<support::Fp128, Entry, support::Fp128Hash>
+      Map TPDE_GUARDED_BY(Mtx);
+  /// Epoch counter: bumped per touch, stamps LastUse.
+  u64 Clock TPDE_GUARDED_BY(Mtx) = 0;
+  /// Owner-token source; bumped per Owner claim.
+  u64 NextToken TPDE_GUARDED_BY(Mtx) = 0;
   std::shared_ptr<ServiceStats> StatsP;
 };
 

@@ -86,12 +86,12 @@
 #include "service/CodeCache.h"
 #include "support/FaultInjector.h"
 #include "support/Rng.h"
+#include "support/Sync.h"
 #include "support/Timer.h"
 
 #include <functional>
 #include <memory>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
@@ -168,9 +168,9 @@ public:
     for (unsigned I = 0; I < Opts.NumWorkers; ++I)
       Workers.push_back(std::make_unique<WorkerState>(Opts, I));
     for (auto &WS : Workers)
-      WS->Thread = std::thread([this, W = WS.get()] { workerMain(*W); });
+      WS->Thread = tpde::Thread([this, W = WS.get()] { workerMain(*W); });
     if (Opts.StuckBatchTimeoutNs > 0)
-      Watchdog = std::thread([this] { watchdogMain(); });
+      Watchdog = tpde::Thread([this] { watchdogMain(); });
   }
 
   ~CompileService() { shutdown(); }
@@ -200,9 +200,9 @@ public:
   }
 
   /// Releases workers parked by ServiceOptions::StartPaused.
-  void resume() {
+  void resume() TPDE_EXCLUDES(PauseMtx) {
     {
-      std::lock_guard<std::mutex> L(PauseMtx);
+      LockGuard L(PauseMtx);
       Paused = false;
     }
     PauseCV.notify_all();
@@ -210,9 +210,9 @@ public:
 
   /// Stops admission, drains queued jobs, joins workers. Idempotent;
   /// called by the destructor.
-  void shutdown() {
+  void shutdown() TPDE_EXCLUDES(WatchdogMtx) {
     {
-      std::lock_guard<std::mutex> L(WatchdogMtx);
+      LockGuard L(WatchdogMtx);
       WatchdogStop = true;
     }
     WatchdogCV.notify_all();
@@ -268,16 +268,19 @@ private:
     std::vector<PendingJob> CarryJobs;
     /// Deterministic per-worker jitter source for retry backoff.
     tpde::Rng BackoffRng;
-    std::thread Thread;
+    tpde::Thread Thread;
 
     // -- Watchdog interface (see watchdogMain) --------------------------
     std::atomic<u64> HeartbeatNs{0}; ///< Last sign of life (nowNs).
     std::atomic<bool> InBatch{false};
-    /// The batch's (fingerprint, ownership-token) claims. Guarded by
-    /// ClaimsMtx; never touched while holding the cache mutex (lock
-    /// order: ClaimsMtx strictly before Cache.Mtx).
-    std::mutex ClaimsMtx;
-    std::vector<std::pair<support::Fp128, u64>> Claims;
+    /// Protects Claims. Lock order: ClaimsMtx strictly before Cache.Mtx —
+    /// the rank (LockRank::ServiceClaims < ServiceCache) makes Debug
+    /// builds assert that order on every acquisition; the static
+    /// annotations prove each individual guard, and the order itself is
+    /// re-proven by the compile-fail suite (tests/static_analysis/).
+    Mutex ClaimsMtx{LockRank::ServiceClaims};
+    std::vector<std::pair<support::Fp128, u64>>
+        Claims TPDE_GUARDED_BY(ClaimsMtx);
   };
 
   static ServiceOptions sanitize(ServiceOptions O) {
@@ -380,10 +383,11 @@ private:
     return Res;
   }
 
-  void workerMain(WorkerState &WS) {
+  void workerMain(WorkerState &WS) TPDE_EXCLUDES(PauseMtx) {
     {
-      std::unique_lock<std::mutex> L(PauseMtx);
-      PauseCV.wait(L, [&] { return !Paused; });
+      LockGuard L(PauseMtx);
+      while (Paused)
+        PauseCV.wait(PauseMtx);
     }
     for (;;) {
       WS.HeartbeatNs.store(tpde::nowNs(), std::memory_order_relaxed);
@@ -459,7 +463,7 @@ private:
     // Register the batch's claims for the watchdog before the (possibly
     // hanging) compile, then heartbeat and go.
     {
-      std::lock_guard<std::mutex> L(WS.ClaimsMtx);
+      LockGuard L(WS.ClaimsMtx);
       WS.Claims.clear();
       for (size_t J = 0; J < Admitted; ++J)
         WS.Claims.emplace_back(WS.Batch[J].Fp, WS.Batch[J].Token);
@@ -506,7 +510,7 @@ private:
     }
 
     {
-      std::lock_guard<std::mutex> L(WS.ClaimsMtx);
+      LockGuard L(WS.ClaimsMtx);
       WS.Claims.clear();
     }
     WS.InBatch.store(false, std::memory_order_release);
@@ -547,11 +551,10 @@ private:
     return true;
   }
 
-  void watchdogMain() {
-    std::unique_lock<std::mutex> L(WatchdogMtx);
+  void watchdogMain() TPDE_EXCLUDES(WatchdogMtx) {
+    UniqueLock L(WatchdogMtx);
     while (!WatchdogStop) {
-      WatchdogCV.wait_for(
-          L, std::chrono::nanoseconds(Opts.WatchdogPeriodNs));
+      WatchdogCV.waitFor(WatchdogMtx, Opts.WatchdogPeriodNs);
       if (WatchdogStop)
         break;
       L.unlock();
@@ -577,7 +580,9 @@ private:
   void failOverWorker(WorkerState &WS) {
     std::vector<std::pair<support::Fp128, u64>> Claims;
     {
-      std::lock_guard<std::mutex> L(WS.ClaimsMtx);
+      // ClaimsMtx is released before Cache.fail below; if the two ever
+      // nest, the rank tracker holds them to ClaimsMtx-first.
+      LockGuard L(WS.ClaimsMtx);
       Claims.swap(WS.Claims);
     }
     support::CompileStatus St;
@@ -626,13 +631,13 @@ private:
   CodeCache Cache;
   AdmissionQueue<PendingJob> Queue;
   std::vector<std::unique_ptr<WorkerState>> Workers;
-  std::mutex PauseMtx;
-  std::condition_variable PauseCV;
-  bool Paused = false;
-  std::thread Watchdog;
-  std::mutex WatchdogMtx;
-  std::condition_variable WatchdogCV;
-  bool WatchdogStop = false;
+  Mutex PauseMtx;
+  CondVar PauseCV;
+  bool Paused TPDE_GUARDED_BY(PauseMtx) = false;
+  tpde::Thread Watchdog;
+  Mutex WatchdogMtx;
+  CondVar WatchdogCV;
+  bool WatchdogStop TPDE_GUARDED_BY(WatchdogMtx) = false;
 };
 
 } // namespace tpde::service

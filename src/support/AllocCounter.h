@@ -52,8 +52,15 @@ private:
 
 /// Replaces the global allocation functions with counting versions.
 /// Expand at namespace scope in exactly one TU per binary.
+/// new and delete are BOTH replaced, and both in terms of malloc/free,
+/// so freeing in delete is well-matched; the compiler cannot see that
+/// pairing, and when the delete bodies get inlined GCC's post-inlining
+/// -Wmismatched-new-delete flags the visible free() against the new
+/// expression (and ignores suppression pragmas at that point). noinline
+/// keeps the bodies opaque — which also keeps the counters honest.
+#define TPDE_ALLOC_COUNTER_FN __attribute__((noinline))
 #define TPDE_INSTALL_ALLOC_COUNTER                                             \
-  void *operator new(std::size_t Sz) {                                         \
+  TPDE_ALLOC_COUNTER_FN void *operator new(std::size_t Sz) {                   \
     ::tpde::support::AllocCounter::Count.fetch_add(                            \
         1, std::memory_order_relaxed);                                         \
     ::tpde::support::AllocCounter::Bytes.fetch_add(                            \
@@ -62,25 +69,41 @@ private:
       return P;                                                                \
     throw std::bad_alloc();                                                    \
   }                                                                            \
-  void *operator new[](std::size_t Sz) { return ::operator new(Sz); }          \
-  void *operator new(std::size_t Sz, const std::nothrow_t &) noexcept {        \
+  TPDE_ALLOC_COUNTER_FN void *operator new[](std::size_t Sz) {                 \
+    return ::operator new(Sz);                                                 \
+  }                                                                            \
+  TPDE_ALLOC_COUNTER_FN void *operator new(std::size_t Sz,                     \
+                                           const std::nothrow_t &) noexcept {  \
     ::tpde::support::AllocCounter::Count.fetch_add(                            \
         1, std::memory_order_relaxed);                                         \
     ::tpde::support::AllocCounter::Bytes.fetch_add(                            \
         Sz, std::memory_order_relaxed);                                        \
     return std::malloc(Sz ? Sz : 1);                                           \
   }                                                                            \
-  void *operator new[](std::size_t Sz, const std::nothrow_t &T) noexcept {     \
+  TPDE_ALLOC_COUNTER_FN void *operator new[](                                  \
+      std::size_t Sz, const std::nothrow_t &T) noexcept {                      \
     return ::operator new(Sz, T);                                              \
   }                                                                            \
-  void operator delete(void *P) noexcept { std::free(P); }                     \
-  void operator delete[](void *P) noexcept { std::free(P); }                   \
-  void operator delete(void *P, std::size_t) noexcept { std::free(P); }        \
-  void operator delete[](void *P, std::size_t) noexcept { std::free(P); }      \
-  void operator delete(void *P, const std::nothrow_t &) noexcept {             \
+  TPDE_ALLOC_COUNTER_FN void operator delete(void *P) noexcept {               \
     std::free(P);                                                              \
   }                                                                            \
-  void operator delete[](void *P, const std::nothrow_t &) noexcept {           \
+  TPDE_ALLOC_COUNTER_FN void operator delete[](void *P) noexcept {             \
+    std::free(P);                                                              \
+  }                                                                            \
+  TPDE_ALLOC_COUNTER_FN void operator delete(void *P,                          \
+                                             std::size_t) noexcept {           \
+    std::free(P);                                                              \
+  }                                                                            \
+  TPDE_ALLOC_COUNTER_FN void operator delete[](void *P,                        \
+                                               std::size_t) noexcept {         \
+    std::free(P);                                                              \
+  }                                                                            \
+  TPDE_ALLOC_COUNTER_FN void operator delete(void *P,                          \
+                                             const std::nothrow_t &) noexcept {\
+    std::free(P);                                                              \
+  }                                                                            \
+  TPDE_ALLOC_COUNTER_FN void operator delete[](                                 \
+      void *P, const std::nothrow_t &) noexcept {                              \
     std::free(P);                                                              \
   }
 

@@ -29,9 +29,8 @@
 #define TPDE_SUPPORT_MPMC_QUEUE_H
 
 #include "support/Common.h"
+#include "support/Sync.h"
 
-#include <condition_variable>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -40,31 +39,33 @@ namespace tpde::support {
 template <typename T> class BoundedMpmcQueue {
 public:
   explicit BoundedMpmcQueue(size_t Capacity)
-      : Slots(Capacity ? Capacity : 1) {}
+      : Cap(Capacity ? Capacity : 1), Slots(Cap) {}
 
   BoundedMpmcQueue(const BoundedMpmcQueue &) = delete;
   BoundedMpmcQueue &operator=(const BoundedMpmcQueue &) = delete;
 
-  size_t capacity() const { return Slots.size(); }
+  size_t capacity() const { return Cap; }
 
   /// Blocks until space is available or the queue is closed. Returns
   /// false (item dropped) iff the queue was closed.
-  bool push(T Item) {
-    std::unique_lock<std::mutex> L(Mtx);
-    NotFull.wait(L, [&] { return Count < Slots.size() || Closed; });
-    if (Closed)
-      return false;
-    enqueueLocked(std::move(Item));
-    L.unlock();
+  bool push(T Item) TPDE_EXCLUDES(Mtx) {
+    {
+      LockGuard L(Mtx);
+      while (Count == Cap && !Closed)
+        NotFull.wait(Mtx);
+      if (Closed)
+        return false;
+      enqueueLocked(std::move(Item));
+    }
     NotEmpty.notify_one();
     return true;
   }
 
   /// Non-blocking push. Returns false if full or closed.
-  bool tryPush(T Item) {
+  bool tryPush(T Item) TPDE_EXCLUDES(Mtx) {
     {
-      std::lock_guard<std::mutex> L(Mtx);
-      if (Closed || Count == Slots.size())
+      LockGuard L(Mtx);
+      if (Closed || Count == Cap)
         return false;
       enqueueLocked(std::move(Item));
     }
@@ -74,22 +75,24 @@ public:
 
   /// Blocks until an item is available or the queue is closed *and*
   /// drained. Returns false only on closed-and-empty.
-  bool pop(T &Out) {
-    std::unique_lock<std::mutex> L(Mtx);
-    NotEmpty.wait(L, [&] { return Count > 0 || Closed; });
-    if (Count == 0)
-      return false;
-    dequeueLocked(Out);
-    L.unlock();
+  bool pop(T &Out) TPDE_EXCLUDES(Mtx) {
+    {
+      LockGuard L(Mtx);
+      while (Count == 0 && !Closed)
+        NotEmpty.wait(Mtx);
+      if (Count == 0)
+        return false;
+      dequeueLocked(Out);
+    }
     NotFull.notify_one();
     return true;
   }
 
   /// Non-blocking pop. Returns false if empty (even when more items may
   /// arrive later).
-  bool tryPop(T &Out) {
+  bool tryPop(T &Out) TPDE_EXCLUDES(Mtx) {
     {
-      std::lock_guard<std::mutex> L(Mtx);
+      LockGuard L(Mtx);
       if (Count == 0)
         return false;
       dequeueLocked(Out);
@@ -100,45 +103,46 @@ public:
 
   /// Rejects future pushes and wakes all waiters. Items already queued
   /// remain poppable until drained. Idempotent.
-  void close() {
+  void close() TPDE_EXCLUDES(Mtx) {
     {
-      std::lock_guard<std::mutex> L(Mtx);
+      LockGuard L(Mtx);
       Closed = true;
     }
     NotEmpty.notify_all();
     NotFull.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> L(Mtx);
+  bool closed() const TPDE_EXCLUDES(Mtx) {
+    LockGuard L(Mtx);
     return Closed;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> L(Mtx);
+  size_t size() const TPDE_EXCLUDES(Mtx) {
+    LockGuard L(Mtx);
     return Count;
   }
 
 private:
-  void enqueueLocked(T Item) {
+  void enqueueLocked(T Item) TPDE_REQUIRES(Mtx) {
     Slots[Tail] = std::move(Item);
-    Tail = (Tail + 1) % Slots.size();
+    Tail = (Tail + 1) % Cap;
     ++Count;
   }
-  void dequeueLocked(T &Out) {
+  void dequeueLocked(T &Out) TPDE_REQUIRES(Mtx) {
     Out = std::move(Slots[Head]);
-    Head = (Head + 1) % Slots.size();
+    Head = (Head + 1) % Cap;
     --Count;
   }
 
-  mutable std::mutex Mtx;
-  std::condition_variable NotFull;
-  std::condition_variable NotEmpty;
-  std::vector<T> Slots;
-  size_t Head = 0;
-  size_t Tail = 0;
-  size_t Count = 0;
-  bool Closed = false;
+  const size_t Cap;
+  mutable Mutex Mtx;
+  CondVar NotFull;
+  CondVar NotEmpty;
+  std::vector<T> Slots TPDE_GUARDED_BY(Mtx);
+  size_t Head TPDE_GUARDED_BY(Mtx) = 0;
+  size_t Tail TPDE_GUARDED_BY(Mtx) = 0;
+  size_t Count TPDE_GUARDED_BY(Mtx) = 0;
+  bool Closed TPDE_GUARDED_BY(Mtx) = false;
 };
 
 } // namespace tpde::support

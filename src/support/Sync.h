@@ -1,0 +1,313 @@
+//===- support/Sync.h - Annotated synchronization primitives ----*- C++ -*-===//
+///
+/// \file
+/// Project-wide synchronization wrappers carrying Clang thread-safety
+/// annotations, plus the annotation macro vocabulary itself. Every mutex,
+/// lock guard, condition variable, and thread in the tree must come from
+/// this header — `scripts/tpde_lint.py` rejects raw `std::mutex` /
+/// `std::lock_guard` / `std::thread` anywhere else, because the static
+/// analysis cannot see locks it has no annotations for.
+///
+/// The wrappers are zero-overhead pass-throughs to the `std::` primitives:
+/// every method is an inline one-liner, and the `TPDE_*` annotation macros
+/// compile to nothing on non-Clang compilers. Clang builds add
+/// `-Wthread-safety -Werror` (see CMakeLists.txt), turning the
+/// `TPDE_GUARDED_BY` / `TPDE_REQUIRES` contracts below into compile errors
+/// when violated. docs/STATIC_ANALYSIS.md documents the conventions.
+///
+/// Lock ranking: mutexes that participate in a documented acquisition
+/// order are constructed with a `LockRank`. Debug builds maintain a
+/// per-thread stack of held ranks and assert strict ascending order on
+/// every acquisition, so GCC builds (no `-Wthread-safety`) keep a dynamic
+/// backstop for the same invariant the annotations prove statically.
+/// `NDEBUG` builds compile the tracker out entirely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDE_SUPPORT_SYNC_H
+#define TPDE_SUPPORT_SYNC_H
+
+#include "support/Common.h"
+
+// tpde-lint: allow-file(raw-sync) -- this is the one wrapping site.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+//===----------------------------------------------------------------------===//
+// Thread-safety annotation macros (Clang attribute spellings).
+//
+// These follow the vocabulary of https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+// and expand to nothing on compilers without the attributes (GCC builds the
+// exact same code without the analysis).
+//===----------------------------------------------------------------------===//
+
+#if defined(__clang__) && !defined(SWIG)
+#define TPDE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TPDE_THREAD_ANNOTATION(x)
+#endif
+
+#define TPDE_CAPABILITY(x) TPDE_THREAD_ANNOTATION(capability(x))
+#define TPDE_SCOPED_CAPABILITY TPDE_THREAD_ANNOTATION(scoped_lockable)
+#define TPDE_GUARDED_BY(x) TPDE_THREAD_ANNOTATION(guarded_by(x))
+#define TPDE_PT_GUARDED_BY(x) TPDE_THREAD_ANNOTATION(pt_guarded_by(x))
+#define TPDE_ACQUIRED_BEFORE(...)                                              \
+  TPDE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define TPDE_ACQUIRED_AFTER(...)                                               \
+  TPDE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define TPDE_REQUIRES(...)                                                     \
+  TPDE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define TPDE_ACQUIRE(...)                                                      \
+  TPDE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define TPDE_RELEASE(...)                                                      \
+  TPDE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TPDE_TRY_ACQUIRE(...)                                                  \
+  TPDE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TPDE_EXCLUDES(...) TPDE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define TPDE_ASSERT_CAPABILITY(x)                                              \
+  TPDE_THREAD_ANNOTATION(assert_capability(x))
+#define TPDE_RETURN_CAPABILITY(x) TPDE_THREAD_ANNOTATION(lock_returned(x))
+#define TPDE_NO_THREAD_SAFETY_ANALYSIS                                         \
+  TPDE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace tpde {
+
+//===----------------------------------------------------------------------===//
+// Lock ranks — the project-wide acquisition-order table.
+//
+// A thread may only acquire a ranked mutex whose rank is strictly greater
+// than every ranked mutex it already holds. Unranked (None) mutexes are
+// leaves: they never participate in nesting with other locks, so they are
+// exempt from the ordering check in either direction.
+//
+// This is the single source of truth for documented lock orders; the
+// matching static encoding lives in the TPDE_ACQUIRED_BEFORE annotations
+// at the mutex declarations. When adding a lock that nests with existing
+// ones, add a rank here (leave numeric gaps for future insertions) and
+// cite it from the declaration — see docs/STATIC_ANALYSIS.md.
+//===----------------------------------------------------------------------===//
+
+enum class LockRank : u8 {
+  /// Leaf lock, never held while taking another ranked lock.
+  None = 0,
+  /// CompileService per-worker `ClaimsMtx` — acquired strictly before the
+  /// code cache lock during batch bookkeeping and watchdog fail-over.
+  ServiceClaims = 10,
+  /// CodeCache `Mtx` — the innermost service-layer lock.
+  ServiceCache = 20,
+};
+
+namespace detail {
+
+#ifndef NDEBUG
+/// Per-thread stack of currently held locks (debug builds only). Bounded:
+/// no code path in the project holds more than a handful of locks at once;
+/// overflow entries are silently untracked rather than aborting.
+struct HeldLockStack {
+  static constexpr unsigned MaxHeld = 16;
+  const void *Mtx[MaxHeld];
+  LockRank Rank[MaxHeld];
+  unsigned Size = 0;
+};
+
+inline thread_local HeldLockStack TlHeldLocks;
+
+/// Asserts the rank order and records the acquisition. Called with the
+/// lock already held (std::mutex::lock has no failure path, so ordering
+/// relative to the actual acquisition does not matter for correctness).
+inline void debugOnAcquire(const void *M, LockRank R) {
+  HeldLockStack &S = TlHeldLocks;
+  if (R != LockRank::None) {
+    for (unsigned I = 0; I < S.Size; ++I) {
+      if (S.Rank[I] != LockRank::None && S.Rank[I] >= R) {
+        std::fprintf(stderr,
+                     "tpde: lock-order violation: acquiring rank %u while "
+                     "holding rank %u (see LockRank in support/Sync.h)\n",
+                     static_cast<unsigned>(R),
+                     static_cast<unsigned>(S.Rank[I]));
+        std::abort();
+      }
+    }
+  }
+  if (S.Size < HeldLockStack::MaxHeld) {
+    S.Mtx[S.Size] = M;
+    S.Rank[S.Size] = R;
+    ++S.Size;
+  }
+}
+
+/// Removes the most recent record for M (locks are released in any order).
+inline void debugOnRelease(const void *M) {
+  HeldLockStack &S = TlHeldLocks;
+  for (unsigned I = S.Size; I-- > 0;) {
+    if (S.Mtx[I] == M) {
+      for (unsigned J = I + 1; J < S.Size; ++J) {
+        S.Mtx[J - 1] = S.Mtx[J];
+        S.Rank[J - 1] = S.Rank[J];
+      }
+      --S.Size;
+      return;
+    }
+  }
+}
+#else
+inline void debugOnAcquire(const void *, LockRank) {}
+inline void debugOnRelease(const void *) {}
+#endif
+
+} // namespace detail
+
+//===----------------------------------------------------------------------===//
+// Mutex
+//===----------------------------------------------------------------------===//
+
+/// Annotated wrapper around std::mutex. The analysis treats the object
+/// itself as the capability; members it protects are declared with
+/// TPDE_GUARDED_BY(TheMutex).
+class TPDE_CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  explicit Mutex(LockRank R) : Rank(R) { (void)Rank; }
+
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  void lock() TPDE_ACQUIRE() {
+    M.lock();
+    detail::debugOnAcquire(this, Rank);
+  }
+
+  void unlock() TPDE_RELEASE() {
+    detail::debugOnRelease(this);
+    M.unlock();
+  }
+
+  bool tryLock() TPDE_TRY_ACQUIRE(true) {
+    if (!M.try_lock())
+      return false;
+    detail::debugOnAcquire(this, Rank);
+    return true;
+  }
+
+  /// The underlying handle, for CondVar's adopt/release dance only.
+  std::mutex &native() { return M; }
+
+private:
+  std::mutex M;
+  LockRank Rank = LockRank::None;
+};
+
+//===----------------------------------------------------------------------===//
+// LockGuard / UniqueLock
+//===----------------------------------------------------------------------===//
+
+/// Scoped lock-and-unlock, the default way to hold a Mutex.
+class TPDE_SCOPED_CAPABILITY LockGuard {
+public:
+  explicit LockGuard(Mutex &M) TPDE_ACQUIRE(M) : Mtx(M) { Mtx.lock(); }
+  ~LockGuard() TPDE_RELEASE() { Mtx.unlock(); }
+
+  LockGuard(const LockGuard &) = delete;
+  LockGuard &operator=(const LockGuard &) = delete;
+
+private:
+  Mutex &Mtx;
+};
+
+/// Scoped lock supporting temporary release (watchdog-style loops that
+/// drop the lock around slow work and re-take it). Clang models the
+/// relock correctly via the annotated lock()/unlock() methods.
+class TPDE_SCOPED_CAPABILITY UniqueLock {
+public:
+  explicit UniqueLock(Mutex &M) TPDE_ACQUIRE(M) : Mtx(M), Held(true) {
+    Mtx.lock();
+  }
+  ~UniqueLock() TPDE_RELEASE() {
+    if (Held)
+      Mtx.unlock();
+  }
+
+  UniqueLock(const UniqueLock &) = delete;
+  UniqueLock &operator=(const UniqueLock &) = delete;
+
+  void lock() TPDE_ACQUIRE() {
+    Mtx.lock();
+    Held = true;
+  }
+  void unlock() TPDE_RELEASE() {
+    Held = false;
+    Mtx.unlock();
+  }
+  bool held() const { return Held; }
+
+  Mutex &mutex() TPDE_RETURN_CAPABILITY(Mtx) { return Mtx; }
+
+private:
+  Mutex &Mtx;
+  bool Held;
+};
+
+//===----------------------------------------------------------------------===//
+// CondVar
+//===----------------------------------------------------------------------===//
+
+/// Annotated wrapper around std::condition_variable. wait()/waitFor() take
+/// the Mutex directly (TPDE_REQUIRES proves the caller holds it) instead
+/// of a std::unique_lock. Deliberately no predicate overloads: the
+/// analysis treats lambdas as separate unannotated functions, so
+/// predicate waits hide the guarded reads — write the standard
+/// `while (!cond) CV.wait(Mtx);` loop instead, which the analysis checks.
+class CondVar {
+public:
+  CondVar() = default;
+  CondVar(const CondVar &) = delete;
+  CondVar &operator=(const CondVar &) = delete;
+
+  /// Atomically releases M and blocks; M is re-held on return. Subject to
+  /// spurious wakeups like the std primitive — always wait in a loop.
+  void wait(Mutex &M) TPDE_REQUIRES(M) {
+    // Borrow the already-held native mutex for the duration of the wait.
+    // adopt_lock hands ownership to L without locking; release() hands it
+    // back without unlocking, so the wrapper's held/rank bookkeeping never
+    // observes the temporary release inside the std wait.
+    std::unique_lock<std::mutex> L(M.native(), std::adopt_lock);
+    CV.wait(L);
+    L.release();
+  }
+
+  /// Timed wait; returns false on timeout. Same re-held guarantee.
+  bool waitFor(Mutex &M, u64 Ns) TPDE_REQUIRES(M) {
+    std::unique_lock<std::mutex> L(M.native(), std::adopt_lock);
+    bool NotTimedOut =
+        CV.wait_for(L, std::chrono::nanoseconds(Ns)) == std::cv_status::no_timeout;
+    L.release();
+    return NotTimedOut;
+  }
+
+  void notify_one() { CV.notify_one(); }
+  void notify_all() { CV.notify_all(); }
+
+private:
+  std::condition_variable CV;
+};
+
+//===----------------------------------------------------------------------===//
+// Threads
+//===----------------------------------------------------------------------===//
+
+/// Thread type used throughout the project. A plain alias today; the
+/// indirection exists so the linter can ban raw std::thread and so a
+/// future change (naming, affinity, instrumented spawn) lands in one
+/// place.
+using Thread = std::thread;
+
+inline unsigned hardwareConcurrency() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+} // namespace tpde
+
+#endif // TPDE_SUPPORT_SYNC_H

@@ -24,6 +24,9 @@
 #ifndef TPDE_SUPPORT_WORKQUEUE_H
 #define TPDE_SUPPORT_WORKQUEUE_H
 
+// tpde-lint: hot-path -- per-function compile loop; the zero-allocation
+// policy (docs/PERF.md) is machine-enforced here by scripts/tpde_lint.py.
+
 #include "support/Common.h"
 
 #include <atomic>

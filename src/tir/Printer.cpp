@@ -64,6 +64,10 @@ const char *opName(Op O) {
   case Op::FpTrunc: return "fptrunc";
   case Op::Bitcast: return "bitcast";
   case Op::Select: return "select";
+  // ICmpOp/FCmpOp carry their predicate in Aux and are printed by the
+  // dedicated printInst cases; the generic names keep opName total.
+  case Op::ICmpOp: return "icmp";
+  case Op::FCmpOp: return "fcmp";
   case Op::Load: return "load";
   case Op::Store: return "store";
   case Op::PtrAdd: return "ptradd";

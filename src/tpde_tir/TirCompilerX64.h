@@ -623,7 +623,7 @@ private:
     // Amt >= 64: lo = hi >> (Amt-64); hi = sign/zero fill.
     VPR L0Consume = this->valRef(LV, 0);
     VPR L1 = this->valRef(LV, 1);
-    core::Reg RL1 = L1.asReg();
+    L1.asReg(); // materialize + lock so the reuse below lands in a register
     VPR Res0 = this->resultRefReuse(I, 0, std::move(L1));
     if (Amt > 64)
       E.shiftRI(Arith ? x64::ShiftOp::Sar : x64::ShiftOp::Shr, 8,

@@ -94,7 +94,7 @@ private:
     E.aluRI(AluOp::Sub, 8, RSP, alignTo(8 * MaxSlots, 16));
 
     // Spill parameters; zero the extra locals.
-    static const AsmReg GPArg[6] = {RDI, RSI, RDX, RCX, R8, R9};
+    static constexpr AsmReg GPArg[6] = {RDI, RSI, RDX, RCX, R8, R9};
     u32 GPUsed = 0, FPUsed = 0;
     for (u32 I = 0; I < Fn.Params.size(); ++I) {
       if (Fn.Params[I] == WType::F64)
@@ -391,7 +391,7 @@ private:
     }
     case WOp::Call: {
       const WFunc &Callee = W.Funcs[I.Idx];
-      static const AsmReg GPArg[6] = {RDI, RSI, RDX, RCX, R8, R9};
+      static constexpr AsmReg GPArg[6] = {RDI, RSI, RDX, RCX, R8, R9};
       u32 NGP = 0, NFP = 0;
       for (WType T : Callee.Params)
         (T == WType::F64 ? NFP : NGP) += 1;

@@ -150,7 +150,7 @@ private:
   }
 
   void emitNarrowOp() {
-    static const Type NarrowTys[3] = {Type::I8, Type::I16, Type::I32};
+    static constexpr Type NarrowTys[3] = {Type::I8, Type::I16, Type::I32};
     Type Ty = NarrowTys[R.below(3)];
     ValRef A = B.cast(Op::Trunc, Ty, readVal());
     ValRef Bv = B.cast(Op::Trunc, Ty, readVal());
@@ -378,7 +378,7 @@ tpde::workloads::genQueryPlans(const QueryProfile &P) {
   std::vector<uir::QueryPlan> Out;
   Out.reserve(P.NumQueries);
   Rng R(P.Seed * 0x9e3779b97f4a7c15ull + 0x7);
-  static const uir::UOp Cmps[4] = {uir::UOp::CmpLt, uir::UOp::CmpLe,
+  static constexpr uir::UOp Cmps[4] = {uir::UOp::CmpLt, uir::UOp::CmpLe,
                                    uir::UOp::CmpEq, uir::UOp::CmpNe};
   for (u32 Q = 0; Q < P.NumQueries; ++Q) {
     uir::QueryPlan Plan;

@@ -64,8 +64,8 @@ void Emitter::modRMMem(u8 RegField, const Mem &M) {
   if (!NeedSib) {
     put(Mod | Reg | BaseLow);
   } else {
-    assert(!M.Index.isValid() || M.Index.hw() != 4
-           && "RSP cannot be an index register");
+    assert((!M.Index.isValid() || M.Index.hw() != 4) &&
+           "RSP cannot be an index register");
     u8 ScaleBits = M.Scale == 1 ? 0 : M.Scale == 2 ? 1 : M.Scale == 4 ? 2 : 3;
     u8 IdxLow = M.Index.isValid() ? (M.Index.hw() & 7) : 4;
     put(Mod | Reg | 0x04);
@@ -606,7 +606,7 @@ void Emitter::pop(AsmReg R) {
 }
 
 void Emitter::nops(unsigned N) {
-  static const u8 Seqs[9][9] = {
+  static constexpr u8 Seqs[9][9] = {
       {0x90},
       {0x66, 0x90},
       {0x0F, 0x1F, 0x00},

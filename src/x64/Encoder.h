@@ -16,6 +16,9 @@
 #ifndef TPDE_X64_ENCODER_H
 #define TPDE_X64_ENCODER_H
 
+// tpde-lint: hot-path -- per-function compile loop; the zero-allocation
+// policy (docs/PERF.md) is machine-enforced here by scripts/tpde_lint.py.
+
 #include "asmx/Assembler.h"
 #include "support/Common.h"
 

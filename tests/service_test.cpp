@@ -590,6 +590,25 @@ TEST(AdmissionQueueTest, PushWaitIsBoundedAndUnblocksOnSpace) {
       << "quota exhaustion rejects immediately, it is not waited out";
 }
 
+// Regression: pushWait used to wait out per-tenant MaxQueued rejections as
+// if they were ring-capacity overloads, burning the caller's whole wait
+// budget on a condition that freeing ring space cannot clear. The contract
+// (Admission.h) is that only a full shared ring is worth waiting on.
+TEST(AdmissionQueueTest, PushWaitDoesNotWaitOutTenantCap) {
+  service::AdmissionQueue<int> Q(16);
+  Q.setTenantConfig(7, {.MaxQueued = 1});
+  ASSERT_EQ(Q.tryPush(1, 7, tpde::nowNs()), service::Admit::Ok);
+  const u64 T0 = tpde::nowNs();
+  EXPECT_EQ(Q.pushWait(2, 7, T0, 2'000'000'000), service::Admit::Overloaded);
+  EXPECT_LT(tpde::nowNs() - T0, 1'000'000'000u)
+      << "the per-tenant cap must reject immediately; the ring has space";
+  // Once the tenant's queued job drains, the same push is admitted.
+  int V;
+  ASSERT_TRUE(Q.tryPop(V));
+  EXPECT_EQ(Q.pushWait(3, 7, tpde::nowNs(), 2'000'000'000),
+            service::Admit::Ok);
+}
+
 // --- service overload control ----------------------------------------------
 
 TEST(ServiceOverload, TrySubmitOnFullQueueReportsOverloaded) {

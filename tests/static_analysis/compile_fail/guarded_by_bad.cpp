@@ -1,0 +1,15 @@
+// Seeded GUARDED_BY violation: this TU must NOT compile under
+// -Wthread-safety -Werror. run_compile_fail.py treats a successful
+// compile of this file as a broken gate (hard failure, never skipped).
+#include "support/Sync.h"
+
+struct Counter {
+  tpde::Mutex M;
+  int X TPDE_GUARDED_BY(M) = 0;
+  int readUnlocked() { return X; } // BAD: reads X without holding M
+};
+
+int main() {
+  Counter C;
+  return C.readUnlocked();
+}

@@ -1,0 +1,33 @@
+// Control for guarded_by_bad.cpp: the same shapes, correctly locked,
+// must compile cleanly — including the patterns the wrappers exist for:
+// the explicit while-loop CV wait and the UniqueLock release/relock.
+#include "support/Sync.h"
+
+struct Counter {
+  tpde::Mutex M;
+  tpde::CondVar CV;
+  int X TPDE_GUARDED_BY(M) = 0;
+
+  int readLocked() TPDE_EXCLUDES(M) {
+    tpde::LockGuard L(M);
+    return X;
+  }
+  void waitNonZero() TPDE_EXCLUDES(M) {
+    tpde::LockGuard L(M);
+    while (X == 0)
+      CV.wait(M);
+  }
+  void relock() TPDE_EXCLUDES(M) {
+    tpde::UniqueLock L(M);
+    ++X;
+    L.unlock();
+    L.lock();
+    ++X;
+  }
+};
+
+int main() {
+  Counter C;
+  C.relock();
+  return C.readLocked();
+}

@@ -1,0 +1,23 @@
+// Seeded lock-order inversion, mirroring the service's documented order
+// (service/CompileService.h: ClaimsMtx strictly before Cache.Mtx). Must
+// NOT compile when the toolchain enforces acquired_before — clang's
+// -Wthread-safety-beta; run_compile_fail.py probes for support first.
+// Debug builds assert the same order at runtime via LockRank
+// (support/Sync.h), so GCC keeps a dynamic backstop for this invariant.
+#include "support/Sync.h"
+
+struct ServiceShape {
+  tpde::Mutex CacheMtx;
+  tpde::Mutex ClaimsMtx TPDE_ACQUIRED_BEFORE(CacheMtx);
+
+  void inverted() {
+    tpde::LockGuard A(CacheMtx);
+    tpde::LockGuard B(ClaimsMtx); // BAD: cache lock taken first
+  }
+};
+
+int main() {
+  ServiceShape S;
+  S.inverted();
+  return 0;
+}

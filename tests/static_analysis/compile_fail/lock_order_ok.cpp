@@ -1,0 +1,19 @@
+// Control for lock_order_bad.cpp: the documented ClaimsMtx-before-Cache
+// order must compile cleanly even under -Wthread-safety-beta.
+#include "support/Sync.h"
+
+struct ServiceShape {
+  tpde::Mutex CacheMtx;
+  tpde::Mutex ClaimsMtx TPDE_ACQUIRED_BEFORE(CacheMtx);
+
+  void ordered() {
+    tpde::LockGuard A(ClaimsMtx);
+    tpde::LockGuard B(CacheMtx);
+  }
+};
+
+int main() {
+  ServiceShape S;
+  S.ordered();
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Seeded REQUIRES violation: calling a *Locked helper without the lock
+// must NOT compile under -Wthread-safety -Werror. This is the CodeCache
+// evictLocked() convention.
+#include "support/Sync.h"
+
+struct Cache {
+  tpde::Mutex Mtx;
+  int Entries TPDE_GUARDED_BY(Mtx) = 0;
+  void evictLocked() TPDE_REQUIRES(Mtx) { --Entries; }
+  void evictUnlocked() { evictLocked(); } // BAD: Mtx not held
+};
+
+int main() {
+  Cache C;
+  C.evictUnlocked();
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Known-bad fixture: nondeterministic randomness and a timed sleep used
+// as synchronization outside the service layer.
+// tpde-lint-expect: banned-api
+#include <chrono>
+#include <cstdlib>
+
+unsigned jitter() {
+  return static_cast<unsigned>(rand());
+}
+
+void settle() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}

@@ -1,0 +1,20 @@
+// Known-good fixture: a hot-path file obeying every rule. Comments and
+// strings mentioning std::mutex, rand(), or new must NOT be flagged —
+// matching runs on stripped text.
+// tpde-lint: hot-path
+
+// A comment may discuss std::mutex or new allocations freely.
+const char *Doc = "prefer tpde::Mutex over std::mutex; never call rand()";
+
+struct Encoder {
+  static constexpr unsigned BufWords = 16;
+  unsigned Buf[BufWords] = {};
+  unsigned Cursor = 0;
+
+  void emit(unsigned Word) {
+    static_assert(BufWords > 0, "buffer must hold at least one word");
+    static constexpr unsigned Mask = BufWords - 1; // compile-time: allowed
+    Buf[Cursor & Mask] = Word;
+    ++Cursor;
+  }
+};

@@ -1,0 +1,15 @@
+// Known-bad fixture: allocation in a file claiming the zero-alloc policy.
+// tpde-lint: hot-path
+// tpde-lint-expect: hot-path-alloc
+#include <string>
+#include <vector>
+
+struct Emitter {
+  std::vector<int> Offsets; // allocating container in a hot-path file
+  void emit() {
+    int *Scratch = new int[64];
+    std::string Name = "f";
+    (void)Name;
+    delete[] Scratch;
+  }
+};

@@ -1,0 +1,13 @@
+// Known-bad fixture: mutable function-local static (the PR 1 copypatch
+// bug class) and a function-local thread_local.
+// tpde-lint-expect: local-static
+
+int nextId() {
+  static int Counter = 0; // hidden cross-compile state
+  return ++Counter;
+}
+
+int scratch() {
+  thread_local int Buf[16];
+  return Buf[0];
+}

@@ -1,0 +1,18 @@
+// Known-bad fixture: raw std primitives outside support/Sync.h.
+// tpde-lint-expect: raw-sync
+#include <mutex>
+#include <thread>
+
+struct Unwrapped {
+  std::mutex M;
+  int X = 0;
+  void bump() {
+    std::lock_guard<std::mutex> L(M);
+    ++X;
+  }
+};
+
+void spawn() {
+  std::thread T([] {});
+  T.join();
+}

@@ -1,0 +1,14 @@
+// Known-good fixture: every violation carries a named suppression, so the
+// file must report nothing. Suppressions name their rule to stay greppable.
+// tpde-lint: hot-path
+
+#include <vector> // tpde-lint: allow(hot-path-alloc)
+
+struct Quarantine {
+  // tpde-lint: allow(hot-path-alloc)
+  std::vector<int> Failed; // cold path: only grows on compile failure
+};
+
+int legacySeed() {
+  return rand(); // tpde-lint: allow(banned-api)
+}

@@ -13,6 +13,7 @@
 #include "support/DenseMap.h"
 #include "support/SmallVector.h"
 #include "support/StringPool.h"
+#include "support/Sync.h"
 #include "tir/Builder.h"
 #include "tpde_tir/TirCompilerX64.h"
 #include "workloads/Generator.h"
@@ -461,3 +462,91 @@ TEST(StateReuse, SparseRangeCompileDisarmsSymbolBatching) {
   EXPECT_EQ(Asm.resetEpoch(), Armed);
   EXPECT_EQ(textBytes(Asm), First);
 }
+
+// --- Sync wrappers (support/Sync.h) ----------------------------------------
+
+TEST(Sync, MutexLockGuardBasics) {
+  tpde::Mutex M;
+  int Guarded = 0; // not annotated: gcc test TU, annotations are no-ops
+  {
+    tpde::LockGuard L(M);
+    Guarded = 1;
+  }
+  EXPECT_TRUE(M.tryLock());
+  M.unlock();
+  EXPECT_EQ(Guarded, 1);
+}
+
+TEST(Sync, UniqueLockRelocks) {
+  tpde::Mutex M;
+  tpde::UniqueLock L(M);
+  EXPECT_TRUE(L.held());
+  L.unlock();
+  EXPECT_FALSE(L.held());
+  EXPECT_TRUE(M.tryLock()) << "unlock really released the mutex";
+  M.unlock();
+  L.lock();
+  EXPECT_TRUE(L.held());
+}
+
+TEST(Sync, CondVarWaitAndWaitFor) {
+  tpde::Mutex M;
+  tpde::CondVar CV;
+  bool Ready = false;
+  tpde::Thread T([&] {
+    tpde::LockGuard L(M);
+    Ready = true;
+    CV.notify_one();
+  });
+  {
+    tpde::LockGuard L(M);
+    while (!Ready)
+      CV.wait(M);
+  }
+  T.join();
+  EXPECT_TRUE(Ready);
+  // waitFor returns after the timeout without the predicate flipping and
+  // leaves the mutex held (relockable afterwards by the same scope).
+  {
+    tpde::LockGuard L(M);
+    CV.waitFor(M, 1'000'000); // 1ms
+    EXPECT_TRUE(Ready);
+  }
+}
+
+TEST(Sync, HardwareConcurrencyIsPositive) {
+  EXPECT_GE(tpde::hardwareConcurrency(), 1u);
+}
+
+#ifndef NDEBUG
+// The dynamic lock-order backstop (LockRank in support/Sync.h) mirrors the
+// statically annotated ClaimsMtx-before-Cache.Mtx order for compilers that
+// cannot check the annotations (GCC). Debug-only: compiled out with NDEBUG.
+TEST(SyncDeathTest, RankInversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        tpde::Mutex Claims{tpde::LockRank::ServiceClaims};
+        tpde::Mutex Cache{tpde::LockRank::ServiceCache};
+        tpde::LockGuard A(Cache);
+        tpde::LockGuard B(Claims); // inversion: rank 10 after rank 20
+      },
+      "lock-order violation");
+}
+
+TEST(SyncDeathTest, CorrectRankOrderDoesNotAbort) {
+  tpde::Mutex Claims{tpde::LockRank::ServiceClaims};
+  tpde::Mutex Cache{tpde::LockRank::ServiceCache};
+  tpde::LockGuard A(Claims);
+  tpde::LockGuard B(Cache);
+  SUCCEED();
+}
+
+TEST(SyncDeathTest, UnrankedLocksAreExemptFromOrdering) {
+  tpde::Mutex Ranked{tpde::LockRank::ServiceCache};
+  tpde::Mutex Leaf; // LockRank::None
+  tpde::LockGuard A(Ranked);
+  tpde::LockGuard B(Leaf); // leaf under a ranked lock: allowed
+  SUCCEED();
+}
+#endif // !NDEBUG
